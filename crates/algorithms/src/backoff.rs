@@ -1,0 +1,193 @@
+//! Bounded exponential backoff on the fetch-and-increment counter —
+//! an ablation probing a known limitation of the unit-cost model.
+//!
+//! Real CAS loops back off after failures because failed CAS attempts
+//! cost cache-coherence traffic that slows *everyone*. The paper's
+//! model charges every step one unit regardless, so in the model
+//! backoff can only *waste* steps: latency increases monotonically
+//! with the backoff cap. Contrast with Algorithm 1 ([`crate::unbounded`]),
+//! whose *unbounded* backoff destroys wait-freedom outright —
+//! boundedness keeps Theorem 3 applicable, at a constant-factor price.
+
+use pwf_sim::memory::{RegisterId, SharedMemory};
+use pwf_sim::process::{Process, StepOutcome};
+
+/// A fetch-and-increment process with bounded exponential backoff:
+/// after the `k`-th consecutive CAS failure it spins for
+/// `min(2^k, cap)` reads before retrying.
+#[derive(Debug, Clone)]
+pub struct BackoffFaiProcess {
+    counter: RegisterId,
+    spin: RegisterId,
+    cap: u32,
+    v: u64,
+    consecutive_failures: u32,
+    backoff_left: u32,
+}
+
+impl BackoffFaiProcess {
+    /// Creates a process with the given backoff cap (in spin reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0` (use [`crate::fai::FaiProcess`] for no
+    /// backoff).
+    pub fn new(counter: RegisterId, spin: RegisterId, cap: u32) -> Self {
+        assert!(cap > 0, "cap must be positive");
+        BackoffFaiProcess {
+            counter,
+            spin,
+            cap,
+            v: 0,
+            consecutive_failures: 0,
+            backoff_left: 0,
+        }
+    }
+
+    /// The backoff cap.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+}
+
+impl Process for BackoffFaiProcess {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        if self.backoff_left > 0 {
+            let _ = mem.read(self.spin);
+            self.backoff_left -= 1;
+            return StepOutcome::Ongoing;
+        }
+        let old = self.v;
+        let ret = mem.cas_augmented(self.counter, old, old + 1);
+        if ret == old {
+            self.v = old + 1;
+            self.consecutive_failures = 0;
+            StepOutcome::Completed
+        } else {
+            self.v = ret;
+            self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            let exp = 1u32
+                .checked_shl(self.consecutive_failures.min(30))
+                .unwrap_or(u32::MAX);
+            self.backoff_left = exp.min(self.cap);
+            StepOutcome::Ongoing
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "backoff-fai"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_sim::executor::{run, RunConfig};
+    use pwf_sim::process::ProcessId;
+    use pwf_sim::scheduler::{AdversarialScheduler, UniformScheduler};
+    use pwf_sim::stats::system_latency;
+
+    fn fleet(mem: &mut SharedMemory, n: usize, cap: u32) -> Vec<Box<dyn Process>> {
+        let counter = mem.alloc(0);
+        let spin = mem.alloc(0);
+        (0..n)
+            .map(|_| Box::new(BackoffFaiProcess::new(counter, spin, cap)) as Box<dyn Process>)
+            .collect()
+    }
+
+    #[test]
+    fn solo_never_backs_off() {
+        let mut mem = SharedMemory::new();
+        let mut ps = fleet(&mut mem, 1, 8);
+        let exec = run(
+            &mut ps,
+            &mut AdversarialScheduler::solo(ProcessId::new(0)),
+            &mut mem,
+            &RunConfig::new(100),
+        );
+        assert_eq!(exec.total_completions(), 100);
+    }
+
+    #[test]
+    fn small_cap_keeps_everyone_progressing() {
+        let n = 8;
+        let mut mem = SharedMemory::new();
+        let mut ps = fleet(&mut mem, n, 2);
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(300_000).seed(85),
+        );
+        for i in 0..n {
+            assert!(exec.process_completions[i] > 500, "process {i} starved");
+        }
+    }
+
+    #[test]
+    fn large_cap_recreates_a_bounded_lemma_2_monopoly() {
+        // With a large cap, a failing process sits out ~cap steps
+        // while the recent winner (backoff reset) keeps winning —
+        // Lemma 2's rich-get-richer dynamic, but *bounded*, so the
+        // escape probability stays positive and Theorem 3 still holds
+        // (with constants close to its (1/θ)^T worst case).
+        let n = 8;
+        let mut mem = SharedMemory::new();
+        let mut ps = fleet(&mut mem, n, 64);
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(300_000).seed(85),
+        );
+        let max = *exec.process_completions.iter().max().unwrap();
+        let total: u64 = exec.process_completions.iter().sum();
+        assert!(
+            max as f64 / total as f64 > 0.3,
+            "expected monopolization: {:?}",
+            exec.process_completions
+        );
+    }
+
+    #[test]
+    fn model_latency_does_not_improve_with_backoff() {
+        // The unit-cost model cannot reward backoff (failed CASes are
+        // free): W is non-decreasing in the cap. On real hardware
+        // backoff helps by cutting coherence traffic — a cost the
+        // model does not represent, which is a documented limitation.
+        let n = 8;
+        let w = |cap: u32| {
+            let mut mem = SharedMemory::new();
+            let mut ps = fleet(&mut mem, n, cap);
+            let exec = run(
+                &mut ps,
+                &mut UniformScheduler::new(),
+                &mut mem,
+                &RunConfig::new(400_000).seed(86),
+            );
+            system_latency(&exec).unwrap().mean
+        };
+        let w1 = w(1);
+        let w16 = w(16);
+        let w128 = w(128);
+        assert!(w16 > w1, "W(cap=16)={w16} vs W(cap=1)={w1}");
+        assert!(w128 >= w16 - 1e-9, "W(cap=128)={w128} vs W(cap=16)={w16}");
+    }
+
+    #[test]
+    fn backoff_is_bounded_unlike_algorithm_1() {
+        // Even after many failures, the backoff never exceeds the cap —
+        // the property separating this from Lemma 2's counterexample.
+        let mut mem = SharedMemory::new();
+        let counter = mem.alloc(0);
+        let spin = mem.alloc(0);
+        let mut loser = BackoffFaiProcess::new(counter, spin, 8);
+        let mut winner = crate::fai::FaiProcess::new(counter);
+        for _ in 0..50 {
+            // Winner bumps the counter; loser fails and backs off.
+            assert!(winner.step(&mut mem).is_completed());
+            while !matches!(loser.step(&mut mem), StepOutcome::Ongoing) {}
+            assert!(loser.backoff_left <= 8);
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! Exact chains for the scan-validate component `SCU(0, 1)`
+//! (paper, Section 6.1.1, Lemmas 3–7).
+
+use pwf_markov::chain::{ChainBuilder, ChainError, MarkovChain};
+use pwf_markov::stationary::{stationary_distribution, StationaryError};
+
+use super::latency_from_success_probabilities;
+
+/// Extended local state of one process (paper, Section 6.1.1): the
+/// state is defined *from the viewpoint of the entire system* — a
+/// pending CAS is `CCas` or `OldCas` depending on whether it would
+/// currently succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PState {
+    /// About to CAS with an old (invalid) value of `R`.
+    OldCas,
+    /// About to read `R`.
+    Read,
+    /// About to CAS with the current value of `R`.
+    CCas,
+}
+
+/// A state of the individual chain: the extended local state of every
+/// process.
+pub type IndividualState = Vec<PState>;
+
+/// A state `(a, b)` of the system chain: `a` processes about to read,
+/// `b` processes about to CAS with an old value (and `n − a − b` about
+/// to CAS with the current value).
+pub type SystemState = (usize, usize);
+
+/// Maximum `n` for which the individual chain (`3ⁿ − 1` states) is
+/// built; beyond this the dense representation is impractical.
+pub const MAX_INDIVIDUAL_N: usize = 7;
+
+/// Maximum `n` for the system chain: it has `Θ(n²)` states and the
+/// solver is dense, so `n = 128` (≈ 8.4k states) is the practical
+/// ceiling. For larger `n` use the step-equivalent balls-into-bins
+/// game in `pwf-ballsbins`, which estimates the same latency in
+/// `O(phases · √n)` time.
+pub const MAX_SYSTEM_N: usize = 128;
+
+/// The lifting map `f` of Definition 2: counts processes in `Read`
+/// and `OldCas`.
+pub fn lift(state: &IndividualState) -> SystemState {
+    let a = state.iter().filter(|&&p| p == PState::Read).count();
+    let b = state.iter().filter(|&&p| p == PState::OldCas).count();
+    (a, b)
+}
+
+fn enumerate_individual_states(n: usize) -> Vec<IndividualState> {
+    // All vectors over {OldCas, Read, CCas}^n except all-OldCas.
+    let mut states = Vec::with_capacity(3usize.pow(n as u32) - 1);
+    let mut current = vec![PState::OldCas; n];
+    loop {
+        if current.iter().any(|&p| p != PState::OldCas) {
+            states.push(current.clone());
+        }
+        // Increment base-3 counter.
+        let mut i = 0;
+        loop {
+            current[i] = match current[i] {
+                PState::OldCas => PState::Read,
+                PState::Read => PState::CCas,
+                PState::CCas => {
+                    current[i] = PState::OldCas;
+                    i += 1;
+                    if i == n {
+                        return states;
+                    }
+                    continue;
+                }
+            };
+            break;
+        }
+    }
+}
+
+fn individual_successor(state: &IndividualState, i: usize) -> (IndividualState, bool) {
+    let mut next = state.clone();
+    match state[i] {
+        PState::Read => {
+            next[i] = PState::CCas;
+            (next, false)
+        }
+        PState::OldCas => {
+            next[i] = PState::Read;
+            (next, false)
+        }
+        PState::CCas => {
+            // Success: winner returns to reading, every other current
+            // CAS becomes stale.
+            for (j, p) in next.iter_mut().enumerate() {
+                if j != i && *p == PState::CCas {
+                    *p = PState::OldCas;
+                }
+            }
+            next[i] = PState::Read;
+            (next, true)
+        }
+    }
+}
+
+/// Builds the individual chain for `SCU(0, 1)` on `n` processes:
+/// `3ⁿ − 1` states, uniform scheduling (each process steps with
+/// probability `1/n`).
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > MAX_INDIVIDUAL_N`.
+pub fn individual_chain(n: usize) -> Result<MarkovChain<IndividualState>, ChainError> {
+    assert!(n >= 1, "need at least one process");
+    assert!(
+        n <= MAX_INDIVIDUAL_N,
+        "individual chain has 3^n - 1 states; n must be at most {MAX_INDIVIDUAL_N}"
+    );
+    let states = enumerate_individual_states(n);
+    let p = 1.0 / n as f64;
+    let mut b = ChainBuilder::new();
+    for s in &states {
+        b = b.state(s.clone());
+    }
+    for s in &states {
+        for i in 0..n {
+            let (next, _) = individual_successor(s, i);
+            b = b.transition(s.clone(), next, p);
+        }
+    }
+    b.build()
+}
+
+/// Builds the system chain for `SCU(0, 1)` on `n` processes: states
+/// `(a, b)` with `a + b ≤ n`, excluding the unreachable `(0, n)`.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > MAX_SYSTEM_N`.
+pub fn system_chain(n: usize) -> Result<MarkovChain<SystemState>, ChainError> {
+    assert!(n >= 1, "need at least one process");
+    assert!(
+        n <= MAX_SYSTEM_N,
+        "system chain has Θ(n²) states; n must be at most {MAX_SYSTEM_N} \
+         (use pwf-ballsbins for Monte-Carlo estimates at larger n)"
+    );
+    let nf = n as f64;
+    let mut b = ChainBuilder::new();
+    for a in 0..=n {
+        for bb in 0..=(n - a) {
+            if (a, bb) != (0, n) {
+                b = b.state((a, bb));
+            }
+        }
+    }
+    for a in 0..=n {
+        for bb in 0..=(n - a) {
+            if (a, bb) == (0, n) {
+                continue;
+            }
+            let c = n - a - bb;
+            if a > 0 {
+                b = b.transition((a, bb), (a - 1, bb), a as f64 / nf);
+            }
+            if bb > 0 {
+                b = b.transition((a, bb), (a + 1, bb - 1), bb as f64 / nf);
+            }
+            if c > 0 {
+                // Success: winner reads, all other current CASes stale.
+                b = b.transition((a, bb), (a + 1, n - a - 1), c as f64 / nf);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Builds the system chain in sparse form, usable far beyond
+/// [`MAX_SYSTEM_N`] (the chain has `Θ(n²)` states but only ≤ 3
+/// transitions per state).
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sparse_system_chain(
+    n: usize,
+) -> Result<pwf_markov::sparse::SparseChain<SystemState>, ChainError> {
+    assert!(n >= 1, "need at least one process");
+    let nf = n as f64;
+    let mut b = pwf_markov::sparse::SparseChainBuilder::new();
+    for a in 0..=n {
+        for bb in 0..=(n - a) {
+            if (a, bb) != (0, n) {
+                b.state((a, bb));
+            }
+        }
+    }
+    for a in 0..=n {
+        for bb in 0..=(n - a) {
+            if (a, bb) == (0, n) {
+                continue;
+            }
+            let c = n - a - bb;
+            if a > 0 {
+                b.transition((a, bb), (a - 1, bb), a as f64 / nf);
+            }
+            if bb > 0 {
+                b.transition((a, bb), (a + 1, bb - 1), bb as f64 / nf);
+            }
+            if c > 0 {
+                b.transition((a, bb), (a + 1, n - a - 1), c as f64 / nf);
+            }
+        }
+    }
+    b.build()
+}
+
+/// System latency for large `n` via the sparse chain and lazy power
+/// iteration — the scalable counterpart of [`exact_system_latency`].
+///
+/// # Errors
+///
+/// Propagates sparse-solver convergence failures.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn large_system_latency(
+    n: usize,
+    max_iters: usize,
+    tol: f64,
+) -> Result<f64, LatencyError> {
+    let chain = sparse_system_chain(n)?;
+    let pi = chain
+        .stationary(max_iters, tol)
+        .map_err(LatencyError::Stationary)?;
+    let succ: Vec<f64> = chain
+        .states()
+        .iter()
+        .map(|&(a, b)| (n - a - b) as f64 / n as f64)
+        .collect();
+    Ok(latency_from_success_probabilities(&pi, &succ))
+}
+
+/// Per-state success probability in the system chain: a step from
+/// `(a, b)` is a success iff a `CCAS` process is scheduled, i.e. with
+/// probability `(n − a − b)/n`.
+pub fn system_success_probabilities(chain: &MarkovChain<SystemState>, n: usize) -> Vec<f64> {
+    chain
+        .states()
+        .iter()
+        .map(|&(a, b)| (n - a - b) as f64 / n as f64)
+        .collect()
+}
+
+/// Exact system latency `W` of `SCU(0, 1)` on `n` processes, from the
+/// stationary distribution of the system chain (the quantity bounded
+/// by `O(√n)` in Theorem 5).
+///
+/// # Errors
+///
+/// Propagates chain and stationary-distribution errors.
+pub fn exact_system_latency(n: usize) -> Result<f64, LatencyError> {
+    let chain = system_chain(n)?;
+    let pi = stationary_distribution(&chain)?;
+    let succ = system_success_probabilities(&chain, n);
+    Ok(latency_from_success_probabilities(&pi, &succ))
+}
+
+/// Exact individual latency `W_i` of process `i` in `SCU(0, 1)` on `n`
+/// processes, from the individual chain (Lemma 7 asserts this equals
+/// `n · W`; tests verify it).
+///
+/// # Errors
+///
+/// Propagates chain and stationary-distribution errors.
+///
+/// # Panics
+///
+/// Panics if `i >= n` or `n > MAX_INDIVIDUAL_N`.
+pub fn exact_individual_latency(n: usize, i: usize) -> Result<f64, LatencyError> {
+    assert!(i < n, "process index out of range");
+    let chain = individual_chain(n)?;
+    let pi = stationary_distribution(&chain)?;
+    // η_i = Σ_{x : x[i] = CCas} π'_x / n (Lemma 7).
+    let succ: Vec<f64> = chain
+        .states()
+        .iter()
+        .map(|s| {
+            if s[i] == PState::CCas {
+                1.0 / n as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Ok(latency_from_success_probabilities(&pi, &succ))
+}
+
+/// Errors from exact-latency computations.
+#[derive(Debug)]
+pub enum LatencyError {
+    /// Chain construction failed.
+    Chain(ChainError),
+    /// Stationary-distribution computation failed.
+    Stationary(StationaryError),
+}
+
+impl std::fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyError::Chain(e) => write!(f, "chain construction failed: {e}"),
+            LatencyError::Stationary(e) => write!(f, "stationary computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LatencyError::Chain(e) => Some(e),
+            LatencyError::Stationary(e) => Some(e),
+        }
+    }
+}
+
+impl From<ChainError> for LatencyError {
+    fn from(e: ChainError) -> Self {
+        LatencyError::Chain(e)
+    }
+}
+
+impl From<StationaryError> for LatencyError {
+    fn from(e: StationaryError) -> Self {
+        LatencyError::Stationary(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_markov::lifting::verify_lifting;
+    use pwf_markov::structure::analyze;
+
+    #[test]
+    fn individual_chain_has_3n_minus_1_states() {
+        for n in 1..=4 {
+            let c = individual_chain(n).unwrap();
+            assert_eq!(c.len(), 3usize.pow(n as u32) - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn system_chain_state_count() {
+        // (n+1)(n+2)/2 − 1 states.
+        for n in 1..=10 {
+            let c = system_chain(n).unwrap();
+            assert_eq!(c.len(), (n + 1) * (n + 2) / 2 - 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lemma_3_chains_are_irreducible_with_period_two() {
+        // Deviation note: the paper's Lemma 3 calls both chains
+        // ergodic, but every transition changes the number of `Read`
+        // processes by exactly ±1, so the chains are bipartite with
+        // period 2. Irreducibility — which is all Theorem 1 needs for
+        // the unique stationary distribution the analysis rests on —
+        // does hold, and time-average behaviour is unaffected.
+        for n in 2..=4 {
+            let ind = analyze(&individual_chain(n).unwrap());
+            let sys = analyze(&system_chain(n).unwrap());
+            assert!(ind.irreducible, "individual n={n}");
+            assert_eq!(ind.period, 2, "individual n={n}");
+            assert!(sys.irreducible, "system n={n}");
+            assert_eq!(sys.period, 2, "system n={n}");
+        }
+    }
+
+    #[test]
+    fn lemma_5_system_chain_is_lifting_of_individual() {
+        for n in 2..=5 {
+            let ind = individual_chain(n).unwrap();
+            let sys = system_chain(n).unwrap();
+            let report = verify_lifting(&ind, &sys, lift, 1e-8)
+                .unwrap_or_else(|e| panic!("lifting failed for n={n}: {e}"));
+            assert!(report.flow_residual < 1e-9, "n = {n}");
+            assert!(report.stationary_residual < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lemma_7_individual_latency_is_n_times_system() {
+        for n in 2..=5 {
+            let w = exact_system_latency(n).unwrap();
+            let wi = exact_individual_latency(n, 0).unwrap();
+            assert!(
+                (wi - n as f64 * w).abs() < 1e-6,
+                "n={n}: W_i={wi}, n·W={}",
+                n as f64 * w
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_6_symmetric_states_have_equal_stationary_probability() {
+        let n = 3;
+        let chain = individual_chain(n).unwrap();
+        let pi = stationary_distribution(&chain).unwrap();
+        // States that are permutations of each other have equal π.
+        let a = chain
+            .state_index(&vec![PState::Read, PState::CCas, PState::OldCas])
+            .unwrap();
+        let b = chain
+            .state_index(&vec![PState::OldCas, PState::Read, PState::CCas])
+            .unwrap();
+        assert!((pi[a] - pi[b]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_process_system_latency_is_two() {
+        // n = 1: read, CAS, read, CAS … every second step succeeds.
+        let w = exact_system_latency(1).unwrap();
+        assert!((w - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem_5_system_latency_is_order_sqrt_n() {
+        // W/√n should be bounded and roughly flat.
+        let ratios: Vec<f64> = [4, 16, 36, 64]
+            .iter()
+            .map(|&n| exact_system_latency(n).unwrap() / (n as f64).sqrt())
+            .collect();
+        for r in &ratios {
+            assert!(*r > 0.5 && *r < 4.0, "ratios {ratios:?}");
+        }
+        // Ratio should not grow: later ratios within 50% of earlier.
+        assert!(
+            ratios.last().unwrap() < &(ratios.first().unwrap() * 1.5),
+            "ratios {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn lift_counts_states() {
+        let s = vec![PState::Read, PState::OldCas, PState::CCas, PState::Read];
+        assert_eq!(lift(&s), (2, 1));
+    }
+
+    #[test]
+    fn initial_state_all_read_exists() {
+        let n = 3;
+        let c = individual_chain(n).unwrap();
+        assert!(c.state_index(&vec![PState::Read; n]).is_some());
+        // The all-OldCas state must not exist.
+        assert!(c.state_index(&vec![PState::OldCas; n]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "3^n - 1")]
+    fn oversized_individual_chain_panics() {
+        let _ = individual_chain(MAX_INDIVIDUAL_N + 1);
+    }
+}
+
+#[cfg(test)]
+mod sparse_tests {
+    use super::*;
+
+    #[test]
+    fn sparse_chain_matches_dense_latency() {
+        for n in [4usize, 16, 64] {
+            let dense = exact_system_latency(n).unwrap();
+            let sparse = large_system_latency(n, 200_000, 1e-12).unwrap();
+            assert!(
+                (dense - sparse).abs() / dense < 1e-6,
+                "n={n}: dense {dense} vs sparse {sparse}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_chain_is_irreducible() {
+        let c = sparse_system_chain(32).unwrap();
+        assert!(c.is_irreducible());
+        assert_eq!(c.len(), 33 * 34 / 2 - 1);
+        // ≤ 3 transitions per state.
+        assert!(c.nnz() <= 3 * c.len());
+    }
+
+    #[test]
+    fn large_n_latency_continues_sqrt_trend() {
+        // n = 256 is past the dense cap; W/√n must stay in the same
+        // narrow band the dense values occupy.
+        let w = large_system_latency(256, 400_000, 1e-11).unwrap();
+        let ratio = w / 16.0;
+        assert!(ratio > 1.6 && ratio < 2.0, "W/sqrt(n) = {ratio}");
+    }
+}

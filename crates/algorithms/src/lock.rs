@@ -1,0 +1,271 @@
+//! A lock-based (blocking) counter — the *deadlock-free* baseline the
+//! paper's introduction contrasts with lock-freedom.
+//!
+//! A process acquires a test-and-set spinlock, performs a
+//! `cs`-step critical section (read counter, local update, write,
+//! …, unlock), and completes. Under the uniform stochastic scheduler
+//! the holder is scheduled once every `n` steps in expectation, so the
+//! system latency is `1 + cs·n` — **linear** in `n`, versus the
+//! lock-free class's `Θ(√n)` (Theorem 5). And if the holder crashes,
+//! the whole system blocks forever: deadlock-freedom's minimal
+//! progress is conditional on crash-free executions, while
+//! lock-freedom's is not.
+
+use pwf_sim::memory::{RegisterId, SharedMemory};
+use pwf_sim::process::{Process, ProcessId, StepOutcome};
+
+/// Register value meaning "lock free".
+const UNLOCKED: u64 = 0;
+
+/// Shared registers of the lock-based counter.
+#[derive(Debug, Clone, Copy)]
+pub struct LockObject {
+    lock: RegisterId,
+    counter: RegisterId,
+}
+
+impl LockObject {
+    /// Allocates the lock and counter registers.
+    pub fn alloc(mem: &mut SharedMemory) -> Self {
+        LockObject {
+            lock: mem.alloc(UNLOCKED),
+            counter: mem.alloc(0),
+        }
+    }
+
+    /// The protected counter register.
+    pub fn counter(&self) -> RegisterId {
+        self.counter
+    }
+
+    /// The lock register (for assertions).
+    pub fn lock(&self) -> RegisterId {
+        self.lock
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Spinning on the lock with test-and-set.
+    Acquire,
+    /// Inside the critical section with `k` steps remaining before the
+    /// unlock.
+    Critical(usize),
+    /// About to release the lock.
+    Release,
+}
+
+/// A process incrementing a counter under a test-and-set spinlock,
+/// with a critical section of `cs_len` shared-memory steps (≥ 1; the
+/// final unlock write is separate).
+#[derive(Debug, Clone)]
+pub struct LockProcess {
+    id: ProcessId,
+    object: LockObject,
+    cs_len: usize,
+    phase: Phase,
+}
+
+impl LockProcess {
+    /// Creates a lock-based counter process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs_len == 0`.
+    pub fn new(id: ProcessId, object: LockObject, cs_len: usize) -> Self {
+        assert!(cs_len >= 1, "critical section needs at least one step");
+        LockProcess {
+            id,
+            object,
+            cs_len,
+            phase: Phase::Acquire,
+        }
+    }
+
+    /// Total steps of one uncontended operation: acquire + critical
+    /// section + unlock.
+    pub fn op_len(&self) -> usize {
+        self.cs_len + 2
+    }
+}
+
+impl Process for LockProcess {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        match self.phase {
+            Phase::Acquire => {
+                let token = 1 + self.id.index() as u64;
+                if mem.cas(self.object.lock, UNLOCKED, token) {
+                    self.phase = Phase::Critical(self.cs_len);
+                }
+                StepOutcome::Ongoing
+            }
+            Phase::Critical(k) => {
+                debug_assert_eq!(
+                    mem.peek(self.object.lock),
+                    1 + self.id.index() as u64,
+                    "critical section entered without holding the lock"
+                );
+                if k == self.cs_len {
+                    // First critical step: read the counter...
+                    let v = mem.read(self.object.counter);
+                    // ...and stage the increment locally (free).
+                    let _ = v;
+                } else if k == 1 {
+                    // Last critical step: publish the increment.
+                    let v = mem.peek(self.object.counter);
+                    mem.write(self.object.counter, v + 1);
+                } else {
+                    // Middle steps: auxiliary critical-section work.
+                    let _ = mem.read(self.object.counter);
+                }
+                self.phase = if k == 1 { Phase::Release } else { Phase::Critical(k - 1) };
+                StepOutcome::Ongoing
+            }
+            Phase::Release => {
+                mem.write(self.object.lock, UNLOCKED);
+                self.phase = Phase::Acquire;
+                StepOutcome::Completed
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "lock-counter"
+    }
+}
+
+/// Closed-form system latency of the lock-based counter under the
+/// uniform stochastic scheduler: one step acquires the free lock (any
+/// scheduled process succeeds), then each of the `cs + 1` remaining
+/// holder steps (critical section + unlock) waits expected `n`
+/// schedulings: `W = 1 + (cs + 1)·n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `cs_len == 0`.
+pub fn predicted_system_latency(n: usize, cs_len: usize) -> f64 {
+    assert!(n >= 1 && cs_len >= 1, "need n ≥ 1 and cs_len ≥ 1");
+    1.0 + ((cs_len + 1) * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_sim::crash::CrashSchedule;
+    use pwf_sim::executor::{run, RunConfig};
+    use pwf_sim::scheduler::{AdversarialScheduler, UniformScheduler};
+    use pwf_sim::stats::system_latency;
+
+    fn fleet(mem: &mut SharedMemory, n: usize, cs: usize) -> (LockObject, Vec<Box<dyn Process>>) {
+        let obj = LockObject::alloc(mem);
+        let ps = (0..n)
+            .map(|i| Box::new(LockProcess::new(ProcessId::new(i), obj, cs)) as Box<dyn Process>)
+            .collect();
+        (obj, ps)
+    }
+
+    #[test]
+    fn solo_operation_takes_cs_plus_two_steps() {
+        let mut mem = SharedMemory::new();
+        let (_, mut ps) = fleet(&mut mem, 1, 3);
+        let exec = run(
+            &mut ps,
+            &mut AdversarialScheduler::solo(ProcessId::new(0)),
+            &mut mem,
+            &RunConfig::new(50),
+        );
+        assert_eq!(exec.total_completions(), 10); // 5 steps per op
+    }
+
+    #[test]
+    fn counter_equals_completions_mutual_exclusion_holds() {
+        let mut mem = SharedMemory::new();
+        let (obj, mut ps) = fleet(&mut mem, 6, 2);
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(200_000).seed(61),
+        );
+        // No lost updates despite the read/stage/write split: mutual
+        // exclusion protected the counter.
+        assert_eq!(mem.peek(obj.counter()), exec.total_completions());
+        assert!(exec.total_completions() > 1_000);
+    }
+
+    #[test]
+    fn latency_is_linear_in_n() {
+        for n in [2usize, 4, 8, 16] {
+            let mut mem = SharedMemory::new();
+            let (_, mut ps) = fleet(&mut mem, n, 2);
+            let exec = run(
+                &mut ps,
+                &mut UniformScheduler::new(),
+                &mut mem,
+                &RunConfig::new(400_000).seed(62),
+            );
+            let w = system_latency(&exec).unwrap().mean;
+            let pred = predicted_system_latency(n, 2);
+            assert!(
+                (w - pred).abs() / pred < 0.05,
+                "n={n}: W={w} vs predicted {pred}"
+            );
+        }
+    }
+
+    #[test]
+    fn crashed_lock_holder_blocks_everyone_forever() {
+        // The blocking pathology: crash p0 mid-critical-section.
+        let n = 4;
+        let mut mem = SharedMemory::new();
+        let (obj, mut ps) = fleet(&mut mem, n, 3);
+        // Drive p0 into the critical section deterministically.
+        let mut sched = AdversarialScheduler::solo(ProcessId::new(0));
+        let warm = run(&mut ps, &mut sched, &mut mem, &RunConfig::new(2));
+        assert_eq!(warm.total_completions(), 0);
+        assert_ne!(mem.peek(obj.lock()), UNLOCKED, "p0 must hold the lock");
+        // Now crash p0 immediately and run everyone else stochastically.
+        let crashes = CrashSchedule::new(vec![(1, ProcessId::new(0))], n).unwrap();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(100_000).seed(63).crashes(crashes),
+        );
+        assert_eq!(
+            exec.total_completions(),
+            0,
+            "blocking algorithm must deadlock when the holder crashes"
+        );
+    }
+
+    #[test]
+    fn lock_free_counter_survives_the_same_crash() {
+        // Contrast: the lock-free FAI counter under an identical crash
+        // pattern keeps completing (lock-freedom's minimal progress is
+        // unconditional).
+        use crate::fai::FaiProcess;
+        let n = 4;
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..n)
+            .map(|_| Box::new(FaiProcess::new(r)) as Box<dyn Process>)
+            .collect();
+        let crashes = CrashSchedule::new(vec![(1, ProcessId::new(0))], n).unwrap();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(100_000).seed(63).crashes(crashes),
+        );
+        assert!(exec.total_completions() > 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_critical_section_panics() {
+        let mut mem = SharedMemory::new();
+        let obj = LockObject::alloc(&mut mem);
+        let _ = LockProcess::new(ProcessId::new(0), obj, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Parallel code (paper, Section 6.2, Algorithm 4): a method call that
+//! completes after the process executes `q` steps, irrespective of any
+//! concurrent activity. This is `SCU(q, 0)` — the preamble component
+//! of the class, analyzed in isolation (Lemma 11: system latency `q`,
+//! individual latency `n·q`).
+
+use pwf_sim::memory::{RegisterId, SharedMemory};
+use pwf_sim::process::{Process, StepOutcome};
+
+/// A process executing `q`-step contention-free method calls forever.
+///
+/// # Examples
+///
+/// ```
+/// use pwf_algorithms::parallel::ParallelProcess;
+/// use pwf_sim::memory::SharedMemory;
+/// use pwf_sim::process::Process;
+///
+/// let mut mem = SharedMemory::new();
+/// let r = mem.alloc(0);
+/// let mut p = ParallelProcess::new(r, 3);
+/// assert!(!p.step(&mut mem).is_completed());
+/// assert!(!p.step(&mut mem).is_completed());
+/// assert!(p.step(&mut mem).is_completed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelProcess {
+    scratch: RegisterId,
+    q: usize,
+    counter: usize,
+}
+
+impl ParallelProcess {
+    /// Creates a parallel-code process with method calls of `q` steps,
+    /// touching only `scratch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q == 0`.
+    pub fn new(scratch: RegisterId, q: usize) -> Self {
+        assert!(q > 0, "method calls must take at least one step");
+        ParallelProcess {
+            scratch,
+            q,
+            counter: 0,
+        }
+    }
+
+    /// The method-call length `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// The current step counter `C_i ∈ {0, …, q−1}`.
+    pub fn counter(&self) -> usize {
+        self.counter
+    }
+}
+
+impl Process for ParallelProcess {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        let _ = mem.read(self.scratch);
+        self.counter += 1;
+        if self.counter == self.q {
+            self.counter = 0;
+            StepOutcome::Completed
+        } else {
+            StepOutcome::Ongoing
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_sim::executor::{run, RunConfig};
+    use pwf_sim::process::ProcessId;
+    use pwf_sim::scheduler::UniformScheduler;
+    use pwf_sim::stats::{individual_latency, system_latency};
+
+    #[test]
+    fn completes_exactly_every_q_steps() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut p = ParallelProcess::new(r, 4);
+        let mut completions = 0;
+        for _ in 0..40 {
+            if p.step(&mut mem).is_completed() {
+                completions += 1;
+            }
+        }
+        assert_eq!(completions, 10);
+    }
+
+    #[test]
+    fn lemma_11_system_latency_is_q() {
+        let (n, q, steps) = (8, 5, 400_000);
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..n)
+            .map(|_| Box::new(ParallelProcess::new(r, q)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(steps).seed(11),
+        );
+        let w = system_latency(&exec).unwrap().mean;
+        assert!((w - q as f64).abs() < 0.05, "W = {w}, expected {q}");
+    }
+
+    #[test]
+    fn lemma_11_individual_latency_is_nq() {
+        let (n, q, steps) = (4, 3, 600_000);
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..n)
+            .map(|_| Box::new(ParallelProcess::new(r, q)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(steps).seed(13),
+        );
+        let wi = individual_latency(&exec, ProcessId::new(0)).unwrap().mean;
+        let expected = (n * q) as f64;
+        assert!(
+            (wi - expected).abs() / expected < 0.05,
+            "W_i = {wi}, expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_q_panics() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let _ = ParallelProcess::new(r, 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Algorithm 1 (paper, Section 4): an *unbounded* lock-free algorithm
+//! that is **not** wait-free with high probability (Lemma 2).
+//!
+//! A process that loses the CAS on the shared counter backs off for
+//! `n² · v` register reads, where `v` is the counter value it
+//! observed. Backoffs therefore grow without bound, and with
+//! probability at least `1 − 2e^{−n}` the first winner keeps winning
+//! forever while every other process starves — demonstrating that
+//! Theorem 3's *bounded* minimal-progress hypothesis is necessary.
+
+use pwf_sim::memory::{RegisterId, SharedMemory};
+use pwf_sim::process::{Process, StepOutcome};
+
+/// Registers of the unbounded-backoff object: the CAS counter `C` and
+/// the read-only register `R` spun on during backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct UnboundedObject {
+    counter: RegisterId,
+    spin: RegisterId,
+}
+
+impl UnboundedObject {
+    /// Allocates the object's registers.
+    pub fn alloc(mem: &mut SharedMemory) -> Self {
+        UnboundedObject {
+            counter: mem.alloc(0),
+            spin: mem.alloc(0),
+        }
+    }
+
+    /// The shared CAS counter `C`.
+    pub fn counter(&self) -> RegisterId {
+        self.counter
+    }
+}
+
+/// One process executing Algorithm 1 in an infinite loop.
+#[derive(Debug, Clone)]
+pub struct UnboundedProcess {
+    object: UnboundedObject,
+    n: u64,
+    /// Local view `v` of the counter.
+    v: u64,
+    /// Remaining backoff reads before the next CAS attempt.
+    backoff_left: u64,
+    /// Largest backoff ever entered, for observability.
+    max_backoff: u64,
+}
+
+impl UnboundedProcess {
+    /// Creates a process for a system of `n` processes (the backoff
+    /// schedule depends on `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(object: UnboundedObject, n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        UnboundedProcess {
+            object,
+            n: n as u64,
+            v: 0,
+            backoff_left: 0,
+            max_backoff: 0,
+        }
+    }
+
+    /// The largest backoff (in reads) this process has entered.
+    pub fn max_backoff(&self) -> u64 {
+        self.max_backoff
+    }
+}
+
+impl Process for UnboundedProcess {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        if self.backoff_left > 0 {
+            let _ = mem.read(self.object.spin);
+            self.backoff_left -= 1;
+            return StepOutcome::Ongoing;
+        }
+        let val = mem.cas_augmented(self.object.counter, self.v, self.v + 1);
+        if val == self.v {
+            self.v += 1;
+            StepOutcome::Completed
+        } else {
+            // Lost the race: back off for n²·v reads with the fresh
+            // value v — the unbounded penalty of Algorithm 1.
+            self.v = val;
+            self.backoff_left = self.n * self.n * self.v;
+            self.max_backoff = self.max_backoff.max(self.backoff_left);
+            StepOutcome::Ongoing
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "unbounded-backoff"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_sim::executor::{run, RunConfig};
+    use pwf_sim::process::ProcessId;
+    use pwf_sim::scheduler::{AdversarialScheduler, UniformScheduler};
+
+    fn fleet(mem: &mut SharedMemory, n: usize) -> Vec<Box<dyn Process>> {
+        let obj = UnboundedObject::alloc(mem);
+        (0..n)
+            .map(|_| Box::new(UnboundedProcess::new(obj, n)) as Box<dyn Process>)
+            .collect()
+    }
+
+    #[test]
+    fn solo_process_always_wins() {
+        let mut mem = SharedMemory::new();
+        let mut ps = fleet(&mut mem, 1);
+        let exec = run(
+            &mut ps,
+            &mut AdversarialScheduler::solo(ProcessId::new(0)),
+            &mut mem,
+            &RunConfig::new(100),
+        );
+        assert_eq!(exec.total_completions(), 100);
+    }
+
+    #[test]
+    fn is_lock_free_someone_always_progresses() {
+        // Minimal progress: the counter keeps increasing under any of
+        // our schedulers.
+        let mut mem = SharedMemory::new();
+        let obj = UnboundedObject::alloc(&mut mem);
+        let mut ps: Vec<Box<dyn Process>> = (0..4)
+            .map(|_| Box::new(UnboundedProcess::new(obj, 4)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(100_000).seed(29),
+        );
+        assert!(exec.total_completions() > 0);
+        assert_eq!(mem.peek(obj.counter()), exec.total_completions());
+    }
+
+    #[test]
+    fn lemma_2_losers_starve_with_high_probability() {
+        // With n = 8 processes, after the first win the winner keeps
+        // winning w.h.p.; completions concentrate on one process.
+        let n = 8;
+        let mut mem = SharedMemory::new();
+        let mut ps = fleet(&mut mem, n);
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(500_000).seed(31),
+        );
+        let max = *exec.process_completions.iter().max().unwrap();
+        let total: u64 = exec.process_completions.iter().sum();
+        assert!(total > 0);
+        assert!(
+            max as f64 / total as f64 > 0.95,
+            "completions should concentrate on one process: {:?}",
+            exec.process_completions
+        );
+    }
+
+    #[test]
+    fn backoff_grows_with_counter_value() {
+        let mut mem = SharedMemory::new();
+        let obj = UnboundedObject::alloc(&mut mem);
+        let n = 3;
+        let mut winner = UnboundedProcess::new(obj, n);
+        let mut loser = UnboundedProcess::new(obj, n);
+        // Winner takes 5 wins; loser then fails once and must back off
+        // n² · 5 reads.
+        for _ in 0..5 {
+            assert!(winner.step(&mut mem).is_completed());
+        }
+        assert!(!loser.step(&mut mem).is_completed());
+        assert_eq!(loser.max_backoff(), (n * n) as u64 * 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Concentration checks for Lemma 8's high-probability statements.
+//!
+//! Lemma 8 claims the phase length is at most
+//! `2α·min(n√(log n)/√a_i, n(log n)^{1/3}/b_i^{1/3})` with probability
+//! `≥ 1 − 1/n^α`, and at least `min(n/√a_i, n/b_i^{1/3})/α` except
+//! with probability `≤ 1/(4α²)`. This module measures the empirical
+//! violation frequencies of both tails.
+
+use rand::Rng;
+
+use crate::game::Game;
+
+/// Empirical tail statistics for phase lengths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailReport {
+    /// Phases measured.
+    pub phases: u64,
+    /// Phases exceeding the upper w.h.p. bound.
+    pub upper_violations: u64,
+    /// Phases shorter than the lower-bound threshold (the "not
+    /// regular" phases of Claim 5).
+    pub lower_violations: u64,
+    /// The α used in the bounds.
+    pub alpha: f64,
+}
+
+impl TailReport {
+    /// Empirical probability of exceeding the upper bound.
+    pub fn upper_rate(&self) -> f64 {
+        self.upper_violations as f64 / self.phases.max(1) as f64
+    }
+
+    /// Empirical probability of undershooting the lower bound.
+    pub fn lower_rate(&self) -> f64 {
+        self.lower_violations as f64 / self.phases.max(1) as f64
+    }
+}
+
+/// Upper phase-length bound of Lemma 8 for a phase starting at
+/// `(a, b)`: `2α·min(n√(log n)/√a, n(log n)^{1/3}/b^{1/3})`, with the
+/// convention that an empty candidate set disables its term.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or both `a` and `b` are zero.
+pub fn whp_upper_bound(n: usize, a: usize, b: usize, alpha: f64) -> f64 {
+    assert!(n >= 2, "bounds need n ≥ 2");
+    assert!(a > 0 || b > 0, "a phase needs candidate bins");
+    let nf = n as f64;
+    let ln = nf.ln();
+    let term_a = if a > 0 {
+        2.0 * alpha * nf * ln.sqrt() / (a as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    let term_b = if b > 0 {
+        2.0 * alpha * nf * ln.powf(1.0 / 3.0) / (b as f64).powf(1.0 / 3.0)
+    } else {
+        f64::INFINITY
+    };
+    term_a.min(term_b)
+}
+
+/// Lower phase-length threshold of Lemma 8:
+/// `min(n/√a, n/b^{1/3}) / α`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or both `a` and `b` are zero.
+pub fn lower_bound(n: usize, a: usize, b: usize, alpha: f64) -> f64 {
+    assert!(n >= 2, "bounds need n ≥ 2");
+    assert!(a > 0 || b > 0, "a phase needs candidate bins");
+    let nf = n as f64;
+    let term_a = if a > 0 { nf / (a as f64).sqrt() } else { f64::INFINITY };
+    let term_b = if b > 0 {
+        nf / (b as f64).powf(1.0 / 3.0)
+    } else {
+        f64::INFINITY
+    };
+    term_a.min(term_b) / alpha
+}
+
+/// Runs `phases` phases of an `n`-bin game and counts violations of
+/// both Lemma 8 tails with parameter `alpha`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `phases == 0`, or `alpha <= 0`.
+pub fn measure_tails(n: usize, phases: usize, alpha: f64, rng: &mut impl Rng) -> TailReport {
+    assert!(n >= 2, "bounds need n ≥ 2");
+    assert!(phases > 0, "need at least one phase");
+    assert!(alpha > 0.0, "alpha must be positive");
+    let mut game = Game::new(n);
+    let mut upper = 0u64;
+    let mut lower = 0u64;
+    for _ in 0..phases {
+        let rec = game.run_phase(rng);
+        let len = rec.length as f64;
+        if len > whp_upper_bound(n, rec.ones, rec.zeros, alpha) {
+            upper += 1;
+        }
+        if len < lower_bound(n, rec.ones, rec.zeros, alpha) {
+            lower += 1;
+        }
+    }
+    TailReport {
+        phases: phases as u64,
+        upper_violations: upper,
+        lower_violations: lower,
+        alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn upper_bound_monotone_in_alpha() {
+        let lo = whp_upper_bound(64, 32, 16, 2.0);
+        let hi = whp_upper_bound(64, 32, 16, 4.0);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn lemma_8_upper_tail_is_rare() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // The paper proves rate ≤ 1/n^α for α ≥ 4; empirically even
+        // α = 2 leaves violations very rare.
+        let report = measure_tails(64, 50_000, 2.0, &mut rng);
+        assert!(
+            report.upper_rate() < 0.001,
+            "upper tail rate {}",
+            report.upper_rate()
+        );
+    }
+
+    #[test]
+    fn lemma_8_lower_tail_within_quarter_alpha_squared() {
+        // The paper's constants are stated for α ≥ 4.
+        let mut rng = StdRng::seed_from_u64(12);
+        let alpha = 4.0;
+        let report = measure_tails(64, 50_000, alpha, &mut rng);
+        assert!(
+            report.lower_rate() <= 1.0 / (4.0 * alpha * alpha) + 0.01,
+            "lower tail rate {} vs bound {}",
+            report.lower_rate(),
+            1.0 / (4.0 * alpha * alpha)
+        );
+    }
+
+    #[test]
+    fn bounds_respect_disabled_terms() {
+        assert!(whp_upper_bound(16, 16, 0, 4.0).is_finite());
+        assert!(whp_upper_bound(16, 0, 16, 4.0).is_finite());
+        assert!(lower_bound(16, 16, 0, 4.0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate bins")]
+    fn empty_candidates_panic() {
+        let _ = whp_upper_bound(16, 0, 0, 4.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! The iterated balls-into-bins game of Section 6.1.3 of *"Are
+//! Lock-Free Concurrent Algorithms Practically Wait-Free?"*.
+//!
+//! The game models the scan-validate component `SCU(0, 1)` under the
+//! uniform stochastic scheduler: bins are processes, balls are steps
+//! toward the next successful CAS, a bin reaching three balls is a
+//! success, and the subsequent *reset* models the invalidation of all
+//! concurrent current-value CASes. Phase lengths are the system
+//! latency `W`, bounded by `O(√n)` via the birthday paradox
+//! (Lemma 8) and range dynamics (Lemma 9).
+//!
+//! [`game`] implements the game itself; [`ranges`] measures the range
+//! classification Lemma 9 argues about. Step-equivalence with the
+//! exact system chain of `pwf-algorithms` is verified by the
+//! workspace integration tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use pwf_ballsbins::game::mean_phase_length;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let w = mean_phase_length(64, 100, 2_000, &mut rng);
+//! // Theorem 5: W = O(√n); for n = 64 the latency sits near 2·√64.
+//! assert!(w > 8.0 && w < 64.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concentration;
+pub mod game;
+pub mod ranges;
+
+pub use concentration::{measure_tails, whp_upper_bound, TailReport};
+pub use game::{mean_phase_length, Game, PhaseRecord};
+pub use ranges::{classify, measure, Range, RangeStats};

@@ -1,0 +1,154 @@
+//! Range classification and phase dynamics (paper, Lemma 9).
+//!
+//! Phases are classified by `a_i` (bins with one ball at the phase
+//! start): **first range** `a_i ∈ [n/3, n]`, **second range**
+//! `a_i ∈ [n/c, n/3)`, **third range** `a_i ∈ [0, n/c)` for a constant
+//! `c`. Lemma 9 shows the game almost never enters the third range
+//! and leaves it quickly if it does; this module measures those
+//! empirical frequencies.
+
+use rand::Rng;
+
+use crate::game::Game;
+
+/// The constant `c` separating the second and third ranges; the paper
+/// takes `c ≥ 10`.
+pub const RANGE_CONSTANT: usize = 10;
+
+/// The phase ranges of Lemma 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Range {
+    /// `a_i ∈ [n/3, n]`.
+    First,
+    /// `a_i ∈ [n/c, n/3)`.
+    Second,
+    /// `a_i ∈ [0, n/c)`.
+    Third,
+}
+
+/// Classifies a phase-start value `a` for `n` bins.
+///
+/// # Panics
+///
+/// Panics if `a > n` or `n == 0`.
+pub fn classify(a: usize, n: usize) -> Range {
+    assert!(n > 0, "need at least one bin");
+    assert!(a <= n, "a cannot exceed n");
+    if 3 * a >= n {
+        Range::First
+    } else if RANGE_CONSTANT * a >= n {
+        Range::Second
+    } else {
+        Range::Third
+    }
+}
+
+/// Empirical range dynamics over a run of the game.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeStats {
+    /// Phases observed in each range (first, second, third).
+    pub counts: [u64; 3],
+    /// Transitions from ranges one/two into range three.
+    pub drops_to_third: u64,
+    /// Longest run of consecutive third-range phases.
+    pub longest_third_streak: u64,
+    /// Total phases observed.
+    pub phases: u64,
+}
+
+impl RangeStats {
+    /// Fraction of phases spent in the third range.
+    pub fn third_range_fraction(&self) -> f64 {
+        if self.phases == 0 {
+            0.0
+        } else {
+            self.counts[2] as f64 / self.phases as f64
+        }
+    }
+}
+
+/// Runs `phases` phases of a fresh `n`-bin game and records range
+/// dynamics (Lemma 9's quantities).
+///
+/// # Panics
+///
+/// Panics if `phases == 0` or `n == 0`.
+pub fn measure(n: usize, phases: usize, rng: &mut impl Rng) -> RangeStats {
+    assert!(phases > 0, "need at least one phase");
+    let mut game = Game::new(n);
+    let mut counts = [0u64; 3];
+    let mut drops = 0u64;
+    let mut streak = 0u64;
+    let mut longest = 0u64;
+    let mut prev: Option<Range> = None;
+    for _ in 0..phases {
+        let rec = game.run_phase(rng);
+        let range = classify(rec.ones, n);
+        counts[match range {
+            Range::First => 0,
+            Range::Second => 1,
+            Range::Third => 2,
+        }] += 1;
+        if range == Range::Third {
+            streak += 1;
+            longest = longest.max(streak);
+            if matches!(prev, Some(Range::First) | Some(Range::Second)) {
+                drops += 1;
+            }
+        } else {
+            streak = 0;
+        }
+        prev = Some(range);
+    }
+    RangeStats {
+        counts,
+        drops_to_third: drops,
+        longest_third_streak: longest,
+        phases: phases as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classify_boundaries() {
+        let n = 30;
+        assert_eq!(classify(30, n), Range::First);
+        assert_eq!(classify(10, n), Range::First); // 3a = 30 ≥ n
+        assert_eq!(classify(9, n), Range::Second);
+        assert_eq!(classify(3, n), Range::Second); // 10·3 = 30 ≥ n
+        assert_eq!(classify(2, n), Range::Third);
+        assert_eq!(classify(0, n), Range::Third);
+    }
+
+    #[test]
+    fn lemma_9_third_range_is_rare() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let stats = measure(64, 20_000, &mut rng);
+        assert!(
+            stats.third_range_fraction() < 0.01,
+            "third-range fraction {} too high",
+            stats.third_range_fraction()
+        );
+        // And no long streaks (Lemma 9 claim 5: < β√n w.h.p.).
+        let beta_sqrt_n = 2.0 * RANGE_CONSTANT.pow(2) as f64 * (64f64).sqrt();
+        assert!((stats.longest_third_streak as f64) < beta_sqrt_n);
+    }
+
+    #[test]
+    fn counts_sum_to_phases() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let stats = measure(16, 500, &mut rng);
+        assert_eq!(stats.counts.iter().sum::<u64>(), stats.phases);
+    }
+
+    #[test]
+    #[should_panic(expected = "a cannot exceed n")]
+    fn classify_rejects_large_a() {
+        let _ = classify(5, 4);
+    }
+}

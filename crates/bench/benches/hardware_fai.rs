@@ -1,0 +1,35 @@
+//! Criterion bench: real-atomics fetch-and-increment throughput per
+//! thread count (the raw data behind Figure 5's hardware side).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pwf_hardware::fai_counter::FaiCounter;
+
+fn bench_fai_contention(c: &mut Criterion) {
+    let ops = 50_000u64;
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+    let mut group = c.benchmark_group("hardware/fai");
+    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    let mut t = 1usize;
+    while t <= max {
+        group.throughput(Throughput::Elements(ops * t as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| FaiCounter::measure(t, ops))
+        });
+        t *= 2;
+    }
+    group.finish();
+}
+
+fn bench_fai_uncontended_op(c: &mut Criterion) {
+    let counter = FaiCounter::new();
+    c.bench_function("hardware/fai_single_op", |b| {
+        b.iter(|| counter.fetch_and_inc())
+    });
+}
+
+criterion_group!(benches, bench_fai_contention, bench_fai_uncontended_op);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Minimal ASCII chart rendering for the figure binaries: log-log
+//! line charts with multiple series, enough to eyeball the paper's
+//! figures directly in a terminal or a text log.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot marker.
+    pub label: String,
+    /// The data points (x strictly positive for log scaling).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+fn log_pos(v: f64, min: f64, max: f64, extent: usize) -> usize {
+    if max <= min {
+        return 0;
+    }
+    let t = (v.ln() - min.ln()) / (max.ln() - min.ln());
+    ((t * extent as f64).round() as usize).min(extent)
+}
+
+/// Renders a log-log ASCII chart of the series into `width × height`
+/// characters (plus axes), returning the lines.
+///
+/// # Panics
+///
+/// Panics if no series has points, or any coordinate is non-positive
+/// (log scale), or `width`/`height` are below 8.
+pub fn log_log_chart(series: &[Series], width: usize, height: usize) -> Vec<String> {
+    assert!(width >= 8 && height >= 8, "chart too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "no data to plot");
+    assert!(
+        all.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log-log chart needs positive coordinates"
+    );
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+
+    let mut grid = vec![vec![' '; width + 1]; height + 1];
+    for s in series {
+        let marker = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let col = log_pos(x, min_x, max_x, width);
+            let row = height - log_pos(y, min_y, max_y, height);
+            grid[row][col] = marker;
+        }
+    }
+
+    let mut out = Vec::with_capacity(height + 4);
+    out.push(format!("  y: {max_y:.4} (top) .. {min_y:.4} (bottom), log scale"));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push(format!("  |{line}"));
+    }
+    out.push(format!("  +{}", "-".repeat(width + 1)));
+    out.push(format!("   x: {min_x} .. {max_x}, log scale"));
+    for s in series {
+        out.push(format!(
+            "   {} = {}",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_markers_for_each_series() {
+        let series = [
+            Series::new("measured", vec![(1.0, 1.0), (10.0, 3.0), (100.0, 10.0)]),
+            Series::new("predicted", vec![(1.0, 1.0), (10.0, 3.2), (100.0, 9.5)]),
+        ];
+        let lines = log_log_chart(&series, 40, 10);
+        let body = lines.join("\n");
+        assert!(body.contains('m'));
+        assert!(body.contains('p'));
+        assert!(body.contains("log scale"));
+    }
+
+    #[test]
+    fn extremes_land_on_chart_edges() {
+        let series = [Series::new("a", vec![(1.0, 1.0), (100.0, 100.0)])];
+        let lines = log_log_chart(&series, 20, 10);
+        // Highest y is on the first grid row, lowest on the last.
+        assert!(lines[1].contains('a'));
+        assert!(lines[11].contains('a'));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_coordinates_rejected() {
+        let _ = log_log_chart(&[Series::new("a", vec![(0.0, 1.0)])], 20, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_series_rejected() {
+        let _ = log_log_chart(&[Series::new("a", vec![])], 20, 10);
+    }
+}

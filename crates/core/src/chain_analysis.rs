@@ -1,0 +1,196 @@
+//! Exact-chain analysis drivers: build the paper's individual and
+//! system chains, verify the lifting between them, and extract the
+//! latencies the theorems are about.
+
+use std::fmt;
+
+use pwf_algorithms::chains::{fai, parallel, scu};
+use pwf_markov::lifting::{verify_lifting, LiftingError};
+
+/// Which algorithm family's chains to analyze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainFamily {
+    /// The scan-validate component `SCU(0, 1)` (Section 6.1.1).
+    Scu01,
+    /// Parallel code with the given `q` (Section 6.2).
+    Parallel {
+        /// Steps per call.
+        q: usize,
+    },
+    /// Fetch-and-increment (Section 7).
+    FetchAndInc,
+}
+
+/// The outcome of an exact-chain analysis at a given `n`.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Algorithm family analyzed.
+    pub family: ChainFamily,
+    /// Number of processes.
+    pub n: usize,
+    /// States in the individual chain.
+    pub individual_states: usize,
+    /// States in the system chain.
+    pub system_states: usize,
+    /// Exact system latency `W`.
+    pub system_latency: f64,
+    /// Exact individual latency `W_0` (all processes are symmetric).
+    pub individual_latency: f64,
+    /// Max violation of the lifting flow homomorphism.
+    pub lifting_flow_residual: f64,
+    /// Max violation of Lemma 1's stationary collapse.
+    pub lifting_stationary_residual: f64,
+}
+
+impl ChainReport {
+    /// The ratio `W_i / (n·W)`, which Lemmas 7/11/14 say equals 1.
+    pub fn fairness_identity(&self) -> f64 {
+        self.individual_latency / (self.n as f64 * self.system_latency)
+    }
+}
+
+/// Errors from chain analysis.
+#[derive(Debug)]
+pub enum ChainAnalysisError {
+    /// Latency computation failed.
+    Latency(scu::LatencyError),
+    /// Lifting verification failed.
+    Lifting(LiftingError),
+}
+
+impl fmt::Display for ChainAnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainAnalysisError::Latency(e) => write!(f, "latency computation failed: {e}"),
+            ChainAnalysisError::Lifting(e) => write!(f, "lifting verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainAnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChainAnalysisError::Latency(e) => Some(e),
+            ChainAnalysisError::Lifting(e) => Some(e),
+        }
+    }
+}
+
+impl From<scu::LatencyError> for ChainAnalysisError {
+    fn from(e: scu::LatencyError) -> Self {
+        ChainAnalysisError::Latency(e)
+    }
+}
+
+impl From<pwf_markov::chain::ChainError> for ChainAnalysisError {
+    fn from(e: pwf_markov::chain::ChainError) -> Self {
+        ChainAnalysisError::Latency(scu::LatencyError::Chain(e))
+    }
+}
+
+impl From<LiftingError> for ChainAnalysisError {
+    fn from(e: LiftingError) -> Self {
+        ChainAnalysisError::Lifting(e)
+    }
+}
+
+/// Runs the full exact analysis (chains, lifting, latencies) for a
+/// family at `n` processes. `n` is limited by the individual chain's
+/// exponential state count — see the per-family `MAX_INDIVIDUAL`
+/// constants in [`pwf_algorithms::chains`].
+///
+/// # Errors
+///
+/// Returns an error if a chain is not irreducible (cannot happen for
+/// valid inputs), a solve fails, or the lifting check fails.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or too large for the family's individual
+/// chain.
+pub fn analyze(family: ChainFamily, n: usize) -> Result<ChainReport, ChainAnalysisError> {
+    match family {
+        ChainFamily::Scu01 => {
+            let ind = scu::individual_chain(n)?;
+            let sys = scu::system_chain(n)?;
+            let lifting = verify_lifting(&ind, &sys, scu::lift, 1e-7)?;
+            Ok(ChainReport {
+                family,
+                n,
+                individual_states: ind.len(),
+                system_states: sys.len(),
+                system_latency: scu::exact_system_latency(n)?,
+                individual_latency: scu::exact_individual_latency(n, 0)?,
+                lifting_flow_residual: lifting.flow_residual,
+                lifting_stationary_residual: lifting.stationary_residual,
+            })
+        }
+        ChainFamily::Parallel { q } => {
+            let ind = parallel::individual_chain(n, q)?;
+            let sys = parallel::system_chain(n, q)?;
+            let lifting = verify_lifting(&ind, &sys, |s| parallel::lift(s, q), 1e-7)?;
+            Ok(ChainReport {
+                family,
+                n,
+                individual_states: ind.len(),
+                system_states: sys.len(),
+                system_latency: parallel::exact_system_latency(n, q)?,
+                individual_latency: parallel::exact_individual_latency(n, q, 0)?,
+                lifting_flow_residual: lifting.flow_residual,
+                lifting_stationary_residual: lifting.stationary_residual,
+            })
+        }
+        ChainFamily::FetchAndInc => {
+            let ind = fai::individual_chain(n)?;
+            let sys = fai::global_chain(n)?;
+            let lifting = verify_lifting(&ind, &sys, fai::lift, 1e-7)?;
+            Ok(ChainReport {
+                family,
+                n,
+                individual_states: ind.len(),
+                system_states: sys.len(),
+                system_latency: fai::exact_system_latency(n)?,
+                individual_latency: fai::exact_individual_latency(n, 0)?,
+                lifting_flow_residual: lifting.flow_residual,
+                lifting_stationary_residual: lifting.stationary_residual,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scu01_analysis_confirms_fairness_identity() {
+        for n in 2..=5 {
+            let r = analyze(ChainFamily::Scu01, n).unwrap();
+            assert!((r.fairness_identity() - 1.0).abs() < 1e-8, "n = {n}");
+            assert!(r.lifting_flow_residual < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_analysis_matches_lemma_11() {
+        let r = analyze(ChainFamily::Parallel { q: 4 }, 3).unwrap();
+        assert!((r.system_latency - 4.0).abs() < 1e-8);
+        assert!((r.individual_latency - 12.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fai_analysis_within_lemma_12_bound() {
+        for n in 2..=8 {
+            let r = analyze(ChainFamily::FetchAndInc, n).unwrap();
+            assert!(r.system_latency <= 2.0 * (n as f64).sqrt());
+            assert!((r.fairness_identity() - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn state_counts_are_reported() {
+        let r = analyze(ChainFamily::Scu01, 3).unwrap();
+        assert_eq!(r.individual_states, 26);
+        assert_eq!(r.system_states, 9);
+    }
+}

@@ -1,0 +1,150 @@
+//! The Figure 5 pipeline: measured completion rate vs the `Θ(1/√n)`
+//! prediction (scaled to the first data point, as the paper does) vs
+//! the worst-case `1/n` curve.
+
+use pwf_sim::crash::CrashScheduleError;
+
+use crate::experiment::SimExperiment;
+use crate::spec::AlgorithmSpec;
+
+/// One point of the Figure 5 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionRatePoint {
+    /// Thread/process count.
+    pub n: usize,
+    /// Measured completion rate (operations per step).
+    pub measured: f64,
+    /// Predicted `Θ(1/√n)` rate, scaled to the first measured point.
+    pub predicted: f64,
+    /// Worst-case `Θ(1/n)` rate, scaled to the first measured point.
+    pub worst_case: f64,
+}
+
+/// Produces the Figure 5 series for the given process counts using
+/// the simulator (the hardware analogue lives in `pwf-hardware`).
+///
+/// The prediction is `c/√n` and the worst case `c′/n`, both scaled so
+/// the first point matches the first measurement — mirroring the
+/// paper: "Since we do not have precise bounds on the constant …, we
+/// scaled the prediction to the first data point."
+///
+/// # Errors
+///
+/// Propagates simulation configuration errors.
+///
+/// # Panics
+///
+/// Panics if `ns` is empty or contains zero.
+pub fn completion_rate_series(
+    algorithm: AlgorithmSpec,
+    ns: &[usize],
+    steps: u64,
+    seed: u64,
+) -> Result<Vec<CompletionRatePoint>, CrashScheduleError> {
+    assert!(!ns.is_empty(), "need at least one process count");
+    assert!(ns.iter().all(|&n| n > 0), "process counts must be positive");
+
+    let mut measured = Vec::with_capacity(ns.len());
+    for &n in ns {
+        let report = SimExperiment::new(algorithm.clone(), n, steps)
+            .seed(seed)
+            .run()?;
+        measured.push(report.completion_rate);
+    }
+
+    let n0 = ns[0] as f64;
+    let m0 = measured[0];
+    Ok(ns
+        .iter()
+        .zip(&measured)
+        .map(|(&n, &m)| {
+            let nf = n as f64;
+            CompletionRatePoint {
+                n,
+                measured: m,
+                predicted: m0 * (n0.sqrt() / nf.sqrt()),
+                worst_case: m0 * (n0 / nf),
+            }
+        })
+        .collect())
+}
+
+/// Mean relative error of the prediction against the measurements —
+/// the scalar summary of how well the `Θ(1/√n)` model fits.
+pub fn prediction_error(series: &[CompletionRatePoint]) -> f64 {
+    if series.is_empty() {
+        return 0.0;
+    }
+    series
+        .iter()
+        .map(|p| ((p.predicted - p.measured) / p.measured).abs())
+        .sum::<f64>()
+        / series.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_theory::bounds::ScuPrediction;
+
+    #[test]
+    fn figure_5_sqrt_model_fits_scu() {
+        let ns = [2usize, 4, 8, 16, 32];
+        let series = completion_rate_series(
+            AlgorithmSpec::Scu { q: 0, s: 1 },
+            &ns,
+            150_000,
+            21,
+        )
+        .unwrap();
+        // Rates decrease with n.
+        for w in series.windows(2) {
+            assert!(w[1].measured <= w[0].measured * 1.05);
+        }
+        // The √n model fits far better than the worst case at n = 32.
+        let last = series.last().unwrap();
+        let sqrt_err = (last.predicted - last.measured).abs();
+        let worst_err = (last.worst_case - last.measured).abs();
+        assert!(
+            sqrt_err < worst_err,
+            "√n model should beat 1/n: {last:?}"
+        );
+        assert!(prediction_error(&series) < 0.35);
+    }
+
+    #[test]
+    fn first_point_is_anchored() {
+        let series = completion_rate_series(
+            AlgorithmSpec::FetchAndInc,
+            &[4, 8],
+            100_000,
+            22,
+        )
+        .unwrap();
+        assert!((series[0].predicted - series[0].measured).abs() < 1e-12);
+        assert!((series[0].worst_case - series[0].measured).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_uses_scaled_sqrt() {
+        let series = completion_rate_series(
+            AlgorithmSpec::FetchAndInc,
+            &[4, 16],
+            80_000,
+            23,
+        )
+        .unwrap();
+        // predicted(16) = measured(4) · √(4/16) = measured(4)/2.
+        assert!((series[1].predicted - series[0].measured / 2.0).abs() < 1e-12);
+        assert!((series[1].worst_case - series[0].measured / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theory_prediction_agrees_with_scu_prediction_shape() {
+        // Cross-check the pwf-theory closed form: completion rate of
+        // SCU(0,1) scales like 1/√n.
+        let a = ScuPrediction::new(0, 1, 4).completion_rate();
+        let b = ScuPrediction::new(0, 1, 16).completion_rate();
+        assert!((a / b - 2.0).abs() < 1e-9);
+    }
+}

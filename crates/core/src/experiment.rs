@@ -1,0 +1,220 @@
+//! One-call simulation experiments: run an [`AlgorithmSpec`] under a
+//! [`SchedulerSpec`] and summarize the paper's measures.
+
+use pwf_sim::crash::{CrashSchedule, CrashScheduleError};
+use pwf_sim::executor::{run, RunConfig};
+use pwf_sim::memory::SharedMemory;
+use pwf_sim::process::ProcessId;
+use pwf_sim::progress;
+use pwf_sim::stats;
+
+use crate::spec::{AlgorithmSpec, SchedulerSpec};
+
+/// A configured simulation experiment.
+#[derive(Debug, Clone)]
+pub struct SimExperiment {
+    /// The algorithm under test.
+    pub algorithm: AlgorithmSpec,
+    /// The scheduler model.
+    pub scheduler: SchedulerSpec,
+    /// Number of processes.
+    pub n: usize,
+    /// System steps to simulate.
+    pub steps: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Crash events `(time, process index)`.
+    pub crashes: Vec<(u64, usize)>,
+}
+
+impl SimExperiment {
+    /// A crash-free experiment under the uniform scheduler.
+    pub fn new(algorithm: AlgorithmSpec, n: usize, steps: u64) -> Self {
+        SimExperiment {
+            algorithm,
+            scheduler: SchedulerSpec::Uniform,
+            n,
+            steps,
+            seed: 0xABCD,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Replaces the scheduler.
+    #[must_use]
+    pub fn scheduler(mut self, s: SchedulerSpec) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a crash event.
+    #[must_use]
+    pub fn crash(mut self, time: u64, process: usize) -> Self {
+        self.crashes.push((time, process));
+        self
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the crash schedule is invalid.
+    pub fn run(&self) -> Result<SimReport, CrashScheduleError> {
+        let crashes = CrashSchedule::new(
+            self.crashes
+                .iter()
+                .map(|&(t, p)| (t, ProcessId::new(p)))
+                .collect(),
+            self.n,
+        )?;
+        let crashed: Vec<ProcessId> = self
+            .crashes
+            .iter()
+            .map(|&(_, p)| ProcessId::new(p))
+            .collect();
+
+        let mut mem = SharedMemory::new();
+        let mut processes = self.algorithm.build(&mut mem, self.n);
+        let mut scheduler = self.scheduler.build();
+        let config = RunConfig::new(self.steps).seed(self.seed).crashes(crashes);
+        let exec = run(&mut processes, scheduler.as_mut(), &mut mem, &config);
+
+        let progress_report = progress::measure(&exec, &crashed);
+        let system = stats::system_latency(&exec);
+        let individual_means: Vec<Option<f64>> = (0..self.n)
+            .map(|i| stats::individual_latency(&exec, ProcessId::new(i)).map(|s| s.mean))
+            .collect();
+
+        Ok(SimReport {
+            n: self.n,
+            steps: self.steps,
+            total_completions: exec.total_completions(),
+            completion_rate: stats::completion_rate(&exec),
+            system_latency: system.map(|s| s.mean),
+            individual_latencies: individual_means,
+            process_completions: exec.process_completions.clone(),
+            minimal_progress_bound: progress_report.minimal_bound,
+            maximal_progress_bound: progress_report.maximal_bound,
+        })
+    }
+}
+
+/// Summary of a simulation run, in the paper's vocabulary.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Number of processes.
+    pub n: usize,
+    /// System steps simulated.
+    pub steps: u64,
+    /// Total completed operations.
+    pub total_completions: u64,
+    /// Completions per system step (`≈ 1/W`).
+    pub completion_rate: f64,
+    /// Mean system latency `W`, if at least two operations completed.
+    pub system_latency: Option<f64>,
+    /// Mean individual latency `W_i` per process.
+    pub individual_latencies: Vec<Option<f64>>,
+    /// Operations completed per process.
+    pub process_completions: Vec<u64>,
+    /// Measured bounded-minimal-progress bound.
+    pub minimal_progress_bound: Option<u64>,
+    /// Measured bounded-maximal-progress bound (`None` if some
+    /// non-crashed process never completed).
+    pub maximal_progress_bound: Option<u64>,
+}
+
+impl SimReport {
+    /// Mean individual latency averaged over processes with data.
+    pub fn mean_individual_latency(&self) -> Option<f64> {
+        let vals: Vec<f64> = self.individual_latencies.iter().flatten().copied().collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Fairness ratio: max over min per-process completions (1.0 =
+    /// perfectly fair; the paper's `W_i = n·W` implies ≈ 1 under the
+    /// uniform scheduler).
+    pub fn fairness_ratio(&self) -> f64 {
+        let max = self.process_completions.iter().copied().max().unwrap_or(0);
+        let min = self.process_completions.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scu_report_matches_theory_shape() {
+        let report = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, 16, 200_000)
+            .seed(1)
+            .run()
+            .unwrap();
+        let w = report.system_latency.unwrap();
+        // Theorem 5: W = O(√n); for n = 16, W should be well below n.
+        assert!(w < 16.0, "W = {w}");
+        assert!(w > 1.0);
+        // Fairness under the uniform scheduler.
+        assert!(report.fairness_ratio() < 1.5);
+        // W_i ≈ n·W.
+        let wi = report.mean_individual_latency().unwrap();
+        assert!((wi / (16.0 * w) - 1.0).abs() < 0.2, "W_i/(nW) = {}", wi / (16.0 * w));
+    }
+
+    #[test]
+    fn crash_reduces_to_k_processes() {
+        let report = SimExperiment::new(AlgorithmSpec::FetchAndInc, 4, 100_000)
+            .crash(10, 0)
+            .crash(10, 1)
+            .seed(2)
+            .run()
+            .unwrap();
+        // Crashed processes take (almost) no steps.
+        assert!(report.process_completions[0] <= 10);
+        assert!(report.process_completions[1] <= 10);
+        assert!(report.process_completions[2] > 1000);
+    }
+
+    #[test]
+    fn invalid_crash_schedule_is_an_error() {
+        let res = SimExperiment::new(AlgorithmSpec::FetchAndInc, 2, 100)
+            .crash(1, 0)
+            .crash(2, 1)
+            .run();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn adversarial_scheduler_starves_in_scu() {
+        let report = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, 2, 10_000)
+            .scheduler(SchedulerSpec::Adversarial(vec![0, 1]))
+            .run()
+            .unwrap();
+        assert_eq!(report.maximal_progress_bound, None);
+        assert!(report.minimal_progress_bound.is_some());
+    }
+
+    #[test]
+    fn uniform_scheduler_gives_maximal_progress() {
+        let report = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, 4, 100_000)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert!(report.maximal_progress_bound.is_some());
+    }
+}

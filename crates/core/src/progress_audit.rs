@@ -1,0 +1,153 @@
+//! Theorem 3 in executable form: under a stochastic scheduler
+//! (`θ > 0`), bounded minimal progress becomes maximal progress with
+//! probability 1, with expected completion bound `(1/θ)^T`.
+//!
+//! The audit runs an algorithm under a scheduler, measures the
+//! *observed* minimal and maximal progress bounds, and reports them
+//! against the generic `(1/θ)^T` bound — which is astronomically loose
+//! compared to observation, exactly the paper's motivation for the
+//! chain analysis.
+
+use pwf_sim::crash::CrashScheduleError;
+use pwf_theory::bounds::theorem_3_bound;
+
+use crate::experiment::SimExperiment;
+use crate::spec::{AlgorithmSpec, SchedulerSpec};
+
+/// Outcome of a progress audit.
+#[derive(Debug, Clone)]
+pub struct ProgressAuditReport {
+    /// The scheduler threshold `θ` (0 for adversaries).
+    pub theta: f64,
+    /// Observed bounded-minimal-progress bound `T`.
+    pub minimal_bound: Option<u64>,
+    /// Observed bounded-maximal-progress bound.
+    pub maximal_bound: Option<u64>,
+    /// Theorem 3's generic expected bound `(1/θ)^T` computed from the
+    /// observed `T` (`None` when `θ = 0` or no operation completed).
+    pub theorem_3_bound: Option<f64>,
+    /// Steps simulated.
+    pub steps: u64,
+}
+
+impl ProgressAuditReport {
+    /// Whether the run exhibited maximal progress (every process kept
+    /// completing operations) — what Theorem 3 predicts for `θ > 0`.
+    pub fn achieved_maximal_progress(&self) -> bool {
+        self.maximal_bound.is_some()
+    }
+
+    /// How loose Theorem 3's generic bound is versus observation:
+    /// `(1/θ)^T / observed maximal bound`. `None` if either is
+    /// unavailable.
+    pub fn bound_looseness(&self) -> Option<f64> {
+        match (self.theorem_3_bound, self.maximal_bound) {
+            (Some(b), Some(m)) if m > 0 => Some(b / m as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Audits an algorithm/scheduler pair for `steps` steps at `n`
+/// processes.
+///
+/// # Errors
+///
+/// Propagates crash-schedule validation errors (no crashes are used
+/// here, so none occur in practice).
+pub fn audit(
+    algorithm: AlgorithmSpec,
+    scheduler: SchedulerSpec,
+    n: usize,
+    steps: u64,
+    seed: u64,
+) -> Result<ProgressAuditReport, CrashScheduleError> {
+    let theta = scheduler.theta(n);
+    let report = SimExperiment::new(algorithm, n, steps)
+        .scheduler(scheduler)
+        .seed(seed)
+        .run()?;
+    let theorem_3 = if theta > 0.0 {
+        report
+            .minimal_progress_bound
+            .map(|t| theorem_3_bound(theta, t.min(10_000) as u32))
+    } else {
+        None
+    };
+    Ok(ProgressAuditReport {
+        theta,
+        minimal_bound: report.minimal_progress_bound,
+        maximal_bound: report.maximal_progress_bound,
+        theorem_3_bound: theorem_3,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_3_uniform_scheduler_gives_maximal_progress() {
+        let report = audit(
+            AlgorithmSpec::Scu { q: 0, s: 1 },
+            SchedulerSpec::Uniform,
+            4,
+            200_000,
+            7,
+        )
+        .unwrap();
+        assert!(report.achieved_maximal_progress());
+        assert!(report.theta > 0.0);
+        // The generic bound exists and dwarfs the observation.
+        if let Some(loose) = report.bound_looseness() {
+            assert!(loose > 1.0);
+        }
+    }
+
+    #[test]
+    fn adversary_denies_maximal_progress_in_scu() {
+        let report = audit(
+            AlgorithmSpec::Scu { q: 0, s: 1 },
+            SchedulerSpec::Adversarial(vec![0, 1]),
+            2,
+            10_000,
+            7,
+        )
+        .unwrap();
+        assert_eq!(report.theta, 0.0);
+        assert!(!report.achieved_maximal_progress());
+        assert!(report.minimal_bound.is_some(), "still lock-free");
+        assert_eq!(report.theorem_3_bound, None);
+    }
+
+    #[test]
+    fn lemma_2_unbounded_algorithm_defeats_even_uniform_scheduler() {
+        // Algorithm 1 has *unbounded* minimal progress, so Theorem 3
+        // does not apply — and indeed maximal progress fails.
+        let report = audit(
+            AlgorithmSpec::Unbounded,
+            SchedulerSpec::Uniform,
+            8,
+            300_000,
+            11,
+        )
+        .unwrap();
+        assert!(!report.achieved_maximal_progress());
+    }
+
+    #[test]
+    fn parallel_code_has_tight_bounds() {
+        let report = audit(
+            AlgorithmSpec::Parallel { q: 2 },
+            SchedulerSpec::Uniform,
+            2,
+            100_000,
+            13,
+        )
+        .unwrap();
+        assert!(report.achieved_maximal_progress());
+        // Minimal bound should be small for q = 2, n = 2.
+        assert!(report.minimal_bound.unwrap() < 100);
+    }
+}

@@ -1,0 +1,82 @@
+//! Exact analysis of the full scan region `SCU(0, s)` via the
+//! fine-grained chain of [`pwf_algorithms::chains::scan`] — the
+//! workspace's sharpening of Corollary 1.
+//!
+//! Unlike [`crate::chain_analysis`], there is no tractable individual
+//! chain here (its state space is `(2s+1)ⁿ`), so the report carries
+//! system-side quantities only; the fairness identity is inherited
+//! from the class's symmetry and verified by simulation elsewhere.
+
+use pwf_algorithms::chains::scan;
+use pwf_algorithms::chains::scu::LatencyError;
+
+/// Exact system-side analysis of `SCU(0, s)` at `n` processes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Scan length.
+    pub s: usize,
+    /// Reachable system-chain states.
+    pub states: usize,
+    /// Exact system latency `W`.
+    pub system_latency: f64,
+    /// `W / (s·√n)` — Corollary 1 says this is `O(1)`.
+    pub normalized_latency: f64,
+}
+
+/// Analyzes `SCU(0, s)` at `n` processes.
+///
+/// # Errors
+///
+/// Propagates chain-construction and solver errors.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `s == 0`.
+pub fn analyze_scan(n: usize, s: usize) -> Result<ScanReport, LatencyError> {
+    let chain = scan::system_chain(n, s)?;
+    let w = scan::exact_system_latency(n, s)?;
+    Ok(ScanReport {
+        n,
+        s,
+        states: chain.len(),
+        system_latency: w,
+        normalized_latency: w / (s as f64 * (n as f64).sqrt()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwf_algorithms::chains::scu;
+
+    #[test]
+    fn s1_matches_the_paper_chain() {
+        for n in [2usize, 5, 9] {
+            let fine = analyze_scan(n, 1).unwrap();
+            let coarse = scu::exact_system_latency(n).unwrap();
+            assert!((fine.system_latency - coarse).abs() / coarse < 1e-7);
+        }
+    }
+
+    #[test]
+    fn normalized_latency_is_order_one() {
+        for (n, s) in [(4usize, 2usize), (8, 2), (8, 3), (16, 2)] {
+            let r = analyze_scan(n, s).unwrap();
+            assert!(
+                r.normalized_latency > 1.0 && r.normalized_latency < 3.0,
+                "n={n}, s={s}: normalized {}",
+                r.normalized_latency
+            );
+        }
+    }
+
+    #[test]
+    fn state_count_reported() {
+        let r = analyze_scan(4, 2).unwrap();
+        assert!(r.states > 0);
+        assert_eq!(r.n, 4);
+        assert_eq!(r.s, 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! A real lock-free fetch-and-increment counter (paper, Section 7 and
+//! Appendix B): read-free retry via `compare_exchange`, whose returned
+//! current value plays the role of the paper's *augmented CAS*.
+//!
+//! The Appendix B experiment measures the *completion rate* — total
+//! successful operations over total shared-memory steps — and compares
+//! it with the predicted `Θ(1/√n)` and the worst case `1/n`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A shared fetch-and-increment counter with step accounting.
+#[derive(Debug, Default)]
+pub struct FaiCounter {
+    value: AtomicU64,
+}
+
+/// Per-thread tallies from a measurement run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadTally {
+    /// Successful increments.
+    pub successes: u64,
+    /// Shared-memory steps taken (one initial read plus one step per
+    /// CAS attempt).
+    pub steps: u64,
+}
+
+/// Aggregate results of a completion-rate run.
+#[derive(Debug, Clone)]
+pub struct CompletionRateReport {
+    /// Number of threads.
+    pub threads: usize,
+    /// Per-thread tallies.
+    pub per_thread: Vec<ThreadTally>,
+    /// Final counter value (equals the sum of successes).
+    pub final_value: u64,
+}
+
+impl CompletionRateReport {
+    /// Total successful operations.
+    pub fn total_successes(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.successes).sum()
+    }
+
+    /// Total shared-memory steps.
+    pub fn total_steps(&self) -> u64 {
+        self.per_thread.iter().map(|t| t.steps).sum()
+    }
+
+    /// The completion rate: successes per step (Appendix B's measure,
+    /// `≈ 1/W`).
+    pub fn completion_rate(&self) -> f64 {
+        self.total_successes() as f64 / self.total_steps().max(1) as f64
+    }
+}
+
+impl FaiCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        FaiCounter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Current value (not a counted step; for verification).
+    pub fn load(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// Performs one fetch-and-increment with the augmented-CAS retry
+    /// loop, returning the fetched value and the number of
+    /// shared-memory steps it took (1 read + number of CAS attempts).
+    pub fn fetch_and_inc(&self) -> (u64, u64) {
+        let mut steps = 1u64;
+        let mut v = self.value.load(Ordering::SeqCst);
+        loop {
+            steps += 1;
+            match self
+                .value
+                .compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return (v, steps),
+                // The augmented CAS hands back the current value; no
+                // separate re-read step is needed (Section 7).
+                Err(current) => v = current,
+            }
+        }
+    }
+
+    /// Runs `threads` threads, each performing `ops_per_thread`
+    /// fetch-and-increment operations, and reports the completion
+    /// rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `ops_per_thread == 0`.
+    pub fn measure(threads: usize, ops_per_thread: u64) -> CompletionRateReport {
+        assert!(threads > 0, "need at least one thread");
+        assert!(ops_per_thread > 0, "need at least one operation");
+        let counter = FaiCounter::new();
+        let mut per_thread = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let counter = &counter;
+                handles.push(scope.spawn(move || {
+                    let mut tally = ThreadTally::default();
+                    for _ in 0..ops_per_thread {
+                        let (_, steps) = counter.fetch_and_inc();
+                        tally.successes += 1;
+                        tally.steps += steps;
+                    }
+                    tally
+                }));
+            }
+            for h in handles {
+                per_thread.push(h.join().expect("worker thread panicked"));
+            }
+        });
+        CompletionRateReport {
+            threads,
+            per_thread,
+            final_value: counter.load(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_fetch_and_inc_is_two_steps() {
+        let c = FaiCounter::new();
+        let (v0, s0) = c.fetch_and_inc();
+        assert_eq!((v0, s0), (0, 2)); // read + successful CAS
+        let (v1, _) = c.fetch_and_inc();
+        assert_eq!(v1, 1);
+        assert_eq!(c.load(), 2);
+    }
+
+    #[test]
+    fn no_lost_increments_under_contention() {
+        let report = FaiCounter::measure(8, 20_000);
+        assert_eq!(report.final_value, 8 * 20_000);
+        assert_eq!(report.total_successes(), report.final_value);
+    }
+
+    #[test]
+    fn completion_rate_is_at_most_half() {
+        // Every success costs at least 2 steps (read + CAS).
+        let report = FaiCounter::measure(2, 10_000);
+        assert!(report.completion_rate() <= 0.5 + 1e-12);
+        assert!(report.completion_rate() > 0.0);
+    }
+
+    #[test]
+    fn contention_lowers_completion_rate() {
+        // More threads → more failed CASes → lower rate (the Figure 5
+        // trend). Hardware scheduling is noisy, so only require a
+        // non-strict drop with slack when parallelism truly exists.
+        let solo = FaiCounter::measure(1, 50_000).completion_rate();
+        assert!((solo - 0.5).abs() < 1e-6, "solo rate {solo} must be 1/2");
+        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) >= 4 {
+            let contended = FaiCounter::measure(4, 50_000).completion_rate();
+            assert!(
+                contended <= solo + 1e-9,
+                "contended {contended} vs solo {solo}"
+            );
+        }
+    }
+}

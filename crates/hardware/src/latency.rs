@@ -1,0 +1,199 @@
+//! Per-operation latency histograms — the measurement motivating the
+//! paper (its reference [1, Figure 6] shows the latency distribution
+//! of individual lock-free stack operations: overwhelmingly fast, with
+//! a thin tail instead of the adversarial worst case).
+
+use std::time::Instant;
+
+use crate::treiber::TreiberStack;
+
+/// A base-2 logarithmic histogram of durations in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[k]` counts samples in `[2ᵏ, 2ᵏ⁺¹)` ns.
+    buckets: Vec<u64>,
+    count: u64,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram covering up to `2⁶³` ns.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, nanos: u64) {
+        let bucket = 63 - nanos.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(nanos);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded duration in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The smallest duration `d` (as a bucket upper bound, ns) such
+    /// that at least `quantile` of samples are `≤ d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < quantile <= 1` or if the histogram is empty.
+    pub fn quantile_upper_bound(&self, quantile: f64) -> u64 {
+        assert!(quantile > 0.0 && quantile <= 1.0, "quantile in (0, 1]");
+        assert!(self.count > 0, "histogram is empty");
+        let target = (quantile * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return 1u64 << (k + 1);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Bucket counts `(lower_ns, count)` for non-empty buckets.
+    pub fn non_empty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
+            .collect()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Runs `threads` threads hammering a shared Treiber stack with
+/// push/pop pairs for `pairs_per_thread` iterations each, and returns
+/// the merged per-operation latency histogram — the [1, Fig 6]-style
+/// measurement.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `pairs_per_thread == 0`.
+pub fn measure_stack_op_latency(threads: usize, pairs_per_thread: u64) -> LatencyHistogram {
+    assert!(threads > 0, "need at least one thread");
+    assert!(pairs_per_thread > 0, "need at least one operation");
+    let stack = TreiberStack::with_capacity(threads * 8);
+    let mut merged = LatencyHistogram::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let stack = &stack;
+            handles.push(scope.spawn(move || {
+                let mut h = LatencyHistogram::new();
+                for i in 0..pairs_per_thread {
+                    let v = ((t as u64) << 32) | i;
+                    let start = Instant::now();
+                    stack.push(v).expect("pool sized for all threads");
+                    h.record(start.elapsed().as_nanos() as u64);
+                    let start = Instant::now();
+                    let _ = stack.pop();
+                    h.record(start.elapsed().as_nanos() as u64);
+                }
+                h
+            }));
+        }
+        for handle in handles {
+            merged.merge(&handle.join().expect("latency thread panicked"));
+        }
+    });
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_places_samples_in_log_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count(), 4);
+        let buckets = h.non_empty_buckets();
+        assert!(buckets.contains(&(1, 1)));
+        assert!(buckets.contains(&(2, 2)));
+        assert!(buckets.contains(&(1024, 1)));
+        assert_eq!(h.max_ns(), 1024);
+    }
+
+    #[test]
+    fn zero_duration_goes_to_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.non_empty_buckets(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 40, 80, 10_000] {
+            h.record(v);
+        }
+        let q50 = h.quantile_upper_bound(0.5);
+        let q99 = h.quantile_upper_bound(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 >= 10_000);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record(5);
+        let mut b = LatencyHistogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_ns(), 500);
+    }
+
+    #[test]
+    fn stack_latency_distribution_has_thin_tail() {
+        // The paper's practical claim: the bulk of operations are
+        // fast. Median bucket should sit far below the max.
+        let h = measure_stack_op_latency(4, 5_000);
+        assert_eq!(h.count(), 4 * 5_000 * 2);
+        let q50 = h.quantile_upper_bound(0.5);
+        let q999 = h.quantile_upper_bound(0.999);
+        assert!(q50 <= q999);
+        // Median op should complete within a millisecond on any
+        // functioning machine.
+        assert!(q50 < 1_000_000, "median bucket {q50} ns");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_histogram_panics() {
+        let _ = LatencyHistogram::new().quantile_upper_bound(0.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! Real-hardware substrate for *"Are Lock-Free Concurrent Algorithms
+//! Practically Wait-Free?"*: genuine `std::sync::atomic` lock-free
+//! data structures and the schedule/latency instrumentation behind the
+//! paper's empirical appendix.
+//!
+//! * [`recorder`] — schedule recording by fetch-and-increment tickets
+//!   and by timestamps (Appendix A.2).
+//! * [`schedule_stats`] — per-thread step share (Figure 3) and
+//!   conditional next-step distributions (Figure 4).
+//! * [`fai_counter`] — the read-then-CAS counter whose completion rate
+//!   Appendix B compares against the `Θ(1/√n)` prediction (Figure 5).
+//! * [`spinlock`] — the blocking (deadlock-free) baseline counter.
+//! * [`treiber`], [`msqueue`] — lock-free Treiber stack \[21\] and
+//!   Michael–Scott queue \[17\], the paper's example `SCU` structures,
+//!   written in safe Rust over index pools with tagged pointers.
+//! * [`latency`] — per-operation latency histograms (the
+//!   [1, Figure 6]-style motivation measurement).
+//!
+//! Everything is `#![forbid(unsafe_code)]`: ABA protection comes from
+//! packing `(tag, index)` pairs into `AtomicU64` words with globally
+//! unique tags instead of from raw pointers and reclamation schemes.
+//!
+//! # Examples
+//!
+//! ```
+//! use pwf_hardware::fai_counter::FaiCounter;
+//!
+//! let report = FaiCounter::measure(2, 1_000);
+//! assert_eq!(report.final_value, 2_000); // no lost increments
+//! assert!(report.completion_rate() <= 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fai_counter;
+pub mod latency;
+pub mod msqueue;
+pub mod recorder;
+pub mod schedule_stats;
+pub mod spinlock;
+pub mod treiber;
+
+pub use fai_counter::{CompletionRateReport, FaiCounter};
+pub use latency::{measure_stack_op_latency, LatencyHistogram};
+pub use msqueue::{MsQueue, QueueError};
+pub use recorder::{record_with_tickets, record_with_timestamps, ScheduleTrace};
+pub use schedule_stats::{conditional_next_step, step_share, uniformity_deviation};
+pub use spinlock::{SpinlockCounter, SpinlockReport};
+pub use treiber::{StackError, TreiberStack};

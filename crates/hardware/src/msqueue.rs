@@ -1,0 +1,336 @@
+//! A real Michael–Scott lock-free queue (reference \[17\] in the paper)
+//! in entirely safe Rust.
+//!
+//! As with the stack, nodes are pool slots addressed by index and all
+//! links pack `(tag, index)` into `AtomicU64` words with globally
+//! unique tags, so recycled nodes can never satisfy a stale CAS.
+//! `next == (tag, NIL)` is a *tagged null*: each allocation resets a
+//! node's `next` to a fresh-tagged null, which is what protects the
+//! enqueue linking CAS from ABA.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NIL: u32 = 0;
+
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+fn idx_of(word: u64) -> u32 {
+    word as u32
+}
+
+#[derive(Debug)]
+struct Node {
+    value: AtomicU64,
+    next: AtomicU64,
+}
+
+/// Errors returned by queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The node pool is exhausted; the enqueue cannot proceed.
+    PoolExhausted,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::PoolExhausted => write!(f, "node pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// A bounded-pool Michael–Scott queue of `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use pwf_hardware::msqueue::MsQueue;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let q = MsQueue::with_capacity(8);
+/// q.enqueue(1)?;
+/// q.enqueue(2)?;
+/// assert_eq!(q.dequeue(), Some(1));
+/// assert_eq!(q.dequeue(), Some(2));
+/// assert_eq!(q.dequeue(), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MsQueue {
+    nodes: Vec<Node>,
+    head: AtomicU64,
+    tail: AtomicU64,
+    /// Lock-free Treiber free list over the same pool.
+    free: AtomicU64,
+    next_tag: AtomicU64,
+}
+
+impl MsQueue {
+    /// Creates a queue able to hold `capacity` values at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or it does not fit a `u32` index.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(
+            capacity + 2 < u32::MAX as usize,
+            "capacity must fit in a u32 index"
+        );
+        // Slot 0: NIL sentinel. Slot 1: initial dummy. Slots 2..: pool.
+        // One extra slot beyond capacity because the dummy always
+        // occupies one.
+        let total = capacity + 2;
+        let nodes: Vec<Node> = (0..total)
+            .map(|_| Node {
+                value: AtomicU64::new(0),
+                next: AtomicU64::new(pack(0, NIL)),
+            })
+            .collect();
+        #[allow(clippy::needless_range_loop)] // index loop is clearer here
+        for i in 2..total - 1 {
+            nodes[i].next.store(pack(0, (i + 1) as u32), Ordering::Relaxed);
+        }
+        nodes[total - 1].next.store(pack(0, NIL), Ordering::Relaxed);
+        MsQueue {
+            nodes,
+            head: AtomicU64::new(pack(0, 1)),
+            tail: AtomicU64::new(pack(0, 1)),
+            free: AtomicU64::new(pack(0, 2)),
+            next_tag: AtomicU64::new(1),
+        }
+    }
+
+    fn fresh_tag(&self) -> u32 {
+        self.next_tag.fetch_add(1, Ordering::Relaxed) as u32
+    }
+
+    fn alloc(&self) -> Option<u32> {
+        loop {
+            let head = self.free.load(Ordering::Acquire);
+            let idx = idx_of(head);
+            if idx == NIL {
+                return None;
+            }
+            let next = self.nodes[idx as usize].next.load(Ordering::Acquire);
+            if self
+                .free
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    fn release(&self, idx: u32) {
+        let tagged = pack(self.fresh_tag(), idx);
+        loop {
+            let head = self.free.load(Ordering::Acquire);
+            self.nodes[idx as usize].next.store(head, Ordering::Relaxed);
+            if self
+                .free
+                .compare_exchange_weak(head, tagged, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Enqueues a value at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::PoolExhausted`] if no node slot is free.
+    pub fn enqueue(&self, value: u64) -> Result<(), QueueError> {
+        let idx = self.alloc().ok_or(QueueError::PoolExhausted)?;
+        let node = &self.nodes[idx as usize];
+        node.value.store(value, Ordering::Relaxed);
+        // Fresh-tagged null: stale CASes on this node's next can never
+        // match it.
+        let null = pack(self.fresh_tag(), NIL);
+        node.next.store(null, Ordering::Release);
+        let tagged = pack(self.fresh_tag(), idx);
+
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            let tail_idx = idx_of(tail) as usize;
+            let next = self.nodes[tail_idx].next.load(Ordering::Acquire);
+            if tail != self.tail.load(Ordering::Acquire) {
+                continue;
+            }
+            if idx_of(next) == NIL {
+                // Try to link our node after the last one.
+                if self.nodes[tail_idx]
+                    .next
+                    .compare_exchange(next, tagged, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // Swing the tail (failure is fine — someone helped).
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        tagged,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    );
+                    return Ok(());
+                }
+            } else {
+                // Tail lagging: help swing it.
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the value at the head, or `None` if the queue is
+    /// empty.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let tail = self.tail.load(Ordering::Acquire);
+            let head_idx = idx_of(head) as usize;
+            let next = self.nodes[head_idx].next.load(Ordering::Acquire);
+            if head != self.head.load(Ordering::Acquire) {
+                continue;
+            }
+            if head_idx == idx_of(tail) as usize {
+                if idx_of(next) == NIL {
+                    return None;
+                }
+                // Tail lagging behind a linked node: help.
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
+                continue;
+            }
+            let next_idx = idx_of(next) as usize;
+            // Read the value before the CAS: after it, the old dummy is
+            // recycled. A stale read here is harmless — the CAS fails.
+            let value = self.nodes[next_idx].value.load(Ordering::Acquire);
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // The old dummy is ours to recycle.
+                self.release(head_idx as u32);
+                return Some(value);
+            }
+        }
+    }
+
+    /// Whether the queue is currently empty (racy, for diagnostics).
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        let next = self.nodes[idx_of(head) as usize].next.load(Ordering::Acquire);
+        idx_of(next) == NIL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let q = MsQueue::with_capacity(4);
+        for v in [1u64, 2, 3] {
+            q.enqueue(v).unwrap();
+        }
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pool_exhaustion_reported_and_recovered() {
+        let q = MsQueue::with_capacity(2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        assert_eq!(q.enqueue(3), Err(QueueError::PoolExhausted));
+        assert_eq!(q.dequeue(), Some(1));
+        q.enqueue(3).unwrap();
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+    }
+
+    #[test]
+    fn no_values_lost_or_duplicated_under_contention() {
+        let threads = 8usize;
+        let per_thread = 10_000u64;
+        let q = MsQueue::with_capacity(threads * 64);
+        let mut got: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let q = &q;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in 0..per_thread {
+                        let v = ((t as u64) << 32) | i;
+                        while q.enqueue(v).is_err() {
+                            std::hint::spin_loop();
+                        }
+                        if let Some(x) = q.dequeue() {
+                            out.push(x);
+                        }
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                got.push(h.join().unwrap());
+            }
+        });
+        let mut all: Vec<u64> = got.into_iter().flatten().collect();
+        while let Some(v) = q.dequeue() {
+            all.push(v);
+        }
+        assert_eq!(all.len(), threads * per_thread as usize);
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "duplicate dequeues detected");
+    }
+
+    #[test]
+    fn per_producer_fifo_is_preserved() {
+        // Single producer, single consumer: values arrive in order.
+        let q = MsQueue::with_capacity(256);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                for v in 0..5_000u64 {
+                    while q.enqueue(v).is_err() {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let consumer = scope.spawn(|| {
+                let mut expected = 0u64;
+                while expected < 5_000 {
+                    if let Some(v) = q.dequeue() {
+                        assert_eq!(v, expected, "FIFO violation");
+                        expected += 1;
+                    }
+                }
+            });
+            producer.join().unwrap();
+            consumer.join().unwrap();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = MsQueue::with_capacity(0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Schedule recording on real hardware (paper, Appendix A.2).
+//!
+//! Two methods, as in the paper:
+//!
+//! * **Fetch-and-increment tickets** — each thread repeatedly performs
+//!   an atomic `fetch_add` on a shared counter and keeps the values it
+//!   receives; sorting the values recovers the total order of steps.
+//!   This is the paper's preferred, least-invasive method.
+//! * **Timestamps** — each thread records a monotonic timestamp per
+//!   operation; merging recovers the order. The paper notes this
+//!   method perturbs the schedule (the timer call delays the caller),
+//!   and we expose it for the same comparison.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A recorded schedule: the thread id that took each consecutive step.
+#[derive(Debug, Clone)]
+pub struct ScheduleTrace {
+    threads: usize,
+    order: Vec<u32>,
+}
+
+impl ScheduleTrace {
+    /// Builds a trace from an explicit step order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any entry is out of range.
+    pub fn new(threads: usize, order: Vec<u32>) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        assert!(
+            order.iter().all(|&t| (t as usize) < threads),
+            "thread id out of range"
+        );
+        ScheduleTrace { threads, order }
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Total recorded steps.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The thread ids in step order.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+}
+
+/// Records a schedule with the fetch-and-increment ticket method:
+/// `threads` threads each draw `ops_per_thread` tickets from one
+/// shared counter under maximum contention.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `ops_per_thread == 0`.
+pub fn record_with_tickets(threads: usize, ops_per_thread: usize) -> ScheduleTrace {
+    assert!(threads > 0, "need at least one thread");
+    assert!(ops_per_thread > 0, "need at least one op per thread");
+    let counter = AtomicU64::new(0);
+    let mut per_thread: Vec<Vec<u64>> = Vec::with_capacity(threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let counter = &counter;
+            handles.push(scope.spawn(move || {
+                let mut tickets = Vec::with_capacity(ops_per_thread);
+                for _ in 0..ops_per_thread {
+                    tickets.push(counter.fetch_add(1, Ordering::Relaxed));
+                }
+                tickets
+            }));
+        }
+        for h in handles {
+            per_thread.push(h.join().expect("recording thread panicked"));
+        }
+    });
+
+    let total = threads * ops_per_thread;
+    let mut order = vec![0u32; total];
+    for (tid, tickets) in per_thread.iter().enumerate() {
+        for &ticket in tickets {
+            order[ticket as usize] = tid as u32;
+        }
+    }
+    ScheduleTrace::new(threads, order)
+}
+
+/// Records a schedule with the timestamp method: each thread performs
+/// `ops_per_thread` small shared-memory operations (an atomic add) and
+/// timestamps each; sorting the timestamps recovers the order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `ops_per_thread == 0`.
+pub fn record_with_timestamps(threads: usize, ops_per_thread: usize) -> ScheduleTrace {
+    assert!(threads > 0, "need at least one thread");
+    assert!(ops_per_thread > 0, "need at least one op per thread");
+    let shared = AtomicU64::new(0);
+    let start = Instant::now();
+    let mut stamped: Vec<(u64, u32)> = Vec::with_capacity(threads * ops_per_thread);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let shared = &shared;
+            handles.push(scope.spawn(move || {
+                let mut stamps = Vec::with_capacity(ops_per_thread);
+                for _ in 0..ops_per_thread {
+                    shared.fetch_add(1, Ordering::Relaxed);
+                    stamps.push((start.elapsed().as_nanos() as u64, tid as u32));
+                }
+                stamps
+            }));
+        }
+        for h in handles {
+            stamped.extend(h.join().expect("recording thread panicked"));
+        }
+    });
+
+    stamped.sort_unstable();
+    ScheduleTrace::new(threads, stamped.into_iter().map(|(_, t)| t).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticket_trace_contains_every_step_once() {
+        let (threads, ops) = (4, 2_000);
+        let trace = record_with_tickets(threads, ops);
+        assert_eq!(trace.len(), threads * ops);
+        // Every thread appears exactly ops times.
+        let mut counts = vec![0usize; threads];
+        for &t in trace.order() {
+            counts[t as usize] += 1;
+        }
+        assert_eq!(counts, vec![ops; threads]);
+    }
+
+    #[test]
+    fn timestamp_trace_has_all_steps() {
+        let (threads, ops) = (3, 500);
+        let trace = record_with_timestamps(threads, ops);
+        assert_eq!(trace.len(), threads * ops);
+        let mut counts = vec![0usize; threads];
+        for &t in trace.order() {
+            counts[t as usize] += 1;
+        }
+        assert_eq!(counts, vec![ops; threads]);
+    }
+
+    #[test]
+    fn single_thread_trace_is_trivial() {
+        let trace = record_with_tickets(1, 100);
+        assert!(trace.order().iter().all(|&t| t == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trace_validates_thread_ids() {
+        let _ = ScheduleTrace::new(2, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Statistics over recorded hardware schedules: the quantities plotted
+//! in Figures 3 and 4 of the paper's appendix.
+
+use crate::recorder::ScheduleTrace;
+
+/// Per-thread share of total steps (Figure 3: "percentage of steps
+/// taken by each process during an execution").
+pub fn step_share(trace: &ScheduleTrace) -> Vec<f64> {
+    let mut counts = vec![0u64; trace.threads()];
+    for &t in trace.order() {
+        counts[t as usize] += 1;
+    }
+    let total = trace.len().max(1) as f64;
+    counts.iter().map(|&c| c as f64 / total).collect()
+}
+
+/// Conditional next-step distribution (Figure 4: "percentage of steps
+/// taken by processes, starting from a step by p"): given that thread
+/// `t` took a step, the empirical distribution over which thread took
+/// the *next* step. Returns `None` if `t` never appears before the
+/// final step.
+///
+/// # Panics
+///
+/// Panics if `t` is out of range.
+pub fn conditional_next_step(trace: &ScheduleTrace, t: u32) -> Option<Vec<f64>> {
+    assert!((t as usize) < trace.threads(), "thread id out of range");
+    let mut counts = vec![0u64; trace.threads()];
+    let mut total = 0u64;
+    for w in trace.order().windows(2) {
+        if w[0] == t {
+            counts[w[1] as usize] += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    Some(counts.iter().map(|&c| c as f64 / total as f64).collect())
+}
+
+/// Maximum absolute deviation from the uniform distribution — the
+/// "how fair is the scheduler" scalar summarizing Figures 3 and 4.
+pub fn uniformity_deviation(dist: &[f64]) -> f64 {
+    if dist.is_empty() {
+        return 0.0;
+    }
+    let u = 1.0 / dist.len() as f64;
+    dist.iter().map(|&p| (p - u).abs()).fold(0.0, f64::max)
+}
+
+/// Length of the longest run of consecutive steps by one thread; long
+/// solo runs are exactly what Theorem 3 relies on occurring eventually.
+pub fn longest_solo_run(trace: &ScheduleTrace) -> usize {
+    let mut longest = 0usize;
+    let mut current = 0usize;
+    let mut prev: Option<u32> = None;
+    for &t in trace.order() {
+        if prev == Some(t) {
+            current += 1;
+        } else {
+            current = 1;
+        }
+        longest = longest.max(current);
+        prev = Some(t);
+    }
+    longest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{record_with_tickets, ScheduleTrace};
+
+    #[test]
+    fn step_share_of_balanced_trace() {
+        let trace = ScheduleTrace::new(2, vec![0, 1, 0, 1]);
+        let share = step_share(&trace);
+        assert_eq!(share, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn conditional_counts_followers() {
+        let trace = ScheduleTrace::new(3, vec![0, 1, 0, 2, 0, 1]);
+        let d = conditional_next_step(&trace, 0).unwrap();
+        // Followers of 0: 1, 2, 1 → [0, 2/3, 1/3].
+        assert!((d[0] - 0.0).abs() < 1e-12);
+        assert!((d[1] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_none_for_absent_thread() {
+        let trace = ScheduleTrace::new(2, vec![0, 0, 0]);
+        assert!(conditional_next_step(&trace, 1).is_none());
+    }
+
+    #[test]
+    fn figure_3_recorded_schedule_is_roughly_fair() {
+        // The empirical claim behind the uniform model: over long
+        // runs every thread takes about the same share of steps.
+        let threads = 4;
+        let trace = record_with_tickets(threads, 20_000);
+        let share = step_share(&trace);
+        assert!(
+            uniformity_deviation(&share) < 1e-9,
+            "fixed ops per thread ⇒ exactly equal shares: {share:?}"
+        );
+    }
+
+    #[test]
+    fn longest_solo_run_detects_runs() {
+        let trace = ScheduleTrace::new(2, vec![0, 0, 0, 1, 1, 0]);
+        assert_eq!(longest_solo_run(&trace), 3);
+        assert_eq!(longest_solo_run(&ScheduleTrace::new(1, vec![])), 0);
+    }
+
+    #[test]
+    fn uniformity_deviation_bounds() {
+        assert_eq!(uniformity_deviation(&[]), 0.0);
+        assert!((uniformity_deviation(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! A test-and-set spinlock counter — the *blocking* baseline on real
+//! atomics, complementing the lock-free [`crate::fai_counter`].
+//!
+//! The paper's introduction frames the design space as blocking
+//! (deadlock-free) vs non-blocking (lock-free); this module lets the
+//! two be compared on identical hardware with identical step
+//! accounting.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A counter protected by a test-and-set spinlock, with step
+/// accounting matching [`crate::fai_counter::FaiCounter`] (every
+/// shared-memory access is one step).
+#[derive(Debug, Default)]
+pub struct SpinlockCounter {
+    lock: AtomicBool,
+    value: AtomicU64,
+}
+
+/// Aggregate results of a spinlock-counter measurement run.
+#[derive(Debug, Clone)]
+pub struct SpinlockReport {
+    /// Number of threads.
+    pub threads: usize,
+    /// Total successful increments.
+    pub successes: u64,
+    /// Total shared-memory steps (TAS attempts + counter read +
+    /// counter write + unlock, per operation).
+    pub steps: u64,
+    /// Final counter value.
+    pub final_value: u64,
+}
+
+impl SpinlockReport {
+    /// Completions per shared-memory step.
+    pub fn completion_rate(&self) -> f64 {
+        self.successes as f64 / self.steps.max(1) as f64
+    }
+}
+
+impl SpinlockCounter {
+    /// Creates a counter at zero with the lock free.
+    pub fn new() -> Self {
+        SpinlockCounter {
+            lock: AtomicBool::new(false),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Current value (not a counted step).
+    pub fn load(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// One locked increment; returns `(previous value, steps taken)`.
+    pub fn increment(&self) -> (u64, u64) {
+        let mut steps = 0u64;
+        // Acquire: test-and-set until we win.
+        loop {
+            steps += 1;
+            if !self.lock.swap(true, Ordering::Acquire) {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        // Critical section: read, write.
+        steps += 1;
+        let v = self.value.load(Ordering::Relaxed);
+        steps += 1;
+        self.value.store(v + 1, Ordering::Relaxed);
+        // Release.
+        steps += 1;
+        self.lock.store(false, Ordering::Release);
+        (v, steps)
+    }
+
+    /// Runs `threads` threads each performing `ops_per_thread` locked
+    /// increments and reports aggregate steps and successes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `ops_per_thread == 0`.
+    pub fn measure(threads: usize, ops_per_thread: u64) -> SpinlockReport {
+        assert!(threads > 0, "need at least one thread");
+        assert!(ops_per_thread > 0, "need at least one operation");
+        let counter = SpinlockCounter::new();
+        let mut totals = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let counter = &counter;
+                handles.push(scope.spawn(move || {
+                    let mut steps = 0u64;
+                    for _ in 0..ops_per_thread {
+                        steps += counter.increment().1;
+                    }
+                    steps
+                }));
+            }
+            for h in handles {
+                totals.push(h.join().expect("worker thread panicked"));
+            }
+        });
+        SpinlockReport {
+            threads,
+            successes: threads as u64 * ops_per_thread,
+            steps: totals.iter().sum(),
+            final_value: counter.load(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_increment_takes_four_steps() {
+        let c = SpinlockCounter::new();
+        let (v, steps) = c.increment();
+        assert_eq!((v, steps), (0, 4));
+        assert_eq!(c.load(), 1);
+    }
+
+    #[test]
+    fn no_lost_updates_under_contention() {
+        let report = SpinlockCounter::measure(8, 10_000);
+        assert_eq!(report.final_value, 80_000);
+        assert_eq!(report.successes, 80_000);
+    }
+
+    #[test]
+    fn completion_rate_at_most_quarter() {
+        // Four steps minimum per op.
+        let report = SpinlockCounter::measure(2, 10_000);
+        assert!(report.completion_rate() <= 0.25 + 1e-12);
+        assert!(report.completion_rate() > 0.0);
+    }
+
+    #[test]
+    fn lock_free_beats_lock_based_rate_or_ties() {
+        use crate::fai_counter::FaiCounter;
+        // On any machine the lock-free counter's per-step completion
+        // rate is at least the spinlock's (2 steps/op floor vs 4).
+        let fai = FaiCounter::measure(2, 20_000).completion_rate();
+        let spin = SpinlockCounter::measure(2, 20_000).completion_rate();
+        assert!(
+            fai >= spin - 0.02,
+            "lock-free rate {fai} should not trail spinlock {spin}"
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! A real lock-free Treiber stack (reference \[21\] in the paper) in
+//! entirely safe Rust.
+//!
+//! Nodes live in a preallocated pool and are addressed by index; the
+//! head word packs `(tag, index)` into one `AtomicU64`, with tags
+//! drawn from a global counter so no head value ever repeats —
+//! eliminating ABA without hazard pointers or epochs. Freed nodes go
+//! onto an internal lock-free free list built from the same pool.
+//!
+//! The stack is the paper's canonical `SCU(q, 1)` instance: push/pop
+//! scan the head once and validate with a single CAS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Index 0 is the reserved null sentinel.
+const NIL: u32 = 0;
+
+fn pack(tag: u32, idx: u32) -> u64 {
+    ((tag as u64) << 32) | idx as u64
+}
+
+fn idx_of(word: u64) -> u32 {
+    word as u32
+}
+
+#[derive(Debug)]
+struct Node {
+    value: AtomicU64,
+    next: AtomicU64,
+}
+
+/// Errors returned by stack operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// The node pool is exhausted; the push cannot proceed.
+    PoolExhausted,
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::PoolExhausted => write!(f, "node pool exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// A bounded-pool lock-free Treiber stack of `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use pwf_hardware::treiber::TreiberStack;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stack = TreiberStack::with_capacity(8);
+/// stack.push(10)?;
+/// stack.push(20)?;
+/// assert_eq!(stack.pop(), Some(20));
+/// assert_eq!(stack.pop(), Some(10));
+/// assert_eq!(stack.pop(), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TreiberStack {
+    nodes: Vec<Node>,
+    head: AtomicU64,
+    free: AtomicU64,
+    next_tag: AtomicU64,
+}
+
+impl TreiberStack {
+    /// Creates a stack able to hold `capacity` values at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX as usize`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(
+            capacity < u32::MAX as usize,
+            "capacity must fit in a u32 index"
+        );
+        let nodes: Vec<Node> = (0..=capacity)
+            .map(|_| Node {
+                value: AtomicU64::new(0),
+                next: AtomicU64::new(pack(0, NIL)),
+            })
+            .collect();
+        // Chain slots 1..=capacity into the free list.
+        #[allow(clippy::needless_range_loop)] // index loop is clearer here
+        for i in 1..capacity {
+            nodes[i].next.store(pack(0, (i + 1) as u32), Ordering::Relaxed);
+        }
+        nodes[capacity].next.store(pack(0, NIL), Ordering::Relaxed);
+        TreiberStack {
+            nodes,
+            head: AtomicU64::new(pack(0, NIL)),
+            free: AtomicU64::new(pack(0, 1)),
+            next_tag: AtomicU64::new(1),
+        }
+    }
+
+    fn fresh_tag(&self) -> u32 {
+        // Wrapping at 2³² needs ~4 billion operations between a load
+        // and a CAS to alias — acceptable for this testbed.
+        self.next_tag.fetch_add(1, Ordering::Relaxed) as u32
+    }
+
+    /// Pops a slot from one of the two internal stacks (`free` list or
+    /// the live stack). Returns the popped index.
+    fn pop_internal(&self, which: &AtomicU64) -> Option<u32> {
+        loop {
+            let head = which.load(Ordering::Acquire);
+            let idx = idx_of(head);
+            if idx == NIL {
+                return None;
+            }
+            let next = self.nodes[idx as usize].next.load(Ordering::Acquire);
+            if which
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Pushes slot `idx` onto one of the two internal stacks.
+    fn push_internal(&self, which: &AtomicU64, idx: u32) {
+        let tagged = pack(self.fresh_tag(), idx);
+        loop {
+            let head = which.load(Ordering::Acquire);
+            self.nodes[idx as usize].next.store(head, Ordering::Relaxed);
+            if which
+                .compare_exchange_weak(head, tagged, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pushes a value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::PoolExhausted`] if no node slot is free.
+    pub fn push(&self, value: u64) -> Result<(), StackError> {
+        let idx = self
+            .pop_internal(&self.free)
+            .ok_or(StackError::PoolExhausted)?;
+        self.nodes[idx as usize].value.store(value, Ordering::Relaxed);
+        self.push_internal(&self.head, idx);
+        Ok(())
+    }
+
+    /// Pops a value, or `None` if the stack is empty.
+    pub fn pop(&self) -> Option<u64> {
+        let idx = self.pop_internal(&self.head)?;
+        let value = self.nodes[idx as usize].value.load(Ordering::Relaxed);
+        self.push_internal(&self.free, idx);
+        Some(value)
+    }
+
+    /// Whether the stack is currently empty (racy, for diagnostics).
+    pub fn is_empty(&self) -> bool {
+        idx_of(self.head.load(Ordering::Acquire)) == NIL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn lifo_order_single_threaded() {
+        let s = TreiberStack::with_capacity(4);
+        for v in [1u64, 2, 3] {
+            s.push(v).unwrap();
+        }
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn pool_exhaustion_reported() {
+        let s = TreiberStack::with_capacity(2);
+        s.push(1).unwrap();
+        s.push(2).unwrap();
+        assert_eq!(s.push(3), Err(StackError::PoolExhausted));
+        s.pop().unwrap();
+        s.push(3).unwrap(); // slot recycled
+    }
+
+    #[test]
+    fn no_values_lost_or_duplicated_under_contention() {
+        let threads = 8usize;
+        let per_thread = 10_000u64;
+        let stack = TreiberStack::with_capacity(threads * 64);
+        let mut popped: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let stack = &stack;
+                handles.push(scope.spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..per_thread {
+                        let v = ((t as u64) << 32) | i;
+                        // Push then pop: stack stays near-empty, maximal
+                        // recycling pressure on the pool.
+                        stack.push(v).expect("pool sized for all threads");
+                        if let Some(x) = stack.pop() {
+                            got.push(x);
+                        }
+                    }
+                    got
+                }));
+            }
+            for h in handles {
+                popped.push(h.join().unwrap());
+            }
+        });
+        // Drain leftovers.
+        let mut all: Vec<u64> = popped.into_iter().flatten().collect();
+        while let Some(v) = stack.pop() {
+            all.push(v);
+        }
+        assert_eq!(all.len(), threads * per_thread as usize);
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "duplicate pops detected");
+    }
+
+    #[test]
+    fn per_thread_pop_order_respects_push_order() {
+        // Values pushed by one thread must be popped (by anyone) in
+        // LIFO-consistent fashion: if a thread pushes v0 before v1 and
+        // never interleaves pops between them... simplest sound check:
+        // a single producer with a single consumer sees decreasing
+        // sequence positions per batch. Here: producer pushes batches,
+        // consumer pops; every popped value must have been pushed.
+        let stack = TreiberStack::with_capacity(1024);
+        std::thread::scope(|scope| {
+            let producer = scope.spawn(|| {
+                for v in 0..1000u64 {
+                    while stack.push(v).is_err() {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+            let consumer = scope.spawn(|| {
+                let mut seen = HashSet::new();
+                let mut got = 0;
+                while got < 1000 {
+                    if let Some(v) = stack.pop() {
+                        assert!(v < 1000);
+                        assert!(seen.insert(v), "value {v} popped twice");
+                        got += 1;
+                    }
+                }
+            });
+            producer.join().unwrap();
+            consumer.join().unwrap();
+        });
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = TreiberStack::with_capacity(0);
+    }
+}

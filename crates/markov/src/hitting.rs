@@ -1,0 +1,164 @@
+//! Expected hitting times `h_ij = E[T_ij]` (paper, Section 3).
+//!
+//! For a fixed target `j`, the vector `h_·j` solves the linear system
+//! `h_ij = 1 + Σ_{k ≠ j} p_ik h_kj` for `i ≠ j`, and the return time is
+//! `h_jj = 1 + Σ_{k ≠ j} p_jk h_kj`.
+
+use std::hash::Hash;
+
+use crate::chain::MarkovChain;
+use crate::linalg::{self, Matrix};
+use crate::stationary::StationaryError;
+use crate::structure;
+
+/// Expected hitting times from every state to `target`.
+///
+/// Index `target` of the result holds the expected *return* time
+/// `h_jj` (first revisit after leaving), matching Theorem 1's
+/// `h_jj = 1/π_j` for irreducible chains.
+///
+/// # Errors
+///
+/// Returns [`StationaryError::NotIrreducible`] when some state cannot
+/// reach `target` (the hitting time would be infinite), or a linear
+/// algebra error.
+///
+/// # Panics
+///
+/// Panics if `target >= chain.len()`.
+pub fn hitting_times<S: Clone + Eq + Hash>(
+    chain: &MarkovChain<S>,
+    target: usize,
+) -> Result<Vec<f64>, StationaryError> {
+    let n = chain.len();
+    assert!(target < n, "target state {target} out of bounds ({n})");
+    if !structure::is_irreducible(chain) {
+        // A reducible chain may still have all states reaching the
+        // target, but the paper only needs the irreducible case; be
+        // conservative and refuse.
+        return Err(StationaryError::NotIrreducible);
+    }
+
+    // Unknowns: h_kj for k ≠ target, in chain order skipping target.
+    let reduced: Vec<usize> = (0..n).filter(|&k| k != target).collect();
+    let m = reduced.len();
+    let mut a = Matrix::zeros(m, m);
+    let b = vec![1.0; m];
+    for (row, &i) in reduced.iter().enumerate() {
+        for (col, &k) in reduced.iter().enumerate() {
+            a[(row, col)] = if i == k { 1.0 } else { 0.0 } - chain.prob(i, k);
+        }
+    }
+    let h_reduced = linalg::solve(&a, &b)?;
+
+    let mut h = vec![0.0; n];
+    for (idx, &k) in reduced.iter().enumerate() {
+        h[k] = h_reduced[idx];
+    }
+    // Return time for the target itself.
+    let mut ret = 1.0;
+    for (idx, &k) in reduced.iter().enumerate() {
+        ret += chain.prob(target, k) * h_reduced[idx];
+    }
+    h[target] = ret;
+    Ok(h)
+}
+
+/// Expected return time `h_jj` of a single state, as a convenience.
+///
+/// # Errors
+///
+/// Propagates the errors of [`hitting_times`].
+///
+/// # Panics
+///
+/// Panics if `state >= chain.len()`.
+pub fn return_time<S: Clone + Eq + Hash>(
+    chain: &MarkovChain<S>,
+    state: usize,
+) -> Result<f64, StationaryError> {
+    Ok(hitting_times(chain, state)?[state])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+    use crate::stationary::stationary_distribution;
+
+    #[test]
+    fn symmetric_two_state_hitting_times() {
+        // Flip with probability p: expected hitting time to the other
+        // state is 1/p; return time is 2 (uniform stationary).
+        let p = 0.25;
+        let c = ChainBuilder::new()
+            .transition(0, 1, p)
+            .transition(0, 0, 1.0 - p)
+            .transition(1, 0, p)
+            .transition(1, 1, 1.0 - p)
+            .build()
+            .unwrap();
+        let h = hitting_times(&c, 1).unwrap();
+        assert!((h[0] - 1.0 / p).abs() < 1e-9);
+        assert!((h[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn return_times_match_reciprocal_stationary() {
+        // Theorem 1 cross-check on an asymmetric ergodic chain.
+        let c = ChainBuilder::new()
+            .transition(0, 1, 0.9)
+            .transition(0, 0, 0.1)
+            .transition(1, 2, 0.5)
+            .transition(1, 0, 0.5)
+            .transition(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let pi = stationary_distribution(&c).unwrap();
+        #[allow(clippy::needless_range_loop)] // index loop is clearer here
+        for j in 0..3 {
+            let h = return_time(&c, j).unwrap();
+            assert!(
+                (h - 1.0 / pi[j]).abs() < 1e-8,
+                "state {j}: return {h} vs 1/pi {}",
+                1.0 / pi[j]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_cycle_hitting_times_are_path_lengths() {
+        let n = 5;
+        let mut b = ChainBuilder::new();
+        for i in 0..n {
+            b = b.transition(i, (i + 1) % n, 1.0);
+        }
+        let c = b.build().unwrap();
+        let h = hitting_times(&c, 0).unwrap();
+        #[allow(clippy::needless_range_loop)] // index loop is clearer here
+        for i in 1..n {
+            assert!((h[i] - (n - i) as f64).abs() < 1e-9);
+        }
+        assert!((h[0] - n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reducible_chain_is_rejected() {
+        let c = ChainBuilder::new()
+            .transition(0, 0, 1.0)
+            .transition(1, 1, 1.0)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            hitting_times(&c, 0),
+            Err(StationaryError::NotIrreducible)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_target_panics() {
+        let c = ChainBuilder::new().transition((), (), 1.0).build().unwrap();
+        let _ = hitting_times(&c, 1);
+    }
+}

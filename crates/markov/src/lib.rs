@@ -1,0 +1,61 @@
+//! Markov-chain substrate for the *practically-wait-free* workspace.
+//!
+//! Implements exactly the toolkit of Section 3 of Alistarh,
+//! Censor-Hillel & Shavit, *"Are Lock-Free Concurrent Algorithms
+//! Practically Wait-Free?"*:
+//!
+//! * finite, time-invariant chains over labelled state sets
+//!   ([`chain::MarkovChain`]),
+//! * structural checks — irreducibility, periodicity, ergodicity
+//!   ([`structure`]),
+//! * stationary distributions and return times `h_jj = 1/π_j`
+//!   ([`stationary`], Theorem 1),
+//! * expected hitting times ([`hitting`]),
+//! * ergodic flow `Q_ij = π_i p_ij` ([`flow`]),
+//! * chain **liftings** and numerical verification of the flow
+//!   homomorphism and Lemma 1's stationary collapse ([`lifting`]).
+//!
+//! Chains here are exact constructions from algorithm state spaces, so
+//! everything is dense and double precision; see [`linalg`] for the
+//! small solver.
+//!
+//! # Examples
+//!
+//! ```
+//! use pwf_markov::chain::ChainBuilder;
+//! use pwf_markov::stationary::stationary_distribution;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chain = ChainBuilder::new()
+//!     .transition("work", "done", 0.5)
+//!     .transition("work", "work", 0.5)
+//!     .transition("done", "work", 1.0)
+//!     .build()?;
+//! let pi = stationary_distribution(&chain)?;
+//! assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod flow;
+pub mod hitting;
+pub mod lifting;
+pub mod linalg;
+pub mod mixing;
+pub mod sparse;
+pub mod stationary;
+pub mod structure;
+
+pub use chain::{ChainBuilder, ChainError, MarkovChain};
+pub use flow::ErgodicFlow;
+pub use mixing::{lazy_mixing_time, total_variation, MixingReport};
+pub use sparse::{SparseChain, SparseChainBuilder};
+pub use hitting::{hitting_times, return_time};
+pub use lifting::{verify_lifting, LiftingError, LiftingReport};
+pub use linalg::{LinalgError, Matrix};
+pub use stationary::{return_times, stationary_distribution, StationaryError};
+pub use structure::{analyze, is_ergodic, StructureReport};

@@ -1,0 +1,322 @@
+//! Markov-chain liftings (paper, Section 3, following Chen–Lovász–Pak
+//! and Hayes–Sinclair).
+//!
+//! A chain `M'` over `S'` is a *lifting* of `M` over `S` if there is a
+//! map `f : S' → S` such that the ergodic flows satisfy
+//!
+//! ```text
+//! Q_ij = Σ_{x ∈ f⁻¹(i), y ∈ f⁻¹(j)} Q'_xy     for all i, j ∈ S,
+//! ```
+//!
+//! which immediately implies the stationary collapse of Lemma 1:
+//! `π(v) = Σ_{x ∈ f⁻¹(v)} π'(x)`.
+//!
+//! The paper's central analytical device (Lemmas 5, 10, 13) is that the
+//! *system* chain of an algorithm is a lifting of its *individual*
+//! chain; this module verifies such claims numerically for exact chain
+//! constructions.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::chain::MarkovChain;
+use crate::flow::ErgodicFlow;
+use crate::stationary::StationaryError;
+
+/// Outcome of a successful lifting verification.
+#[derive(Debug, Clone)]
+pub struct LiftingReport {
+    /// Maximum absolute violation of the flow homomorphism.
+    pub flow_residual: f64,
+    /// Maximum absolute violation of the stationary collapse (Lemma 1).
+    pub stationary_residual: f64,
+    /// Number of states in the lifted (bigger) chain.
+    pub lifted_states: usize,
+    /// Number of states in the base (smaller) chain.
+    pub base_states: usize,
+}
+
+/// Why a lifting verification failed.
+#[derive(Debug)]
+pub enum LiftingError {
+    /// The map sent a lifted state to a label absent from the base
+    /// chain.
+    UnmappedState {
+        /// Index of the offending lifted state.
+        lifted_index: usize,
+    },
+    /// Some base state has an empty preimage, so the map cannot induce
+    /// a lifting.
+    EmptyPreimage {
+        /// Index of the base state with no preimage.
+        base_index: usize,
+    },
+    /// The flow homomorphism is violated beyond tolerance.
+    FlowMismatch {
+        /// Base source state.
+        from: usize,
+        /// Base destination state.
+        to: usize,
+        /// Flow in the base chain.
+        base_flow: f64,
+        /// Aggregated flow from the lifted chain.
+        lifted_flow: f64,
+    },
+    /// A stationary computation failed on one of the chains.
+    Stationary(StationaryError),
+}
+
+impl fmt::Display for LiftingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftingError::UnmappedState { lifted_index } => {
+                write!(f, "lifted state {lifted_index} maps outside the base chain")
+            }
+            LiftingError::EmptyPreimage { base_index } => {
+                write!(f, "base state {base_index} has no preimage under the lifting map")
+            }
+            LiftingError::FlowMismatch {
+                from,
+                to,
+                base_flow,
+                lifted_flow,
+            } => write!(
+                f,
+                "flow mismatch on base edge {from} -> {to}: base {base_flow}, lifted {lifted_flow}"
+            ),
+            LiftingError::Stationary(e) => write!(f, "stationary computation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiftingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiftingError::Stationary(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StationaryError> for LiftingError {
+    fn from(e: StationaryError) -> Self {
+        LiftingError::Stationary(e)
+    }
+}
+
+/// Verifies that `base` is a lifting image of `lifted` under `f`, i.e.
+/// that collapsing `lifted` through `f` reproduces `base`'s ergodic
+/// flow, within `tol`.
+///
+/// Both chains must be irreducible (the paper's chains are ergodic).
+///
+/// # Errors
+///
+/// See [`LiftingError`] for the failure cases.
+pub fn verify_lifting<S2, S1>(
+    lifted: &MarkovChain<S2>,
+    base: &MarkovChain<S1>,
+    f: impl Fn(&S2) -> S1,
+    tol: f64,
+) -> Result<LiftingReport, LiftingError>
+where
+    S2: Clone + Eq + Hash,
+    S1: Clone + Eq + Hash,
+{
+    // Map every lifted state to a base index.
+    let mut image = Vec::with_capacity(lifted.len());
+    for (x, label) in lifted.states().iter().enumerate() {
+        match base.state_index(&f(label)) {
+            Some(i) => image.push(i),
+            None => return Err(LiftingError::UnmappedState { lifted_index: x }),
+        }
+    }
+    // Surjectivity.
+    let mut covered = vec![false; base.len()];
+    for &i in &image {
+        covered[i] = true;
+    }
+    if let Some(base_index) = covered.iter().position(|&c| !c) {
+        return Err(LiftingError::EmptyPreimage { base_index });
+    }
+
+    let lifted_flow = ErgodicFlow::compute(lifted)?;
+    let base_flow = ErgodicFlow::compute(base)?;
+
+    // Aggregate lifted flow through f.
+    let nb = base.len();
+    let mut agg = vec![vec![0.0; nb]; nb];
+    for x in 0..lifted.len() {
+        for y in 0..lifted.len() {
+            let q = lifted_flow.flow(x, y);
+            if q != 0.0 {
+                agg[image[x]][image[y]] += q;
+            }
+        }
+    }
+
+    let mut worst_flow: f64 = 0.0;
+    for (i, row) in agg.iter().enumerate() {
+        for (j, &lifted_q) in row.iter().enumerate() {
+            let base_q = base_flow.flow(i, j);
+            let diff = (lifted_q - base_q).abs();
+            if diff > tol {
+                return Err(LiftingError::FlowMismatch {
+                    from: i,
+                    to: j,
+                    base_flow: base_q,
+                    lifted_flow: lifted_q,
+                });
+            }
+            worst_flow = worst_flow.max(diff);
+        }
+    }
+
+    // Lemma 1: stationary collapse.
+    let mut collapsed = vec![0.0; nb];
+    for (x, &i) in image.iter().enumerate() {
+        collapsed[i] += lifted_flow.stationary()[x];
+    }
+    let worst_pi = collapsed
+        .iter()
+        .zip(base_flow.stationary())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+
+    Ok(LiftingReport {
+        flow_residual: worst_flow,
+        stationary_residual: worst_pi,
+        lifted_states: lifted.len(),
+        base_states: base.len(),
+    })
+}
+
+/// Collapses a distribution on the lifted chain's states through `f`
+/// into a distribution on the base chain's states (the operation of
+/// Lemma 1 applied to an arbitrary state vector).
+///
+/// # Errors
+///
+/// Returns [`LiftingError::UnmappedState`] if `f` maps a lifted state
+/// outside the base chain.
+///
+/// # Panics
+///
+/// Panics if `dist.len() != lifted.len()`.
+pub fn collapse_distribution<S2, S1>(
+    lifted: &MarkovChain<S2>,
+    base: &MarkovChain<S1>,
+    f: impl Fn(&S2) -> S1,
+    dist: &[f64],
+) -> Result<Vec<f64>, LiftingError>
+where
+    S2: Clone + Eq + Hash,
+    S1: Clone + Eq + Hash,
+{
+    assert_eq!(dist.len(), lifted.len(), "distribution must match lifted chain");
+    let mut out = vec![0.0; base.len()];
+    for (x, label) in lifted.states().iter().enumerate() {
+        let i = base
+            .state_index(&f(label))
+            .ok_or(LiftingError::UnmappedState { lifted_index: x })?;
+        out[i] += dist[x];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+
+    /// A 4-state chain that is a lifting of a 2-state chain under
+    /// "parity of the label".
+    fn lifted_pair() -> (MarkovChain<u8>, MarkovChain<u8>) {
+        // Lifted: states 0,2 map to base 0; states 1,3 map to base 1.
+        // Uniform walk between the classes.
+        let lifted = ChainBuilder::new()
+            .transition(0u8, 1, 0.25)
+            .transition(0, 3, 0.25)
+            .transition(0, 0, 0.5)
+            .transition(2, 1, 0.25)
+            .transition(2, 3, 0.25)
+            .transition(2, 2, 0.5)
+            .transition(1, 0, 0.25)
+            .transition(1, 2, 0.25)
+            .transition(1, 1, 0.5)
+            .transition(3, 0, 0.25)
+            .transition(3, 2, 0.25)
+            .transition(3, 3, 0.5)
+            .build()
+            .unwrap();
+        let base = ChainBuilder::new()
+            .transition(0u8, 1, 0.5)
+            .transition(0, 0, 0.5)
+            .transition(1, 0, 0.5)
+            .transition(1, 1, 0.5)
+            .build()
+            .unwrap();
+        (lifted, base)
+    }
+
+    #[test]
+    fn valid_lifting_verifies() {
+        let (lifted, base) = lifted_pair();
+        let report = verify_lifting(&lifted, &base, |&s| s % 2, 1e-9).unwrap();
+        assert!(report.flow_residual < 1e-12);
+        assert!(report.stationary_residual < 1e-12);
+        assert_eq!(report.lifted_states, 4);
+        assert_eq!(report.base_states, 2);
+    }
+
+    #[test]
+    fn identity_is_a_lifting() {
+        let (_, base) = lifted_pair();
+        let report = verify_lifting(&base, &base, |&s| s, 1e-12).unwrap();
+        assert!(report.flow_residual < 1e-15);
+    }
+
+    #[test]
+    fn wrong_base_chain_fails_flow_check() {
+        let (lifted, _) = lifted_pair();
+        // Base with badly skewed probabilities cannot match the flows.
+        let wrong = ChainBuilder::new()
+            .transition(0u8, 1, 0.9)
+            .transition(0, 0, 0.1)
+            .transition(1, 0, 0.9)
+            .transition(1, 1, 0.1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            verify_lifting(&lifted, &wrong, |&s| s % 2, 1e-9),
+            Err(LiftingError::FlowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unmapped_state_is_reported() {
+        let (lifted, base) = lifted_pair();
+        assert!(matches!(
+            verify_lifting(&lifted, &base, |&s| s + 10, 1e-9),
+            Err(LiftingError::UnmappedState { .. })
+        ));
+    }
+
+    #[test]
+    fn non_surjective_map_is_reported() {
+        let (lifted, base) = lifted_pair();
+        assert!(matches!(
+            verify_lifting(&lifted, &base, |_| 0u8, 1e-9),
+            Err(LiftingError::EmptyPreimage { base_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn collapse_distribution_preserves_mass() {
+        let (lifted, base) = lifted_pair();
+        // Builder state order is first-appearance: [0, 1, 3, 2].
+        let d = collapse_distribution(&lifted, &base, |&s| s % 2, &[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,314 @@
+//! Sparse chains and iterative solvers, for state spaces where the
+//! dense `O(n²)` representation of [`crate::chain::MarkovChain`] is
+//! infeasible — e.g. the SCU system chain at thousands of processes
+//! (`Θ(n²)` states, ≤ 3 transitions each).
+//!
+//! The stationary solver is lazy power iteration (`q ← q(I + P)/2`),
+//! which converges for every irreducible chain regardless of
+//! periodicity — important here because the paper's chains are
+//! periodic (see the workspace's Lemma 3 deviation note).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::chain::ChainError;
+use crate::stationary::StationaryError;
+
+/// A sparse row-stochastic Markov chain over labelled states.
+#[derive(Debug, Clone)]
+pub struct SparseChain<S> {
+    states: Vec<S>,
+    index: HashMap<S, usize>,
+    /// CSR-ish: per-row list of `(col, prob)`.
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl<S: Clone + Eq + Hash> SparseChain<S> {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the chain has no states (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state labels in index order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Index of a state label.
+    pub fn state_index(&self, s: &S) -> Option<usize> {
+        self.index.get(s).copied()
+    }
+
+    /// Non-zero transitions out of state `i` as `(target, prob)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[(u32, f64)] {
+        &self.rows[i]
+    }
+
+    /// Total number of non-zero transitions.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// One step of the chain applied to a distribution: `q ↦ q·P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dist.len() != len()`.
+    pub fn step_distribution(&self, dist: &[f64]) -> Vec<f64> {
+        assert_eq!(dist.len(), self.len(), "distribution length mismatch");
+        let mut out = vec![0.0; self.len()];
+        for (i, &qi) in dist.iter().enumerate() {
+            if qi == 0.0 {
+                continue;
+            }
+            for &(j, p) in &self.rows[i] {
+                out[j as usize] += qi * p;
+            }
+        }
+        out
+    }
+
+    /// Stationary distribution by lazy power iteration from uniform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StationaryError::NotConverged`] if the L1 change stays
+    /// above `tol` after `max_iters` iterations. (Irreducibility is
+    /// assumed, not checked — checking is `O(nnz)` via
+    /// [`is_irreducible`](Self::is_irreducible) when wanted.)
+    pub fn stationary(&self, max_iters: usize, tol: f64) -> Result<Vec<f64>, StationaryError> {
+        let n = self.len();
+        let mut dist = vec![1.0 / n as f64; n];
+        let mut delta = f64::INFINITY;
+        for _ in 0..max_iters {
+            let stepped = self.step_distribution(&dist);
+            delta = 0.0;
+            for (d, s) in dist.iter_mut().zip(&stepped) {
+                let next = 0.5 * *d + 0.5 * s;
+                delta += (next - *d).abs();
+                *d = next;
+            }
+            if delta < tol {
+                return Ok(dist);
+            }
+        }
+        Err(StationaryError::NotConverged {
+            iterations: max_iters,
+            delta,
+        })
+    }
+
+    /// Whether the positive-probability graph is strongly connected.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return false;
+        }
+        let forward_ok = {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for &(v, _) in &self.rows[u] {
+                    if !seen[v as usize] {
+                        seen[v as usize] = true;
+                        stack.push(v as usize);
+                    }
+                }
+            }
+            seen.iter().all(|&b| b)
+        };
+        if !forward_ok {
+            return false;
+        }
+        // Reverse reachability.
+        let mut radj = vec![Vec::new(); n];
+        for (u, row) in self.rows.iter().enumerate() {
+            for &(v, _) in row {
+                radj[v as usize].push(u);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &radj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.iter().all(|&b| b)
+    }
+}
+
+/// Incremental builder for [`SparseChain`].
+#[derive(Debug, Clone)]
+pub struct SparseChainBuilder<S> {
+    states: Vec<S>,
+    index: HashMap<S, usize>,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl<S: Clone + Eq + Hash> SparseChainBuilder<S> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SparseChainBuilder {
+            states: Vec::new(),
+            index: HashMap::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, s: S) -> usize {
+        if let Some(&i) = self.index.get(&s) {
+            return i;
+        }
+        let i = self.states.len();
+        self.states.push(s.clone());
+        self.index.insert(s, i);
+        i
+    }
+
+    /// Declares a state (fixes its index order).
+    pub fn state(&mut self, s: S) -> &mut Self {
+        self.intern(s);
+        self
+    }
+
+    /// Adds probability mass to a transition (accumulating).
+    pub fn transition(&mut self, from: S, to: S, p: f64) -> &mut Self {
+        let i = self.intern(from);
+        let j = self.intern(to);
+        self.entries.push((i, j, p));
+        self
+    }
+
+    /// Finalizes the chain, validating stochasticity.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as the dense builder: every probability finite
+    /// and non-negative, every row summing to 1 within tolerance.
+    pub fn build(self) -> Result<SparseChain<S>, ChainError> {
+        if self.states.is_empty() {
+            return Err(ChainError::Empty);
+        }
+        let n = self.states.len();
+        assert!(n <= u32::MAX as usize, "state space exceeds u32 indexing");
+        let mut rows: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n];
+        for (i, j, p) in self.entries {
+            if !p.is_finite() || p < 0.0 {
+                return Err(ChainError::InvalidProbability { from: i, to: j, prob: p });
+            }
+            *rows[i].entry(j as u32).or_insert(0.0) += p;
+        }
+        let mut out = Vec::with_capacity(n);
+        for (i, row) in rows.into_iter().enumerate() {
+            let sum: f64 = row.values().sum();
+            if (sum - 1.0).abs() > crate::chain::ROW_SUM_TOLERANCE {
+                return Err(ChainError::RowNotStochastic { state: i, sum });
+            }
+            let mut row: Vec<(u32, f64)> = row.into_iter().collect();
+            row.sort_unstable_by_key(|&(j, _)| j);
+            out.push(row);
+        }
+        Ok(SparseChain {
+            states: self.states,
+            index: self.index,
+            rows: out,
+        })
+    }
+}
+
+impl<S: Clone + Eq + Hash> Default for SparseChainBuilder<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased() -> SparseChain<&'static str> {
+        let mut b = SparseChainBuilder::new();
+        b.transition("a", "b", 1.0)
+            .transition("b", "a", 0.5)
+            .transition("b", "b", 0.5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stationary_matches_dense_result() {
+        // Same chain as the dense test: π = (1/3, 2/3).
+        let c = biased();
+        let pi = c.stationary(100_000, 1e-13).unwrap();
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodic_chain_converges_via_laziness() {
+        let mut b = SparseChainBuilder::new();
+        b.transition(0, 1, 1.0).transition(1, 0, 1.0);
+        let c = b.build().unwrap();
+        let pi = c.stationary(100_000, 1e-12).unwrap();
+        assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irreducibility_detection() {
+        assert!(biased().is_irreducible());
+        let mut b = SparseChainBuilder::new();
+        b.transition(0, 0, 1.0).transition(1, 1, 1.0);
+        assert!(!b.build().unwrap().is_irreducible());
+    }
+
+    #[test]
+    fn validation_matches_dense_builder() {
+        let mut b = SparseChainBuilder::new();
+        b.transition(0, 0, 0.5);
+        assert!(matches!(
+            b.build(),
+            Err(ChainError::RowNotStochastic { state: 0, .. })
+        ));
+        let mut b = SparseChainBuilder::new();
+        b.transition(0, 0, 1.5).transition(0, 1, -0.5).transition(1, 1, 1.0);
+        assert!(matches!(b.build(), Err(ChainError::InvalidProbability { .. })));
+        assert!(matches!(
+            SparseChainBuilder::<u8>::new().build(),
+            Err(ChainError::Empty)
+        ));
+    }
+
+    #[test]
+    fn nnz_counts_transitions() {
+        assert_eq!(biased().nnz(), 3);
+    }
+
+    #[test]
+    fn accumulating_duplicate_entries() {
+        let mut b = SparseChainBuilder::new();
+        b.transition(0, 1, 0.5).transition(0, 1, 0.5).transition(1, 0, 1.0);
+        let c = b.build().unwrap();
+        assert_eq!(c.row(0), &[(1, 1.0)]);
+    }
+
+    #[test]
+    fn step_distribution_preserves_mass() {
+        let c = biased();
+        let d = c.step_distribution(&[0.25, 0.75]);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Structural properties of chains: irreducibility, periodicity,
+//! ergodicity (hypotheses of Theorems 1 and 2 in the paper).
+
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::chain::MarkovChain;
+
+/// Structural classification of a chain, produced by [`analyze`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureReport {
+    /// Whether every state reaches every other state.
+    pub irreducible: bool,
+    /// The period (gcd of closed-walk lengths through state 0's
+    /// communicating class); `1` means aperiodic. Only meaningful when
+    /// `irreducible` is true.
+    pub period: usize,
+}
+
+impl StructureReport {
+    /// Whether the chain is ergodic (irreducible and aperiodic), so
+    /// Theorems 1–2 apply: a unique stationary distribution exists and
+    /// every initial distribution converges to it.
+    pub fn is_ergodic(&self) -> bool {
+        self.irreducible && self.period == 1
+    }
+}
+
+fn adjacency<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> Vec<Vec<usize>> {
+    (0..chain.len()).map(|i| chain.successors(i)).collect()
+}
+
+fn reachable_from(adj: &[Vec<usize>], start: usize) -> Vec<bool> {
+    let mut seen = vec![false; adj.len()];
+    let mut queue = VecDeque::from([start]);
+    seen[start] = true;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether the chain's positive-probability graph is strongly
+/// connected.
+pub fn is_irreducible<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> bool {
+    let adj = adjacency(chain);
+    if !reachable_from(&adj, 0).iter().all(|&b| b) {
+        return false;
+    }
+    // Reverse graph reachability.
+    let mut radj = vec![Vec::new(); chain.len()];
+    for (u, outs) in adj.iter().enumerate() {
+        for &v in outs {
+            radj[v].push(u);
+        }
+    }
+    reachable_from(&radj, 0).iter().all(|&b| b)
+}
+
+/// The period of the communicating class containing state 0, computed
+/// by the BFS-level trick: for an edge `u → v` with BFS levels
+/// `d(u), d(v)`, every value `d(u) + 1 − d(v)` is a multiple of the
+/// period, and their gcd over all edges *is* the period.
+///
+/// For an irreducible chain this is the period of the whole chain.
+pub fn period<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> usize {
+    let adj = adjacency(chain);
+    let n = adj.len();
+    let mut level = vec![usize::MAX; n];
+    let mut queue = VecDeque::from([0usize]);
+    level[0] = 0;
+    let mut g: usize = 0;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if level[v] == usize::MAX {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            } else {
+                let diff = (level[u] + 1).abs_diff(level[v]);
+                g = gcd(g, diff);
+            }
+        }
+    }
+    if g == 0 {
+        // No closed walks discovered in the reachable part: degenerate
+        // (e.g. a single absorbing path); report period 0 to signal it.
+        0
+    } else {
+        g
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Whether the chain has at least one self-loop, a cheap sufficient
+/// condition for aperiodicity the paper invokes ("If a Markov chain has
+/// at least one self-loop, then it is aperiodic").
+pub fn has_self_loop<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> bool {
+    (0..chain.len()).any(|i| chain.prob(i, i) > 0.0)
+}
+
+/// Computes the full structural report for a chain.
+pub fn analyze<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> StructureReport {
+    StructureReport {
+        irreducible: is_irreducible(chain),
+        period: period(chain),
+    }
+}
+
+/// Whether the chain is ergodic (irreducible + aperiodic).
+pub fn is_ergodic<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> bool {
+    analyze(chain).is_ergodic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainBuilder;
+
+    fn cycle(n: usize) -> MarkovChain<usize> {
+        let mut b = ChainBuilder::new();
+        for i in 0..n {
+            b = b.transition(i, (i + 1) % n, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cycle_is_irreducible_with_period_n() {
+        for n in 2..6 {
+            let c = cycle(n);
+            assert!(is_irreducible(&c), "cycle of length {n}");
+            assert_eq!(period(&c), n);
+            assert!(!is_ergodic(&c));
+        }
+    }
+
+    #[test]
+    fn lazy_cycle_is_ergodic() {
+        let c = ChainBuilder::new()
+            .transition(0, 1, 0.5)
+            .transition(0, 0, 0.5)
+            .transition(1, 0, 0.5)
+            .transition(1, 1, 0.5)
+            .build()
+            .unwrap();
+        assert!(has_self_loop(&c));
+        assert!(is_ergodic(&c));
+        assert_eq!(period(&c), 1);
+    }
+
+    #[test]
+    fn disconnected_chain_is_reducible() {
+        let c = ChainBuilder::new()
+            .transition(0, 0, 1.0)
+            .transition(1, 1, 1.0)
+            .build()
+            .unwrap();
+        assert!(!is_irreducible(&c));
+        assert!(!is_ergodic(&c));
+    }
+
+    #[test]
+    fn absorbing_state_is_reducible() {
+        let c = ChainBuilder::new()
+            .transition(0, 1, 1.0)
+            .transition(1, 1, 1.0)
+            .build()
+            .unwrap();
+        assert!(!is_irreducible(&c));
+    }
+
+    #[test]
+    fn even_odd_bipartite_has_period_two() {
+        // 4-cycle with chords preserving parity: period 2.
+        let c = ChainBuilder::new()
+            .transition(0, 1, 0.5)
+            .transition(0, 3, 0.5)
+            .transition(1, 2, 0.5)
+            .transition(1, 0, 0.5)
+            .transition(2, 3, 0.5)
+            .transition(2, 1, 0.5)
+            .transition(3, 0, 0.5)
+            .transition(3, 2, 0.5)
+            .build()
+            .unwrap();
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), 2);
+    }
+
+    #[test]
+    fn single_state_self_loop_is_ergodic() {
+        let c = ChainBuilder::new().transition((), (), 1.0).build().unwrap();
+        assert!(is_ergodic(&c));
+    }
+
+    #[test]
+    fn report_matches_components() {
+        let c = cycle(3);
+        let r = analyze(&c);
+        assert_eq!(r.irreducible, is_irreducible(&c));
+        assert_eq!(r.period, period(&c));
+    }
+}

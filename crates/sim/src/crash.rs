@@ -1,0 +1,168 @@
+//! Crash schedules (paper, Section 2.1 / Definition 1 conditions 3–4).
+//!
+//! A crash schedule is a set of `(time, process)` pairs: at time `τ`
+//! the process leaves `A_τ` and is never scheduled again. Validation
+//! enforces the paper's constraints: at most `n − 1` crashes and each
+//! process crashes at most once.
+
+use std::fmt;
+
+use crate::process::ProcessId;
+
+/// Errors building a [`CrashSchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashScheduleError {
+    /// The same process was listed twice.
+    DuplicateProcess(ProcessId),
+    /// All `n` processes would crash; the paper allows at most `n − 1`.
+    TooManyCrashes {
+        /// Number of crashes requested.
+        crashes: usize,
+        /// Total number of processes.
+        n: usize,
+    },
+    /// A crash referenced a process outside `0..n`.
+    UnknownProcess(ProcessId),
+}
+
+impl fmt::Display for CrashScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashScheduleError::DuplicateProcess(p) => {
+                write!(f, "process {p} crashes more than once")
+            }
+            CrashScheduleError::TooManyCrashes { crashes, n } => {
+                write!(f, "{crashes} crashes requested but only {} allowed", n - 1)
+            }
+            CrashScheduleError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+        }
+    }
+}
+
+impl std::error::Error for CrashScheduleError {}
+
+/// A validated crash schedule for `n` processes.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    // Sorted by time.
+    events: Vec<(u64, ProcessId)>,
+}
+
+impl CrashSchedule {
+    /// The crash-free schedule.
+    pub fn none() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Builds a schedule from `(time, process)` pairs for `n`
+    /// processes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate processes, out-of-range ids, and schedules
+    /// that crash all `n` processes.
+    pub fn new(mut events: Vec<(u64, ProcessId)>, n: usize) -> Result<Self, CrashScheduleError> {
+        if events.len() >= n {
+            return Err(CrashScheduleError::TooManyCrashes {
+                crashes: events.len(),
+                n,
+            });
+        }
+        let mut seen = vec![false; n];
+        for &(_, p) in &events {
+            if p.index() >= n {
+                return Err(CrashScheduleError::UnknownProcess(p));
+            }
+            if seen[p.index()] {
+                return Err(CrashScheduleError::DuplicateProcess(p));
+            }
+            seen[p.index()] = true;
+        }
+        events.sort_by_key(|&(t, _)| t);
+        Ok(CrashSchedule { events })
+    }
+
+    /// Crashes scheduled at exactly time `tau`, in order.
+    pub fn crashes_at(&self, tau: u64) -> impl Iterator<Item = ProcessId> + '_ {
+        self.events
+            .iter()
+            .filter(move |&&(t, _)| t == tau)
+            .map(|&(_, p)| p)
+    }
+
+    /// Total number of crashes in the schedule.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is crash-free.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All events, sorted by time.
+    pub fn events(&self) -> &[(u64, ProcessId)] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_empty() {
+        let s = CrashSchedule::none();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let s = CrashSchedule::new(
+            vec![(50, ProcessId::new(1)), (10, ProcessId::new(0))],
+            4,
+        )
+        .unwrap();
+        assert_eq!(s.events()[0].0, 10);
+        assert_eq!(s.events()[1].0, 50);
+    }
+
+    #[test]
+    fn crashes_at_filters_by_time() {
+        let s = CrashSchedule::new(
+            vec![(5, ProcessId::new(0)), (5, ProcessId::new(2)), (9, ProcessId::new(1))],
+            5,
+        )
+        .unwrap();
+        let at5: Vec<usize> = s.crashes_at(5).map(ProcessId::index).collect();
+        assert_eq!(at5, vec![0, 2]);
+        assert_eq!(s.crashes_at(6).count(), 0);
+    }
+
+    #[test]
+    fn rejects_crashing_everyone() {
+        let err = CrashSchedule::new(
+            vec![(1, ProcessId::new(0)), (2, ProcessId::new(1))],
+            2,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CrashScheduleError::TooManyCrashes { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_process() {
+        let err = CrashSchedule::new(
+            vec![(1, ProcessId::new(0)), (2, ProcessId::new(0))],
+            3,
+        )
+        .unwrap_err();
+        assert_eq!(err, CrashScheduleError::DuplicateProcess(ProcessId::new(0)));
+    }
+
+    #[test]
+    fn rejects_unknown_process() {
+        let err = CrashSchedule::new(vec![(1, ProcessId::new(7))], 3).unwrap_err();
+        assert_eq!(err, CrashScheduleError::UnknownProcess(ProcessId::new(7)));
+    }
+}

@@ -1,0 +1,276 @@
+//! The discrete-time execution loop (paper, Section 2.1).
+//!
+//! At each time step the scheduler picks an active process, which
+//! performs local computation and one shared-memory step. The executor
+//! records completions and (optionally) the full schedule trace.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::crash::CrashSchedule;
+use crate::memory::SharedMemory;
+use crate::process::{Process, ProcessId, StepOutcome};
+use crate::scheduler::{ActiveSet, Scheduler};
+
+/// One completed method invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// System step (1-based time `τ`) at which the operation returned.
+    pub time: u64,
+    /// The process whose invocation completed.
+    pub process: ProcessId,
+}
+
+/// The observable outcome of a simulated execution.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// Total system steps taken.
+    pub steps: u64,
+    /// All completions, in time order.
+    pub completions: Vec<Completion>,
+    /// Steps each process took.
+    pub process_steps: Vec<u64>,
+    /// Operations each process completed.
+    pub process_completions: Vec<u64>,
+    /// The schedule (process id per time step), when trace recording
+    /// was enabled.
+    pub trace: Option<Vec<ProcessId>>,
+}
+
+impl Execution {
+    /// Number of processes in the execution.
+    pub fn process_count(&self) -> usize {
+        self.process_steps.len()
+    }
+
+    /// Total completed operations.
+    pub fn total_completions(&self) -> u64 {
+        self.completions.len() as u64
+    }
+
+    /// Completion times of a single process, in order.
+    pub fn completion_times(&self, p: ProcessId) -> Vec<u64> {
+        self.completions
+            .iter()
+            .filter(|c| c.process == p)
+            .map(|c| c.time)
+            .collect()
+    }
+}
+
+/// Configuration for a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of system steps to simulate.
+    pub steps: u64,
+    /// RNG seed (executions are deterministic given seed + scheduler).
+    pub seed: u64,
+    /// Whether to record the full schedule trace (memory-heavy for
+    /// long runs).
+    pub record_trace: bool,
+    /// Crash schedule (empty = crash-free execution).
+    pub crashes: CrashSchedule,
+}
+
+impl RunConfig {
+    /// A crash-free, trace-less run of `steps` steps with a fixed
+    /// default seed.
+    pub fn new(steps: u64) -> Self {
+        RunConfig {
+            steps,
+            seed: 0x5EED,
+            record_trace: false,
+            crashes: CrashSchedule::none(),
+        }
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables schedule-trace recording.
+    #[must_use]
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Installs a crash schedule.
+    #[must_use]
+    pub fn crashes(mut self, crashes: CrashSchedule) -> Self {
+        self.crashes = crashes;
+        self
+    }
+}
+
+/// Runs `processes` under `scheduler` against `memory` per `config`.
+///
+/// Time steps are 1-based (`τ = 1, 2, …`), matching the paper. Crashes
+/// listed for time `τ` take effect *before* the step at `τ`.
+///
+/// # Panics
+///
+/// Panics if `processes` is empty, or if a process fails to issue
+/// exactly one shared-memory access per step (a broken [`Process`]
+/// implementation).
+pub fn run(
+    processes: &mut [Box<dyn Process>],
+    scheduler: &mut dyn Scheduler,
+    memory: &mut SharedMemory,
+    config: &RunConfig,
+) -> Execution {
+    let n = processes.len();
+    assert!(n > 0, "need at least one process");
+    let mut active = ActiveSet::all(n);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut completions = Vec::new();
+    let mut process_steps = vec![0u64; n];
+    let mut process_completions = vec![0u64; n];
+    let mut trace = if config.record_trace {
+        Some(Vec::with_capacity(config.steps as usize))
+    } else {
+        None
+    };
+
+    for tau in 1..=config.steps {
+        for p in config.crashes.crashes_at(tau) {
+            active.crash(p);
+        }
+        let p = scheduler.schedule(tau, &active, &mut rng);
+        debug_assert!(active.is_active(p), "scheduler returned crashed process");
+        let before = memory.steps();
+        let outcome = processes[p.index()].step(memory);
+        debug_assert_eq!(
+            memory.steps(),
+            before + 1,
+            "process {p} must issue exactly one shared-memory step"
+        );
+        process_steps[p.index()] += 1;
+        if outcome == StepOutcome::Completed {
+            completions.push(Completion { time: tau, process: p });
+            process_completions[p.index()] += 1;
+        }
+        if let Some(t) = trace.as_mut() {
+            t.push(p);
+        }
+    }
+
+    Execution {
+        steps: config.steps,
+        completions,
+        process_steps,
+        process_completions,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::SharedMemory;
+    use crate::process::TickingProcess;
+    use crate::scheduler::{AdversarialScheduler, UniformScheduler};
+
+    fn ticking_fleet(mem: &mut SharedMemory, n: usize, period: u64) -> Vec<Box<dyn Process>> {
+        let r = mem.alloc(0);
+        (0..n)
+            .map(|_| Box::new(TickingProcess::new(r, period)) as Box<dyn Process>)
+            .collect()
+    }
+
+    #[test]
+    fn steps_are_conserved() {
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 3, 2);
+        let mut sched = UniformScheduler::new();
+        let exec = run(&mut ps, &mut sched, &mut mem, &RunConfig::new(1000));
+        assert_eq!(exec.steps, 1000);
+        assert_eq!(exec.process_steps.iter().sum::<u64>(), 1000);
+        assert_eq!(mem.steps(), 1000);
+    }
+
+    #[test]
+    fn round_robin_ticking_completes_deterministically() {
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 2, 2);
+        let mut sched = AdversarialScheduler::round_robin(2);
+        let exec = run(&mut ps, &mut sched, &mut mem, &RunConfig::new(8));
+        // Each process steps 4 times, completing at its 2nd and 4th step.
+        assert_eq!(exec.total_completions(), 4);
+        assert_eq!(exec.process_completions, vec![2, 2]);
+        // p0 steps at τ=1,3,5,7 → completes at 3 and 7.
+        assert_eq!(exec.completion_times(ProcessId::new(0)), vec![3, 7]);
+    }
+
+    #[test]
+    fn trace_recording_captures_schedule() {
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 2, 3);
+        let mut sched = AdversarialScheduler::round_robin(2);
+        let exec = run(
+            &mut ps,
+            &mut sched,
+            &mut mem,
+            &RunConfig::new(4).record_trace(true),
+        );
+        let trace: Vec<usize> = exec.trace.unwrap().iter().map(|p| p.index()).collect();
+        assert_eq!(trace, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn crashed_process_stops_taking_steps() {
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 2, 1);
+        let mut sched = UniformScheduler::new();
+        let crashes =
+            CrashSchedule::new(vec![(100, ProcessId::new(0))], 2).unwrap();
+        let exec = run(
+            &mut ps,
+            &mut sched,
+            &mut mem,
+            &RunConfig::new(1000).crashes(crashes),
+        );
+        // After τ=100 only p1 runs: p0 takes < 100 steps.
+        assert!(exec.process_steps[0] < 100);
+        assert_eq!(exec.process_steps[0] + exec.process_steps[1], 1000);
+    }
+
+    #[test]
+    fn same_seed_reproduces_execution() {
+        let run_once = || {
+            let mut mem = SharedMemory::new();
+            let mut ps = ticking_fleet(&mut mem, 4, 3);
+            let mut sched = UniformScheduler::new();
+            run(
+                &mut ps,
+                &mut sched,
+                &mut mem,
+                &RunConfig::new(500).seed(42).record_trace(true),
+            )
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run_with = |seed| {
+            let mut mem = SharedMemory::new();
+            let mut ps = ticking_fleet(&mut mem, 4, 3);
+            let mut sched = UniformScheduler::new();
+            run(
+                &mut ps,
+                &mut sched,
+                &mut mem,
+                &RunConfig::new(500).seed(seed).record_trace(true),
+            )
+        };
+        assert_ne!(run_with(1).trace, run_with(2).trace);
+    }
+}

@@ -1,0 +1,349 @@
+//! Histories (paper, Section 2.1): sequences of method invocation and
+//! response events, and the progress conditions of Section 2.2 as
+//! predicates over them.
+//!
+//! Each schedule has a corresponding history: a process's operation is
+//! invoked at its first step after its previous response and responds
+//! at its completing step. [`History::from_execution`] performs that
+//! mapping (requiring a recorded trace); the predicates then express
+//! the paper's definitions directly:
+//!
+//! * **minimal progress** in a window: some pending invocation gets a
+//!   response;
+//! * **maximal progress** in a window: every process with a pending
+//!   invocation gets a response;
+//! * the **bounded** variants quantify the window length `B`.
+
+use crate::executor::Execution;
+use crate::process::ProcessId;
+
+/// One event of a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Process began a method invocation at this step (its first step
+    /// of the operation).
+    Invoke {
+        /// System time `τ` of the step.
+        time: u64,
+        /// The invoking process.
+        process: ProcessId,
+    },
+    /// Process's pending invocation returned at this step.
+    Respond {
+        /// System time `τ` of the step.
+        time: u64,
+        /// The responding process.
+        process: ProcessId,
+    },
+}
+
+impl Event {
+    /// The event's time.
+    pub fn time(&self) -> u64 {
+        match *self {
+            Event::Invoke { time, .. } | Event::Respond { time, .. } => time,
+        }
+    }
+
+    /// The event's process.
+    pub fn process(&self) -> ProcessId {
+        match *self {
+            Event::Invoke { process, .. } | Event::Respond { process, .. } => process,
+        }
+    }
+}
+
+/// A finite history: events in time order, plus the run length.
+#[derive(Debug, Clone)]
+pub struct History {
+    events: Vec<Event>,
+    steps: u64,
+    processes: usize,
+}
+
+impl History {
+    /// Derives the history of an execution (paper: "each schedule has
+    /// a corresponding history").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the execution was run without trace recording.
+    pub fn from_execution(execution: &Execution) -> Self {
+        let trace = execution
+            .trace
+            .as_ref()
+            .expect("History::from_execution requires record_trace(true)");
+        let n = execution.process_count();
+        let mut pending = vec![false; n];
+        let mut completions: Vec<std::iter::Peekable<std::vec::IntoIter<u64>>> = (0..n)
+            .map(|i| {
+                execution
+                    .completion_times(ProcessId::new(i))
+                    .into_iter()
+                    .peekable()
+            })
+            .collect();
+        let mut events = Vec::new();
+        for (idx, &p) in trace.iter().enumerate() {
+            let time = idx as u64 + 1;
+            let pi = p.index();
+            if !pending[pi] {
+                pending[pi] = true;
+                events.push(Event::Invoke { time, process: p });
+            }
+            if completions[pi].peek() == Some(&time) {
+                completions[pi].next();
+                pending[pi] = false;
+                events.push(Event::Respond { time, process: p });
+            }
+        }
+        History {
+            events,
+            steps: execution.steps,
+            processes: n,
+        }
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.processes
+    }
+
+    /// Run length in system steps.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the history is well-formed: per process, invocations
+    /// and responses strictly alternate starting with an invocation,
+    /// and event times are non-decreasing.
+    pub fn is_well_formed(&self) -> bool {
+        let mut pending = vec![false; self.processes];
+        let mut last_time = 0u64;
+        for e in &self.events {
+            if e.time() < last_time {
+                return false;
+            }
+            last_time = e.time();
+            let pi = e.process().index();
+            if pi >= self.processes {
+                return false;
+            }
+            match e {
+                Event::Invoke { .. } => {
+                    if pending[pi] {
+                        return false;
+                    }
+                    pending[pi] = true;
+                }
+                Event::Respond { .. } => {
+                    if !pending[pi] {
+                        return false;
+                    }
+                    pending[pi] = false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks **bounded minimal progress** with bound `b` (paper,
+    /// Section 2.2): whenever some invocation is pending at step `t`,
+    /// some response occurs in `(t, t + b]`. `exempt` lists crashed
+    /// processes whose pending invocations do not count.
+    pub fn satisfies_bounded_minimal_progress(&self, b: u64, exempt: &[ProcessId]) -> bool {
+        self.worst_response_wait(exempt, false)
+            .map_or(true, |worst| worst <= b)
+    }
+
+    /// Checks **bounded maximal progress** with bound `b`: every
+    /// non-exempt pending invocation receives *its own* response within
+    /// `b` steps of any moment it is pending.
+    pub fn satisfies_bounded_maximal_progress(&self, b: u64, exempt: &[ProcessId]) -> bool {
+        self.worst_response_wait(exempt, true)
+            .map_or(true, |worst| worst <= b)
+    }
+
+    /// The worst observed wait: for `own_response = false`, the longest
+    /// stretch during which some non-exempt invocation was pending but
+    /// *no* response (by anyone) occurred; for `own_response = true`,
+    /// the longest time any single non-exempt invocation stayed
+    /// pending (truncated pending invocations count up to the run
+    /// end). `None` if no invocation was ever pending.
+    pub fn worst_response_wait(&self, exempt: &[ProcessId], own_response: bool) -> Option<u64> {
+        if own_response {
+            let mut worst: Option<u64> = None;
+            let mut invoked_at = vec![None; self.processes];
+            for e in &self.events {
+                if exempt.contains(&e.process()) {
+                    continue;
+                }
+                let pi = e.process().index();
+                match e {
+                    Event::Invoke { time, .. } => invoked_at[pi] = Some(*time),
+                    Event::Respond { time, .. } => {
+                        if let Some(start) = invoked_at[pi].take() {
+                            let wait = time - start;
+                            worst = Some(worst.map_or(wait, |w: u64| w.max(wait)));
+                        }
+                    }
+                }
+            }
+            for start in invoked_at.into_iter().flatten() {
+                let wait = self.steps - start;
+                worst = Some(worst.map_or(wait, |w: u64| w.max(wait)));
+            }
+            worst
+        } else {
+            // Sweep: track the earliest time since which a non-exempt
+            // invocation has been pending with no intervening response.
+            let mut worst: Option<u64> = None;
+            let mut pending_count = 0usize;
+            let mut window_start: Option<u64> = None;
+            for e in &self.events {
+                match e {
+                    Event::Invoke { time, process } => {
+                        if exempt.contains(process) {
+                            continue;
+                        }
+                        pending_count += 1;
+                        if window_start.is_none() {
+                            window_start = Some(*time);
+                        }
+                    }
+                    Event::Respond { time, process } => {
+                        if !exempt.contains(process) && pending_count > 0 {
+                            pending_count -= 1;
+                        }
+                        // ANY response ends the no-progress window.
+                        if let Some(start) = window_start.take() {
+                            let wait = time - start;
+                            worst = Some(worst.map_or(wait, |w: u64| w.max(wait)));
+                        }
+                        if pending_count > 0 {
+                            window_start = Some(*time);
+                        }
+                    }
+                }
+            }
+            if let Some(start) = window_start {
+                let wait = self.steps - start;
+                worst = Some(worst.map_or(wait, |w: u64| w.max(wait)));
+            }
+            worst
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run, RunConfig};
+    use crate::memory::SharedMemory;
+    use crate::process::{Process, TickingProcess};
+    use crate::scheduler::{AdversarialScheduler, UniformScheduler};
+
+    fn history_of(n: usize, period: u64, steps: u64, seed: u64) -> History {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..n)
+            .map(|_| Box::new(TickingProcess::new(r, period)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(steps).seed(seed).record_trace(true),
+        );
+        History::from_execution(&exec)
+    }
+
+    #[test]
+    fn derived_histories_are_well_formed() {
+        for seed in 0..5 {
+            let h = history_of(4, 3, 5_000, seed);
+            assert!(h.is_well_formed());
+            assert!(!h.events().is_empty());
+        }
+    }
+
+    #[test]
+    fn round_robin_ticking_has_tight_bounds() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..2)
+            .map(|_| Box::new(TickingProcess::new(r, 2)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut AdversarialScheduler::round_robin(2),
+            &mut mem,
+            &RunConfig::new(40).record_trace(true),
+        );
+        let h = History::from_execution(&exec);
+        assert!(h.is_well_formed());
+        // Each process completes every 4 system steps; own-response
+        // waits are ≤ 3 (invoke at first step of the op).
+        assert!(h.satisfies_bounded_maximal_progress(3, &[]));
+        assert!(!h.satisfies_bounded_maximal_progress(1, &[]));
+        assert!(h.satisfies_bounded_minimal_progress(2, &[]));
+    }
+
+    #[test]
+    fn maximal_progress_bound_is_at_least_minimal() {
+        let h = history_of(5, 4, 20_000, 9);
+        let min = h.worst_response_wait(&[], false).unwrap();
+        let max = h.worst_response_wait(&[], true).unwrap();
+        assert!(max >= min, "max {max} < min {min}");
+        assert!(h.satisfies_bounded_minimal_progress(min, &[]));
+        assert!(!h.satisfies_bounded_minimal_progress(min - 1, &[]));
+    }
+
+    #[test]
+    fn exempting_a_process_relaxes_maximal_progress() {
+        // Starve p1 via a solo schedule on p0: maximal progress fails
+        // unless p1 is exempt (it is "crashed" in spirit).
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..2)
+            .map(|_| Box::new(TickingProcess::new(r, 2)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut AdversarialScheduler::solo(ProcessId::new(0)),
+            &mut mem,
+            &RunConfig::new(100).record_trace(true),
+        );
+        let h = History::from_execution(&exec);
+        // p1 never even invokes (it takes no steps), so it cannot have
+        // a pending invocation; maximal progress over the *invoked*
+        // operations holds either way. p0's waits are tight:
+        assert!(h.satisfies_bounded_maximal_progress(1, &[]));
+        // Minimal progress is also tight.
+        assert!(h.satisfies_bounded_minimal_progress(2, &[]));
+    }
+
+    #[test]
+    fn truncated_pending_invocation_counts_to_run_end() {
+        // One process, period longer than the run: the lone invocation
+        // never responds; its wait is steps − invoke_time.
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> =
+            vec![Box::new(TickingProcess::new(r, 100)) as Box<dyn Process>];
+        let exec = run(
+            &mut ps,
+            &mut AdversarialScheduler::solo(ProcessId::new(0)),
+            &mut mem,
+            &RunConfig::new(10).record_trace(true),
+        );
+        let h = History::from_execution(&exec);
+        assert_eq!(h.worst_response_wait(&[], true), Some(9)); // 10 − 1
+        assert!(!h.satisfies_bounded_maximal_progress(8, &[]));
+    }
+}

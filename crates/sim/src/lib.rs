@@ -1,0 +1,63 @@
+//! Discrete-time shared-memory simulator with stochastic schedulers —
+//! the execution model of Section 2 of *"Are Lock-Free Concurrent
+//! Algorithms Practically Wait-Free?"* (Alistarh, Censor-Hillel,
+//! Shavit).
+//!
+//! `n` processes communicate through registers with atomic `read`,
+//! `write`, and `compare-and-swap` ([`memory`]). A [`scheduler`]
+//! — the triple `(Π_τ, A_τ, θ)` of Definition 1 — picks one process
+//! per discrete time step; the chosen process performs local
+//! computation and one shared-memory step ([`process`], [`executor`]).
+//! Crash-failures shrink the active set monotonically ([`crash`]).
+//! Executions yield completion records from which progress bounds
+//! ([`progress`]) and the paper's latency measures ([`stats`]) are
+//! computed.
+//!
+//! # Examples
+//!
+//! ```
+//! use pwf_sim::executor::{run, RunConfig};
+//! use pwf_sim::memory::SharedMemory;
+//! use pwf_sim::process::{Process, TickingProcess};
+//! use pwf_sim::scheduler::UniformScheduler;
+//! use pwf_sim::stats::system_latency;
+//!
+//! let mut mem = SharedMemory::new();
+//! let r = mem.alloc(0);
+//! let mut processes: Vec<Box<dyn Process>> = (0..4)
+//!     .map(|_| Box::new(TickingProcess::new(r, 5)) as Box<dyn Process>)
+//!     .collect();
+//! let mut scheduler = UniformScheduler::new();
+//! let exec = run(&mut processes, &mut scheduler, &mut mem, &RunConfig::new(10_000));
+//! // Each completion takes 5 process steps, so the system completes
+//! // one operation every ~5 system steps on average.
+//! let w = system_latency(&exec).expect("plenty of completions").mean;
+//! assert!((w - 5.0).abs() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crash;
+pub mod executor;
+pub mod history;
+pub mod memory;
+pub mod process;
+pub mod progress;
+pub mod quantum;
+pub mod replay;
+pub mod scheduler;
+pub mod stats;
+
+pub use crash::{CrashSchedule, CrashScheduleError};
+pub use executor::{run, Completion, Execution, RunConfig};
+pub use history::{Event, History};
+pub use memory::{RegisterId, SharedMemory};
+pub use process::{Process, ProcessId, StepOutcome};
+pub use quantum::{PriorityScheduler, QuantumScheduler};
+pub use replay::ReplayScheduler;
+pub use scheduler::{
+    ActiveSet, AdversarialScheduler, LotteryScheduler, MarkovScheduler, Scheduler,
+    UniformScheduler, WeightedScheduler,
+};
+pub use stats::{completion_rate, individual_latency, system_latency, LatencySummary};

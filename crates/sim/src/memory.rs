@@ -1,0 +1,203 @@
+//! Simulated shared memory (paper, Section 2.1).
+//!
+//! Processes communicate through registers supporting atomic `read`,
+//! `write`, and `compare-and-swap`. Every operation counts as one
+//! *system step* — the paper's cost measure is shared-memory accesses.
+//!
+//! The *augmented* CAS of Section 7 ("richer semantics for the CAS
+//! operation, which return the current value of the register") is
+//! provided as [`SharedMemory::cas_augmented`].
+
+use std::fmt;
+
+/// Identifier of a simulated shared register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegisterId(usize);
+
+impl RegisterId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// The register file shared by all simulated processes, with a step
+/// counter tallying every shared-memory access.
+///
+/// # Examples
+///
+/// ```
+/// use pwf_sim::memory::SharedMemory;
+///
+/// let mut mem = SharedMemory::new();
+/// let r = mem.alloc(0);
+/// assert!(mem.cas(r, 0, 7));
+/// assert!(!mem.cas(r, 0, 9));
+/// assert_eq!(mem.read(r), 7);
+/// assert_eq!(mem.steps(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemory {
+    regs: Vec<u64>,
+    steps: u64,
+}
+
+impl SharedMemory {
+    /// Creates an empty register file.
+    pub fn new() -> Self {
+        SharedMemory::default()
+    }
+
+    /// Allocates a new register with the given initial value.
+    /// Allocation is setup, not a system step.
+    pub fn alloc(&mut self, initial: u64) -> RegisterId {
+        let id = RegisterId(self.regs.len());
+        self.regs.push(initial);
+        id
+    }
+
+    /// Number of registers allocated.
+    pub fn register_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Total system steps (shared-memory accesses) performed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Atomically reads a register. Counts as one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not allocated from this memory.
+    pub fn read(&mut self, r: RegisterId) -> u64 {
+        self.steps += 1;
+        self.regs[r.0]
+    }
+
+    /// Atomically writes a register. Counts as one step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not allocated from this memory.
+    pub fn write(&mut self, r: RegisterId, value: u64) {
+        self.steps += 1;
+        self.regs[r.0] = value;
+    }
+
+    /// Atomic compare-and-swap: if the register holds `expected`, it is
+    /// set to `new` and `true` is returned; otherwise `false`. Counts
+    /// as one step either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not allocated from this memory.
+    pub fn cas(&mut self, r: RegisterId, expected: u64, new: u64) -> bool {
+        self.steps += 1;
+        if self.regs[r.0] == expected {
+            self.regs[r.0] = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Augmented CAS (Section 7): like [`cas`](Self::cas) but returns
+    /// the value the register held *before* the operation. The CAS
+    /// succeeded iff the returned value equals `expected`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not allocated from this memory.
+    pub fn cas_augmented(&mut self, r: RegisterId, expected: u64, new: u64) -> u64 {
+        self.steps += 1;
+        let old = self.regs[r.0];
+        if old == expected {
+            self.regs[r.0] = new;
+        }
+        old
+    }
+
+    /// Non-step inspection of a register's value, for assertions and
+    /// statistics (not available to simulated algorithms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not allocated from this memory.
+    pub fn peek(&self, r: RegisterId) -> u64 {
+        self.regs[r.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(5);
+        assert_eq!(mem.read(r), 5);
+        mem.write(r, 9);
+        assert_eq!(mem.read(r), 9);
+        assert_eq!(mem.steps(), 3);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(1);
+        assert!(mem.cas(r, 1, 2));
+        assert_eq!(mem.peek(r), 2);
+        assert!(!mem.cas(r, 1, 3));
+        assert_eq!(mem.peek(r), 2);
+    }
+
+    #[test]
+    fn augmented_cas_returns_prior_value() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(10);
+        assert_eq!(mem.cas_augmented(r, 10, 11), 10); // success
+        assert_eq!(mem.peek(r), 11);
+        assert_eq!(mem.cas_augmented(r, 10, 12), 11); // failure
+        assert_eq!(mem.peek(r), 11);
+    }
+
+    #[test]
+    fn every_access_counts_one_step() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        mem.read(r);
+        mem.write(r, 1);
+        mem.cas(r, 1, 2);
+        mem.cas_augmented(r, 2, 3);
+        assert_eq!(mem.steps(), 4);
+    }
+
+    #[test]
+    fn alloc_does_not_count_steps() {
+        let mut mem = SharedMemory::new();
+        for i in 0..10 {
+            mem.alloc(i);
+        }
+        assert_eq!(mem.steps(), 0);
+        assert_eq!(mem.register_count(), 10);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut mem = SharedMemory::new();
+        let a = mem.alloc(1);
+        let b = mem.alloc(2);
+        mem.write(a, 100);
+        assert_eq!(mem.peek(b), 2);
+        assert_eq!(mem.peek(a), 100);
+    }
+}

@@ -1,0 +1,168 @@
+//! Simulated processes (paper, Section 2.1).
+//!
+//! A process is a deterministic state machine that, whenever the
+//! scheduler activates it, performs local computation and then issues
+//! exactly one shared-memory step. Processes run an infinite sequence
+//! of method invocations: completing one operation immediately begins
+//! the next (the long-run regime the paper's stationary analysis is
+//! about).
+
+use std::fmt;
+
+use crate::memory::SharedMemory;
+
+/// Identifier of a simulated process (`p_1 … p_n` in the paper,
+/// 0-indexed here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process id from a 0-based index.
+    pub fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// The underlying 0-based index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Outcome of a single scheduled step of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The step did not finish the current method invocation.
+    Ongoing,
+    /// The step completed a method invocation (a *success* in the
+    /// paper's terminology); the next invocation begins with the
+    /// process's next step.
+    Completed,
+}
+
+impl StepOutcome {
+    /// Whether this step completed an operation.
+    pub fn is_completed(self) -> bool {
+        matches!(self, StepOutcome::Completed)
+    }
+}
+
+/// A simulated process: a state machine issuing one shared-memory step
+/// per activation.
+///
+/// Implementations hold all *local* state (the paper's local
+/// computation and coin flips are free and folded into `step`).
+pub trait Process {
+    /// Performs this process's next step against shared memory.
+    ///
+    /// Exactly one shared-memory operation must be issued per call;
+    /// the executor debug-asserts this via the memory step counter.
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome;
+
+    /// Human-readable algorithm name, for reports.
+    fn name(&self) -> &'static str {
+        "anonymous"
+    }
+}
+
+impl fmt::Debug for dyn Process + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Process({})", self.name())
+    }
+}
+
+/// A trivial process that spins reading a register and completes an
+/// operation every `period` steps. Useful as a test fixture and as the
+/// simplest instance of bounded maximal progress.
+#[derive(Debug, Clone)]
+pub struct TickingProcess {
+    register: crate::memory::RegisterId,
+    period: u64,
+    pos: u64,
+}
+
+impl TickingProcess {
+    /// Creates a ticking process completing an operation every
+    /// `period` of its own steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(register: crate::memory::RegisterId, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        TickingProcess {
+            register,
+            period,
+            pos: 0,
+        }
+    }
+}
+
+impl Process for TickingProcess {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        let _ = mem.read(self.register);
+        self.pos += 1;
+        if self.pos == self.period {
+            self.pos = 0;
+            StepOutcome::Completed
+        } else {
+            StepOutcome::Ongoing
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ticking"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_round_trips() {
+        let p = ProcessId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.to_string(), "p3");
+        assert_eq!(ProcessId::from(3), p);
+    }
+
+    #[test]
+    fn ticking_process_completes_every_period() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut p = TickingProcess::new(r, 3);
+        let outcomes: Vec<bool> = (0..6).map(|_| p.step(&mut mem).is_completed()).collect();
+        assert_eq!(outcomes, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn ticking_process_takes_one_memory_step_per_call() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut p = TickingProcess::new(r, 2);
+        for expected in 1..=5u64 {
+            p.step(&mut mem);
+            assert_eq!(mem.steps(), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let _ = TickingProcess::new(r, 0);
+    }
+}

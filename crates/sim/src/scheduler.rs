@@ -1,0 +1,534 @@
+//! Stochastic schedulers (paper, Definition 1).
+//!
+//! A scheduler for `n` processes is a triple `(Π_τ, A_τ, θ)`: at every
+//! time step `τ` it draws the process to schedule from a distribution
+//! `Π_τ` supported on the *possibly active* set `A_τ`, and it is
+//! *stochastic* when every active process has probability at least
+//! `θ > 0`. Crashes only shrink `A_τ` (crash containment).
+//!
+//! Implementations here:
+//!
+//! * [`UniformScheduler`] — the refined model of Section 2.3
+//!   (`γ_i = 1/|A_τ|`); the scheduler under which all the paper's
+//!   latency bounds are proved.
+//! * [`WeightedScheduler`] — arbitrary fixed weights (threshold
+//!   `θ = min weight / total`), for the Section 8 robustness studies.
+//! * [`LotteryScheduler`] — ticket-proportional weights, modelling
+//!   lottery scheduling [Petrou et al., reference 19].
+//! * [`MarkovScheduler`] — locally-correlated choices: with
+//!   probability `stickiness` reschedule the previous process;
+//!   otherwise pick uniformly. Captures "a process is less/more likely
+//!   to be scheduled twice in succession" (Appendix A.2).
+//! * [`AdversarialScheduler`] — `θ = 0`: a scripted schedule encoded
+//!   into `Π_τ` as point masses (the paper's observation that any
+//!   classic adversary is the `θ = 0` special case).
+
+use rand::Rng;
+
+use crate::process::ProcessId;
+
+/// The set `A_τ` of possibly-active processes. Supports only removal,
+/// enforcing the paper's crash-containment condition `A_{τ+1} ⊆ A_τ`.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    active: Vec<bool>,
+    count: usize,
+}
+
+impl ActiveSet {
+    /// Creates the full set `{p_0, …, p_{n−1}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn all(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        ActiveSet {
+            active: vec![true; n],
+            count: n,
+        }
+    }
+
+    /// Total number of processes `n`.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no process exists (never true: constructors require
+    /// `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Number of currently active processes `|A_τ|`.
+    pub fn active_count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether `p` is active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn is_active(&self, p: ProcessId) -> bool {
+        self.active[p.index()]
+    }
+
+    /// Crashes process `p` (idempotent). At least one process must
+    /// remain active — the paper allows at most `n − 1` crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or if crashing it would empty the
+    /// active set.
+    pub fn crash(&mut self, p: ProcessId) {
+        if self.active[p.index()] {
+            assert!(self.count > 1, "cannot crash the last active process");
+            self.active[p.index()] = false;
+            self.count -= 1;
+        }
+    }
+
+    /// Iterates over the active process ids.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(i, _)| ProcessId::new(i))
+    }
+}
+
+/// A scheduler `(Π_τ, A_τ, θ)` in the sense of Definition 1.
+///
+/// The executor owns `A_τ` (crashes are part of the experiment
+/// configuration); the scheduler is handed the current active set and
+/// must return an active process.
+pub trait Scheduler {
+    /// Chooses the process to schedule at time step `tau`.
+    ///
+    /// Must return an active process (well-formedness: all probability
+    /// mass on `A_τ`).
+    fn schedule(&mut self, tau: u64, active: &ActiveSet, rng: &mut dyn rand::RngCore)
+        -> ProcessId;
+
+    /// The probability threshold `θ` for `n` processes, assuming all
+    /// are active. `0` means the scheduler is adversarial, not
+    /// stochastic.
+    fn theta(&self, n: usize) -> f64;
+
+    /// Human-readable name, for reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+/// The uniform stochastic scheduler: `γ_i = 1/|A_τ|` for active `i`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformScheduler;
+
+impl UniformScheduler {
+    /// Creates a uniform scheduler.
+    pub fn new() -> Self {
+        UniformScheduler
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    fn schedule(
+        &mut self,
+        _tau: u64,
+        active: &ActiveSet,
+        rng: &mut dyn rand::RngCore,
+    ) -> ProcessId {
+        let k = rng.gen_range(0..active.active_count());
+        active
+            .iter()
+            .nth(k)
+            .expect("active_count is consistent with iter")
+    }
+
+    fn theta(&self, n: usize) -> f64 {
+        1.0 / n as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// A scheduler with fixed positive weights; the probability of an
+/// active process is its weight renormalized over the active set.
+#[derive(Debug, Clone)]
+pub struct WeightedScheduler {
+    weights: Vec<f64>,
+}
+
+impl WeightedScheduler {
+    /// Creates a weighted scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is non-positive or
+    /// non-finite (θ > 0 requires strictly positive mass everywhere).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "all weights must be positive and finite"
+        );
+        WeightedScheduler { weights }
+    }
+
+    fn pick(&self, active: &ActiveSet, rng: &mut dyn rand::RngCore) -> ProcessId {
+        let total: f64 = active.iter().map(|p| self.weights[p.index()]).sum();
+        let mut x = rng.gen_range(0.0..total);
+        let mut last = None;
+        for p in active.iter() {
+            let w = self.weights[p.index()];
+            if x < w {
+                return p;
+            }
+            x -= w;
+            last = Some(p);
+        }
+        last.expect("active set is non-empty")
+    }
+}
+
+impl Scheduler for WeightedScheduler {
+    fn schedule(
+        &mut self,
+        _tau: u64,
+        active: &ActiveSet,
+        rng: &mut dyn rand::RngCore,
+    ) -> ProcessId {
+        self.pick(active, rng)
+    }
+
+    fn theta(&self, n: usize) -> f64 {
+        let total: f64 = self.weights.iter().take(n).sum();
+        self.weights
+            .iter()
+            .take(n)
+            .fold(f64::INFINITY, |m, &w| m.min(w))
+            / total
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+}
+
+/// Ticket-proportional lottery scheduling (reference \[19\] in the
+/// paper): process `i` holds `tickets[i]` tickets and is scheduled
+/// with probability proportional to them.
+#[derive(Debug, Clone)]
+pub struct LotteryScheduler {
+    inner: WeightedScheduler,
+}
+
+impl LotteryScheduler {
+    /// Creates a lottery scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tickets` is empty or contains a zero.
+    pub fn new(tickets: Vec<u64>) -> Self {
+        assert!(
+            tickets.iter().all(|&t| t > 0),
+            "every process needs at least one ticket"
+        );
+        LotteryScheduler {
+            inner: WeightedScheduler::new(tickets.iter().map(|&t| t as f64).collect()),
+        }
+    }
+}
+
+impl Scheduler for LotteryScheduler {
+    fn schedule(
+        &mut self,
+        tau: u64,
+        active: &ActiveSet,
+        rng: &mut dyn rand::RngCore,
+    ) -> ProcessId {
+        self.inner.schedule(tau, active, rng)
+    }
+
+    fn theta(&self, n: usize) -> f64 {
+        self.inner.theta(n)
+    }
+
+    fn name(&self) -> &'static str {
+        "lottery"
+    }
+}
+
+/// A locally-correlated stochastic scheduler: with probability
+/// `stickiness` the previously scheduled process runs again (if still
+/// active); otherwise a uniformly random active process runs.
+///
+/// `stickiness` may also be negative-like behaviour via small values;
+/// `0.0` reduces to [`UniformScheduler`]. Used for the Section 8
+/// discussion that liftings should survive non-uniform schedulers.
+#[derive(Debug, Clone)]
+pub struct MarkovScheduler {
+    stickiness: f64,
+    last: Option<ProcessId>,
+}
+
+impl MarkovScheduler {
+    /// Creates a Markov scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ stickiness < 1`.
+    pub fn new(stickiness: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&stickiness),
+            "stickiness must be in [0, 1)"
+        );
+        MarkovScheduler {
+            stickiness,
+            last: None,
+        }
+    }
+}
+
+impl Scheduler for MarkovScheduler {
+    fn schedule(
+        &mut self,
+        _tau: u64,
+        active: &ActiveSet,
+        rng: &mut dyn rand::RngCore,
+    ) -> ProcessId {
+        if let Some(last) = self.last {
+            if active.is_active(last) && rng.gen_bool(self.stickiness) {
+                return last;
+            }
+        }
+        let k = rng.gen_range(0..active.active_count());
+        let p = active.iter().nth(k).expect("non-empty active set");
+        self.last = Some(p);
+        p
+    }
+
+    fn theta(&self, n: usize) -> f64 {
+        (1.0 - self.stickiness) / n as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "markov"
+    }
+}
+
+/// An adversarial scheduler (`θ = 0`): replays a fixed script of
+/// process ids, cycling when exhausted. Skips crashed processes by
+/// advancing the script.
+#[derive(Debug, Clone)]
+pub struct AdversarialScheduler {
+    script: Vec<ProcessId>,
+    pos: usize,
+}
+
+impl AdversarialScheduler {
+    /// Creates an adversary that repeats `script` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `script` is empty.
+    pub fn cycle(script: Vec<ProcessId>) -> Self {
+        assert!(!script.is_empty(), "script must be non-empty");
+        AdversarialScheduler { script, pos: 0 }
+    }
+
+    /// The adversary that always schedules one process (a solo run —
+    /// the paper's example of maximal progress in *some* execution for
+    /// lock-free algorithms).
+    pub fn solo(p: ProcessId) -> Self {
+        AdversarialScheduler::cycle(vec![p])
+    }
+
+    /// The round-robin adversary over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn round_robin(n: usize) -> Self {
+        assert!(n > 0, "need at least one process");
+        AdversarialScheduler::cycle((0..n).map(ProcessId::new).collect())
+    }
+}
+
+impl Scheduler for AdversarialScheduler {
+    fn schedule(
+        &mut self,
+        _tau: u64,
+        active: &ActiveSet,
+        _rng: &mut dyn rand::RngCore,
+    ) -> ProcessId {
+        // Advance past crashed entries; guaranteed to terminate since
+        // the active set is non-empty and we cycle the whole script.
+        for _ in 0..self.script.len() {
+            let p = self.script[self.pos];
+            self.pos = (self.pos + 1) % self.script.len();
+            if active.is_active(p) {
+                return p;
+            }
+        }
+        // Script mentions only crashed processes: fall back to any
+        // active one (the adversary must satisfy well-formedness).
+        active.iter().next().expect("non-empty active set")
+    }
+
+    fn theta(&self, _n: usize) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "adversarial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn active_set_crash_containment() {
+        let mut a = ActiveSet::all(3);
+        assert_eq!(a.active_count(), 3);
+        a.crash(ProcessId::new(1));
+        a.crash(ProcessId::new(1)); // idempotent
+        assert_eq!(a.active_count(), 2);
+        assert!(!a.is_active(ProcessId::new(1)));
+        let ids: Vec<usize> = a.iter().map(ProcessId::index).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "last active process")]
+    fn crashing_everyone_panics() {
+        let mut a = ActiveSet::all(2);
+        a.crash(ProcessId::new(0));
+        a.crash(ProcessId::new(1));
+    }
+
+    #[test]
+    fn uniform_scheduler_is_roughly_fair() {
+        let mut s = UniformScheduler::new();
+        let active = ActiveSet::all(4);
+        let mut counts = [0u32; 4];
+        let mut r = rng();
+        for tau in 0..40_000 {
+            counts[s.schedule(tau, &active, &mut r).index()] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0, "counts {counts:?}");
+        }
+        assert!((s.theta(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_scheduler_respects_crashes() {
+        let mut s = UniformScheduler::new();
+        let mut active = ActiveSet::all(3);
+        active.crash(ProcessId::new(0));
+        let mut r = rng();
+        for tau in 0..1000 {
+            let p = s.schedule(tau, &active, &mut r);
+            assert_ne!(p.index(), 0);
+        }
+    }
+
+    #[test]
+    fn weighted_scheduler_respects_weights() {
+        let mut s = WeightedScheduler::new(vec![1.0, 3.0]);
+        let active = ActiveSet::all(2);
+        let mut r = rng();
+        let mut hi = 0u32;
+        let total = 40_000;
+        for tau in 0..total {
+            if s.schedule(tau, &active, &mut r).index() == 1 {
+                hi += 1;
+            }
+        }
+        let frac = hi as f64 / total as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+        assert!((s.theta(2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_scheduler_rejects_zero_weight() {
+        let _ = WeightedScheduler::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn lottery_scheduler_theta() {
+        let s = LotteryScheduler::new(vec![1, 1, 2]);
+        assert!((s.theta(3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn markov_scheduler_sticks() {
+        let mut s = MarkovScheduler::new(0.9);
+        let active = ActiveSet::all(8);
+        let mut r = rng();
+        let mut repeats = 0u32;
+        let mut prev = s.schedule(0, &active, &mut r);
+        let total = 20_000;
+        for tau in 1..total {
+            let p = s.schedule(tau, &active, &mut r);
+            if p == prev {
+                repeats += 1;
+            }
+            prev = p;
+        }
+        let frac = repeats as f64 / total as f64;
+        // ~0.9 + 0.1/8 ≈ 0.9125 repeat probability.
+        assert!(frac > 0.85, "repeat fraction {frac}");
+    }
+
+    #[test]
+    fn markov_scheduler_zero_stickiness_is_uniform_like() {
+        let mut s = MarkovScheduler::new(0.0);
+        assert!((s.theta(4) - 0.25).abs() < 1e-12);
+        let active = ActiveSet::all(2);
+        let mut r = rng();
+        let mut seen = [false; 2];
+        for tau in 0..100 {
+            seen[s.schedule(tau, &active, &mut r).index()] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn adversary_replays_script_and_skips_crashed() {
+        let mut s =
+            AdversarialScheduler::cycle(vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+        let mut active = ActiveSet::all(3);
+        let mut r = rng();
+        assert_eq!(s.schedule(0, &active, &mut r).index(), 0);
+        active.crash(ProcessId::new(1));
+        assert_eq!(s.schedule(1, &active, &mut r).index(), 2);
+        assert_eq!(s.schedule(2, &active, &mut r).index(), 0);
+        assert_eq!(s.theta(3), 0.0);
+    }
+
+    #[test]
+    fn solo_adversary_always_schedules_same() {
+        let mut s = AdversarialScheduler::solo(ProcessId::new(1));
+        let active = ActiveSet::all(2);
+        let mut r = rng();
+        for tau in 0..10 {
+            assert_eq!(s.schedule(tau, &active, &mut r).index(), 1);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Birthday-paradox quantities used in Lemma 8's phase-length bounds.
+//!
+//! A phase of the iterated balls-into-bins game ends when either some
+//! bin that started with one ball receives a second (a 2-collision
+//! among `a` bins, `Θ(√a)` throws into those bins) or some initially
+//! empty bin receives three (a 3-collision among `b` bins,
+//! `Θ(b^{2/3})` throws).
+
+/// Expected number of uniform throws into `a` bins until some bin
+/// receives its second ball, computed exactly:
+/// `E = Σ_{m≥0} P(first m throws all distinct) = Σ_m m!·C(a,m)/aᵐ`
+/// — which is `Q(a) + 1` in Ramanujan-Q terms, asymptotically
+/// `√(πa/2)`.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+pub fn expected_throws_to_two_collision(a: u64) -> f64 {
+    assert!(a > 0, "need at least one bin");
+    // P(no collision after m throws) = prod_{j=1..m-1} (1 - j/a);
+    // E[throws] = sum_{m>=0} P(no collision in first m throws).
+    let af = a as f64;
+    let mut p = 1.0; // P(no collision after 0 throws)
+    let mut expectation = 1.0; // m = 0 contributes 1
+    for m in 1..=a {
+        // After m throws: multiply by (1 − (m−1)/a).
+        p *= 1.0 - (m - 1) as f64 / af;
+        expectation += p;
+        if p < 1e-18 {
+            break;
+        }
+    }
+    expectation
+}
+
+/// The asymptotic two-collision bound `√(πa/2)`.
+pub fn two_collision_asymptotic(a: u64) -> f64 {
+    (std::f64::consts::PI * a as f64 / 2.0).sqrt()
+}
+
+/// The paper's upper-bound scaling for throws until a 3-collision in
+/// `b` bins: `α·b^{2/3}` with `α = 4` (Claim 2 takes `m = α·b^{2/3}`).
+pub fn three_collision_bound(b: u64, alpha: f64) -> f64 {
+    alpha * (b as f64).powf(2.0 / 3.0)
+}
+
+/// Lemma 8's phase-length upper bound for a phase starting with `a`
+/// one-ball bins and `b` empty bins among `n` total:
+/// `min(2αn/√a, 3αn/b^{1/3})` with `α ≥ 4`.
+///
+/// Bins that are not in either set cannot end the phase, so `a = 0`
+/// (or `b = 0`) disables the corresponding term.
+///
+/// # Panics
+///
+/// Panics if both `a` and `b` are zero or `n == 0`.
+pub fn phase_length_bound(n: u64, a: u64, b: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "need at least one bin");
+    assert!(a > 0 || b > 0, "a phase needs candidate bins");
+    let nf = n as f64;
+    let term_a = if a > 0 {
+        2.0 * alpha * nf / (a as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
+    let term_b = if b > 0 {
+        3.0 * alpha * nf / (b as f64).powf(1.0 / 3.0)
+    } else {
+        f64::INFINITY
+    };
+    term_a.min(term_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ramanujan::{ramanujan_q, sqrt_pi_n_over_2};
+
+    #[test]
+    fn two_collision_equals_q_plus_one() {
+        // E[throws to a 2-collision] = Q(a) + 2: the first throw never
+        // collides, so the survival sum telescopes into Q plus two.
+        for a in [2u64, 5, 23, 365, 1000] {
+            let e = expected_throws_to_two_collision(a);
+            let q = ramanujan_q(a);
+            assert!((e - (q + 2.0)).abs() < 1e-9, "a={a}: E={e}, Q+2={}", q + 2.0);
+        }
+    }
+
+    #[test]
+    fn birthday_365_matches_known_value() {
+        // The classic birthday problem: ≈ 24.617 people for an
+        // expected collision.
+        let e = expected_throws_to_two_collision(365);
+        assert!((e - 24.616585).abs() < 1e-3, "got {e}");
+    }
+
+    #[test]
+    fn asymptotic_ratio_tends_to_one() {
+        let r = expected_throws_to_two_collision(100_000) / two_collision_asymptotic(100_000);
+        assert!((r - 1.0).abs() < 0.01, "ratio {r}");
+        let _ = sqrt_pi_n_over_2(4); // exercised elsewhere; silence lint
+    }
+
+    #[test]
+    fn phase_bound_picks_minimum() {
+        // Large a → the √a term dominates (smaller).
+        let all_ones = phase_length_bound(100, 100, 0, 4.0);
+        assert!((all_ones - 2.0 * 4.0 * 100.0 / 10.0).abs() < 1e-12);
+        let all_zeros = phase_length_bound(100, 0, 100, 4.0);
+        assert!((all_zeros - 3.0 * 4.0 * 100.0 / 100f64.powf(1.0 / 3.0)).abs() < 1e-9);
+        let mixed = phase_length_bound(100, 50, 50, 4.0);
+        assert!(mixed <= all_zeros.max(all_ones));
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate bins")]
+    fn empty_phase_bound_panics() {
+        let _ = phase_length_bound(10, 0, 0, 4.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Closed-form latency and completion-rate predictions
+//! (Theorems 3–5, Corollaries 1–3, and the Appendix B comparison).
+
+use crate::ramanujan::z_worst;
+
+/// Predictions for an `SCU(q, s)` algorithm on `n` processes under the
+/// uniform stochastic scheduler, parameterized by the constant `α` in
+/// front of the `s√n` contention term (the paper proves `α` exists
+/// with `α ≥ 4` as an upper bound; empirically it is close to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScuPrediction {
+    /// Preamble length `q`.
+    pub q: usize,
+    /// Scan length `s`.
+    pub s: usize,
+    /// Number of (correct) processes.
+    pub n: usize,
+    /// Contention constant `α`.
+    pub alpha: f64,
+}
+
+impl ScuPrediction {
+    /// Creates a prediction with the empirically calibrated `α = 1`
+    /// (scale to measurements as the paper scales its Figure 5
+    /// prediction to the first data point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s == 0`.
+    pub fn new(q: usize, s: usize, n: usize) -> Self {
+        Self::with_alpha(q, s, n, 1.0)
+    }
+
+    /// Creates a prediction with an explicit `α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `s == 0`, or `alpha <= 0`.
+    pub fn with_alpha(q: usize, s: usize, n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one process");
+        assert!(s > 0, "scan region must be non-empty");
+        assert!(alpha > 0.0, "alpha must be positive");
+        ScuPrediction { q, s, n, alpha }
+    }
+
+    /// Predicted system latency `W = q + α·s·√n` (Theorem 4).
+    pub fn system_latency(&self) -> f64 {
+        self.q as f64 + self.alpha * self.s as f64 * (self.n as f64).sqrt()
+    }
+
+    /// Predicted individual latency `W_i = n·W` (Theorem 4 / Lemma 7).
+    pub fn individual_latency(&self) -> f64 {
+        self.n as f64 * self.system_latency()
+    }
+
+    /// Predicted completion rate `1/W` (Appendix B).
+    pub fn completion_rate(&self) -> f64 {
+        1.0 / self.system_latency()
+    }
+
+    /// Worst-case system latency under an adversary: `Θ(q + s·n)`
+    /// (Section 6's observation), with the same constant convention.
+    pub fn worst_case_system_latency(&self) -> f64 {
+        self.q as f64 + self.alpha * (self.s * self.n) as f64
+    }
+
+    /// Worst-case completion rate `1/(q + s·n)` — the `1/n`-style
+    /// curve plotted in Figure 5.
+    pub fn worst_case_completion_rate(&self) -> f64 {
+        1.0 / self.worst_case_system_latency()
+    }
+
+    /// Latency under crash-failures: with `k ≤ n` correct processes
+    /// the bounds hold with `k` in place of `n` (Corollary 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > n`.
+    pub fn with_correct_processes(&self, k: usize) -> ScuPrediction {
+        assert!(k > 0 && k <= self.n, "need 1 ≤ k ≤ n");
+        ScuPrediction {
+            q: self.q,
+            s: self.s,
+            n: k,
+            alpha: self.alpha,
+        }
+    }
+}
+
+/// Theorem 3's bound: an algorithm with bounded minimal progress `T`
+/// under a stochastic scheduler with threshold `θ` completes every
+/// operation within expected `(1/θ)^T` steps.
+///
+/// Returns `f64::INFINITY` when the bound overflows, which it does
+/// already for moderate `T` — the point of the paper's Section 6 is
+/// that this generic bound is "unacceptably high" compared to the
+/// chain analysis.
+///
+/// # Panics
+///
+/// Panics unless `0 < theta <= 1` and `t > 0`.
+pub fn theorem_3_bound(theta: f64, t: u32) -> f64 {
+    assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+    assert!(t > 0, "progress bound must be positive");
+    (1.0 / theta).powi(t as i32)
+}
+
+/// Predicted fetch-and-increment system latency: the exact
+/// `Z(n−1) = Q(n) + 1` worst-state hitting time is an upper bound on
+/// the stationary `W`, itself at most `2√n` (Lemma 12).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn fai_system_latency_bound(n: usize) -> f64 {
+    z_worst(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_latency_combines_terms() {
+        let p = ScuPrediction::with_alpha(10, 2, 16, 1.0);
+        assert!((p.system_latency() - (10.0 + 2.0 * 4.0)).abs() < 1e-12);
+        assert!((p.individual_latency() - 16.0 * 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_rate_is_reciprocal() {
+        let p = ScuPrediction::new(0, 1, 64);
+        assert!((p.completion_rate() * p.system_latency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stochastic_beats_worst_case_for_large_n() {
+        let p = ScuPrediction::new(0, 1, 100);
+        assert!(p.system_latency() < p.worst_case_system_latency());
+        // √n vs n separation grows with n.
+        let small = ScuPrediction::new(0, 1, 4);
+        let gain_small = small.worst_case_system_latency() / small.system_latency();
+        let gain_large = p.worst_case_system_latency() / p.system_latency();
+        assert!(gain_large > gain_small);
+    }
+
+    #[test]
+    fn corollary_2_crash_reduction() {
+        let p = ScuPrediction::new(5, 2, 64);
+        let crashed = p.with_correct_processes(16);
+        assert!(crashed.system_latency() < p.system_latency());
+        assert!((crashed.system_latency() - (5.0 + 2.0 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_3_bound_is_astronomical() {
+        // n = 16 processes, T = 32 steps: (1/θ)^T = 16^32 ≈ 3.4e38 —
+        // the "unacceptably high" generic bound.
+        let b = theorem_3_bound(1.0 / 16.0, 32);
+        assert!(b > 1e38);
+        // Whereas the chain analysis for SCU(0,1) gives ~√16 = 4.
+        let chain = ScuPrediction::new(0, 1, 16).system_latency();
+        assert!(chain < 10.0);
+    }
+
+    #[test]
+    fn theorem_3_bound_degenerate_cases() {
+        assert!((theorem_3_bound(1.0, 10) - 1.0).abs() < 1e-12);
+        assert!((theorem_3_bound(0.5, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fai_bound_below_2_sqrt_n() {
+        for n in [4usize, 16, 64, 256] {
+            assert!(fai_system_latency_bound(n) <= 2.0 * (n as f64).sqrt());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ n")]
+    fn invalid_crash_count_panics() {
+        let _ = ScuPrediction::new(0, 1, 4).with_correct_processes(5);
+    }
+}

@@ -1,0 +1,114 @@
+//! Least-squares calibration of the latency model's constants.
+//!
+//! Theorem 4 gives `W = O(q + s√n)` without pinning the constant in
+//! front of the contention term; the paper scales predictions to the
+//! first data point. This module fits `α` (and optionally an additive
+//! offset) to measured or exact latencies, so predictions can be made
+//! quantitative.
+
+/// Result of fitting `W ≈ c + α·s·√n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyFit {
+    /// The contention constant `α`.
+    pub alpha: f64,
+    /// The additive offset `c` (absorbs `q` plus small constants).
+    pub offset: f64,
+    /// Root-mean-square relative residual of the fit.
+    pub rms_relative_error: f64,
+}
+
+/// Fits `W ≈ offset + α·x` by ordinary least squares, where callers
+/// supply `x = s·√n` per observation.
+///
+/// # Panics
+///
+/// Panics if fewer than two observations are supplied, lengths differ,
+/// or all `x` are identical.
+pub fn fit_affine(xs: &[f64], ws: &[f64]) -> LatencyFit {
+    assert_eq!(xs.len(), ws.len(), "observation lengths differ");
+    assert!(xs.len() >= 2, "need at least two observations");
+    let n = xs.len() as f64;
+    let mean_x: f64 = xs.iter().sum::<f64>() / n;
+    let mean_w: f64 = ws.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    assert!(sxx > 1e-12, "x values must not be constant");
+    let sxw: f64 = xs
+        .iter()
+        .zip(ws)
+        .map(|(x, w)| (x - mean_x) * (w - mean_w))
+        .sum();
+    let alpha = sxw / sxx;
+    let offset = mean_w - alpha * mean_x;
+    let rms = (xs
+        .iter()
+        .zip(ws)
+        .map(|(x, w)| {
+            let pred = offset + alpha * x;
+            ((pred - w) / w).powi(2)
+        })
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    LatencyFit {
+        alpha,
+        offset,
+        rms_relative_error: rms,
+    }
+}
+
+/// Convenience: fit `α` for `SCU(0, s)` observations given `(n, s, W)`
+/// triples.
+///
+/// # Panics
+///
+/// Same conditions as [`fit_affine`].
+pub fn fit_scu_alpha(observations: &[(usize, usize, f64)]) -> LatencyFit {
+    let xs: Vec<f64> = observations
+        .iter()
+        .map(|&(n, s, _)| s as f64 * (n as f64).sqrt())
+        .collect();
+    let ws: Vec<f64> = observations.iter().map(|&(_, _, w)| w).collect();
+    fit_affine(&xs, &ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_affine_relation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ws: Vec<f64> = xs.iter().map(|x| 0.5 + 1.75 * x).collect();
+        let fit = fit_affine(&xs, &ws);
+        assert!((fit.alpha - 1.75).abs() < 1e-12);
+        assert!((fit.offset - 0.5).abs() < 1e-12);
+        assert!(fit.rms_relative_error < 1e-12);
+    }
+
+    #[test]
+    fn scu_fit_extracts_sqrt_n_coefficient() {
+        // Synthetic W = 0.3 + 1.9·s√n.
+        let obs: Vec<(usize, usize, f64)> = [(4usize, 1usize), (16, 1), (16, 2), (64, 1)]
+            .iter()
+            .map(|&(n, s)| (n, s, 0.3 + 1.9 * s as f64 * (n as f64).sqrt()))
+            .collect();
+        let fit = fit_scu_alpha(&obs);
+        assert!((fit.alpha - 1.9).abs() < 1e-9);
+        assert!((fit.offset - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_fit_reports_residual() {
+        let xs = [1.0, 2.0, 3.0];
+        let ws = [2.0, 3.2, 3.9];
+        let fit = fit_affine(&xs, &ws);
+        assert!(fit.rms_relative_error > 0.0);
+        assert!(fit.alpha > 0.5 && fit.alpha < 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_x_panics() {
+        let _ = fit_affine(&[2.0, 2.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Closed-form predictions from *"Are Lock-Free Concurrent Algorithms
+//! Practically Wait-Free?"* (Alistarh, Censor-Hillel, Shavit).
+//!
+//! * [`ramanujan`] — the `Z(i)` recurrence of Lemma 12, Ramanujan's Q
+//!   function, and the `√(πn/2)` asymptotics.
+//! * [`birthday`] — exact and asymptotic birthday-collision counts
+//!   used in Lemma 8's phase-length bounds.
+//! * [`bounds`] — the headline predictions: `W = O(q + s√n)`
+//!   system latency and `W_i = n·W` individual latency for
+//!   `SCU(q, s)` (Theorem 4), worst-case `Θ(q + sn)` comparisons, the
+//!   generic `(1/θ)^T` bound of Theorem 3, and the crash-failure
+//!   rescaling of Corollary 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use pwf_theory::bounds::ScuPrediction;
+//!
+//! let p = ScuPrediction::new(0, 1, 64);
+//! // Θ(1/√n) completion rate vs the worst case 1/n (Figure 5).
+//! assert!(p.completion_rate() > p.worst_case_completion_rate());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod birthday;
+pub mod bounds;
+pub mod fitting;
+pub mod ramanujan;
+
+pub use birthday::{expected_throws_to_two_collision, phase_length_bound};
+pub use fitting::{fit_affine, fit_scu_alpha, LatencyFit};
+pub use bounds::{fai_system_latency_bound, theorem_3_bound, ScuPrediction};
+pub use ramanujan::{ramanujan_q, sqrt_pi_n_over_2, z_values, z_worst};

@@ -1,0 +1,138 @@
+//! The Ramanujan Q function and the `Z(i)` recurrence of Lemma 12.
+//!
+//! `Z(i)` — the expected hitting time of the win state from the global
+//! chain's state with `n − i` current-value holders — satisfies
+//! `Z(0) = 1`, `Z(i) = i·Z(i−1)/n + 1`. Unfolding gives
+//! `Z(n−1) = Q(n) + 1` variants of Ramanujan's Q function, with
+//! asymptotics `√(πn/2)·(1 + o(1))` (Flajolet et al., reference \[5\]).
+
+/// Ramanujan's Q function: `Q(n) = Σ_{k≥1} n!/((n−k)!·nᵏ)`
+/// `= (n−1)/n + (n−1)(n−2)/n² + …`.
+///
+/// Computed by the stable product form; exact to double precision for
+/// all practical `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ramanujan_q(n: u64) -> f64 {
+    assert!(n > 0, "Q is defined for n ≥ 1");
+    let nf = n as f64;
+    // The k-th term is (n−1)(n−2)…(n−k)/nᵏ; accumulate by the product
+    // form, stopping once terms vanish at double precision.
+    let mut term = 1.0;
+    let mut sum = 0.0;
+    for k in 1..n {
+        term *= (n - k) as f64 / nf;
+        sum += term;
+        if term < 1e-18 {
+            break;
+        }
+    }
+    sum
+}
+
+/// The recurrence `Z(0) = 1`, `Z(i) = i·Z(i−1)/n + 1` (Lemma 12),
+/// returning `Z(0) … Z(n−1)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn z_values(n: usize) -> Vec<f64> {
+    assert!(n > 0, "need at least one process");
+    let nf = n as f64;
+    let mut z = Vec::with_capacity(n);
+    z.push(1.0);
+    for i in 1..n {
+        let prev = z[i - 1];
+        z.push(i as f64 * prev / nf + 1.0);
+    }
+    z
+}
+
+/// `Z(n−1)`: the expected steps for the system to complete an
+/// operation from the worst state of the fetch-and-increment global
+/// chain. Lemma 12 bounds it by `2√n`; its exact asymptotics are
+/// `√(πn/2)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn z_worst(n: usize) -> f64 {
+    *z_values(n).last().expect("n ≥ 1")
+}
+
+/// The asymptotic form `√(πn/2)` of `Z(n−1)` (and of the birthday
+/// bound).
+pub fn sqrt_pi_n_over_2(n: usize) -> f64 {
+    (std::f64::consts::PI * n as f64 / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_base_cases() {
+        assert_eq!(z_values(1), vec![1.0]);
+        let z = z_values(2);
+        assert_eq!(z[0], 1.0);
+        assert!((z[1] - 1.5).abs() < 1e-15); // 1·1/2 + 1
+    }
+
+    #[test]
+    fn z_is_increasing() {
+        let z = z_values(50);
+        for w in z.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn lemma_12_bound_2_sqrt_n() {
+        for n in [2usize, 10, 100, 1000, 10_000] {
+            assert!(
+                z_worst(n) <= 2.0 * (n as f64).sqrt(),
+                "n = {n}: Z = {}",
+                z_worst(n)
+            );
+        }
+    }
+
+    #[test]
+    fn z_matches_ramanujan_q() {
+        // Z(n−1) = Q(n) + 1: check the identity numerically.
+        for n in [5u64, 20, 100, 1000] {
+            let z = z_worst(n as usize);
+            let q = ramanujan_q(n);
+            assert!(
+                (z - (q + 1.0)).abs() < 1e-9,
+                "n = {n}: Z = {z}, Q+1 = {}",
+                q + 1.0
+            );
+        }
+    }
+
+    #[test]
+    fn asymptotics_converge() {
+        // Z(n−1)/√(πn/2) → 1.
+        let r1 = z_worst(100) / sqrt_pi_n_over_2(100);
+        let r2 = z_worst(10_000) / sqrt_pi_n_over_2(10_000);
+        assert!((r2 - 1.0).abs() < (r1 - 1.0).abs());
+        assert!((r2 - 1.0).abs() < 0.02, "ratio at n=10^4 is {r2}");
+    }
+
+    #[test]
+    fn ramanujan_q_small_values() {
+        // Q(1) = 0, Q(2) = 1/2, Q(3) = 2/3 + 2/9 = 8/9.
+        assert!(ramanujan_q(1).abs() < 1e-15);
+        assert!((ramanujan_q(2) - 0.5).abs() < 1e-15);
+        assert!((ramanujan_q(3) - 8.0 / 9.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 1")]
+    fn q_of_zero_panics() {
+        let _ = ramanujan_q(0);
+    }
+}

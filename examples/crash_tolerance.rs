@@ -1,0 +1,56 @@
+//! Crash-failures end to end: Corollary 2 (the latency bounds hold
+//! with `k` correct processes in place of `n`), lock-free resilience,
+//! and the blocking counterexample.
+//!
+//! Run with: `cargo run --release --example crash_tolerance`
+
+use practically_wait_free::core::{AlgorithmSpec, SimExperiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Corollary 2 — crash n−k of n processes at t = 1000, SCU(0,1):");
+    println!("{:>4} {:>4} {:>14} {:>16}", "n", "k", "W (with crashes)", "W (k crash-free)");
+    for (n, k) in [(8usize, 2usize), (16, 4), (32, 8), (64, 16)] {
+        let mut exp = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 500_000).seed(3);
+        for p in k..n {
+            exp = exp.crash(1_000, p);
+        }
+        let crashed = exp.run()?.system_latency.unwrap();
+        let baseline = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, k, 500_000)
+            .seed(3)
+            .run()?
+            .system_latency
+            .unwrap();
+        println!("{:>4} {:>4} {:>14.4} {:>16.4}", n, k, crashed, baseline);
+    }
+    println!("\nAfter the crashes the system behaves exactly like a k-process system:");
+    println!("O(q + s·√k), because the stationary regime only sees live processes.\n");
+
+    println!("Resilience comparison — crash one process at t = 1000, n = 4, 100k steps:");
+    println!("{:>16} {:>12} {:>30}", "algorithm", "total ops", "worst post-crash gap (steps)");
+    for spec in [
+        AlgorithmSpec::Scu { q: 0, s: 1 },
+        AlgorithmSpec::FetchAndInc,
+        AlgorithmSpec::TreiberStack,
+        AlgorithmSpec::MsQueue,
+        AlgorithmSpec::LockCounter { cs_len: 2 },
+    ] {
+        let name = spec.name();
+        let r = SimExperiment::new(spec, 4, 100_000)
+            .seed(2) // a seed where the crash catches the lock held
+            .crash(1_000, 0)
+            .run()?;
+        println!(
+            "{:>16} {:>12} {:>30}",
+            name,
+            r.total_completions,
+            r.minimal_progress_bound
+                .map_or("∞ (deadlock)".to_string(), |b| b.to_string())
+        );
+    }
+    println!(
+        "\nEvery non-blocking algorithm keeps a small worst gap between completions\n\
+         (minimal progress is unconditional); the lock-based counter deadlocks\n\
+         whenever the crash catches the holder inside the critical section."
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Blocking vs non-blocking, quantified — the contrast the paper's
+//! introduction draws between deadlock-free (lock-based) and lock-free
+//! code, run on the same simulator with the same step accounting.
+//!
+//! Run with: `cargo run --release --example lock_vs_lockfree`
+
+use practically_wait_free::algorithms::lock::predicted_system_latency;
+use practically_wait_free::core::{AlgorithmSpec, SimExperiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Counter throughput under the uniform stochastic scheduler:");
+    println!(
+        "{:>4} {:>14} {:>14} {:>12}",
+        "n", "W lock-based", "W lock-free", "lock penalty"
+    );
+    for n in [2usize, 4, 8, 16, 32] {
+        let lock = SimExperiment::new(AlgorithmSpec::LockCounter { cs_len: 2 }, n, 300_000)
+            .seed(44)
+            .run()?
+            .system_latency
+            .unwrap();
+        let free = SimExperiment::new(AlgorithmSpec::FetchAndInc, n, 300_000)
+            .seed(44)
+            .run()?
+            .system_latency
+            .unwrap();
+        println!("{:>4} {:>14.2} {:>14.2} {:>11.1}x", n, lock, free, lock / free);
+    }
+    println!(
+        "\nThe lock-based counter pays Θ(n) per operation (exact model: 1 + 3n = {}\n\
+         at n = 32) because the critical section advances only when the holder is\n\
+         scheduled; the lock-free counter pays Θ(√n). Under preemptive scheduling\n\
+         the gap grows without bound — and a crashed lock holder deadlocks the\n\
+         blocking version outright, while lock-freedom shrugs crashes off\n\
+         (Corollary 2). This is the practical content of choosing non-blocking\n\
+         algorithms even though they are 'only' lock-free.",
+        predicted_system_latency(32, 2)
+    );
+    Ok(())
+}

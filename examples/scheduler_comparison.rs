@@ -1,0 +1,61 @@
+//! How the scheduler decides whether lock-free "feels" wait-free.
+//!
+//! The same `SCU(0, 1)` fleet runs under four schedulers: the uniform
+//! stochastic model, a skewed lottery, a locally-correlated (sticky)
+//! scheduler, and a round-robin adversary. Stochastic schedulers
+//! (θ > 0) yield maximal progress — every process keeps finishing —
+//! while the adversary starves all processes but one (Theorem 3 and
+//! its converse).
+//!
+//! Run with: `cargo run --release --example scheduler_comparison`
+
+use practically_wait_free::core::{AlgorithmSpec, SchedulerSpec, SimExperiment};
+
+fn describe(name: &str, spec: SchedulerSpec, n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let report = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 200_000)
+        .scheduler(spec.clone())
+        .seed(42)
+        .run()?;
+    let starved = report
+        .process_completions
+        .iter()
+        .filter(|&&c| c == 0)
+        .count();
+    println!(
+        "{:<22} θ={:<8.4} completions/process: min={:<8} max={:<8} starved={} maximal-progress bound: {}",
+        name,
+        spec.theta(n),
+        report.process_completions.iter().min().unwrap(),
+        report.process_completions.iter().max().unwrap(),
+        starved,
+        match report.maximal_progress_bound {
+            Some(b) => format!("{b} steps"),
+            None => "NONE (not wait-free here)".into(),
+        }
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8;
+    println!("SCU(0,1), n = {n}, 200k steps under different schedulers:\n");
+    describe("uniform stochastic", SchedulerSpec::Uniform, n)?;
+    describe(
+        "lottery 8:1 skew",
+        SchedulerSpec::Lottery(vec![8, 1, 1, 1, 1, 1, 1, 1]),
+        n,
+    )?;
+    describe("sticky (p = 0.9)", SchedulerSpec::Sticky(0.9), n)?;
+    describe(
+        "round-robin adversary",
+        SchedulerSpec::Adversarial((0..n).collect()),
+        n,
+    )?;
+    println!(
+        "\nEvery θ > 0 scheduler delivers maximal progress (wait-free behaviour);\n\
+         the θ = 0 adversary keeps the algorithm merely lock-free: one process\n\
+         wins every round and the rest starve — yet *some* operation always\n\
+         completes (minimal progress), which is the lock-freedom guarantee."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The universal construction: ANY sequential object made lock-free
+//! with one CAS, priced by the paper's Theorem 4.
+//!
+//! We wrap a sequential bank account, run it under several schedulers,
+//! and check the measured latency against the `SCU(q, 1)` prediction
+//! with `q` = the state copy cost.
+//!
+//! Run with: `cargo run --release --example universal_object`
+
+use practically_wait_free::algorithms::universal::{
+    BankAccount, BankOp, UniversalObject, UniversalProcess,
+};
+use practically_wait_free::sim::executor::{run, RunConfig};
+use practically_wait_free::sim::memory::SharedMemory;
+use practically_wait_free::sim::process::{Process, ProcessId};
+use practically_wait_free::sim::scheduler::UniformScheduler;
+use practically_wait_free::sim::stats::system_latency;
+use practically_wait_free::theory::bounds::ScuPrediction;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("A sequential bank account made lock-free by copy-modify-CAS");
+    println!("(Herlihy's universal construction = SCU(q, 1), Section 5).\n");
+
+    println!("{:>4} {:>12} {:>14} {:>12} {:>12}", "n", "ops done", "final balance", "W measured", "W predicted");
+    for n in [2usize, 4, 8, 16] {
+        let mut mem = SharedMemory::new();
+        let obj = UniversalObject::new(&mut mem, BankAccount { balance: 0 });
+        let mut ps: Vec<Box<dyn Process>> = (0..n)
+            .map(|i| {
+                let script = vec![BankOp::Deposit(10), BankOp::Withdraw(10), BankOp::Balance];
+                Box::new(UniversalProcess::new(ProcessId::new(i), obj.clone(), script))
+                    as Box<dyn Process>
+            })
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(300_000).seed(19),
+        );
+        let w = system_latency(&exec).unwrap().mean;
+        // q = copy cost (2 for BankAccount), α calibrated ≈ 1.9.
+        let pred = ScuPrediction::with_alpha(2, 1, n, 1.9).system_latency();
+        println!(
+            "{:>4} {:>12} {:>14} {:>12.3} {:>12.3}",
+            n,
+            exec.total_completions(),
+            obj.current_state().balance,
+            w,
+            pred
+        );
+        assert_eq!(obj.committed_ops(), exec.total_completions());
+    }
+
+    println!(
+        "\nEvery committed operation was replayed on a sequential shadow object —\n\
+         any linearizability violation would have panicked. The measured latency\n\
+         tracks q + α√n: the paper's bound prices *every* object built this way,\n\
+         which is what 'universal' buys you."
+    );
+    Ok(())
+}

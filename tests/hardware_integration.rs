@@ -1,0 +1,120 @@
+//! Integration tests for the real-atomics substrate: correctness under
+//! genuine hardware concurrency, and the appendix measurements'
+//! plumbing.
+
+use practically_wait_free::hardware::fai_counter::FaiCounter;
+use practically_wait_free::hardware::msqueue::MsQueue;
+use practically_wait_free::hardware::recorder::record_with_tickets;
+use practically_wait_free::hardware::schedule_stats::{
+    conditional_next_step, step_share, uniformity_deviation,
+};
+use practically_wait_free::hardware::treiber::TreiberStack;
+use std::collections::HashSet;
+
+#[test]
+fn mixed_stack_and_queue_traffic_preserves_all_values() {
+    // Producers feed the queue; movers shuttle queue→stack; drainers
+    // pop the stack. Every value injected must come out exactly once.
+    let producers = 2usize;
+    let movers = 2usize;
+    let per_producer = 20_000u64;
+    let total = producers as u64 * per_producer;
+
+    let queue = MsQueue::with_capacity(4096);
+    let stack = TreiberStack::with_capacity(total as usize + 16);
+    let moved = std::sync::atomic::AtomicU64::new(0);
+    let mut drained: Vec<u64> = Vec::new();
+
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let queue = &queue;
+            scope.spawn(move || {
+                for i in 0..per_producer {
+                    let v = ((p as u64) << 32) | i;
+                    while queue.enqueue(v).is_err() {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+        for _ in 0..movers {
+            let queue = &queue;
+            let stack = &stack;
+            let moved = &moved;
+            scope.spawn(move || loop {
+                if moved.load(std::sync::atomic::Ordering::Relaxed) >= total {
+                    break;
+                }
+                if let Some(v) = queue.dequeue() {
+                    stack.push(v).expect("stack sized for everything");
+                    moved.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+    });
+
+    while let Some(v) = stack.pop() {
+        drained.push(v);
+    }
+    assert_eq!(drained.len() as u64, total);
+    let unique: HashSet<u64> = drained.iter().copied().collect();
+    assert_eq!(unique.len() as u64, total, "values lost or duplicated");
+}
+
+#[test]
+fn counter_and_recorder_agree_on_total_steps() {
+    // The ticket recorder *is* a fetch-and-increment counter; its
+    // trace length equals threads × ops exactly.
+    let trace = record_with_tickets(4, 5_000);
+    assert_eq!(trace.len(), 20_000);
+    let share = step_share(&trace);
+    assert!((share.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn figure_3_and_4_statistics_are_sane_on_this_machine() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
+    let trace = record_with_tickets(threads, 20_000);
+    // Step shares are exactly fair by construction (fixed ops).
+    assert!(uniformity_deviation(&step_share(&trace)) < 1e-9);
+    // Conditional distributions exist for every thread and sum to 1.
+    for t in 0..threads {
+        let d = conditional_next_step(&trace, t as u32).expect("thread appears");
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fai_counter_completion_rate_bounded_by_half() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
+    let report = FaiCounter::measure(threads, 50_000);
+    assert_eq!(report.final_value, (threads as u64) * 50_000);
+    let rate = report.completion_rate();
+    assert!(rate > 0.0 && rate <= 0.5, "rate {rate}");
+}
+
+#[test]
+fn stack_survives_repeated_fill_drain_cycles() {
+    let stack = TreiberStack::with_capacity(64);
+    for round in 0..50u64 {
+        for i in 0..64 {
+            stack.push(round * 100 + i).unwrap();
+        }
+        let mut popped = Vec::new();
+        while let Some(v) = stack.pop() {
+            popped.push(v);
+        }
+        assert_eq!(popped.len(), 64, "round {round}");
+        // LIFO within a quiescent round.
+        let expected: Vec<u64> = (0..64).rev().map(|i| round * 100 + i).collect();
+        assert_eq!(popped, expected, "round {round}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Cross-checks between the two progress formalisms in the workspace:
+//! the completion-gap measures of `pwf_sim::progress` and the
+//! history-predicate formulation of `pwf_sim::history` (the paper's
+//! Section 2.2 definitions). They must tell the same story on the
+//! same executions.
+
+use practically_wait_free::algorithms::scu::{ScuObject, ScuProcess};
+use practically_wait_free::sim::executor::{run, RunConfig};
+use practically_wait_free::sim::history::History;
+use practically_wait_free::sim::memory::SharedMemory;
+use practically_wait_free::sim::process::{Process, ProcessId};
+use practically_wait_free::sim::progress;
+use practically_wait_free::sim::scheduler::{AdversarialScheduler, UniformScheduler};
+use practically_wait_free::sim::Scheduler;
+
+fn scu_execution(
+    n: usize,
+    steps: u64,
+    seed: u64,
+    scheduler: &mut dyn Scheduler,
+) -> practically_wait_free::sim::Execution {
+    let mut mem = SharedMemory::new();
+    let obj = ScuObject::alloc(&mut mem, 1);
+    let mut ps: Vec<Box<dyn Process>> = (0..n)
+        .map(|i| Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>)
+        .collect();
+    run(
+        &mut ps,
+        scheduler,
+        &mut mem,
+        &RunConfig::new(steps).seed(seed).record_trace(true),
+    )
+}
+
+#[test]
+fn histories_of_scu_runs_are_well_formed() {
+    for seed in 0..4 {
+        let exec = scu_execution(6, 50_000, seed, &mut UniformScheduler::new());
+        let h = History::from_execution(&exec);
+        assert!(h.is_well_formed(), "seed {seed}");
+        // Invocations = responses + pending (≤ n).
+        let (inv, resp) = h.events().iter().fold((0u64, 0u64), |(i, r), e| match e {
+            practically_wait_free::sim::history::Event::Invoke { .. } => (i + 1, r),
+            practically_wait_free::sim::history::Event::Respond { .. } => (i, r + 1),
+        });
+        assert_eq!(resp, exec.total_completions());
+        assert!(inv >= resp && inv <= resp + 6);
+    }
+}
+
+#[test]
+fn history_minimal_progress_consistent_with_gap_measure() {
+    let exec = scu_execution(4, 100_000, 7, &mut UniformScheduler::new());
+    let h = History::from_execution(&exec);
+    let gap_bound = progress::measure(&exec, &[]).minimal_bound.unwrap();
+    // The history's worst no-response wait differs from the completion
+    // gap only through invocation boundaries; they agree within the
+    // length of one operation's idle prefix.
+    let hist_bound = h.worst_response_wait(&[], false).unwrap();
+    assert!(
+        hist_bound <= gap_bound,
+        "history bound {hist_bound} vs gap bound {gap_bound}"
+    );
+    assert!(h.satisfies_bounded_minimal_progress(gap_bound, &[]));
+}
+
+#[test]
+fn adversarial_starvation_shows_up_in_the_history() {
+    let exec = scu_execution(2, 20_000, 1, &mut AdversarialScheduler::round_robin(2));
+    let h = History::from_execution(&exec);
+    assert!(h.is_well_formed());
+    // The victim's pending invocation never responds: maximal progress
+    // fails for every sub-run bound …
+    assert!(!h.satisfies_bounded_maximal_progress(10_000, &[]));
+    // … unless the victim is exempted.
+    assert!(h.satisfies_bounded_maximal_progress(10, &[ProcessId::new(1)]));
+    // Minimal progress stays tight (lock-freedom).
+    assert!(h.satisfies_bounded_minimal_progress(8, &[]));
+}
+
+#[test]
+fn operation_spans_bound_individual_latency_from_below() {
+    use practically_wait_free::sim::stats::{individual_latency, mean_operation_duration};
+    let exec = scu_execution(8, 300_000, 11, &mut UniformScheduler::new());
+    for i in 0..8 {
+        let p = ProcessId::new(i);
+        let duration = mean_operation_duration(&exec, p).unwrap();
+        let latency = individual_latency(&exec, p).unwrap().mean;
+        // The span excludes the idle wait before the op's first step,
+        // so it is at most the full inter-completion latency.
+        assert!(
+            duration <= latency + 1e-9,
+            "p{i}: duration {duration} > latency {latency}"
+        );
+        // And both are on the n·√n scale, not the worst case.
+        assert!(latency < 8.0 * 8.0, "p{i}: latency {latency}");
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end checks of the paper's progress results: Theorem 3 (min →
+//! max progress under stochastic scheduling), its necessity condition
+//! (Lemma 2), and the adversarial converse.
+
+use practically_wait_free::core::progress_audit::audit;
+use practically_wait_free::core::{AlgorithmSpec, SchedulerSpec, SimExperiment};
+
+#[test]
+fn theorem_3_holds_for_every_bounded_algorithm_and_stochastic_scheduler() {
+    let algorithms = [
+        AlgorithmSpec::Scu { q: 0, s: 1 },
+        AlgorithmSpec::Scu { q: 3, s: 2 },
+        AlgorithmSpec::FetchAndInc,
+        AlgorithmSpec::Parallel { q: 4 },
+        AlgorithmSpec::TreiberStack,
+    ];
+    let schedulers = [
+        SchedulerSpec::Uniform,
+        SchedulerSpec::Lottery(vec![4, 1, 1, 1]),
+        SchedulerSpec::Sticky(0.7),
+    ];
+    for algorithm in &algorithms {
+        for scheduler in &schedulers {
+            let report = audit(algorithm.clone(), scheduler.clone(), 4, 400_000, 55).unwrap();
+            assert!(
+                report.achieved_maximal_progress(),
+                "{} under {scheduler:?} should be wait-free in practice",
+                algorithm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_2_unbounded_algorithm_starves_under_stochastic_scheduler() {
+    let mut starving_runs = 0;
+    for seed in 0..3 {
+        let report = audit(
+            AlgorithmSpec::Unbounded,
+            SchedulerSpec::Uniform,
+            8,
+            400_000,
+            seed,
+        )
+        .unwrap();
+        if !report.achieved_maximal_progress() {
+            starving_runs += 1;
+        }
+    }
+    // "with high probability": all three seeds should starve at n=8.
+    assert_eq!(starving_runs, 3, "unbounded algorithm unexpectedly wait-free");
+}
+
+#[test]
+fn adversary_starves_scu_but_not_parallel_code() {
+    // Round-robin starves SCU(0,1) (the classic schedule)…
+    let scu = audit(
+        AlgorithmSpec::Scu { q: 0, s: 1 },
+        SchedulerSpec::Adversarial(vec![0, 1]),
+        2,
+        100_000,
+        1,
+    )
+    .unwrap();
+    assert!(!scu.achieved_maximal_progress());
+    assert!(scu.minimal_bound.is_some(), "lock-freedom still holds");
+
+    // …but parallel code is wait-free under ANY fair-ish script — it
+    // has no contention to lose.
+    let par = audit(
+        AlgorithmSpec::Parallel { q: 3 },
+        SchedulerSpec::Adversarial(vec![0, 1]),
+        2,
+        100_000,
+        1,
+    )
+    .unwrap();
+    assert!(par.achieved_maximal_progress());
+}
+
+#[test]
+fn solo_adversary_gives_lock_free_algorithms_maximal_progress_in_some_execution() {
+    // Part of the lock-freedom definition: maximal progress in SOME
+    // execution. The solo schedule is that execution (for the solo
+    // process — the others never take steps, so they are effectively
+    // crashed and exempt).
+    let report = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, 3, 50_000)
+        .scheduler(SchedulerSpec::Adversarial(vec![2]))
+        .run()
+        .unwrap();
+    assert!(report.process_completions[2] > 10_000);
+}
+
+#[test]
+fn theorem_3_bound_is_finite_and_loose() {
+    let report = audit(
+        AlgorithmSpec::Scu { q: 0, s: 1 },
+        SchedulerSpec::Uniform,
+        4,
+        400_000,
+        9,
+    )
+    .unwrap();
+    let generic = report.theorem_3_bound.expect("theta > 0 and ops completed");
+    let observed = report.maximal_bound.expect("wait-free in practice") as f64;
+    assert!(
+        generic > observed,
+        "generic bound {generic} must dominate observation {observed}"
+    );
+}
+
+#[test]
+fn crashes_do_not_block_survivors() {
+    // Lock-freedom under crash-failures: survivors keep completing.
+    let report = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, 6, 300_000)
+        .crash(5_000, 0)
+        .crash(10_000, 1)
+        .crash(20_000, 2)
+        .seed(77)
+        .run()
+        .unwrap();
+    for i in 3..6 {
+        assert!(
+            report.process_completions[i] > 5_000,
+            "survivor {i} stalled: {:?}",
+            report.process_completions
+        );
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Offline CI gate. Everything here must pass on a machine with no
+# network access — the workspace has no registry dependencies.
+# Budget: ~2 minutes on a small container.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline --workspace
+
+echo "==> cargo test (offline)"
+cargo test -q --offline --workspace
+
+echo "==> pwf smoke: run --all --jobs 2 --fast"
+# --fast without --out is guaranteed not to overwrite results/.
+./target/release/pwf run --all --jobs 2 --fast
+
+echo "ci.sh: all green"

@@ -262,8 +262,8 @@ mod tests {
             let ratio = z[n - 1] / asym;
             assert!(
                 (ratio - 1.0).abs() < 0.1,
-                "n={n}: Z(n-1)={}, asym={asym}"
-                , z[n-1]
+                "n={n}: Z(n-1)={}, asym={asym}",
+                z[n - 1]
             );
         }
     }

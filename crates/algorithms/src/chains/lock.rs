@@ -74,7 +74,11 @@ pub fn system_chain(n: usize, cs: usize) -> Result<MarkovChain<LockState>, Chain
     // Free: whoever is scheduled acquires.
     b = b.transition(LockState::Free, LockState::Held(total), 1.0);
     for r in 1..=total {
-        let next = if r == 1 { LockState::Free } else { LockState::Held(r - 1) };
+        let next = if r == 1 {
+            LockState::Free
+        } else {
+            LockState::Held(r - 1)
+        };
         b = b.transition(LockState::Held(r), next, 1.0 / nf);
         if n > 1 {
             // A spinner steps: nothing changes.

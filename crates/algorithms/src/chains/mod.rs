@@ -34,8 +34,8 @@
 
 pub mod fai;
 pub mod lock;
-pub mod scan;
 pub mod parallel;
+pub mod scan;
 pub mod scu;
 
 /// Expected steps between successes given per-state success

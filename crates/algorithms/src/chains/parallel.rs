@@ -242,10 +242,7 @@ mod tests {
     fn lemma_11_individual_latency_is_nq() {
         for (n, q) in [(2, 3), (3, 3), (4, 2)] {
             let wi = exact_individual_latency(n, q, 0).unwrap();
-            assert!(
-                (wi - (n * q) as f64).abs() < 1e-8,
-                "n={n}, q={q}: W_i={wi}"
-            );
+            assert!((wi - (n * q) as f64).abs() < 1e-8, "n={n}, q={q}: W_i={wi}");
         }
     }
 

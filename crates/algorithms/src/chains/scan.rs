@@ -69,7 +69,11 @@ impl CellLayout {
     fn advance(&self, cell: usize) -> Option<usize> {
         if cell == self.pos0() {
             // Fresh read of R: the view is valid.
-            return Some(if self.s == 1 { self.cas(true) } else { self.pos(1, true) });
+            return Some(if self.s == 1 {
+                self.cas(true)
+            } else {
+                self.pos(1, true)
+            });
         }
         if cell == self.cas(true) {
             return None; // success

@@ -234,11 +234,7 @@ pub fn sparse_system_chain(
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn large_system_latency(
-    n: usize,
-    max_iters: usize,
-    tol: f64,
-) -> Result<f64, LatencyError> {
+pub fn large_system_latency(n: usize, max_iters: usize, tol: f64) -> Result<f64, LatencyError> {
     let chain = sparse_system_chain(n)?;
     let pi = chain
         .stationary(max_iters, tol)

@@ -142,8 +142,9 @@ mod tests {
         // returned values are exactly 0..total, with no duplicates.
         let mut mem = SharedMemory::new();
         let counter = mem.alloc(0);
-        let mut procs: Vec<FaiProcess> =
-            (0..4).map(|_| FaiProcess::new(counter).collecting()).collect();
+        let mut procs: Vec<FaiProcess> = (0..4)
+            .map(|_| FaiProcess::new(counter).collecting())
+            .collect();
         // Drive manually with a deterministic irregular pattern.
         let pattern = [0usize, 1, 1, 2, 3, 0, 2, 2, 1, 3, 3, 3, 0, 1, 2];
         for step in 0..30_000 {

@@ -118,7 +118,11 @@ impl Process for LockProcess {
                     // Middle steps: auxiliary critical-section work.
                     let _ = mem.read(self.object.counter);
                 }
-                self.phase = if k == 1 { Phase::Release } else { Phase::Critical(k - 1) };
+                self.phase = if k == 1 {
+                    Phase::Release
+                } else {
+                    Phase::Critical(k - 1)
+                };
                 StepOutcome::Ongoing
             }
             Phase::Release => {

@@ -236,7 +236,11 @@ impl Process for QueueProcess {
                 let slot = slot_of(self.observed) as usize;
                 if mem.cas(self.queue.next[slot], self.observed_next, self.node) {
                     // Linearization point of the enqueue.
-                    self.queue.meta.borrow_mut().shadow.push_back(self.node_value);
+                    self.queue
+                        .meta
+                        .borrow_mut()
+                        .shadow
+                        .push_back(self.node_value);
                     self.log.push((true, self.node_value));
                     self.node_ready = false;
                     self.phase = Phase::SwingTail;
@@ -351,9 +355,7 @@ mod tests {
     fn fleet(mem: &mut SharedMemory, n: usize) -> (SimQueue, Vec<Box<dyn Process>>) {
         let q = SimQueue::alloc(mem, 2 + 4 * n);
         let ps: Vec<Box<dyn Process>> = (0..n)
-            .map(|i| {
-                Box::new(QueueProcess::new(ProcessId::new(i), q.clone())) as Box<dyn Process>
-            })
+            .map(|i| Box::new(QueueProcess::new(ProcessId::new(i), q.clone())) as Box<dyn Process>)
             .collect();
         (q, ps)
     }

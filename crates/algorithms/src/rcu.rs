@@ -141,8 +141,8 @@ impl Process for RcuUpdater {
             // Validate: publish.
             None => {
                 self.seq += 1;
-                let fresh = (version_of(self.observed) + 1) << 16
-                    | (self.id.index() as u64 & 0xFFFF);
+                let fresh =
+                    (version_of(self.observed) + 1) << 16 | (self.id.index() as u64 & 0xFFFF);
                 if mem.cas(self.object.pointer, self.observed, fresh) {
                     self.copy_pos = Some(0);
                     StepOutcome::Completed
@@ -172,10 +172,7 @@ mod tests {
     fn solo_updater_publishes_every_q_plus_2_steps() {
         let mut mem = SharedMemory::new();
         let obj = RcuObject::alloc(&mut mem, 3);
-        let mut ps: Vec<Box<dyn Process>> = vec![Box::new(RcuUpdater::new(
-            ProcessId::new(0),
-            obj,
-        ))];
+        let mut ps: Vec<Box<dyn Process>> = vec![Box::new(RcuUpdater::new(ProcessId::new(0), obj))];
         let exec = run(
             &mut ps,
             &mut AdversarialScheduler::solo(ProcessId::new(0)),
@@ -190,8 +187,7 @@ mod tests {
     fn readers_never_see_version_regression() {
         let mut mem = SharedMemory::new();
         let obj = RcuObject::alloc(&mut mem, 2);
-        let mut readers: Vec<RcuReader> =
-            (0..2).map(|_| RcuReader::new(obj.clone())).collect();
+        let mut readers: Vec<RcuReader> = (0..2).map(|_| RcuReader::new(obj.clone())).collect();
         let mut updaters: Vec<RcuUpdater> = (2..4)
             .map(|i| RcuUpdater::new(ProcessId::new(i), obj.clone()))
             .collect();

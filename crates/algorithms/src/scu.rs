@@ -114,7 +114,11 @@ impl ScuProcess {
             object,
             q,
             s,
-            phase: if q > 0 { Phase::Preamble(0) } else { Phase::Scan(0) },
+            phase: if q > 0 {
+                Phase::Preamble(0)
+            } else {
+                Phase::Scan(0)
+            },
             scanned: 0,
             seq: 0,
         }
@@ -160,14 +164,22 @@ impl Process for ScuProcess {
             }
             Phase::Scan(0) => {
                 self.scanned = mem.read(self.object.decision);
-                self.phase = if self.s > 1 { Phase::Scan(1) } else { Phase::Validate };
+                self.phase = if self.s > 1 {
+                    Phase::Scan(1)
+                } else {
+                    Phase::Validate
+                };
                 StepOutcome::Ongoing
             }
             Phase::Scan(j) => {
                 // Read R_j; the scanned values only matter through the
                 // validity of `scanned`, which the CAS checks.
                 let _ = mem.read(self.object.aux[j - 1]);
-                self.phase = if j + 1 < self.s { Phase::Scan(j + 1) } else { Phase::Validate };
+                self.phase = if j + 1 < self.s {
+                    Phase::Scan(j + 1)
+                } else {
+                    Phase::Validate
+                };
                 StepOutcome::Ongoing
             }
             Phase::Validate => {
@@ -197,7 +209,9 @@ mod tests {
     fn fleet(mem: &mut SharedMemory, n: usize, q: usize, s: usize) -> Vec<Box<dyn Process>> {
         let obj = ScuObject::alloc(mem, s);
         (0..n)
-            .map(|i| Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), q, s)) as Box<dyn Process>)
+            .map(|i| {
+                Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), q, s)) as Box<dyn Process>
+            })
             .collect()
     }
 
@@ -226,7 +240,12 @@ mod tests {
         let mut mem = SharedMemory::new();
         let mut ps = fleet(&mut mem, 8, 0, 1);
         let mut sched = UniformScheduler::new();
-        let exec = run(&mut ps, &mut sched, &mut mem, &RunConfig::new(100_000).seed(7));
+        let exec = run(
+            &mut ps,
+            &mut sched,
+            &mut mem,
+            &RunConfig::new(100_000).seed(7),
+        );
         for i in 0..8 {
             assert!(
                 exec.process_completions[i] > 100,
@@ -256,10 +275,17 @@ mod tests {
         let mut mem = SharedMemory::new();
         let obj = ScuObject::alloc(&mut mem, 1);
         let mut ps: Vec<Box<dyn Process>> = (0..3)
-            .map(|i| Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>)
+            .map(|i| {
+                Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>
+            })
             .collect();
         let mut sched = UniformScheduler::new();
-        let exec = run(&mut ps, &mut sched, &mut mem, &RunConfig::new(10_000).seed(3));
+        let exec = run(
+            &mut ps,
+            &mut sched,
+            &mut mem,
+            &RunConfig::new(10_000).seed(3),
+        );
         // Final value's embedded pid is a real process, and the total
         // number of completions is consistent with a changed register.
         let v = mem.peek(obj.decision());

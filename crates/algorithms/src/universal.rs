@@ -183,8 +183,7 @@ impl<T: SeqObject + 'static> Process for UniversalProcess<T> {
             Some(v) => {
                 let fresh = self.fresh_version();
                 if mem.cas(self.object.version, v, fresh) {
-                    let (state, response) =
-                        self.staged.take().expect("staged by the scan step");
+                    let (state, response) = self.staged.take().expect("staged by the scan step");
                     let op = self.script[self.script_pos].clone();
                     {
                         let mut meta = self.object.meta.borrow_mut();
@@ -284,13 +283,12 @@ mod tests {
         let obj = UniversalObject::new(mem, BankAccount { balance: 0 });
         let ps: Vec<Box<dyn Process>> = (0..n)
             .map(|i| {
-                let script = vec![
-                    BankOp::Deposit(10),
-                    BankOp::Balance,
-                    BankOp::Withdraw(5),
-                ];
-                Box::new(UniversalProcess::new(ProcessId::new(i), obj.clone(), script))
-                    as Box<dyn Process>
+                let script = vec![BankOp::Deposit(10), BankOp::Balance, BankOp::Withdraw(5)];
+                Box::new(UniversalProcess::new(
+                    ProcessId::new(i),
+                    obj.clone(),
+                    script,
+                )) as Box<dyn Process>
             })
             .collect();
         (obj, ps)
@@ -370,8 +368,12 @@ mod tests {
         let scu = crate::scu::ScuObject::alloc(&mut mem2, 1);
         let mut ps2: Vec<Box<dyn Process>> = (0..n)
             .map(|i| {
-                Box::new(crate::scu::ScuProcess::new(ProcessId::new(i), scu.clone(), 2, 1))
-                    as Box<dyn Process>
+                Box::new(crate::scu::ScuProcess::new(
+                    ProcessId::new(i),
+                    scu.clone(),
+                    2,
+                    1,
+                )) as Box<dyn Process>
             })
             .collect();
         let exec2 = run(

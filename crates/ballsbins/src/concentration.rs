@@ -6,7 +6,7 @@
 //! with probability `≤ 1/(4α²)`. This module measures the empirical
 //! violation frequencies of both tails.
 
-use rand::Rng;
+use pwf_rng::Rng;
 
 use crate::game::Game;
 
@@ -71,7 +71,11 @@ pub fn lower_bound(n: usize, a: usize, b: usize, alpha: f64) -> f64 {
     assert!(n >= 2, "bounds need n ≥ 2");
     assert!(a > 0 || b > 0, "a phase needs candidate bins");
     let nf = n as f64;
-    let term_a = if a > 0 { nf / (a as f64).sqrt() } else { f64::INFINITY };
+    let term_a = if a > 0 {
+        nf / (a as f64).sqrt()
+    } else {
+        f64::INFINITY
+    };
     let term_b = if b > 0 {
         nf / (b as f64).powf(1.0 / 3.0)
     } else {
@@ -114,8 +118,8 @@ pub fn measure_tails(n: usize, phases: usize, alpha: f64, rng: &mut impl Rng) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pwf_rng::rngs::StdRng;
+    use pwf_rng::SeedableRng;
 
     #[test]
     fn upper_bound_monotone_in_alpha() {

@@ -10,7 +10,7 @@
 //! between successes (the game is step-equivalent to the system
 //! chain, which the workspace verifies in tests).
 
-use rand::Rng;
+use pwf_rng::Rng;
 
 /// Per-phase record: the state at the phase start and its length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,10 +29,10 @@ pub struct PhaseRecord {
 ///
 /// ```
 /// use pwf_ballsbins::game::Game;
-/// use rand::SeedableRng;
+/// use pwf_rng::SeedableRng;
 ///
 /// let mut game = Game::new(16);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = pwf_rng::rngs::StdRng::seed_from_u64(1);
 /// let phase = game.run_phase(&mut rng);
 /// assert!(phase.length >= 2); // a bin must receive two extra balls
 /// assert_eq!(phase.ones, 16); // initial state: every bin has a ball
@@ -134,8 +134,8 @@ pub fn mean_phase_length(n: usize, warmup: usize, phases: usize, rng: &mut impl 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pwf_rng::rngs::StdRng;
+    use pwf_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(99)

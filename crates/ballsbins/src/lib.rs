@@ -18,9 +18,9 @@
 //!
 //! ```
 //! use pwf_ballsbins::game::mean_phase_length;
-//! use rand::SeedableRng;
+//! use pwf_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = pwf_rng::rngs::StdRng::seed_from_u64(42);
 //! let w = mean_phase_length(64, 100, 2_000, &mut rng);
 //! // Theorem 5: W = O(√n); for n = 64 the latency sits near 2·√64.
 //! assert!(w > 8.0 && w < 64.0);

@@ -7,7 +7,7 @@
 //! and leaves it quickly if it does; this module measures those
 //! empirical frequencies.
 
-use rand::Rng;
+use pwf_rng::Rng;
 
 use crate::game::Game;
 
@@ -111,8 +111,8 @@ pub fn measure(n: usize, phases: usize, rng: &mut impl Rng) -> RangeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pwf_rng::rngs::StdRng;
+    use pwf_rng::SeedableRng;
 
     #[test]
     fn classify_boundaries() {

@@ -1,28 +1,54 @@
 //! Criterion bench: balls-into-bins phase throughput — the
 //! Monte-Carlo estimator used for large-`n` latency estimates in E8.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pwf_ballsbins::game::Game;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! Criterion is an external crate gated behind `heavy-deps`; without
+//! the feature this target compiles to a stub so the default
+//! workspace builds fully offline.
 
-fn bench_phases(c: &mut Criterion) {
-    let phases = 1_000usize;
-    let mut group = c.benchmark_group("ballsbins/phases");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Elements(phases as u64));
-    for n in [64usize, 1024, 16_384] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut game = Game::new(n);
-                let mut rng = StdRng::seed_from_u64(3);
-                game.run_phases(phases, &mut rng)
-            })
-        });
+#[cfg(feature = "heavy-deps")]
+mod heavy {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+    use pwf_ballsbins::game::Game;
+    use pwf_rng::rngs::StdRng;
+    use pwf_rng::SeedableRng;
+    use std::time::Duration;
+
+    fn bench_phases(c: &mut Criterion) {
+        let phases = 1_000usize;
+        let mut group = c.benchmark_group("ballsbins/phases");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        group.throughput(Throughput::Elements(phases as u64));
+        for n in [64usize, 1024, 16_384] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut game = Game::new(n);
+                    let mut rng = StdRng::seed_from_u64(3);
+                    game.run_phases(phases, &mut rng)
+                })
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    criterion_group!(benches, bench_phases);
+    pub fn main() {
+        benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
 }
 
-criterion_group!(benches, bench_phases);
-criterion_main!(benches);
+#[cfg(feature = "heavy-deps")]
+fn main() {
+    heavy::main();
+}
+
+#[cfg(not(feature = "heavy-deps"))]
+fn main() {
+    eprintln!("criterion benches need --features heavy-deps (external dependency)");
+}

@@ -1,35 +1,61 @@
 //! Criterion bench: real-atomics fetch-and-increment throughput per
 //! thread count (the raw data behind Figure 5's hardware side).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pwf_hardware::fai_counter::FaiCounter;
+//!
+//! Criterion is an external crate gated behind `heavy-deps`; without
+//! the feature this target compiles to a stub so the default
+//! workspace builds fully offline.
 
-fn bench_fai_contention(c: &mut Criterion) {
-    let ops = 50_000u64;
-    let max = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8);
-    let mut group = c.benchmark_group("hardware/fai");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    let mut t = 1usize;
-    while t <= max {
-        group.throughput(Throughput::Elements(ops * t as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| FaiCounter::measure(t, ops))
-        });
-        t *= 2;
+#[cfg(feature = "heavy-deps")]
+mod heavy {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+    use pwf_hardware::fai_counter::FaiCounter;
+    use std::time::Duration;
+
+    fn bench_fai_contention(c: &mut Criterion) {
+        let ops = 50_000u64;
+        let max = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8);
+        let mut group = c.benchmark_group("hardware/fai");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        let mut t = 1usize;
+        while t <= max {
+            group.throughput(Throughput::Elements(ops * t as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+                b.iter(|| FaiCounter::measure(t, ops))
+            });
+            t *= 2;
+        }
+        group.finish();
     }
-    group.finish();
+
+    fn bench_fai_uncontended_op(c: &mut Criterion) {
+        let counter = FaiCounter::new();
+        c.bench_function("hardware/fai_single_op", |b| {
+            b.iter(|| counter.fetch_and_inc())
+        });
+    }
+
+    criterion_group!(benches, bench_fai_contention, bench_fai_uncontended_op);
+    pub fn main() {
+        benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
 }
 
-fn bench_fai_uncontended_op(c: &mut Criterion) {
-    let counter = FaiCounter::new();
-    c.bench_function("hardware/fai_single_op", |b| {
-        b.iter(|| counter.fetch_and_inc())
-    });
+#[cfg(feature = "heavy-deps")]
+fn main() {
+    heavy::main();
 }
 
-criterion_group!(benches, bench_fai_contention, bench_fai_uncontended_op);
-criterion_main!(benches);
+#[cfg(not(feature = "heavy-deps"))]
+fn main() {
+    eprintln!("criterion benches need --features heavy-deps (external dependency)");
+}

@@ -2,53 +2,82 @@
 //! scheduler steps per second the discrete-time engine sustains
 //! (relevant for sizing the E4 sweeps).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pwf_core::{AlgorithmSpec, SimExperiment};
+//!
+//! Criterion is an external crate gated behind `heavy-deps`; without
+//! the feature this target compiles to a stub so the default
+//! workspace builds fully offline.
 
-fn bench_scu_simulation(c: &mut Criterion) {
-    let steps = 100_000u64;
-    let mut group = c.benchmark_group("sim/scu_steps");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Elements(steps));
-    for n in [4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, steps)
-                    .seed(1)
-                    .run()
-                    .expect("crash-free")
-            })
-        });
+#[cfg(feature = "heavy-deps")]
+mod heavy {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+    use pwf_core::{AlgorithmSpec, SimExperiment};
+    use std::time::Duration;
+
+    fn bench_scu_simulation(c: &mut Criterion) {
+        let steps = 100_000u64;
+        let mut group = c.benchmark_group("sim/scu_steps");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        group.throughput(Throughput::Elements(steps));
+        for n in [4usize, 16, 64] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| {
+                    SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, steps)
+                        .seed(1)
+                        .run()
+                        .expect("crash-free")
+                })
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    fn bench_algorithm_mix(c: &mut Criterion) {
+        let steps = 100_000u64;
+        let mut group = c.benchmark_group("sim/algorithms_n16");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        group.throughput(Throughput::Elements(steps));
+        for (label, spec) in [
+            ("scu_0_1", AlgorithmSpec::Scu { q: 0, s: 1 }),
+            ("scu_8_4", AlgorithmSpec::Scu { q: 8, s: 4 }),
+            ("fai", AlgorithmSpec::FetchAndInc),
+            ("parallel_q8", AlgorithmSpec::Parallel { q: 8 }),
+            ("treiber", AlgorithmSpec::TreiberStack),
+            ("msqueue", AlgorithmSpec::MsQueue),
+            ("lock_cs2", AlgorithmSpec::LockCounter { cs_len: 2 }),
+        ] {
+            group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+                b.iter(|| {
+                    SimExperiment::new(spec.clone(), 16, steps)
+                        .seed(2)
+                        .run()
+                        .expect("crash-free")
+                })
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_scu_simulation, bench_algorithm_mix);
+    pub fn main() {
+        benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
 }
 
-fn bench_algorithm_mix(c: &mut Criterion) {
-    let steps = 100_000u64;
-    let mut group = c.benchmark_group("sim/algorithms_n16");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    group.throughput(Throughput::Elements(steps));
-    for (label, spec) in [
-        ("scu_0_1", AlgorithmSpec::Scu { q: 0, s: 1 }),
-        ("scu_8_4", AlgorithmSpec::Scu { q: 8, s: 4 }),
-        ("fai", AlgorithmSpec::FetchAndInc),
-        ("parallel_q8", AlgorithmSpec::Parallel { q: 8 }),
-        ("treiber", AlgorithmSpec::TreiberStack),
-        ("msqueue", AlgorithmSpec::MsQueue),
-        ("lock_cs2", AlgorithmSpec::LockCounter { cs_len: 2 }),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
-            b.iter(|| {
-                SimExperiment::new(spec.clone(), 16, steps)
-                    .seed(2)
-                    .run()
-                    .expect("crash-free")
-            })
-        });
-    }
-    group.finish();
+#[cfg(feature = "heavy-deps")]
+fn main() {
+    heavy::main();
 }
 
-criterion_group!(benches, bench_scu_simulation, bench_algorithm_mix);
-criterion_main!(benches);
+#[cfg(not(feature = "heavy-deps"))]
+fn main() {
+    eprintln!("criterion benches need --features heavy-deps (external dependency)");
+}

@@ -1,64 +1,99 @@
 //! Criterion bench: stationary-distribution solves on the paper's
 //! chains (the analytical workhorse behind E5–E7).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pwf_algorithms::chains::{fai, scu};
-use pwf_markov::stationary::stationary_distribution;
+//!
+//! Criterion is an external crate gated behind `heavy-deps`; without
+//! the feature this target compiles to a stub so the default
+//! workspace builds fully offline.
 
-fn bench_scu_system_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stationary/scu_system");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    for n in [8usize, 16, 32, 64] {
-        let chain = scu::system_chain(n).expect("valid chain");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
-            b.iter(|| stationary_distribution(chain).expect("irreducible"))
-        });
+#[cfg(feature = "heavy-deps")]
+mod heavy {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use pwf_algorithms::chains::{fai, scu};
+    use pwf_markov::stationary::stationary_distribution;
+    use std::time::Duration;
+
+    fn bench_scu_system_chain(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stationary/scu_system");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        for n in [8usize, 16, 32, 64] {
+            let chain = scu::system_chain(n).expect("valid chain");
+            group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+                b.iter(|| stationary_distribution(chain).expect("irreducible"))
+            });
+        }
+        group.finish();
     }
-    group.finish();
+
+    fn bench_scu_individual_chain(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stationary/scu_individual");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        for n in [3usize, 4, 5] {
+            let chain = scu::individual_chain(n).expect("valid chain");
+            group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+                b.iter(|| stationary_distribution(chain).expect("irreducible"))
+            });
+        }
+        group.finish();
+    }
+
+    fn bench_fai_global_chain(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stationary/fai_global");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        for n in [64usize, 256, 1024] {
+            let chain = fai::global_chain(n).expect("valid chain");
+            group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+                b.iter(|| stationary_distribution(chain).expect("irreducible"))
+            });
+        }
+        group.finish();
+    }
+
+    fn bench_sparse_scu_chain(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stationary/scu_sparse_power_iteration");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(500))
+            .measurement_time(Duration::from_secs(2));
+        for n in [64usize, 128, 256] {
+            let chain = scu::sparse_system_chain(n).expect("valid chain");
+            group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
+                b.iter(|| chain.stationary(400_000, 1e-10).expect("converges"))
+            });
+        }
+        group.finish();
+    }
+
+    criterion_group!(
+        benches,
+        bench_scu_system_chain,
+        bench_scu_individual_chain,
+        bench_fai_global_chain,
+        bench_sparse_scu_chain
+    );
+    pub fn main() {
+        benches();
+        criterion::Criterion::default()
+            .configure_from_args()
+            .final_summary();
+    }
 }
 
-fn bench_scu_individual_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stationary/scu_individual");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    for n in [3usize, 4, 5] {
-        let chain = scu::individual_chain(n).expect("valid chain");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
-            b.iter(|| stationary_distribution(chain).expect("irreducible"))
-        });
-    }
-    group.finish();
+#[cfg(feature = "heavy-deps")]
+fn main() {
+    heavy::main();
 }
 
-fn bench_fai_global_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stationary/fai_global");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    for n in [64usize, 256, 1024] {
-        let chain = fai::global_chain(n).expect("valid chain");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
-            b.iter(|| stationary_distribution(chain).expect("irreducible"))
-        });
-    }
-    group.finish();
+#[cfg(not(feature = "heavy-deps"))]
+fn main() {
+    eprintln!("criterion benches need --features heavy-deps (external dependency)");
 }
-
-fn bench_sparse_scu_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stationary/scu_sparse_power_iteration");
-    group.sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
-    for n in [64usize, 128, 256] {
-        let chain = scu::sparse_system_chain(n).expect("valid chain");
-        group.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, chain| {
-            b.iter(|| chain.stationary(400_000, 1e-10).expect("converges"))
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_scu_system_chain,
-    bench_scu_individual_chain,
-    bench_fai_global_chain,
-    bench_sparse_scu_chain
-);
-criterion_main!(benches);

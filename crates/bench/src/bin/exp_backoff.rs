@@ -1,79 +1,10 @@
 //! E20 (extension/ablation) — bounded exponential backoff in the
 //! unit-cost model: latency and fairness vs backoff cap, with the
 //! unbounded Algorithm 1 as the limit case.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_backoff`).
 
-use pwf_algorithms::backoff::BackoffFaiProcess;
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_sim::executor::{run, RunConfig};
-use pwf_sim::memory::SharedMemory;
-use pwf_sim::process::Process;
-use pwf_sim::scheduler::UniformScheduler;
-use pwf_sim::stats::system_latency;
-
-fn measure(n: usize, cap: u32, steps: u64) -> (f64, f64, usize) {
-    let mut mem = SharedMemory::new();
-    let counter = mem.alloc(0);
-    let spin = mem.alloc(0);
-    let mut ps: Vec<Box<dyn Process>> = (0..n)
-        .map(|_| Box::new(BackoffFaiProcess::new(counter, spin, cap)) as Box<dyn Process>)
-        .collect();
-    let exec = run(
-        &mut ps,
-        &mut UniformScheduler::new(),
-        &mut mem,
-        &RunConfig::new(steps).seed(53),
-    );
-    let w = system_latency(&exec).unwrap().mean;
-    let max = *exec.process_completions.iter().max().unwrap() as f64;
-    let total: u64 = exec.process_completions.iter().sum();
-    let starved = exec.process_completions.iter().filter(|&&c| c == 0).count();
-    (w, max / total.max(1) as f64, starved)
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 8;
-    note("E20 / bounded exponential backoff on fetch-and-inc, n = 8, 400k steps.");
-    header(&["cap", "W", "top share", "starved"]);
-
-    // cap = 0 row: the plain counter (no backoff).
-    let plain = SimExperiment::new(AlgorithmSpec::FetchAndInc, n, 400_000)
-        .seed(53)
-        .run()?;
-    let total: u64 = plain.process_completions.iter().sum();
-    row(&[
-        "none".into(),
-        fmt(plain.system_latency.unwrap()),
-        fmt(*plain.process_completions.iter().max().unwrap() as f64 / total as f64),
-        "0/8".into(),
-    ]);
-
-    for cap in [1u32, 4, 16, 64, 256] {
-        let (w, share, starved) = measure(n, cap, 400_000);
-        row(&[cap.to_string(), fmt(w), fmt(share), format!("{starved}/{n}")]);
-    }
-
-    let unbounded = SimExperiment::new(AlgorithmSpec::Unbounded, n, 400_000)
-        .seed(53)
-        .run()?;
-    let total: u64 = unbounded.process_completions.iter().sum();
-    let starved = unbounded
-        .process_completions
-        .iter()
-        .filter(|&&c| c == 0)
-        .count();
-    row(&[
-        "unbounded".into(),
-        fmt(unbounded.system_latency.unwrap()),
-        fmt(*unbounded.process_completions.iter().max().unwrap() as f64 / total.max(1) as f64),
-        format!("{starved}/{n}"),
-    ]);
-
-    note("");
-    note("in the unit-cost model backoff only hurts: W rises with the cap and");
-    note("fairness collapses toward a winner-takes-all monopoly, converging to");
-    note("Algorithm 1's Lemma-2 starvation as cap -> infinity. Real hardware");
-    note("rewards backoff through cheaper coherence traffic -- a cost outside");
-    note("the model, and a concrete direction for refining it (Section 8).");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_backoff");
 }

@@ -1,57 +1,10 @@
 //! E8 — Lemmas 8–9: the iterated balls-into-bins game. Phase lengths
 //! match the exact system chain and scale like `√n`; the third range
 //! of `a_i` is (almost) never visited.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_ballsbins`).
 
-use pwf_algorithms::chains::scu;
-use pwf_ballsbins::game::mean_phase_length;
-use pwf_ballsbins::ranges::measure;
-use pwf_bench::{fmt, header, note, row};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(88);
-
-    note("E8 / Lemma 8: phase length (= system latency) vs the exact chain.");
-    header(&["n", "game W", "chain W", "rel err", "W/sqrt(n)"]);
-    for n in [4usize, 16, 64, 128] {
-        let game = mean_phase_length(n, 500, 30_000, &mut rng);
-        let chain = scu::exact_system_latency(n)?;
-        row(&[
-            n.to_string(),
-            fmt(game),
-            fmt(chain),
-            fmt((game - chain).abs() / chain),
-            fmt(game / (n as f64).sqrt()),
-        ]);
-    }
-
-    note("");
-    note("large n (game only, chain infeasible):");
-    header(&["n", "game W", "W/sqrt(n)"]);
-    for n in [512usize, 2048, 8192, 32768] {
-        let game = mean_phase_length(n, 100, 5_000, &mut rng);
-        row(&[n.to_string(), fmt(game), fmt(game / (n as f64).sqrt())]);
-    }
-
-    note("");
-    note("E8 / Lemma 9: range dynamics of a_i (first [n/3,n], second [n/10,n/3),");
-    note("third [0,n/10)); the third range should be essentially unvisited.");
-    header(&["n", "phases", "first", "second", "third", "3rd frac", "max 3rd streak"]);
-    for n in [16usize, 64, 256] {
-        let stats = measure(n, 50_000, &mut rng);
-        row(&[
-            n.to_string(),
-            stats.phases.to_string(),
-            stats.counts[0].to_string(),
-            stats.counts[1].to_string(),
-            stats.counts[2].to_string(),
-            fmt(stats.third_range_fraction()),
-            stats.longest_third_streak.to_string(),
-        ]);
-    }
-    note("");
-    note("game == system chain (rel err -> 0), W/sqrt(n) flat, third range");
-    note("negligible: the O(sqrt(n)) bound's two pillars hold empirically.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_ballsbins");
 }

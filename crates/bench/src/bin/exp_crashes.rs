@@ -1,38 +1,10 @@
 //! E12 — Corollary 2: with `k ≤ n` correct processes the latency
 //! bounds hold with `k` in place of `n` — the stationary behaviour is
 //! only influenced by processes that keep taking steps.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_crashes`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E12 / Corollary 2: crash n - k processes early; W converges to the");
-    note("crash-free k-process latency. SCU(0,1), 600k steps, crashes at t=1000.");
-    header(&["n", "k", "W (crashes)", "W (k alone)", "rel err"]);
-
-    for (n, k) in [(8usize, 4usize), (16, 4), (16, 8), (32, 8)] {
-        let mut exp = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 600_000).seed(12);
-        for p in k..n {
-            exp = exp.crash(1_000, p);
-        }
-        let crashed_run = exp.run()?;
-        // Discard the pre-crash transient by comparing against the
-        // crash-free k-process run.
-        let baseline = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, k, 600_000)
-            .seed(12)
-            .run()?;
-        let w_c = crashed_run.system_latency.unwrap();
-        let w_k = baseline.system_latency.unwrap();
-        row(&[
-            n.to_string(),
-            k.to_string(),
-            fmt(w_c),
-            fmt(w_k),
-            fmt((w_c - w_k).abs() / w_k),
-        ]);
-    }
-    note("");
-    note("the crashed system's latency matches the k-process system, not the");
-    note("n-process one: O(q + s*sqrt(k)) as Corollary 2 states.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_crashes");
 }

@@ -1,46 +1,10 @@
 //! E7 — Section 7 (Lemmas 12–14, Corollary 3): the fetch-and-increment
 //! counter's chains, the `Z(i)` recurrence, Ramanujan asymptotics, and
 //! simulation cross-check.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_fai_chain`).
 
-use pwf_algorithms::chains::fai;
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::chain_analysis::{analyze, ChainFamily};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_theory::ramanujan::{sqrt_pi_n_over_2, z_worst};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E7 / Lemmas 12-14: fetch-and-increment via augmented CAS.");
-    note("small n: individual chain (2^n - 1 states) + lifting + simulation");
-    header(&["n", "W chain", "W sim", "Wi/(nW)", "flow res"]);
-    for n in 2..=8 {
-        let r = analyze(ChainFamily::FetchAndInc, n)?;
-        let sim = SimExperiment::new(AlgorithmSpec::FetchAndInc, n, 400_000)
-            .seed(7)
-            .run()?;
-        row(&[
-            n.to_string(),
-            fmt(r.system_latency),
-            fmt(sim.system_latency.unwrap()),
-            fmt(r.fairness_identity()),
-            fmt(r.lifting_flow_residual),
-        ]);
-    }
-
-    note("");
-    note("large n: global chain only (n states), Z recurrence, asymptotics");
-    header(&["n", "W chain", "2*sqrt(n)", "Z(n-1)", "sqrt(pi n/2)"]);
-    for n in [16usize, 64, 256, 1024, 4096] {
-        let w = fai::exact_system_latency(n)?;
-        row(&[
-            n.to_string(),
-            fmt(w),
-            fmt(2.0 * (n as f64).sqrt()),
-            fmt(z_worst(n)),
-            fmt(sqrt_pi_n_over_2(n)),
-        ]);
-    }
-    note("");
-    note("W stays below 2*sqrt(n) (Lemma 12); Z(n-1) -> sqrt(pi n/2) (Ramanujan Q,");
-    note("Flajolet et al.); individual latency is n*W (Lemma 14, Corollary 3).");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_fai_chain");
 }

@@ -2,32 +2,10 @@
 //! distribution of individual lock-free stack operations on real
 //! hardware. Lock-freedom permits unbounded per-operation latency;
 //! in practice the distribution is tight with a thin tail.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_latency_hist`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_hardware::latency::measure_stack_op_latency;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let threads = std::thread::available_parallelism()?.get().clamp(2, 8);
-    note(&format!(
-        "E14 / latency distribution of Treiber stack ops, {threads} threads, 100k pairs each."
-    ));
-    let h = measure_stack_op_latency(threads, 100_000);
-
-    header(&["bucket >= ns", "count", "fraction"]);
-    let total = h.count() as f64;
-    for (lower, count) in h.non_empty_buckets() {
-        row(&[lower.to_string(), count.to_string(), fmt(count as f64 / total)]);
-    }
-    note("");
-    note(&format!(
-        "quantile upper bounds: p50 <= {} ns, p99 <= {} ns, p99.9 <= {} ns, max {} ns",
-        h.quantile_upper_bound(0.5),
-        h.quantile_upper_bound(0.99),
-        h.quantile_upper_bound(0.999),
-        h.max_ns()
-    ));
-    note("the mass concentrates in the lowest buckets and the tail decays");
-    note("geometrically: individual operations behave wait-free in practice,");
-    note("the empirical observation the paper sets out to explain.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_latency_hist");
 }

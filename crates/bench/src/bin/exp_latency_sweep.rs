@@ -1,85 +1,9 @@
 //! E4 — Theorems 4–5 / Corollary 1: system latency `O(q + s√n)` and
 //! individual latency `n·W` for `SCU(q, s)`, swept over `n`, `q`, `s`.
-
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_theory::bounds::ScuPrediction;
-
-fn run_cell(q: usize, s: usize, n: usize, steps: u64) -> (f64, f64) {
-    let r = SimExperiment::new(AlgorithmSpec::Scu { q, s }, n, steps)
-        .seed(4242)
-        .run()
-        .expect("crash-free run");
-    let w = r.system_latency.expect("completions");
-    let wi = r.mean_individual_latency().unwrap_or(f64::NAN);
-    (w, wi)
-}
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_latency_sweep`).
 
 fn main() {
-    note("E4 / Theorem 4: W = O(q + s*sqrt(n)), W_i = n*W, simulated SCU(q,s).");
-    note("prediction alpha calibrated on the (q=0, s=1, n=4) cell.");
-
-    let (w_cal, _) = run_cell(0, 1, 4, 400_000);
-    let alpha = w_cal / 2.0; // √4 = 2
-
-    note("");
-    note("sweep n (q = 0, s = 1):");
-    header(&["n", "W sim", "W pred", "W_i sim", "n*W", "Wi/(nW)"]);
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        let (w, wi) = run_cell(0, 1, n, 400_000);
-        let pred = ScuPrediction::with_alpha(0, 1, n, alpha).system_latency();
-        row(&[
-            n.to_string(),
-            fmt(w),
-            fmt(pred),
-            fmt(wi),
-            fmt(n as f64 * w),
-            fmt(wi / (n as f64 * w)),
-        ]);
-    }
-
-    note("");
-    note("Theorem 5 (log-log): W vs n, measured vs alpha*sqrt(n) vs worst-case n");
-    let measured: Vec<(f64, f64)> = [2usize, 4, 8, 16, 32, 64]
-        .iter()
-        .map(|&n| (n as f64, run_cell(0, 1, n, 200_000).0))
-        .collect();
-    let sqrt_pred: Vec<(f64, f64)> = measured
-        .iter()
-        .map(|&(n, _)| (n, alpha * n.sqrt()))
-        .collect();
-    let worst: Vec<(f64, f64)> = measured.iter().map(|&(n, _)| (n, n)).collect();
-    for line in pwf_bench::log_log_chart(
-        &[
-            pwf_bench::Series::new("measured W", measured),
-            pwf_bench::Series::new("alpha*sqrt(n)", sqrt_pred),
-            pwf_bench::Series::new("n (worst case)", worst),
-        ],
-        60,
-        14,
-    ) {
-        println!("{line}");
-    }
-
-    note("");
-    note("sweep q (s = 1, n = 16): W grows additively in q");
-    header(&["q", "W sim", "W pred"]);
-    for q in [0usize, 2, 4, 8, 16, 32] {
-        let (w, _) = run_cell(q, 1, 16, 400_000);
-        let pred = ScuPrediction::with_alpha(q, 1, 16, alpha).system_latency();
-        row(&[q.to_string(), fmt(w), fmt(pred)]);
-    }
-
-    note("");
-    note("sweep s (q = 0, n = 16): W grows multiplicatively in s (Corollary 1)");
-    header(&["s", "W sim", "W pred"]);
-    for s in [1usize, 2, 4, 8] {
-        let (w, _) = run_cell(0, s, 16, 400_000);
-        let pred = ScuPrediction::with_alpha(0, s, 16, alpha).system_latency();
-        row(&[s.to_string(), fmt(w), fmt(pred)]);
-    }
-
-    note("");
-    note("who wins: the q + alpha*s*sqrt(n) model tracks all three sweeps; the");
-    note("worst-case q + s*n model would overshoot the n-sweep by ~sqrt(n).");
+    pwf_bench::experiments::run_single("exp_latency_sweep");
 }

@@ -1,37 +1,9 @@
 //! E5 — Lemmas 4–7: the system chain is a lifting of the individual
 //! chain for `SCU(0, 1)`, and the fairness identity `W_i = n·W`.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_lifting_scu`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::chain_analysis::{analyze, ChainFamily};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E5 / Lemmas 4-7: lifting verification and exact latencies, SCU(0,1).");
-    header(&[
-        "n",
-        "ind states",
-        "sys states",
-        "flow res",
-        "pi res",
-        "W",
-        "W_i",
-        "Wi/(nW)",
-    ]);
-    for n in 2..=7 {
-        let r = analyze(ChainFamily::Scu01, n)?;
-        row(&[
-            n.to_string(),
-            r.individual_states.to_string(),
-            r.system_states.to_string(),
-            fmt(r.lifting_flow_residual),
-            fmt(r.lifting_stationary_residual),
-            fmt(r.system_latency),
-            fmt(r.individual_latency),
-            fmt(r.fairness_identity()),
-        ]);
-    }
-    note("");
-    note("flow/pi residuals are numerical zeros: the collapse of the 3^n-1 state");
-    note("chain through f(state) = (#Read, #OldCAS) reproduces the system chain's");
-    note("ergodic flow exactly (Lemma 5), so W_i = n*W transfers (Lemma 7).");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_lifting_scu");
 }

@@ -2,83 +2,10 @@
 //! contrasts: a test-and-set spinlock counter vs the lock-free
 //! fetch-and-increment, under the uniform stochastic scheduler and
 //! under crashes.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_lock_baseline`).
 
-use pwf_algorithms::lock::predicted_system_latency;
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_hardware::fai_counter::FaiCounter;
-use pwf_hardware::spinlock::SpinlockCounter;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E15 / lock-based vs lock-free counter (simulator, uniform scheduler).");
-    note("lock critical section = 2 steps; lock-free = read + CAS.");
-    header(&["n", "W lock sim", "W lock pred", "W lock-free", "ratio"]);
-    for n in [2usize, 4, 8, 16, 32] {
-        let lock = SimExperiment::new(AlgorithmSpec::LockCounter { cs_len: 2 }, n, 400_000)
-            .seed(91)
-            .run()?;
-        let free = SimExperiment::new(AlgorithmSpec::FetchAndInc, n, 400_000)
-            .seed(91)
-            .run()?;
-        let wl = lock.system_latency.unwrap();
-        let wf = free.system_latency.unwrap();
-        row(&[
-            n.to_string(),
-            fmt(wl),
-            fmt(predicted_system_latency(n, 2)),
-            fmt(wf),
-            fmt(wl / wf),
-        ]);
-    }
-    note("");
-    note("lock latency is Theta(n) (holder scheduled once per n steps); lock-free");
-    note("is Theta(sqrt(n)): the gap widens as sqrt(n) -- the quantitative version");
-    note("of 'locks do not scale' under preemptive scheduling.");
-
-    note("");
-    note("crash resilience: crash p0 at t=1000 across 20 seeds (n=4, 100k steps);");
-    note("a run 'deadlocks' if no operation completes in the final 50k steps.");
-    header(&["algorithm", "deadlocked runs", "min ops", "max ops"]);
-    for (label, spec) in [
-        ("lock-counter", AlgorithmSpec::LockCounter { cs_len: 2 }),
-        ("fetch-and-inc", AlgorithmSpec::FetchAndInc),
-    ] {
-        let mut deadlocks = 0u32;
-        let mut min_ops = u64::MAX;
-        let mut max_ops = 0u64;
-        for seed in 0..20u64 {
-            let r = SimExperiment::new(spec.clone(), 4, 100_000)
-                .seed(900 + seed)
-                .crash(1_000, 0)
-                .run()?;
-            min_ops = min_ops.min(r.total_completions);
-            max_ops = max_ops.max(r.total_completions);
-            // Deadlock = the blocking pathology: the minimal-progress
-            // bound blows past the post-crash window.
-            match r.minimal_progress_bound {
-                Some(b) if b < 50_000 => {}
-                _ => deadlocks += 1,
-            }
-        }
-        row(&[
-            label.to_string(),
-            format!("{deadlocks}/20"),
-            min_ops.to_string(),
-            max_ops.to_string(),
-        ]);
-    }
-    note("the lock counter deadlocks in exactly the runs where the crash caught");
-    note("p0 holding the lock (~1/n of them, more for longer critical sections);");
-    note("the lock-free counter never does — lock-freedom's minimal progress is");
-    note("unconditional on crashes, deadlock-freedom's is not.");
-
-    note("");
-    note("hardware (this machine):");
-    let threads = std::thread::available_parallelism()?.get().clamp(1, 8);
-    let fai = FaiCounter::measure(threads, 100_000);
-    let spin = SpinlockCounter::measure(threads, 100_000);
-    header(&["counter", "threads", "rate (ops/step)"]);
-    row(&["lock-free".into(), threads.to_string(), fmt(fai.completion_rate())]);
-    row(&["spinlock".into(), threads.to_string(), fmt(spin.completion_rate())]);
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_lock_baseline");
 }

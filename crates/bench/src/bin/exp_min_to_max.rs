@@ -1,45 +1,10 @@
 //! E2 — Theorem 3: bounded minimal progress + stochastic scheduler ⇒
 //! maximal progress with probability 1, and how loose the generic
 //! `(1/θ)^T` bound is against observation.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_min_to_max`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::progress_audit::audit;
-use pwf_core::{AlgorithmSpec, SchedulerSpec};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E2 / Theorem 3: minimal -> maximal progress under stochastic schedulers.");
-    note("algorithm: SCU(0,1); 500k steps per cell; T = observed minimal bound.");
-    header(&["n", "scheduler", "theta", "T_min", "T_max", "wait-free?"]);
-
-    for n in [2usize, 4, 8, 16] {
-        for (label, sched) in [
-            ("uniform", SchedulerSpec::Uniform),
-            ("lottery4:1", SchedulerSpec::Lottery((0..n).map(|i| if i == 0 { 4 } else { 1 }).collect())),
-            ("sticky.9", SchedulerSpec::Sticky(0.9)),
-            ("adversary", SchedulerSpec::Adversarial((0..n).collect())),
-        ] {
-            let r = audit(AlgorithmSpec::Scu { q: 0, s: 1 }, sched, n, 500_000, 77)?;
-            row(&[
-                n.to_string(),
-                label.to_string(),
-                fmt(r.theta),
-                r.minimal_bound.map_or("-".into(), |b| b.to_string()),
-                r.maximal_bound.map_or("NONE".into(), |b| b.to_string()),
-                if r.achieved_maximal_progress() { "yes" } else { "NO" }.to_string(),
-            ]);
-        }
-    }
-
-    note("");
-    note("every theta > 0 row is wait-free in practice; the theta = 0 adversary row");
-    note("shows starvation (T_max = NONE) while minimal progress persists.");
-    let r = audit(AlgorithmSpec::Scu { q: 0, s: 1 }, SchedulerSpec::Uniform, 8, 500_000, 77)?;
-    if let (Some(t3), Some(obs)) = (r.theorem_3_bound, r.maximal_bound) {
-        note(&format!(
-            "generic Theorem 3 bound at n=8: (1/theta)^T = {} vs observed max gap {} steps",
-            fmt(t3),
-            obs
-        ));
-    }
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_min_to_max");
 }

@@ -2,47 +2,10 @@
 //! the results to *non-uniform* stochastic schedulers? We sweep
 //! lottery skew and stickiness and watch the system latency and
 //! per-process fairness.
-
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SchedulerSpec, SimExperiment};
-
-fn run(spec: SchedulerSpec, n: usize) -> (f64, f64) {
-    let r = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 400_000)
-        .scheduler(spec)
-        .seed(13)
-        .run()
-        .expect("crash-free");
-    (r.system_latency.unwrap(), r.fairness_ratio())
-}
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_nonuniform`).
 
 fn main() {
-    let n = 16;
-    note("E13 / Section 8: SCU(0,1) under non-uniform stochastic schedulers, n = 16.");
-
-    note("lottery skew: process 0 holds w tickets, everyone else 1");
-    header(&["w", "theta", "W", "fairness max/min"]);
-    for w in [1u64, 2, 4, 8, 16] {
-        let tickets: Vec<u64> = (0..n).map(|i| if i == 0 { w } else { 1 }).collect();
-        let spec = SchedulerSpec::Lottery(tickets);
-        let theta = spec.theta(n);
-        let (lat, fair) = run(spec, n);
-        row(&[w.to_string(), fmt(theta), fmt(lat), fmt(fair)]);
-    }
-
-    note("");
-    note("sticky scheduler: reschedule the previous process with probability p");
-    header(&["p", "theta", "W", "fairness max/min"]);
-    for p in [0.0, 0.25, 0.5, 0.75, 0.9] {
-        let spec = SchedulerSpec::Sticky(p);
-        let theta = spec.theta(n);
-        let (lat, fair) = run(spec, n);
-        row(&[fmt(p), fmt(theta), fmt(lat), fmt(fair)]);
-    }
-
-    note("");
-    note("latency stays O(sqrt(n))-sized and every process keeps completing");
-    note("(fairness degrades smoothly with skew, never to starvation): the");
-    note("paper's conjecture that the framework survives non-uniform stochastic");
-    note("schedulers holds in these experiments. Stickiness *helps* latency --");
-    note("solo bursts finish operations in consecutive steps.");
+    pwf_bench::experiments::run_single("exp_nonuniform");
 }

@@ -1,30 +1,9 @@
 //! E6 — Lemmas 10–11: parallel code has system latency exactly `q`
 //! and individual latency exactly `n·q`, by lifting `M_I` onto `M_S`.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_parallel`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::chain_analysis::{analyze, ChainFamily};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E6 / Lemma 11: parallel code, exact chain vs simulation.");
-    header(&["n", "q", "W exact", "W sim", "W_i exact", "n*q", "flow res"]);
-    for (n, q) in [(2usize, 3usize), (3, 3), (4, 2), (2, 6), (4, 4)] {
-        let r = analyze(ChainFamily::Parallel { q }, n)?;
-        let sim = SimExperiment::new(AlgorithmSpec::Parallel { q }, n, 400_000)
-            .seed(6)
-            .run()?;
-        row(&[
-            n.to_string(),
-            q.to_string(),
-            fmt(r.system_latency),
-            fmt(sim.system_latency.unwrap()),
-            fmt(r.individual_latency),
-            (n * q).to_string(),
-            fmt(r.lifting_flow_residual),
-        ]);
-    }
-    note("");
-    note("W = q and W_i = n*q exactly (the individual chain's stationary");
-    note("distribution is uniform); simulation converges to the same values.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_parallel");
 }

@@ -3,57 +3,10 @@
 //! stochastic (θ = switch/n > 0), so Theorem 3 still applies; latency
 //! *improves* with quantum length (solo bursts finish operations
 //! back-to-back), while pure priority (ε = 0) is an adversary.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_quantum`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SchedulerSpec, SimExperiment};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 8;
-    note("E17 / quantum scheduling of SCU(0,1), n = 8, 400k steps.");
-    header(&["E[quantum]", "theta", "W", "wait-free?", "fairness"]);
-    for switch in [1.0, 0.5, 0.2, 0.1, 0.02] {
-        let spec = SchedulerSpec::Quantum(switch);
-        let theta = spec.theta(n);
-        let r = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 400_000)
-            .scheduler(spec)
-            .seed(131)
-            .run()?;
-        row(&[
-            fmt(1.0 / switch),
-            fmt(theta),
-            fmt(r.system_latency.unwrap()),
-            if r.maximal_progress_bound.is_some() { "yes" } else { "NO" }.to_string(),
-            fmt(r.fairness_ratio()),
-        ]);
-    }
-    note("");
-    note("switch = 1 is exactly the uniform scheduler; longer quanta cut W from");
-    note("~2*sqrt(n) toward the solo-execution optimum of 2 while staying fair");
-    note("and wait-free -- the single-core hardware of E10 is *better* for the");
-    note("model's guarantees, not worse.");
-
-    note("");
-    note("priority scheduling with noise epsilon (same workload):");
-    header(&["epsilon", "theta", "W", "wait-free?", "starved"]);
-    for eps in [0.5, 0.2, 0.05, 0.0] {
-        let spec = SchedulerSpec::Priority(eps);
-        let theta = spec.theta(n);
-        let r = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 400_000)
-            .scheduler(spec)
-            .seed(132)
-            .run()?;
-        let starved = r.process_completions.iter().filter(|&&c| c == 0).count();
-        row(&[
-            fmt(eps),
-            fmt(theta),
-            fmt(r.system_latency.unwrap()),
-            if r.maximal_progress_bound.is_some() { "yes" } else { "NO" }.to_string(),
-            format!("{starved}/{n}"),
-        ]);
-    }
-    note("");
-    note("any epsilon > 0 keeps every process completing (Theorem 3's threshold");
-    note("condition); epsilon = 0 is the classical priority adversary and the");
-    note("low-priority processes starve outright.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_quantum");
 }

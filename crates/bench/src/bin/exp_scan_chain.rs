@@ -1,43 +1,10 @@
 //! E16 (extension) — Corollary 1, sharpened: the exact `SCU(0, s)`
 //! system chain with honest mid-scan invalidation, versus simulation
 //! and the paper's `α·s·√n` model.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_scan_chain`).
 
-use pwf_algorithms::chains::scan;
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E16 / Corollary 1 with mid-scan invalidation: W(n, s) exact vs sim.");
-    header(&["n", "s", "W chain", "W sim", "rel err", "W/(s*sqrt(n))"]);
-    for (n, s) in [
-        (4usize, 1usize),
-        (4, 2),
-        (4, 3),
-        (8, 1),
-        (8, 2),
-        (8, 3),
-        (16, 1),
-        (16, 2),
-    ] {
-        let chain = scan::exact_system_latency(n, s)?;
-        let sim = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s }, n, 500_000)
-            .seed(123)
-            .run()?
-            .system_latency
-            .unwrap();
-        row(&[
-            n.to_string(),
-            s.to_string(),
-            fmt(chain),
-            fmt(sim),
-            fmt((chain - sim).abs() / sim),
-            fmt(chain / (s as f64 * (n as f64).sqrt())),
-        ]);
-    }
-    note("");
-    note("the fine-grained chain matches simulation to ~1%, confirming both the");
-    note("implementation and Corollary 1's O(s*sqrt(n)) shape; the normalized");
-    note("column drifts slowly upward with s because invalidated mid-scan work");
-    note("is wasted -- a constant the paper's coarse argument absorbs into alpha.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_scan_chain");
 }

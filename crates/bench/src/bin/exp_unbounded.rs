@@ -1,36 +1,10 @@
 //! E3 — Lemma 2: the unbounded lock-free algorithm (Algorithm 1) is
 //! not wait-free w.h.p. even under the uniform stochastic scheduler:
 //! the first winner keeps winning and everyone else starves.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_unbounded`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::{AlgorithmSpec, SimExperiment};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E3 / Lemma 2: Algorithm 1 (backoff n^2*v after losing at value v).");
-    note("500k steps per run, uniform scheduler, 5 seeds per n.");
-    header(&["n", "seed", "total ops", "top share", "starved", "wait-free?"]);
-
-    for n in [4usize, 8, 16] {
-        for seed in 0..5u64 {
-            let r = SimExperiment::new(AlgorithmSpec::Unbounded, n, 500_000)
-                .seed(1000 + seed)
-                .run()?;
-            let total: u64 = r.process_completions.iter().sum();
-            let max = *r.process_completions.iter().max().unwrap();
-            let starved = r.process_completions.iter().filter(|&&c| c == 0).count();
-            row(&[
-                n.to_string(),
-                seed.to_string(),
-                total.to_string(),
-                fmt(max as f64 / total.max(1) as f64),
-                format!("{starved}/{n}"),
-                if r.maximal_progress_bound.is_some() { "yes" } else { "NO" }.to_string(),
-            ]);
-        }
-    }
-    note("");
-    note("top share ~ 1.0 and starved ~ n-1: one process monopolizes the CAS,");
-    note("exactly the 1 - 2e^{-n} prediction of Lemma 2. Contrast with E2, where");
-    note("the *bounded* SCU class is wait-free under the same scheduler.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("exp_unbounded");
 }

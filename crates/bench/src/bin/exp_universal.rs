@@ -1,52 +1,10 @@
 //! E19 (extension) — the universal construction priced by Theorem 4:
 //! wrapping a sequential object costs `O(q + √n)` per operation, with
 //! `q` the state copy cost.
-
-use pwf_algorithms::universal::{BankAccount, BankOp, UniversalObject, UniversalProcess};
-use pwf_bench::{fmt, header, note, row};
-use pwf_sim::executor::{run, RunConfig};
-use pwf_sim::memory::SharedMemory;
-use pwf_sim::process::{Process, ProcessId};
-use pwf_sim::scheduler::UniformScheduler;
-use pwf_sim::stats::{individual_latency, system_latency};
-
-fn measure(n: usize, steps: u64) -> (f64, f64, u64) {
-    let mut mem = SharedMemory::new();
-    let obj = UniversalObject::new(&mut mem, BankAccount { balance: 0 });
-    let mut ps: Vec<Box<dyn Process>> = (0..n)
-        .map(|i| {
-            let script = vec![BankOp::Deposit(1), BankOp::Withdraw(1)];
-            Box::new(UniversalProcess::new(ProcessId::new(i), obj.clone(), script))
-                as Box<dyn Process>
-        })
-        .collect();
-    let exec = run(
-        &mut ps,
-        &mut UniformScheduler::new(),
-        &mut mem,
-        &RunConfig::new(steps).seed(47),
-    );
-    let w = system_latency(&exec).unwrap().mean;
-    let wi = individual_latency(&exec, ProcessId::new(0)).unwrap().mean;
-    (w, wi, exec.total_completions())
-}
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_universal`).
 
 fn main() {
-    note("E19 / universal construction (bank account, copy cost q = 2).");
-    header(&["n", "W", "W_i", "Wi/(nW)", "(W-2)/sqrt(n)"]);
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        let (w, wi, _) = measure(n, 400_000);
-        row(&[
-            n.to_string(),
-            fmt(w),
-            fmt(wi),
-            fmt(wi / (n as f64 * w)),
-            fmt((w - 2.0) / (n as f64).sqrt()),
-        ]);
-    }
-    note("");
-    note("the contention term (W - q)/sqrt(n) is flat and W_i = n*W holds: any");
-    note("sequential object wrapped by copy-modify-CAS inherits the SCU(q,1)");
-    note("guarantees -- Theorem 4 as a pricing rule for Herlihy universality.");
-    note("every run is linearizability-checked against a sequential shadow.");
+    pwf_bench::experiments::run_single("exp_universal");
 }

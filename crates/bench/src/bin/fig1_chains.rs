@@ -1,67 +1,9 @@
 //! E1 — Figure 1: the individual and system chains of the
 //! scan-validate pattern for two processes, with their lifting.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run fig1_chains`).
 
-use pwf_algorithms::chains::scu::{individual_chain, lift, system_chain, PState};
-use pwf_bench::{fmt, note};
-use pwf_markov::lifting::verify_lifting;
-use pwf_markov::stationary::stationary_distribution;
-
-fn name(p: &PState) -> &'static str {
-    match p {
-        PState::Read => "Read",
-        PState::CCas => "CCAS",
-        PState::OldCas => "OldCAS",
-    }
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E1 / Figure 1: individual chain and system chain, n = 2.");
-    let ind = individual_chain(2)?;
-    let sys = system_chain(2)?;
-    let pi = stationary_distribution(&ind)?;
-
-    note("individual chain: state -> successors (each step has probability 1/2)");
-    for (i, s) in ind.states().iter().enumerate() {
-        let succs: Vec<String> = ind
-            .successors(i)
-            .into_iter()
-            .map(|j| {
-                let t = ind.state(j);
-                format!("({},{})", name(&t[0]), name(&t[1]))
-            })
-            .collect();
-        println!(
-            "  ({},{})  pi={}  ->  {}",
-            name(&s[0]),
-            name(&s[1]),
-            fmt(pi[i]),
-            succs.join("  ")
-        );
-    }
-
-    note("");
-    note("system chain: (a, b) = (#Read, #OldCAS)");
-    let pi_sys = stationary_distribution(&sys)?;
-    for (i, &(a, b)) in sys.states().iter().enumerate() {
-        let succs: Vec<String> = sys
-            .successors(i)
-            .into_iter()
-            .map(|j| {
-                let &(a2, b2) = sys.state(j);
-                format!("({a2},{b2}) w.p. {}", fmt(sys.prob(i, j)))
-            })
-            .collect();
-        println!("  ({a},{b})  pi={}  ->  {}", fmt(pi_sys[i]), succs.join("  "));
-    }
-
-    let report = verify_lifting(&ind, &sys, lift, 1e-9)?;
-    note("");
-    note(&format!(
-        "lifting verified: flow residual {} / stationary residual {} ({} -> {} states)",
-        fmt(report.flow_residual),
-        fmt(report.stationary_residual),
-        report.lifted_states,
-        report.base_states
-    ));
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("fig1_chains");
 }

@@ -8,86 +8,10 @@
 //! one) cores the OS runs each thread in long quanta, so the hardware
 //! matrix degenerates toward the diagonal — the binary detects and
 //! reports this, and the simulator matrix shows the model-side shape.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run fig4_conditional`).
 
-use pwf_bench::{fmt, note, row};
-use pwf_hardware::recorder::{record_with_tickets, record_with_timestamps, ScheduleTrace};
-use pwf_hardware::schedule_stats::conditional_next_step;
-use pwf_sim::executor::{run, RunConfig};
-use pwf_sim::memory::SharedMemory;
-use pwf_sim::process::{Process, ProcessId, TickingProcess};
-use pwf_sim::scheduler::UniformScheduler;
-use pwf_sim::stats;
-
-fn print_matrix(threads: usize, dist_of: impl Fn(usize) -> Option<Vec<f64>>) {
-    let mut labels = vec!["after\\next".to_string()];
-    labels.extend((0..threads).map(|t| t.to_string()));
-    row(&labels);
-    for t in 0..threads {
-        let mut cells = vec![t.to_string()];
-        match dist_of(t) {
-            Some(d) => cells.extend(d.iter().map(|&p| fmt(p))),
-            None => cells.extend((0..threads).map(|_| "-".to_string())),
-        }
-        row(&cells);
-    }
-}
-
-fn mean_diagonal(trace: &ScheduleTrace, threads: usize) -> f64 {
-    (0..threads)
-        .filter_map(|t| conditional_next_step(trace, t as u32).map(|d| d[t]))
-        .sum::<f64>()
-        / threads as f64
-}
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cores = std::thread::available_parallelism()?.get();
-    let threads = cores.clamp(2, 8);
-    note(&format!(
-        "E10 / Figure 4: conditional next-step distribution ({threads} threads, {cores} core(s))."
-    ));
-
-    let tickets = record_with_tickets(threads, 50_000);
-    let stamps = record_with_timestamps(threads, 20_000);
-
-    note("hardware, ticket method (the paper's preferred recording):");
-    print_matrix(threads, |t| conditional_next_step(&tickets, t as u32));
-    note("hardware, timestamp method:");
-    print_matrix(threads, |t| conditional_next_step(&stamps, t as u32));
-
-    let d_tickets = mean_diagonal(&tickets, threads);
-    let d_stamps = mean_diagonal(&stamps, threads);
-    note(&format!(
-        "mean self-reschedule probability: tickets {} vs timestamps {} (uniform would be {})",
-        fmt(d_tickets),
-        fmt(d_stamps),
-        fmt(1.0 / threads as f64)
-    ));
-    if cores == 1 {
-        note("single-core machine: the OS runs each thread in long quanta, so the");
-        note("matrix concentrates on the diagonal. The paper's near-uniform Figure 4");
-        note("needs real parallelism; the uniform model then applies per *quantum*,");
-        note("not per step. See the simulator matrix below for the model-side shape.");
-    } else {
-        note("off-diagonal mass is spread roughly evenly: locally, any thread is");
-        note("about equally likely to run next, as in the paper's Figure 4.");
-    }
-
-    note("");
-    note("simulated uniform stochastic scheduler (the model the paper fits):");
-    let n = threads;
-    let mut mem = SharedMemory::new();
-    let r = mem.alloc(0);
-    let mut ps: Vec<Box<dyn Process>> = (0..n)
-        .map(|_| Box::new(TickingProcess::new(r, 2)) as Box<dyn Process>)
-        .collect();
-    let exec = run(
-        &mut ps,
-        &mut UniformScheduler::new(),
-        &mut mem,
-        &RunConfig::new(400_000).seed(10).record_trace(true),
-    );
-    print_matrix(n, |t| stats::conditional_next_step(&exec, ProcessId::new(t)));
-    note("every row is flat at 1/n: the model Figure 4 asserts the hardware");
-    note("approximates in the long run.");
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("fig4_conditional");
 }

@@ -2,85 +2,10 @@
 //! fetch-and-increment counter vs the `Θ(1/√n)` prediction (scaled to
 //! the first data point, as in the paper) vs the worst-case `1/n` —
 //! on the simulator *and* on this machine's real atomics.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run fig5_completion_rate`).
 
-use pwf_bench::{fmt, header, note, row};
-use pwf_core::completion_model::{completion_rate_series, prediction_error};
-use pwf_core::AlgorithmSpec;
-use pwf_hardware::fai_counter::FaiCounter;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    note("E11 / Figure 5: completion rate vs prediction vs worst case.");
-
-    note("simulator (uniform stochastic scheduler), SCU-style FAI counter:");
-    let ns = [1usize, 2, 4, 8, 16, 32, 64];
-    let series = completion_rate_series(AlgorithmSpec::FetchAndInc, &ns, 300_000, 55)?;
-    header(&["n", "measured", "pred 1/sqrt(n)", "worst 1/n"]);
-    for p in &series {
-        row(&[p.n.to_string(), fmt(p.measured), fmt(p.predicted), fmt(p.worst_case)]);
-    }
-    note(&format!(
-        "mean relative error of the sqrt model: {}",
-        fmt(prediction_error(&series))
-    ));
-
-    note("");
-    note("Figure 5 (log-log): completion rate vs n");
-    let chart = pwf_bench::log_log_chart(
-        &[
-            pwf_bench::Series::new(
-                "measured",
-                series.iter().map(|p| (p.n as f64, p.measured)).collect(),
-            ),
-            pwf_bench::Series::new(
-                "sqrt prediction",
-                series.iter().map(|p| (p.n as f64, p.predicted)).collect(),
-            ),
-            pwf_bench::Series::new(
-                "worst case 1/n",
-                series.iter().map(|p| (p.n as f64, p.worst_case)).collect(),
-            ),
-        ],
-        60,
-        16,
-    );
-    for line in chart {
-        println!("{line}");
-    }
-
-    note("");
-    let hw_max = std::thread::available_parallelism()?.get();
-    note(&format!(
-        "hardware (std::sync::atomic, {hw_max} core(s); thread counts beyond the
-core count are oversubscribed — contention then happens only at OS
-quantum boundaries, flattening the curve):"
-    ));
-    let hw_ns = [1usize, 2, 4, 8];
-    let mut measured = Vec::new();
-    for &t in &hw_ns {
-        let report = FaiCounter::measure(t, 300_000);
-        measured.push(report.completion_rate());
-    }
-    let m0 = measured[0];
-    let n0 = hw_ns[0] as f64;
-    header(&["threads", "measured", "pred 1/sqrt(n)", "worst 1/n"]);
-    for (&t, &m) in hw_ns.iter().zip(&measured) {
-        row(&[
-            t.to_string(),
-            fmt(m),
-            fmt(m0 * (n0 / t as f64).sqrt()),
-            fmt(m0 * (n0 / t as f64)),
-        ]);
-    }
-    note("");
-    if hw_max == 1 {
-        note("single-core machine: oversubscribed threads barely contend (CAS");
-        note("conflicts only at quantum boundaries), so the hardware curve is flat");
-        note("at ~1/2. The simulator table above carries Figure 5's shape: measured");
-        note("hugs Theta(1/sqrt n) and sits far above the 1/n worst case.");
-    } else {
-        note("shape check (as in the paper): the measured curve hugs the Theta(1/sqrt n)");
-        note("prediction and sits well above the worst-case 1/n line. Absolute hardware");
-        note("numbers depend on cache-coherence details the model does not capture.");
-    }
-    Ok(())
+fn main() {
+    pwf_bench::experiments::run_single("fig5_completion_rate");
 }

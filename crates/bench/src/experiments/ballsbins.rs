@@ -1,0 +1,71 @@
+//! E8 — Lemmas 8–9: the iterated balls-into-bins game. Phase lengths
+//! match the exact system chain and scale like `√n`; the third range
+//! of `a_i` is (almost) never visited.
+
+use pwf_algorithms::chains::scu;
+use pwf_ballsbins::game::mean_phase_length;
+use pwf_ballsbins::ranges::measure;
+use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+
+/// The registered experiment.
+pub const EXP: FnExperiment = FnExperiment {
+    name: "exp_ballsbins",
+    description: "Lemmas 8-9: iterated balls-into-bins phase lengths and range dynamics",
+    deterministic: true,
+    body: fill,
+};
+
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    let mut rng = cfg.rng();
+
+    out.note("E8 / Lemma 8: phase length (= system latency) vs the exact chain.");
+    out.header(&["n", "game W", "chain W", "rel err", "W/sqrt(n)"]);
+    for n in [4usize, 16, 64, 128] {
+        let game = mean_phase_length(n, 500, cfg.scaled_usize(30_000), &mut rng);
+        let chain = scu::exact_system_latency(n)?;
+        out.row(&[
+            n.to_string(),
+            fmt(game),
+            fmt(chain),
+            fmt((game - chain).abs() / chain),
+            fmt(game / (n as f64).sqrt()),
+        ]);
+    }
+
+    out.note("");
+    out.note("large n (game only, chain infeasible):");
+    out.header(&["n", "game W", "W/sqrt(n)"]);
+    for n in [512usize, 2048, 8192, 32768] {
+        let game = mean_phase_length(n, 100, cfg.scaled_usize(5_000), &mut rng);
+        out.row(&[n.to_string(), fmt(game), fmt(game / (n as f64).sqrt())]);
+    }
+
+    out.note("");
+    out.note("E8 / Lemma 9: range dynamics of a_i (first [n/3,n], second [n/10,n/3),");
+    out.note("third [0,n/10)); the third range should be essentially unvisited.");
+    out.header(&[
+        "n",
+        "phases",
+        "first",
+        "second",
+        "third",
+        "3rd frac",
+        "max 3rd streak",
+    ]);
+    for n in [16usize, 64, 256] {
+        let stats = measure(n, cfg.scaled_usize(50_000), &mut rng);
+        out.row(&[
+            n.to_string(),
+            stats.phases.to_string(),
+            stats.counts[0].to_string(),
+            stats.counts[1].to_string(),
+            stats.counts[2].to_string(),
+            fmt(stats.third_range_fraction()),
+            stats.longest_third_streak.to_string(),
+        ]);
+    }
+    out.note("");
+    out.note("game == system chain (rel err -> 0), W/sqrt(n) flat, third range");
+    out.note("negligible: the O(sqrt(n)) bound's two pillars hold empirically.");
+    Ok(())
+}

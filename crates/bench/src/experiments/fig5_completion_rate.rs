@@ -1,0 +1,103 @@
+//! E11 — Figure 5: completion rate of the CAS-based
+//! fetch-and-increment counter vs the `Θ(1/√n)` prediction (scaled to
+//! the first data point, as in the paper) vs the worst-case `1/n` —
+//! on the simulator *and* on this machine's real atomics.
+
+use crate::{log_log_chart, Series};
+use pwf_core::completion_model::{completion_rate_series, prediction_error};
+use pwf_core::AlgorithmSpec;
+use pwf_hardware::fai_counter::FaiCounter;
+use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+
+/// The registered experiment. The second half measures real atomics:
+/// hardware-dependent output.
+pub const EXP: FnExperiment = FnExperiment {
+    name: "fig5_completion_rate",
+    description: "Figure 5: completion rate vs 1/sqrt(n) prediction, simulator and hardware",
+    deterministic: false,
+    body: fill,
+};
+
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    out.note("E11 / Figure 5: completion rate vs prediction vs worst case.");
+
+    out.note("simulator (uniform stochastic scheduler), SCU-style FAI counter:");
+    let ns = [1usize, 2, 4, 8, 16, 32, 64];
+    let series = completion_rate_series(
+        AlgorithmSpec::FetchAndInc,
+        &ns,
+        cfg.scaled(300_000),
+        cfg.sub_seed(0),
+    )?;
+    out.header(&["n", "measured", "pred 1/sqrt(n)", "worst 1/n"]);
+    for p in &series {
+        out.row(&[
+            p.n.to_string(),
+            fmt(p.measured),
+            fmt(p.predicted),
+            fmt(p.worst_case),
+        ]);
+    }
+    out.note(&format!(
+        "mean relative error of the sqrt model: {}",
+        fmt(prediction_error(&series))
+    ));
+
+    out.note("");
+    out.note("Figure 5 (log-log): completion rate vs n");
+    out.raw_lines(log_log_chart(
+        &[
+            Series::new(
+                "measured",
+                series.iter().map(|p| (p.n as f64, p.measured)).collect(),
+            ),
+            Series::new(
+                "sqrt prediction",
+                series.iter().map(|p| (p.n as f64, p.predicted)).collect(),
+            ),
+            Series::new(
+                "worst case 1/n",
+                series.iter().map(|p| (p.n as f64, p.worst_case)).collect(),
+            ),
+        ],
+        60,
+        16,
+    ));
+
+    out.note("");
+    let hw_max = std::thread::available_parallelism()?.get();
+    out.note(&format!(
+        "hardware (std::sync::atomic, {hw_max} core(s); thread counts beyond the
+core count are oversubscribed — contention then happens only at OS
+quantum boundaries, flattening the curve):"
+    ));
+    let hw_ns = [1usize, 2, 4, 8];
+    let mut measured = Vec::new();
+    for &t in &hw_ns {
+        let report = FaiCounter::measure(t, cfg.scaled(300_000));
+        measured.push(report.completion_rate());
+    }
+    let m0 = measured[0];
+    let n0 = hw_ns[0] as f64;
+    out.header(&["threads", "measured", "pred 1/sqrt(n)", "worst 1/n"]);
+    for (&t, &m) in hw_ns.iter().zip(&measured) {
+        out.row(&[
+            t.to_string(),
+            fmt(m),
+            fmt(m0 * (n0 / t as f64).sqrt()),
+            fmt(m0 * (n0 / t as f64)),
+        ]);
+    }
+    out.note("");
+    if hw_max == 1 {
+        out.note("single-core machine: oversubscribed threads barely contend (CAS");
+        out.note("conflicts only at quantum boundaries), so the hardware curve is flat");
+        out.note("at ~1/2. The simulator table above carries Figure 5's shape: measured");
+        out.note("hugs Theta(1/sqrt n) and sits far above the 1/n worst case.");
+    } else {
+        out.note("shape check (as in the paper): the measured curve hugs the Theta(1/sqrt n)");
+        out.note("prediction and sits well above the worst-case 1/n line. Absolute hardware");
+        out.note("numbers depend on cache-coherence details the model does not capture.");
+    }
+    Ok(())
+}

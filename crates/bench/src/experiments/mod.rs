@@ -1,0 +1,128 @@
+//! The experiment registry: every table and figure of the paper
+//! reproduction as a named [`pwf_runner::Experiment`].
+//!
+//! Each submodule holds one experiment body — the code that used to
+//! be a standalone binary's `main` — as a
+//! `fn(&ExpConfig, &mut ReportBuilder) -> ExpResult`. The bodies draw
+//! all randomness from the config's derived seed (one independent
+//! stream per experiment, fanned out per table cell with
+//! [`pwf_runner::ExpConfig::sub_seed`]) and scale iteration counts
+//! with [`pwf_runner::ExpConfig::scaled`] under the `--fast` smoke
+//! profile.
+//!
+//! Experiments that measure the real machine (thread timing, CAS
+//! contention, OS scheduling) register with `deterministic: false`;
+//! `pwf check` skips them because their output legitimately differs
+//! per host.
+
+use pwf_runner::{ExpConfig, FnExperiment, Registry};
+
+pub mod backoff;
+pub mod ballsbins;
+pub mod crashes;
+pub mod fai_chain;
+pub mod fig1_chains;
+pub mod fig3_step_share;
+pub mod fig4_conditional;
+pub mod fig5_completion_rate;
+pub mod latency_hist;
+pub mod latency_sweep;
+pub mod lifting_scu;
+pub mod lock_baseline;
+pub mod min_to_max;
+pub mod mixing;
+pub mod nonuniform;
+pub mod parallel;
+pub mod quantum;
+pub mod scan_chain;
+pub mod unbounded;
+pub mod universal;
+
+/// All registered experiments.
+const ALL: [FnExperiment; 20] = [
+    backoff::EXP,
+    ballsbins::EXP,
+    crashes::EXP,
+    fai_chain::EXP,
+    fig1_chains::EXP,
+    fig3_step_share::EXP,
+    fig4_conditional::EXP,
+    fig5_completion_rate::EXP,
+    latency_hist::EXP,
+    latency_sweep::EXP,
+    lifting_scu::EXP,
+    lock_baseline::EXP,
+    min_to_max::EXP,
+    mixing::EXP,
+    nonuniform::EXP,
+    parallel::EXP,
+    quantum::EXP,
+    scan_chain::EXP,
+    unbounded::EXP,
+    universal::EXP,
+];
+
+/// Builds the full experiment registry.
+pub fn registry() -> Registry {
+    let mut reg = Registry::new();
+    for exp in ALL {
+        let name = exp.name;
+        reg.register(Box::new(exp))
+            .unwrap_or_else(|err| panic!("registering {name}: {err}"));
+    }
+    reg
+}
+
+/// Runs one experiment under the default master seed and prints its
+/// report to stdout — the behaviour of the historical per-figure
+/// binaries, which are now thin wrappers around this.
+pub fn run_single(name: &str) -> ! {
+    let reg = registry();
+    let exp = reg
+        .get(name)
+        .unwrap_or_else(|| panic!("experiment {name:?} is not registered"));
+    let cfg = ExpConfig::for_experiment(pwf_runner::DEFAULT_MASTER_SEED, name, false);
+    match exp.run(&cfg) {
+        Ok(report) => {
+            print!("{}", pwf_runner::render(&report));
+            std::process::exit(0);
+        }
+        Err(err) => {
+            eprintln!("{name}: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_all_twenty_unique_experiments() {
+        let reg = registry();
+        assert_eq!(reg.len(), 20);
+        assert!(reg.get("exp_ballsbins").is_some());
+        assert!(reg.get("fig5_completion_rate").is_some());
+    }
+
+    #[test]
+    fn five_hardware_experiments_are_nondeterministic() {
+        let reg = registry();
+        let hardware: Vec<&str> = reg
+            .iter()
+            .filter(|e| !e.deterministic())
+            .map(|e| e.name())
+            .collect();
+        assert_eq!(
+            hardware,
+            vec![
+                "exp_latency_hist",
+                "exp_lock_baseline",
+                "fig3_step_share",
+                "fig4_conditional",
+                "fig5_completion_rate",
+            ]
+        );
+    }
+}

@@ -1,58 +1,22 @@
-//! Shared helpers for the figure-regeneration binaries and criterion
-//! benches of the *practically-wait-free* workspace.
+//! Experiment bodies, figure plotting, and criterion benches for the
+//! *practically-wait-free* workspace.
 //!
-//! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md`'s experiment index and `EXPERIMENTS.md` for
-//! recorded outputs). The helpers here keep their output format
-//! consistent: plain aligned columns, one header line, `#`-prefixed
-//! commentary.
+//! Every table and figure of the paper is a registered experiment in
+//! [`experiments`] (see `DESIGN.md`'s experiment index and
+//! `EXPERIMENTS.md` for recorded outputs), orchestrated by the `pwf`
+//! binary through `pwf-runner`. The per-figure binaries under
+//! `src/bin/` are thin compatibility wrappers that run one experiment
+//! each and print its report.
+//!
+//! The formatting helpers (`note`/`fmt`/`row`/`header`) moved into
+//! `pwf_runner::text` — the runner needs them to render reports — and
+//! are re-exported here unchanged for existing callers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod plot;
 
 pub use plot::{log_log_chart, Series};
-
-/// Prints a commentary line (prefixed `# `) so tabular output stays
-/// machine-separable.
-pub fn note(text: &str) {
-    for line in text.lines() {
-        println!("# {line}");
-    }
-}
-
-/// Formats a float for tabular output.
-pub fn fmt(v: f64) -> String {
-    if v == 0.0 {
-        "0".into()
-    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
-        format!("{v:.3e}")
-    } else {
-        format!("{v:.4}")
-    }
-}
-
-/// Prints one row of aligned columns (12 chars each).
-pub fn row(cells: &[String]) {
-    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
-    println!("{}", line.join(" "));
-}
-
-/// Convenience: a header row from static labels.
-pub fn header(cells: &[&str]) {
-    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fmt_switches_notation() {
-        assert_eq!(fmt(0.0), "0");
-        assert_eq!(fmt(1.5), "1.5000");
-        assert_eq!(fmt(123456.0), "1.235e5");
-        assert_eq!(fmt(0.0001), "1.000e-4");
-    }
-}
+pub use pwf_runner::text::{fmt, header, note, row};

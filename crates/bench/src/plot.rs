@@ -38,7 +38,10 @@ fn log_pos(v: f64, min: f64, max: f64, extent: usize) -> usize {
 /// (log scale), or `width`/`height` are below 8.
 pub fn log_log_chart(series: &[Series], width: usize, height: usize) -> Vec<String> {
     assert!(width >= 8 && height >= 8, "chart too small");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "no data to plot");
     assert!(
         all.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
@@ -64,7 +67,9 @@ pub fn log_log_chart(series: &[Series], width: usize, height: usize) -> Vec<Stri
     }
 
     let mut out = Vec::with_capacity(height + 4);
-    out.push(format!("  y: {max_y:.4} (top) .. {min_y:.4} (bottom), log scale"));
+    out.push(format!(
+        "  y: {max_y:.4} (top) .. {min_y:.4} (bottom), log scale"
+    ));
     for row in grid {
         let line: String = row.into_iter().collect();
         out.push(format!("  |{line}"));

@@ -90,13 +90,8 @@ mod tests {
     #[test]
     fn figure_5_sqrt_model_fits_scu() {
         let ns = [2usize, 4, 8, 16, 32];
-        let series = completion_rate_series(
-            AlgorithmSpec::Scu { q: 0, s: 1 },
-            &ns,
-            150_000,
-            21,
-        )
-        .unwrap();
+        let series =
+            completion_rate_series(AlgorithmSpec::Scu { q: 0, s: 1 }, &ns, 150_000, 21).unwrap();
         // Rates decrease with n.
         for w in series.windows(2) {
             assert!(w[1].measured <= w[0].measured * 1.05);
@@ -105,35 +100,22 @@ mod tests {
         let last = series.last().unwrap();
         let sqrt_err = (last.predicted - last.measured).abs();
         let worst_err = (last.worst_case - last.measured).abs();
-        assert!(
-            sqrt_err < worst_err,
-            "√n model should beat 1/n: {last:?}"
-        );
+        assert!(sqrt_err < worst_err, "√n model should beat 1/n: {last:?}");
         assert!(prediction_error(&series) < 0.35);
     }
 
     #[test]
     fn first_point_is_anchored() {
-        let series = completion_rate_series(
-            AlgorithmSpec::FetchAndInc,
-            &[4, 8],
-            100_000,
-            22,
-        )
-        .unwrap();
+        let series =
+            completion_rate_series(AlgorithmSpec::FetchAndInc, &[4, 8], 100_000, 22).unwrap();
         assert!((series[0].predicted - series[0].measured).abs() < 1e-12);
         assert!((series[0].worst_case - series[0].measured).abs() < 1e-12);
     }
 
     #[test]
     fn prediction_uses_scaled_sqrt() {
-        let series = completion_rate_series(
-            AlgorithmSpec::FetchAndInc,
-            &[4, 16],
-            80_000,
-            23,
-        )
-        .unwrap();
+        let series =
+            completion_rate_series(AlgorithmSpec::FetchAndInc, &[4, 16], 80_000, 23).unwrap();
         // predicted(16) = measured(4) · √(4/16) = measured(4)/2.
         assert!((series[1].predicted - series[0].measured / 2.0).abs() < 1e-12);
         assert!((series[1].worst_case - series[0].measured / 4.0).abs() < 1e-12);

@@ -133,7 +133,12 @@ pub struct SimReport {
 impl SimReport {
     /// Mean individual latency averaged over processes with data.
     pub fn mean_individual_latency(&self) -> Option<f64> {
-        let vals: Vec<f64> = self.individual_latencies.iter().flatten().copied().collect();
+        let vals: Vec<f64> = self
+            .individual_latencies
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
         if vals.is_empty() {
             None
         } else {
@@ -173,7 +178,11 @@ mod tests {
         assert!(report.fairness_ratio() < 1.5);
         // W_i ≈ n·W.
         let wi = report.mean_individual_latency().unwrap();
-        assert!((wi / (16.0 * w) - 1.0).abs() < 0.2, "W_i/(nW) = {}", wi / (16.0 * w));
+        assert!(
+            (wi / (16.0 * w) - 1.0).abs() < 0.2,
+            "W_i/(nW) = {}",
+            wi / (16.0 * w)
+        );
     }
 
     #[test]

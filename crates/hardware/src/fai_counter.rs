@@ -160,7 +160,11 @@ mod tests {
         // non-strict drop with slack when parallelism truly exists.
         let solo = FaiCounter::measure(1, 50_000).completion_rate();
         assert!((solo - 0.5).abs() < 1e-6, "solo rate {solo} must be 1/2");
-        if std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) >= 4 {
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            >= 4
+        {
             let contended = FaiCounter::measure(4, 50_000).completion_rate();
             assert!(
                 contended <= solo + 1e-9,

@@ -94,7 +94,9 @@ impl MsQueue {
             .collect();
         #[allow(clippy::needless_range_loop)] // index loop is clearer here
         for i in 2..total - 1 {
-            nodes[i].next.store(pack(0, (i + 1) as u32), Ordering::Relaxed);
+            nodes[i]
+                .next
+                .store(pack(0, (i + 1) as u32), Ordering::Relaxed);
         }
         nodes[total - 1].next.store(pack(0, NIL), Ordering::Relaxed);
         MsQueue {
@@ -183,9 +185,9 @@ impl MsQueue {
                 }
             } else {
                 // Tail lagging: help swing it.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
             }
         }
     }
@@ -206,9 +208,9 @@ impl MsQueue {
                     return None;
                 }
                 // Tail lagging behind a linked node: help.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
                 continue;
             }
             let next_idx = idx_of(next) as usize;
@@ -230,7 +232,9 @@ impl MsQueue {
     /// Whether the queue is currently empty (racy, for diagnostics).
     pub fn is_empty(&self) -> bool {
         let head = self.head.load(Ordering::Acquire);
-        let next = self.nodes[idx_of(head) as usize].next.load(Ordering::Acquire);
+        let next = self.nodes[idx_of(head) as usize]
+            .next
+            .load(Ordering::Acquire);
         idx_of(next) == NIL
     }
 }

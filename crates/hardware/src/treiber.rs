@@ -92,7 +92,9 @@ impl TreiberStack {
         // Chain slots 1..=capacity into the free list.
         #[allow(clippy::needless_range_loop)] // index loop is clearer here
         for i in 1..capacity {
-            nodes[i].next.store(pack(0, (i + 1) as u32), Ordering::Relaxed);
+            nodes[i]
+                .next
+                .store(pack(0, (i + 1) as u32), Ordering::Relaxed);
         }
         nodes[capacity].next.store(pack(0, NIL), Ordering::Relaxed);
         TreiberStack {
@@ -152,7 +154,9 @@ impl TreiberStack {
         let idx = self
             .pop_internal(&self.free)
             .ok_or(StackError::PoolExhausted)?;
-        self.nodes[idx as usize].value.store(value, Ordering::Relaxed);
+        self.nodes[idx as usize]
+            .value
+            .store(value, Ordering::Relaxed);
         self.push_internal(&self.head, idx);
         Ok(())
     }

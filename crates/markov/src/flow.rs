@@ -25,9 +25,7 @@ impl ErgodicFlow {
     /// # Errors
     ///
     /// Propagates the errors of [`stationary_distribution`].
-    pub fn compute<S: Clone + Eq + Hash>(
-        chain: &MarkovChain<S>,
-    ) -> Result<Self, StationaryError> {
+    pub fn compute<S: Clone + Eq + Hash>(chain: &MarkovChain<S>) -> Result<Self, StationaryError> {
         let pi = stationary_distribution(chain)?;
         let n = chain.len();
         let mut q = Matrix::zeros(n, n);

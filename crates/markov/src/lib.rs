@@ -52,10 +52,10 @@ pub mod structure;
 
 pub use chain::{ChainBuilder, ChainError, MarkovChain};
 pub use flow::ErgodicFlow;
-pub use mixing::{lazy_mixing_time, total_variation, MixingReport};
-pub use sparse::{SparseChain, SparseChainBuilder};
 pub use hitting::{hitting_times, return_time};
 pub use lifting::{verify_lifting, LiftingError, LiftingReport};
 pub use linalg::{LinalgError, Matrix};
+pub use mixing::{lazy_mixing_time, total_variation, MixingReport};
+pub use sparse::{SparseChain, SparseChainBuilder};
 pub use stationary::{return_times, stationary_distribution, StationaryError};
 pub use structure::{analyze, is_ergodic, StructureReport};

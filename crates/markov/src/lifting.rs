@@ -73,7 +73,10 @@ impl fmt::Display for LiftingError {
                 write!(f, "lifted state {lifted_index} maps outside the base chain")
             }
             LiftingError::EmptyPreimage { base_index } => {
-                write!(f, "base state {base_index} has no preimage under the lifting map")
+                write!(
+                    f,
+                    "base state {base_index} has no preimage under the lifting map"
+                )
             }
             LiftingError::FlowMismatch {
                 from,
@@ -213,7 +216,11 @@ where
     S2: Clone + Eq + Hash,
     S1: Clone + Eq + Hash,
 {
-    assert_eq!(dist.len(), lifted.len(), "distribution must match lifted chain");
+    assert_eq!(
+        dist.len(),
+        lifted.len(),
+        "distribution must match lifted chain"
+    );
     let mut out = vec![0.0; base.len()];
     for (x, label) in lifted.states().iter().enumerate() {
         let i = base

@@ -209,7 +209,11 @@ impl<S: Clone + Eq + Hash> SparseChainBuilder<S> {
         let mut rows: Vec<HashMap<u32, f64>> = vec![HashMap::new(); n];
         for (i, j, p) in self.entries {
             if !p.is_finite() || p < 0.0 {
-                return Err(ChainError::InvalidProbability { from: i, to: j, prob: p });
+                return Err(ChainError::InvalidProbability {
+                    from: i,
+                    to: j,
+                    prob: p,
+                });
             }
             *rows[i].entry(j as u32).or_insert(0.0) += p;
         }
@@ -284,8 +288,13 @@ mod tests {
             Err(ChainError::RowNotStochastic { state: 0, .. })
         ));
         let mut b = SparseChainBuilder::new();
-        b.transition(0, 0, 1.5).transition(0, 1, -0.5).transition(1, 1, 1.0);
-        assert!(matches!(b.build(), Err(ChainError::InvalidProbability { .. })));
+        b.transition(0, 0, 1.5)
+            .transition(0, 1, -0.5)
+            .transition(1, 1, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ChainError::InvalidProbability { .. })
+        ));
         assert!(matches!(
             SparseChainBuilder::<u8>::new().build(),
             Err(ChainError::Empty)
@@ -300,7 +309,9 @@ mod tests {
     #[test]
     fn accumulating_duplicate_entries() {
         let mut b = SparseChainBuilder::new();
-        b.transition(0, 1, 0.5).transition(0, 1, 0.5).transition(1, 0, 1.0);
+        b.transition(0, 1, 0.5)
+            .transition(0, 1, 0.5)
+            .transition(1, 0, 1.0);
         let c = b.build().unwrap();
         assert_eq!(c.row(0), &[(1, 1.0)]);
     }

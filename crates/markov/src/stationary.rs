@@ -30,11 +30,17 @@ impl fmt::Display for StationaryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StationaryError::NotIrreducible => {
-                write!(f, "chain is not irreducible; stationary distribution not unique")
+                write!(
+                    f,
+                    "chain is not irreducible; stationary distribution not unique"
+                )
             }
             StationaryError::Linalg(e) => write!(f, "linear solve failed: {e}"),
             StationaryError::NotConverged { iterations, delta } => {
-                write!(f, "power iteration did not converge after {iterations} steps (delta {delta})")
+                write!(
+                    f,
+                    "power iteration did not converge after {iterations} steps (delta {delta})"
+                )
             }
         }
     }
@@ -163,7 +169,11 @@ pub fn return_times<S: Clone + Eq + Hash>(
 ///
 /// Panics if `pi.len() != chain.len()`.
 pub fn balance_residual<S: Clone + Eq + Hash>(chain: &MarkovChain<S>, pi: &[f64]) -> f64 {
-    assert_eq!(pi.len(), chain.len(), "distribution length must match chain");
+    assert_eq!(
+        pi.len(),
+        chain.len(),
+        "distribution length must match chain"
+    );
     let stepped = chain.step_distribution(pi);
     stepped
         .iter()

@@ -1,0 +1,155 @@
+//! The non-uniform distributions the workspace's experiments draw
+//! from: Bernoulli trials (scheduler switch/noise decisions) and
+//! Zipf-distributed ranks (skewed-contention workloads).
+
+use crate::{Rng, RngCore};
+
+/// A Bernoulli distribution: `true` with probability `p`.
+///
+/// Pre-computes the 53-bit comparison threshold once, so repeated
+/// sampling is one draw and one compare.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    /// Threshold in 53-bit fixed point; `u64::MAX` encodes "always".
+    threshold: u64,
+}
+
+impl Bernoulli {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let threshold = if p >= 1.0 {
+            u64::MAX
+        } else {
+            (p * (1u64 << 53) as f64) as u64
+        };
+        Bernoulli { threshold }
+    }
+
+    /// Draws one trial.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.threshold == u64::MAX {
+            return true;
+        }
+        (rng.next_u64() >> 11) < self.threshold
+    }
+}
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^-s`.
+///
+/// Sampling is by binary search on the precomputed CDF — `O(log n)`
+/// per draw after `O(n)` setup, exact for any `s ≥ 0` (including the
+/// uniform `s = 0` and harmonic `s = 1` cases).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never: construction requires
+    /// `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = rng.gen_f64();
+        // partition_point returns the count of ranks with cdf <= u,
+        // i.e. the 0-based index of the first rank with cdf > u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn bernoulli_matches_gen_bool_semantics() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = Bernoulli::new(0.25);
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.25).abs() < 0.01, "freq {freq}");
+        assert!(Bernoulli::new(1.0).sample(&mut rng));
+        assert!(!Bernoulli::new(0.0).sample(&mut rng));
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let z = Zipf::new(10, 1.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        // With s = 1, P(1)/P(2) = 2: enforce monotone decrease with
+        // slack and the harmonic head probability 1/H_10 ≈ 0.3414.
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        let head = counts[0] as f64 / 100_000.0;
+        assert!((head - 0.3414).abs() < 0.02, "head {head}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let z = Zipf::new(4, 0.0);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            let rel = (c as f64 - 10_000.0).abs() / 10_000.0;
+            assert!(rel < 0.05, "count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_sample_always_in_support() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let z = Zipf::new(3, 2.0);
+        assert_eq!(z.len(), 3);
+        for _ in 0..1_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=3).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! xoshiro256++ 1.0 (Blackman & Vigna 2019): the workspace's standard
+//! generator. 256 bits of state, period `2^256 − 1`, passes BigCrush,
+//! and a handful of arithmetic ops per output — comfortably faster
+//! than the ChaCha stream it replaces while keeping streams fully
+//! reproducible from a `u64` seed.
+
+use crate::{splitmix, RngCore, SeedableRng};
+
+/// The xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator directly from four state words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zero (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Xoshiro256PlusPlus { s }
+    }
+
+    /// The 2^128-step jump, for partitioning one stream into
+    /// non-overlapping substreams (one per worker, for example).
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180EC6D33CFD0ABA,
+            0xD5A61266F0C9392C,
+            0xA9582618E03FC9AA,
+            0x39ABDC4529B1661C,
+        ];
+        let mut acc = [0u64; 4];
+        for j in JUMP {
+            for bit in 0..64 {
+                if (j >> bit) & 1 == 1 {
+                    for (a, s) in acc.iter_mut().zip(self.s) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s.iter().all(|&w| w == 0) {
+            // The all-zero state is invalid; remap it through the
+            // seeding generator like seed_from_u64 would.
+            return Self::seed_from_u64(0);
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix::next(&mut state),
+            splitmix::next(&mut state),
+            splitmix::next(&mut state),
+            splitmix::next(&mut state),
+        ];
+        // SplitMix64 outputs are a bijection of the counter: four
+        // consecutive outputs cannot all be zero.
+        Xoshiro256PlusPlus { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference values from the public-domain xoshiro256plusplus.c
+        // by Blackman & Vigna, state {1, 2, 3, 4}.
+        let mut r = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expected {
+            assert_eq!(r.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn jump_changes_stream_but_stays_deterministic() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut b = a.clone();
+        b.jump();
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut c = Xoshiro256PlusPlus::seed_from_u64(42);
+        c.jump();
+        c.next_u64(); // align with b, which has emitted one value already
+        assert_eq!(b.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn seed_from_u64_avoids_zero_state() {
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(0);
+        let vals: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn mean_of_unit_doubles_is_half() {
+        use crate::Rng;
+        let mut r = Xoshiro256PlusPlus::seed_from_u64(99);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.gen_f64()).sum();
+        let mean = sum / n as f64;
+        // Std error of the mean is ~0.0009; 0.01 is a >10-sigma gate.
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

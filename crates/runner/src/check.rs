@@ -1,0 +1,145 @@
+//! Golden-file regression checking: a fresh report rendered to text
+//! and diffed line-by-line against the recorded `results/*.txt`.
+
+use crate::report::Report;
+use crate::text::render;
+
+/// The first divergence between a fresh run and its golden file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Drift {
+    /// No golden file is recorded for this experiment.
+    MissingGolden,
+    /// Line `line` (1-based) differs.
+    Line {
+        /// 1-based line number of the first difference.
+        line: usize,
+        /// The golden file's line (`None` if the fresh output is
+        /// longer).
+        expected: Option<String>,
+        /// The fresh run's line (`None` if the golden file is
+        /// longer).
+        actual: Option<String>,
+    },
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Drift::MissingGolden => write!(f, "no golden file recorded"),
+            Drift::Line {
+                line,
+                expected,
+                actual,
+            } => {
+                let show = |s: &Option<String>| match s {
+                    Some(s) => format!("{s:?}"),
+                    None => "<end of output>".to_string(),
+                };
+                write!(
+                    f,
+                    "line {line}: golden {} vs fresh {}",
+                    show(expected),
+                    show(actual)
+                )
+            }
+        }
+    }
+}
+
+/// Compares fresh text against golden text; `None` means identical.
+pub fn check_text(golden: &str, fresh: &str) -> Option<Drift> {
+    if golden == fresh {
+        return None;
+    }
+    let mut golden_lines = golden.lines();
+    let mut fresh_lines = fresh.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (golden_lines.next(), fresh_lines.next()) {
+            (None, None) => {
+                // Same lines but unequal strings: trailing-newline or
+                // line-ending drift. Report it at the end.
+                return Some(Drift::Line {
+                    line,
+                    expected: None,
+                    actual: Some("<line-ending difference>".into()),
+                });
+            }
+            (g, a) => {
+                if g != a {
+                    return Some(Drift::Line {
+                        line,
+                        expected: g.map(String::from),
+                        actual: a.map(String::from),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Renders `report` and compares it against the golden text.
+pub fn check_report(golden: Option<&str>, report: &Report) -> Option<Drift> {
+    match golden {
+        None => Some(Drift::MissingGolden),
+        Some(golden) => check_text(golden, &render(report)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportBuilder;
+
+    #[test]
+    fn identical_text_passes() {
+        assert_eq!(check_text("a\nb\n", "a\nb\n"), None);
+    }
+
+    #[test]
+    fn single_cell_drift_is_located() {
+        let golden = "# head\n  a  b\n  c  d\n";
+        let fresh = "# head\n  a  b\n  c  X\n";
+        match check_text(golden, fresh) {
+            Some(Drift::Line {
+                line,
+                expected,
+                actual,
+            }) => {
+                assert_eq!(line, 3);
+                assert_eq!(expected.as_deref(), Some("  c  d"));
+                assert_eq!(actual.as_deref(), Some("  c  X"));
+            }
+            other => panic!("expected line drift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_differences_are_drift() {
+        assert!(matches!(
+            check_text("a\n", "a\nb\n"),
+            Some(Drift::Line { line: 2, .. })
+        ));
+        assert!(matches!(
+            check_text("a\nb\n", "a\n"),
+            Some(Drift::Line { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_golden_is_drift() {
+        let report = ReportBuilder::new("x", 0).finish(0.0);
+        assert_eq!(check_report(None, &report), Some(Drift::MissingGolden));
+    }
+
+    #[test]
+    fn report_matches_its_own_render() {
+        let mut b = ReportBuilder::new("x", 0);
+        b.note("n");
+        b.row(&["1".into()]);
+        let report = b.finish(0.0);
+        let golden = render(&report);
+        assert_eq!(check_report(Some(&golden), &report), None);
+    }
+}

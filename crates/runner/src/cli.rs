@@ -1,0 +1,379 @@
+//! The `pwf` command-line front end: `list`, `run`, `check`.
+//!
+//! The binary itself lives in `pwf-bench` (which owns the experiment
+//! registrations); it delegates straight here:
+//!
+//! ```ignore
+//! fn main() {
+//!     std::process::exit(pwf_runner::cli::main(registry, args));
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::check::check_report;
+use crate::json::Json;
+use crate::orchestrator::{run_experiments, ExpOutcome, RunOptions, RunSummary};
+use crate::registry::Registry;
+use crate::text::{fmt, render};
+use crate::DEFAULT_MASTER_SEED;
+
+const USAGE: &str = "\
+pwf — parallel experiment runner for the practically-wait-free workspace
+
+USAGE:
+    pwf list
+        List registered experiments.
+
+    pwf run (--all | NAME...) [OPTIONS]
+        Run experiments in parallel and record results.
+        --jobs N        worker threads (default 1)
+        --seed S        master seed (default the golden-results seed)
+        --fast          reduced-iteration smoke profile
+        --timeout SECS  per-experiment budget (default 300)
+        --out DIR       results directory (default results/)
+        --no-write      do not write any files
+
+    pwf check [NAME...] [OPTIONS]
+        Re-run deterministic experiments under the golden seed and
+        diff against recorded results; exits nonzero on drift.
+        --jobs N, --timeout SECS, --out DIR as above.
+";
+
+struct Args {
+    command: String,
+    names: Vec<String>,
+    all: bool,
+    jobs: usize,
+    seed: u64,
+    fast: bool,
+    timeout_secs: u64,
+    out: PathBuf,
+    out_explicit: bool,
+    no_write: bool,
+}
+
+fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
+    if argv.is_empty() {
+        return Err("missing subcommand".into());
+    }
+    let command = argv.remove(0);
+    let mut args = Args {
+        command,
+        names: Vec::new(),
+        all: false,
+        jobs: 1,
+        seed: DEFAULT_MASTER_SEED,
+        fast: false,
+        timeout_secs: 300,
+        out: PathBuf::from("results"),
+        out_explicit: false,
+        no_write: false,
+    };
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--all" => args.all = true,
+            "--fast" => args.fast = true,
+            "--no-write" => args.no_write = true,
+            "--jobs" => {
+                args.jobs = value_of("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?;
+            }
+            "--seed" => {
+                args.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed needs a u64".to_string())?;
+            }
+            "--timeout" => {
+                args.timeout_secs = value_of("--timeout")?
+                    .parse()
+                    .map_err(|_| "--timeout needs seconds".to_string())?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(value_of("--out")?);
+                args.out_explicit = true;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            name => args.names.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Entry point. Returns the process exit code: 0 success, 1 failures
+/// or drift, 2 usage errors.
+pub fn main(registry: Registry, argv: Vec<String>) -> i32 {
+    let args = match parse_args(argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let registry = Arc::new(registry);
+    match args.command.as_str() {
+        "list" => cmd_list(&registry),
+        "run" => cmd_run(&registry, &args),
+        "check" => cmd_check(&registry, &args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            0
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn cmd_list(registry: &Registry) -> i32 {
+    for exp in registry.iter() {
+        let kind = if exp.deterministic() {
+            "deterministic"
+        } else {
+            "hardware"
+        };
+        println!("{:<24} {:<14} {}", exp.name(), kind, exp.description());
+    }
+    0
+}
+
+fn resolve_names(registry: &Registry, args: &Args) -> Result<Vec<String>, String> {
+    if args.all {
+        if !args.names.is_empty() {
+            return Err("pass either --all or names, not both".into());
+        }
+        return Ok(registry.names());
+    }
+    if args.names.is_empty() {
+        return Err("no experiments selected (use --all or name them)".into());
+    }
+    for name in &args.names {
+        if registry.get(name).is_none() {
+            return Err(format!("unknown experiment {name:?} (see `pwf list`)"));
+        }
+    }
+    Ok(args.names.clone())
+}
+
+fn run_options(args: &Args) -> RunOptions {
+    RunOptions {
+        jobs: args.jobs,
+        timeout: Duration::from_secs(args.timeout_secs),
+        master_seed: args.seed,
+        fast: args.fast,
+    }
+}
+
+fn print_summary(summary: &RunSummary) {
+    println!(
+        "\n{} experiments, {} passed, {} failed; {} jobs, total {}s",
+        summary.runs.len(),
+        summary.passed(),
+        summary.runs.len() - summary.passed(),
+        summary.jobs,
+        fmt(summary.total_wall_ms / 1e3),
+    );
+    for run in &summary.runs {
+        let detail = match &run.outcome {
+            ExpOutcome::Success(_) => String::new(),
+            ExpOutcome::Failed(msg) | ExpOutcome::Panicked(msg) => format!("  ({msg})"),
+            ExpOutcome::TimedOut => "  (exceeded --timeout)".into(),
+            ExpOutcome::Unknown => "  (not registered)".into(),
+        };
+        println!(
+            "  {:<24} {:<9} {:>9}s{detail}",
+            run.name,
+            run.outcome.label(),
+            fmt(run.wall_ms / 1e3),
+        );
+    }
+}
+
+fn cmd_run(registry: &Arc<Registry>, args: &Args) -> i32 {
+    let names = match resolve_names(registry, args) {
+        Ok(names) => names,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    // Never clobber the full-profile golden results with a fast run:
+    // fast output goes nowhere unless an explicit --out says where.
+    let write = if args.no_write {
+        false
+    } else if args.fast && !args.out_explicit {
+        eprintln!(
+            "note: --fast without --out does not overwrite {} (smoke profile)",
+            args.out.display()
+        );
+        false
+    } else {
+        true
+    };
+
+    let summary = run_experiments(registry, &names, &run_options(args));
+    print_summary(&summary);
+
+    if write {
+        if let Err(err) = write_outputs(&args.out, &summary) {
+            eprintln!("error: writing results: {err}");
+            return 1;
+        }
+        println!(
+            "wrote {} text + JSON reports under {}",
+            summary.passed(),
+            args.out.display()
+        );
+    }
+    if let Err(err) = write_trajectory(Path::new("BENCH_runner.json"), &summary) {
+        eprintln!("error: writing BENCH_runner.json: {err}");
+        return 1;
+    }
+    i32::from(!summary.all_passed())
+}
+
+fn write_outputs(out_dir: &Path, summary: &RunSummary) -> std::io::Result<()> {
+    let json_dir = out_dir.join("json");
+    std::fs::create_dir_all(&json_dir)?;
+    for run in &summary.runs {
+        if let ExpOutcome::Success(report) = &run.outcome {
+            std::fs::write(out_dir.join(format!("{}.txt", run.name)), render(report))?;
+            std::fs::write(
+                json_dir.join(format!("{}.json", run.name)),
+                report.to_json().render(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the timing trajectory of the run — when each experiment
+/// started and how long it took, i.e. the realized parallel schedule.
+fn write_trajectory(path: &Path, summary: &RunSummary) -> std::io::Result<()> {
+    let experiments = summary
+        .runs
+        .iter()
+        .map(|run| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(run.name.clone())),
+                ("outcome".into(), Json::Str(run.outcome.label().into())),
+                ("started_ms".into(), Json::Num(run.started_ms)),
+                ("wall_ms".into(), Json::Num(run.wall_ms)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("benchmark".into(), Json::Str("pwf-runner".into())),
+        ("jobs".into(), Json::Int(summary.jobs as i128)),
+        ("master_seed".into(), Json::Int(summary.master_seed as i128)),
+        ("total_wall_ms".into(), Json::Num(summary.total_wall_ms)),
+        ("experiments".into(), Json::Arr(experiments)),
+    ]);
+    std::fs::write(path, doc.render())
+}
+
+fn cmd_check(registry: &Arc<Registry>, args: &Args) -> i32 {
+    let requested = if args.all || !args.names.is_empty() {
+        match resolve_names(registry, args) {
+            Ok(names) => names,
+            Err(msg) => {
+                eprintln!("error: {msg}\n\n{USAGE}");
+                return 2;
+            }
+        }
+    } else {
+        registry.names()
+    };
+    // Only deterministic experiments can be diffed against goldens.
+    let (names, skipped): (Vec<_>, Vec<_>) = requested
+        .into_iter()
+        .partition(|n| registry.get(n).map(|e| e.deterministic()).unwrap_or(false));
+    for name in &skipped {
+        println!("  {name:<24} skipped   (hardware-dependent output)");
+    }
+
+    // Golden results are recorded under the default master seed; an
+    // overridden seed would always drift, so check pins it.
+    let mut opts = run_options(args);
+    opts.master_seed = DEFAULT_MASTER_SEED;
+    opts.fast = false;
+    let summary = run_experiments(registry, &names, &opts);
+
+    let mut drifted = 0usize;
+    for run in &summary.runs {
+        match &run.outcome {
+            ExpOutcome::Success(report) => {
+                let golden_path = args.out.join(format!("{}.txt", run.name));
+                let golden = std::fs::read_to_string(&golden_path).ok();
+                match check_report(golden.as_deref(), report) {
+                    None => println!("  {:<24} ok", run.name),
+                    Some(drift) => {
+                        drifted += 1;
+                        println!("  {:<24} DRIFT     {drift}", run.name);
+                    }
+                }
+            }
+            outcome => {
+                drifted += 1;
+                println!("  {:<24} {}", run.name, outcome.label());
+            }
+        }
+    }
+    println!(
+        "\nchecked {} experiments against {}: {} drifted, {} skipped",
+        summary.runs.len(),
+        args.out.display(),
+        drifted,
+        skipped.len()
+    );
+    i32::from(drifted > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_run_flags() {
+        let args = parse_args(argv(&[
+            "run",
+            "--all",
+            "--jobs",
+            "4",
+            "--seed",
+            "9",
+            "--fast",
+            "--timeout",
+            "60",
+        ]))
+        .unwrap();
+        assert_eq!(args.command, "run");
+        assert!(args.all && args.fast);
+        assert_eq!((args.jobs, args.seed, args.timeout_secs), (4, 9, 60));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags_and_missing_values() {
+        assert!(parse_args(argv(&["run", "--bogus"])).is_err());
+        assert!(parse_args(argv(&["run", "--jobs"])).is_err());
+        assert!(parse_args(argv(&[])).is_err());
+    }
+
+    #[test]
+    fn names_are_positional() {
+        let args = parse_args(argv(&["check", "exp_a", "exp_b"])).unwrap();
+        assert_eq!(args.names, vec!["exp_a", "exp_b"]);
+    }
+}

@@ -1,0 +1,569 @@
+//! A zero-dependency JSON value type, writer, and parser — enough for
+//! report serialization, `BENCH_runner.json`, and round-tripping in
+//! tests. Integers are kept exact (seeds are full-range `u64`s that
+//! would lose precision as `f64`).
+
+use std::fmt::Write as _;
+
+use crate::report::{Block, Report};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer, kept exact through round-trips.
+    Int(i128),
+    /// A non-integer number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (integers included).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Shortest representation that round-trips; ensure
+                    // a decimal point or exponent so it re-parses as
+                    // Num, not Int.
+                    let s = format!("{v}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/Inf; null is the least-bad spelling.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset this module emits, which is
+    /// standard JSON without exotic escapes beyond `\uXXXX`).
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes, then handle the escape or
+            // terminator that stopped it.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not emitted by this
+                            // module; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+                _ => unreachable!("loop stops only at quote, backslash, or end"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+}
+
+impl Report {
+    /// Serializes the report (metadata and all blocks).
+    pub fn to_json(&self) -> Json {
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+            .collect();
+        let blocks = self
+            .blocks
+            .iter()
+            .map(|b| match b {
+                Block::Note(text) => Json::Obj(vec![("note".into(), Json::Str(text.clone()))]),
+                Block::Row(cells) => Json::Obj(vec![(
+                    "row".into(),
+                    Json::Arr(cells.iter().map(|c| Json::Str(c.clone())).collect()),
+                )]),
+                Block::Raw(line) => Json::Obj(vec![("raw".into(), Json::Str(line.clone()))]),
+            })
+            .collect();
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("seed".into(), Json::Int(self.seed as i128)),
+            ("wall_time_ms".into(), Json::Num(self.wall_time_ms)),
+            ("params".into(), Json::Obj(params)),
+            ("blocks".into(), Json::Arr(blocks)),
+        ])
+    }
+
+    /// Deserializes a report produced by [`to_json`](Report::to_json).
+    pub fn from_json(value: &Json) -> Result<Report, String> {
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("missing name")?
+            .to_string();
+        let seed = value
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("missing seed")?;
+        let wall_time_ms = value
+            .get("wall_time_ms")
+            .and_then(Json::as_f64)
+            .ok_or("missing wall_time_ms")?;
+        let params = match value.get("params") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("param {k:?} is not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing params".into()),
+        };
+        let blocks = value
+            .get("blocks")
+            .and_then(Json::as_array)
+            .ok_or("missing blocks")?
+            .iter()
+            .map(|b| {
+                if let Some(text) = b.get("note").and_then(Json::as_str) {
+                    Ok(Block::Note(text.to_string()))
+                } else if let Some(cells) = b.get("row").and_then(Json::as_array) {
+                    cells
+                        .iter()
+                        .map(|c| c.as_str().map(String::from).ok_or("row cell not a string"))
+                        .collect::<Result<Vec<_>, _>>()
+                        .map(Block::Row)
+                        .map_err(String::from)
+                } else if let Some(line) = b.get("raw").and_then(Json::as_str) {
+                    Ok(Block::Raw(line.to_string()))
+                } else {
+                    Err("unknown block shape".to_string())
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Report {
+            name,
+            seed,
+            wall_time_ms,
+            params,
+            blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportBuilder;
+
+    #[test]
+    fn scalar_round_trips() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("-42", Json::Int(-42)),
+            ("3.25", Json::Num(3.25)),
+            ("\"a\\nb\"", Json::Str("a\nb".into())),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), value, "{text}");
+            assert_eq!(Json::parse(value.render().trim()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let v = Json::Int(u64::MAX as i128);
+        let parsed = Json::parse(&v.render()).unwrap();
+        assert_eq!(parsed.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::Obj(vec![
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            (
+                "items".into(),
+                Json::Arr(vec![
+                    Json::Int(1),
+                    Json::Str("two, three".into()),
+                    Json::Null,
+                ]),
+            ),
+            ("quote \"key\"".into(), Json::Str("tab\there".into())),
+        ]);
+        assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut b = ReportBuilder::new("exp_demo", u64::MAX - 3);
+        b.param("profile", "full");
+        b.note("line one\nline two");
+        b.header(&["n", "W"]);
+        b.row(&["4".into(), "1.9952".into()]);
+        b.raw("  (0,0)  pi=0.15");
+        let report = b.finish(12.5);
+        let json = report.to_json();
+        let back = Report::from_json(&Json::parse(&json.render()).unwrap()).unwrap();
+        assert_eq!(back, report);
+    }
+}

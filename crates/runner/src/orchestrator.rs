@@ -1,0 +1,345 @@
+//! The parallel experiment runner: a `std::thread` worker pool with
+//! per-experiment timeouts and panic isolation.
+//!
+//! Each experiment executes on its own dedicated thread; a pool of
+//! `jobs` workers feeds them from a shared queue. The worker waits on
+//! a channel with a deadline, so a hung experiment is reported as
+//! [`ExpOutcome::TimedOut`] and the pool moves on (the abandoned
+//! thread keeps running detached — it cannot be killed — but the run
+//! completes and reports without it). A panicking experiment is caught
+//! with `catch_unwind` and reported as [`ExpOutcome::Panicked`];
+//! neither failure mode aborts the remaining experiments.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::config::ExpConfig;
+use crate::registry::Registry;
+use crate::report::Report;
+use crate::DEFAULT_MASTER_SEED;
+
+/// Options for one orchestrated run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Per-experiment wall-clock budget.
+    pub timeout: Duration,
+    /// Master seed; each experiment derives its own from this and its
+    /// name.
+    pub master_seed: u64,
+    /// Run the reduced-iteration smoke profile.
+    pub fast: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            jobs: 1,
+            timeout: Duration::from_secs(300),
+            master_seed: DEFAULT_MASTER_SEED,
+            fast: false,
+        }
+    }
+}
+
+/// How one experiment ended.
+#[derive(Debug)]
+pub enum ExpOutcome {
+    /// Completed and produced a report.
+    Success(Report),
+    /// Returned an error.
+    Failed(String),
+    /// Panicked; the payload message is preserved.
+    Panicked(String),
+    /// Exceeded the per-experiment timeout.
+    TimedOut,
+    /// Name not present in the registry.
+    Unknown,
+}
+
+impl ExpOutcome {
+    /// Whether this outcome counts as a pass.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExpOutcome::Success(_))
+    }
+
+    /// Short status label for summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExpOutcome::Success(_) => "ok",
+            ExpOutcome::Failed(_) => "FAILED",
+            ExpOutcome::Panicked(_) => "PANICKED",
+            ExpOutcome::TimedOut => "TIMEOUT",
+            ExpOutcome::Unknown => "UNKNOWN",
+        }
+    }
+}
+
+/// One experiment's slot in the run: outcome plus timing trajectory
+/// (offsets are relative to the start of the whole run, giving the
+/// parallel schedule for `BENCH_runner.json`).
+#[derive(Debug)]
+pub struct ExpRun {
+    /// Experiment name.
+    pub name: String,
+    /// How it ended.
+    pub outcome: ExpOutcome,
+    /// Offset of its start from the run start, in milliseconds.
+    pub started_ms: f64,
+    /// Wall time spent on it, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The result of an orchestrated run, in request order.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Per-experiment results.
+    pub runs: Vec<ExpRun>,
+    /// Total wall time of the whole run, in milliseconds.
+    pub total_wall_ms: f64,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// The master seed the run used.
+    pub master_seed: u64,
+}
+
+impl RunSummary {
+    /// Number of experiments that passed.
+    pub fn passed(&self) -> usize {
+        self.runs.iter().filter(|r| r.outcome.is_success()).count()
+    }
+
+    /// Whether every experiment passed.
+    pub fn all_passed(&self) -> bool {
+        self.passed() == self.runs.len()
+    }
+}
+
+/// Runs `names` from the registry in parallel under `opts`.
+///
+/// The registry is shared by `Arc` because timed-out experiment
+/// threads outlive the call and must keep their references valid.
+pub fn run_experiments(
+    registry: &Arc<Registry>,
+    names: &[String],
+    opts: &RunOptions,
+) -> RunSummary {
+    let run_start = Instant::now();
+    let jobs = opts.jobs.max(1).min(names.len().max(1));
+
+    // One result slot per requested name, fed by worker threads.
+    let mut slots: Vec<Option<ExpRun>> = Vec::new();
+    slots.resize_with(names.len(), || None);
+    let slots = std::sync::Mutex::new(slots);
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= names.len() {
+                    return;
+                }
+                let name = &names[idx];
+                let started_ms = run_start.elapsed().as_secs_f64() * 1e3;
+                let exp_start = Instant::now();
+                let outcome = run_one(registry, name, opts);
+                let run = ExpRun {
+                    name: name.clone(),
+                    outcome,
+                    started_ms,
+                    wall_ms: exp_start.elapsed().as_secs_f64() * 1e3,
+                };
+                slots.lock().expect("result mutex")[idx] = Some(run);
+            });
+        }
+    });
+
+    let runs = slots
+        .into_inner()
+        .expect("result mutex")
+        .into_iter()
+        .map(|slot| slot.expect("every slot filled by a worker"))
+        .collect();
+    RunSummary {
+        runs,
+        total_wall_ms: run_start.elapsed().as_secs_f64() * 1e3,
+        jobs,
+        master_seed: opts.master_seed,
+    }
+}
+
+/// Runs a single experiment on a dedicated thread with timeout and
+/// panic isolation.
+fn run_one(registry: &Arc<Registry>, name: &str, opts: &RunOptions) -> ExpOutcome {
+    if registry.get(name).is_none() {
+        return ExpOutcome::Unknown;
+    }
+    let cfg = ExpConfig::for_experiment(opts.master_seed, name, opts.fast);
+    let (tx, rx) = mpsc::channel();
+    let registry = Arc::clone(registry);
+    let name = name.to_string();
+    // Detached (non-scoped) thread: if it hangs past the timeout we
+    // abandon it rather than block the pool.
+    std::thread::Builder::new()
+        .name(format!("pwf-{name}"))
+        .spawn(move || {
+            let exp = registry.get(&name).expect("checked above");
+            let result = catch_unwind(AssertUnwindSafe(|| exp.run(&cfg)));
+            let outcome = match result {
+                Ok(Ok(report)) => ExpOutcome::Success(report),
+                Ok(Err(err)) => ExpOutcome::Failed(err.to_string()),
+                Err(payload) => ExpOutcome::Panicked(panic_message(payload.as_ref())),
+            };
+            // The receiver may have timed out and gone away; nothing
+            // to do about it.
+            let _ = tx.send(outcome);
+        })
+        .expect("spawn experiment thread");
+    match rx.recv_timeout(opts.timeout) {
+        Ok(outcome) => outcome,
+        Err(_) => ExpOutcome::TimedOut,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FnExperiment;
+    use crate::ExpError;
+
+    fn registry() -> Arc<Registry> {
+        let mut reg = Registry::new();
+        reg.register(Box::new(FnExperiment {
+            name: "ok_a",
+            description: "succeeds",
+            deterministic: true,
+            body: |cfg, out| {
+                out.note(&format!("seed {}", cfg.seed));
+                Ok(())
+            },
+        }))
+        .unwrap();
+        reg.register(Box::new(FnExperiment {
+            name: "ok_b",
+            description: "succeeds too",
+            deterministic: true,
+            body: |_, out| {
+                out.header(&["x"]);
+                Ok(())
+            },
+        }))
+        .unwrap();
+        reg.register(Box::new(FnExperiment {
+            name: "panics",
+            description: "dies",
+            deterministic: true,
+            body: |_, _| panic!("intentional test panic"),
+        }))
+        .unwrap();
+        reg.register(Box::new(FnExperiment {
+            name: "fails",
+            description: "errors",
+            deterministic: true,
+            body: |_, _| Err(ExpError::from("synthetic failure")),
+        }))
+        .unwrap();
+        reg.register(Box::new(FnExperiment {
+            name: "hangs",
+            description: "sleeps past any test timeout",
+            deterministic: true,
+            body: |_, _| {
+                std::thread::sleep(Duration::from_secs(3600));
+                Ok(())
+            },
+        }))
+        .unwrap();
+        Arc::new(reg)
+    }
+
+    fn names(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn failures_do_not_abort_the_rest() {
+        let reg = registry();
+        let opts = RunOptions {
+            jobs: 2,
+            timeout: Duration::from_secs(30),
+            ..RunOptions::default()
+        };
+        let summary = run_experiments(&reg, &names(&["ok_a", "panics", "fails", "ok_b"]), &opts);
+        assert_eq!(summary.runs.len(), 4);
+        assert_eq!(summary.passed(), 2);
+        assert!(
+            matches!(summary.runs[1].outcome, ExpOutcome::Panicked(ref m)
+            if m.contains("intentional"))
+        );
+        assert!(matches!(summary.runs[2].outcome, ExpOutcome::Failed(ref m)
+            if m.contains("synthetic")));
+        assert!(summary.runs[3].outcome.is_success());
+    }
+
+    #[test]
+    fn timeouts_are_reported_and_do_not_block() {
+        let reg = registry();
+        let opts = RunOptions {
+            jobs: 2,
+            timeout: Duration::from_millis(100),
+            ..RunOptions::default()
+        };
+        let start = Instant::now();
+        let summary = run_experiments(&reg, &names(&["hangs", "ok_a"]), &opts);
+        assert!(matches!(summary.runs[0].outcome, ExpOutcome::TimedOut));
+        assert!(summary.runs[1].outcome.is_success());
+        assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let reg = registry();
+        let summary = run_experiments(&reg, &names(&["nope"]), &RunOptions::default());
+        assert!(matches!(summary.runs[0].outcome, ExpOutcome::Unknown));
+        assert!(!summary.all_passed());
+    }
+
+    #[test]
+    fn same_seed_gives_identical_reports_across_jobs() {
+        let reg = registry();
+        let opts_serial = RunOptions {
+            jobs: 1,
+            master_seed: 7,
+            ..RunOptions::default()
+        };
+        let opts_parallel = RunOptions {
+            jobs: 4,
+            master_seed: 7,
+            ..RunOptions::default()
+        };
+        let a = run_experiments(&reg, &names(&["ok_a", "ok_b"]), &opts_serial);
+        let b = run_experiments(&reg, &names(&["ok_a", "ok_b"]), &opts_parallel);
+        for (ra, rb) in a.runs.iter().zip(&b.runs) {
+            match (&ra.outcome, &rb.outcome) {
+                (ExpOutcome::Success(x), ExpOutcome::Success(y)) => {
+                    assert!(x.same_output(y), "{} diverged", ra.name);
+                }
+                _ => panic!("both runs should succeed"),
+            }
+        }
+    }
+}

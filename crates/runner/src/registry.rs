@@ -1,0 +1,214 @@
+//! The experiment catalogue: named experiments, duplicate-rejecting
+//! registration, deterministic iteration order.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use crate::config::ExpConfig;
+use crate::report::{Report, ReportBuilder};
+use crate::{ExpError, ExpResult};
+
+/// One registered experiment.
+///
+/// Implementations must be `Send + Sync`: the orchestrator runs them
+/// from worker threads. The provided [`run`](Experiment::run) wrapper
+/// handles report scaffolding and timing; implementors supply the
+/// body via [`fill`](Experiment::fill).
+pub trait Experiment: Send + Sync {
+    /// Unique registry name (historically the binary name, e.g.
+    /// `exp_ballsbins`).
+    fn name(&self) -> &str;
+
+    /// One-line description (shown by `pwf list`).
+    fn description(&self) -> &str;
+
+    /// Whether the output is a pure function of the seed. Experiments
+    /// that measure real hardware (timing, thread interleavings) are
+    /// not, and golden-file checking skips them.
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    /// Writes the experiment's output into `out`.
+    fn fill(&self, cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult;
+
+    /// Runs the experiment end-to-end: builds the report scaffold,
+    /// stamps standard parameters, executes [`fill`](Experiment::fill),
+    /// and records wall time.
+    fn run(&self, cfg: &ExpConfig) -> Result<Report, ExpError> {
+        let start = Instant::now();
+        let mut out = ReportBuilder::new(self.name(), cfg.seed);
+        out.param("profile", cfg.profile());
+        out.param("deterministic", self.deterministic());
+        self.fill(cfg, &mut out)?;
+        Ok(out.finish(start.elapsed().as_secs_f64() * 1e3))
+    }
+}
+
+/// A function-pointer [`Experiment`] — how `pwf-bench` registers the
+/// refactored binaries.
+pub struct FnExperiment {
+    /// Registry name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// See [`Experiment::deterministic`].
+    pub deterministic: bool,
+    /// The experiment body.
+    pub body: fn(&ExpConfig, &mut ReportBuilder) -> ExpResult,
+}
+
+impl Experiment for FnExperiment {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn description(&self) -> &str {
+        self.description
+    }
+
+    fn deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    fn fill(&self, cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+        (self.body)(cfg, out)
+    }
+}
+
+/// Registration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An experiment with this name is already registered.
+    DuplicateName(String),
+    /// Empty names are not addressable from the CLI.
+    EmptyName,
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateName(name) => {
+                write!(f, "experiment name registered twice: {name:?}")
+            }
+            RegistryError::EmptyName => write!(f, "experiment name must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The experiment catalogue. Iteration is in name order, so every
+/// run, listing, and summary is deterministic.
+#[derive(Default)]
+pub struct Registry {
+    experiments: BTreeMap<String, Box<dyn Experiment>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds an experiment, rejecting duplicate or empty names.
+    pub fn register(&mut self, exp: Box<dyn Experiment>) -> Result<(), RegistryError> {
+        let name = exp.name().to_string();
+        if name.is_empty() {
+            return Err(RegistryError::EmptyName);
+        }
+        if self.experiments.contains_key(&name) {
+            return Err(RegistryError::DuplicateName(name));
+        }
+        self.experiments.insert(name, exp);
+        Ok(())
+    }
+
+    /// Looks up an experiment by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Experiment> {
+        self.experiments.get(name).map(|b| b.as_ref())
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.experiments.keys().cloned().collect()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Iterates experiments in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.experiments.values().map(|b| b.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(name: &'static str) -> Box<FnExperiment> {
+        Box::new(FnExperiment {
+            name,
+            description: "demo",
+            deterministic: true,
+            body: |cfg, out| {
+                out.note(&format!("seed {}", cfg.seed));
+                Ok(())
+            },
+        })
+    }
+
+    #[test]
+    fn lookup_and_ordering() {
+        let mut reg = Registry::new();
+        reg.register(demo("b")).unwrap();
+        reg.register(demo("a")).unwrap();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut reg = Registry::new();
+        reg.register(demo("x")).unwrap();
+        let err = reg.register(demo("x")).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateName("x".into()));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn empty_names_are_rejected() {
+        let mut reg = Registry::new();
+        assert_eq!(
+            reg.register(demo("")).unwrap_err(),
+            RegistryError::EmptyName
+        );
+    }
+
+    #[test]
+    fn run_stamps_metadata() {
+        let mut reg = Registry::new();
+        reg.register(demo("m")).unwrap();
+        let cfg = ExpConfig {
+            seed: 41,
+            fast: true,
+        };
+        let report = reg.get("m").unwrap().run(&cfg).unwrap();
+        assert_eq!(report.name, "m");
+        assert_eq!(report.seed, 41);
+        assert_eq!(report.param("profile"), Some("fast"));
+        assert_eq!(report.param("deterministic"), Some("true"));
+        assert!(report.wall_time_ms >= 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The aligned-text renderer — the one formatting path shared by the
+//! refactored binaries, the `pwf` CLI, and golden-file checking.
+//!
+//! The format is the workspace's historical stdout convention:
+//! `# `-prefixed commentary lines, rows of 12-character right-aligned
+//! columns joined by single spaces, and verbatim free-form lines.
+//! [`render`] reproduces a [`Report`]'s blocks byte-for-byte as the
+//! old binaries printed them, which is what makes `results/*.txt`
+//! diffable against fresh runs.
+//!
+//! The printing helpers ([`note`], [`row`], [`header`]) and the float
+//! formatter [`fmt`] moved here from `pwf-bench`'s crate root and are
+//! re-exported there unchanged.
+
+use crate::report::{Block, Report};
+
+/// Formats a float for tabular output: `0` for zero, scientific for
+/// magnitudes outside `[1e-3, 1e4)`, else four decimals.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e4 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders one row of 12-character right-aligned columns.
+pub fn row_line(cells: &[String]) -> String {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    line.join(" ")
+}
+
+/// Renders commentary: one `# `-prefixed line per line of `text`
+/// (empty text renders no lines, matching the historical helper).
+pub fn note_lines(text: &str) -> Vec<String> {
+    text.lines().map(|line| format!("# {line}")).collect()
+}
+
+/// Prints a commentary line (prefixed `# `) so tabular output stays
+/// machine-separable.
+pub fn note(text: &str) {
+    for line in note_lines(text) {
+        println!("{line}");
+    }
+}
+
+/// Prints one row of aligned columns (12 chars each).
+pub fn row(cells: &[String]) {
+    println!("{}", row_line(cells));
+}
+
+/// Convenience: a header row from static labels.
+pub fn header(cells: &[&str]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+}
+
+/// Renders a report's blocks as the historical stdout text (trailing
+/// newline included; metadata is *not* rendered — it lives in the JSON
+/// side so the text stays byte-compatible with recorded results).
+pub fn render(report: &Report) -> String {
+    let mut out = String::new();
+    for block in &report.blocks {
+        match block {
+            Block::Note(text) => {
+                for line in note_lines(text) {
+                    out.push_str(&line);
+                    out.push('\n');
+                }
+            }
+            Block::Row(cells) => {
+                out.push_str(&row_line(cells));
+                out.push('\n');
+            }
+            Block::Raw(line) => {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReportBuilder;
+
+    #[test]
+    fn fmt_switches_notation() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1.5), "1.5000");
+        assert_eq!(fmt(123456.0), "1.235e5");
+        assert_eq!(fmt(0.0001), "1.000e-4");
+    }
+
+    #[test]
+    fn render_matches_historical_format() {
+        let mut b = ReportBuilder::new("demo", 1);
+        b.note("E0 / a demo.");
+        b.header(&["n", "W"]);
+        b.row(&["4".into(), fmt(1.5)]);
+        b.note("");
+        b.raw("  custom line");
+        let text = render(&b.finish(0.0));
+        assert_eq!(
+            text,
+            "# E0 / a demo.\n\
+             \x20          n            W\n\
+             \x20          4       1.5000\n\
+             \x20 custom line\n"
+        );
+    }
+
+    #[test]
+    fn empty_note_renders_nothing_multiline_note_prefixes_each() {
+        assert!(note_lines("").is_empty());
+        assert_eq!(note_lines("a\nb"), vec!["# a", "# b"]);
+    }
+}

@@ -119,11 +119,8 @@ mod tests {
 
     #[test]
     fn events_sorted_by_time() {
-        let s = CrashSchedule::new(
-            vec![(50, ProcessId::new(1)), (10, ProcessId::new(0))],
-            4,
-        )
-        .unwrap();
+        let s =
+            CrashSchedule::new(vec![(50, ProcessId::new(1)), (10, ProcessId::new(0))], 4).unwrap();
         assert_eq!(s.events()[0].0, 10);
         assert_eq!(s.events()[1].0, 50);
     }
@@ -131,7 +128,11 @@ mod tests {
     #[test]
     fn crashes_at_filters_by_time() {
         let s = CrashSchedule::new(
-            vec![(5, ProcessId::new(0)), (5, ProcessId::new(2)), (9, ProcessId::new(1))],
+            vec![
+                (5, ProcessId::new(0)),
+                (5, ProcessId::new(2)),
+                (9, ProcessId::new(1)),
+            ],
             5,
         )
         .unwrap();
@@ -142,21 +143,15 @@ mod tests {
 
     #[test]
     fn rejects_crashing_everyone() {
-        let err = CrashSchedule::new(
-            vec![(1, ProcessId::new(0)), (2, ProcessId::new(1))],
-            2,
-        )
-        .unwrap_err();
+        let err = CrashSchedule::new(vec![(1, ProcessId::new(0)), (2, ProcessId::new(1))], 2)
+            .unwrap_err();
         assert!(matches!(err, CrashScheduleError::TooManyCrashes { .. }));
     }
 
     #[test]
     fn rejects_duplicate_process() {
-        let err = CrashSchedule::new(
-            vec![(1, ProcessId::new(0)), (2, ProcessId::new(0))],
-            3,
-        )
-        .unwrap_err();
+        let err = CrashSchedule::new(vec![(1, ProcessId::new(0)), (2, ProcessId::new(0))], 3)
+            .unwrap_err();
         assert_eq!(err, CrashScheduleError::DuplicateProcess(ProcessId::new(0)));
     }
 

@@ -4,8 +4,8 @@
 //! performs local computation and one shared-memory step. The executor
 //! records completions and (optionally) the full schedule trace.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pwf_rng::rngs::StdRng;
+use pwf_rng::SeedableRng;
 
 use crate::crash::CrashSchedule;
 use crate::memory::SharedMemory;
@@ -151,7 +151,10 @@ pub fn run(
         );
         process_steps[p.index()] += 1;
         if outcome == StepOutcome::Completed {
-            completions.push(Completion { time: tau, process: p });
+            completions.push(Completion {
+                time: tau,
+                process: p,
+            });
             process_completions[p.index()] += 1;
         }
         if let Some(t) = trace.as_mut() {
@@ -226,8 +229,7 @@ mod tests {
         let mut mem = SharedMemory::new();
         let mut ps = ticking_fleet(&mut mem, 2, 1);
         let mut sched = UniformScheduler::new();
-        let crashes =
-            CrashSchedule::new(vec![(100, ProcessId::new(0))], 2).unwrap();
+        let crashes = CrashSchedule::new(vec![(100, ProcessId::new(0))], 2).unwrap();
         let exec = run(
             &mut ps,
             &mut sched,

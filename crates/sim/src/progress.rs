@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn maximal_bound_is_worst_over_processes() {
-        let r = measure(
-            &exec(60, vec![(10, 0), (20, 1), (30, 0), (60, 1)], 2),
-            &[],
-        );
+        let r = measure(&exec(60, vec![(10, 0), (20, 1), (30, 0), (60, 1)], 2), &[]);
         // p0 gaps: 10, 20, trailing 30 → 30. p1 gaps: 20, 40, 0 → 40.
         assert_eq!(r.per_process_bound[0], Some(30));
         assert_eq!(r.per_process_bound[1], Some(40));

@@ -14,7 +14,7 @@
 //! process, otherwise pick uniformly. For `ε > 0` it is stochastic;
 //! `ε = 0` is the classic priority adversary.
 
-use rand::Rng;
+use pwf_rng::Rng;
 
 use crate::process::ProcessId;
 use crate::scheduler::{ActiveSet, Scheduler};
@@ -57,7 +57,7 @@ impl Scheduler for QuantumScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         let must_switch = match self.current {
             Some(p) if active.is_active(p) => rng.gen_bool(self.switch_prob),
@@ -94,10 +94,7 @@ impl PriorityScheduler {
     ///
     /// Panics unless `0 <= epsilon <= 1`.
     pub fn new(epsilon: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&epsilon),
-            "epsilon must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
         PriorityScheduler { epsilon }
     }
 }
@@ -107,7 +104,7 @@ impl Scheduler for PriorityScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         if self.epsilon > 0.0 && rng.gen_bool(self.epsilon) {
             let k = rng.gen_range(0..active.active_count());
@@ -128,8 +125,8 @@ impl Scheduler for PriorityScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pwf_rng::rngs::StdRng;
+    use pwf_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xFEED)

@@ -43,7 +43,7 @@ impl Scheduler for ReplayScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        _rng: &mut dyn rand::RngCore,
+        _rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         assert!(
             self.pos < self.trace.len(),
@@ -113,7 +113,7 @@ mod tests {
     fn remaining_counts_down() {
         let mut s = ReplayScheduler::new(vec![ProcessId::new(0), ProcessId::new(1)]);
         let active = ActiveSet::all(2);
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut rng = pwf_rng::rngs::mock::StepRng::new(0, 1);
         assert_eq!(s.remaining(), 2);
         let _ = s.schedule(1, &active, &mut rng);
         assert_eq!(s.remaining(), 1);
@@ -124,7 +124,7 @@ mod tests {
     fn overrunning_the_trace_panics() {
         let mut s = ReplayScheduler::new(vec![ProcessId::new(0)]);
         let active = ActiveSet::all(1);
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut rng = pwf_rng::rngs::mock::StepRng::new(0, 1);
         let _ = s.schedule(1, &active, &mut rng);
         let _ = s.schedule(2, &active, &mut rng);
     }
@@ -135,7 +135,7 @@ mod tests {
         let mut s = ReplayScheduler::new(vec![ProcessId::new(0)]);
         let mut active = ActiveSet::all(2);
         active.crash(ProcessId::new(0));
-        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut rng = pwf_rng::rngs::mock::StepRng::new(0, 1);
         let _ = s.schedule(1, &active, &mut rng);
     }
 }

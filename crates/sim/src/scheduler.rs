@@ -23,7 +23,7 @@
 //!   into `Π_τ` as point masses (the paper's observation that any
 //!   classic adversary is the `θ = 0` special case).
 
-use rand::Rng;
+use pwf_rng::Rng;
 
 use crate::process::ProcessId;
 
@@ -109,8 +109,12 @@ pub trait Scheduler {
     ///
     /// Must return an active process (well-formedness: all probability
     /// mass on `A_τ`).
-    fn schedule(&mut self, tau: u64, active: &ActiveSet, rng: &mut dyn rand::RngCore)
-        -> ProcessId;
+    fn schedule(
+        &mut self,
+        tau: u64,
+        active: &ActiveSet,
+        rng: &mut dyn pwf_rng::RngCore,
+    ) -> ProcessId;
 
     /// The probability threshold `θ` for `n` processes, assuming all
     /// are active. `0` means the scheduler is adversarial, not
@@ -139,7 +143,7 @@ impl Scheduler for UniformScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         let k = rng.gen_range(0..active.active_count());
         active
@@ -180,7 +184,7 @@ impl WeightedScheduler {
         WeightedScheduler { weights }
     }
 
-    fn pick(&self, active: &ActiveSet, rng: &mut dyn rand::RngCore) -> ProcessId {
+    fn pick(&self, active: &ActiveSet, rng: &mut dyn pwf_rng::RngCore) -> ProcessId {
         let total: f64 = active.iter().map(|p| self.weights[p.index()]).sum();
         let mut x = rng.gen_range(0.0..total);
         let mut last = None;
@@ -201,7 +205,7 @@ impl Scheduler for WeightedScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         self.pick(active, rng)
     }
@@ -250,7 +254,7 @@ impl Scheduler for LotteryScheduler {
         &mut self,
         tau: u64,
         active: &ActiveSet,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         self.inner.schedule(tau, active, rng)
     }
@@ -300,7 +304,7 @@ impl Scheduler for MarkovScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        rng: &mut dyn rand::RngCore,
+        rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         if let Some(last) = self.last {
             if active.is_active(last) && rng.gen_bool(self.stickiness) {
@@ -365,7 +369,7 @@ impl Scheduler for AdversarialScheduler {
         &mut self,
         _tau: u64,
         active: &ActiveSet,
-        _rng: &mut dyn rand::RngCore,
+        _rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         // Advance past crashed entries; guaranteed to terminate since
         // the active set is non-empty and we cycle the whole script.
@@ -393,8 +397,8 @@ impl Scheduler for AdversarialScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pwf_rng::rngs::StdRng;
+    use pwf_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(0xC0FFEE)
@@ -511,8 +515,11 @@ mod tests {
 
     #[test]
     fn adversary_replays_script_and_skips_crashed() {
-        let mut s =
-            AdversarialScheduler::cycle(vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]);
+        let mut s = AdversarialScheduler::cycle(vec![
+            ProcessId::new(0),
+            ProcessId::new(1),
+            ProcessId::new(2),
+        ]);
         let mut active = ActiveSet::all(3);
         let mut r = rng();
         assert_eq!(s.schedule(0, &active, &mut r).index(), 0);

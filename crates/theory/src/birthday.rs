@@ -83,7 +83,11 @@ mod tests {
         for a in [2u64, 5, 23, 365, 1000] {
             let e = expected_throws_to_two_collision(a);
             let q = ramanujan_q(a);
-            assert!((e - (q + 2.0)).abs() < 1e-9, "a={a}: E={e}, Q+2={}", q + 2.0);
+            assert!(
+                (e - (q + 2.0)).abs() < 1e-9,
+                "a={a}: E={e}, Q+2={}",
+                q + 2.0
+            );
         }
     }
 

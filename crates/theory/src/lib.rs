@@ -30,6 +30,6 @@ pub mod fitting;
 pub mod ramanujan;
 
 pub use birthday::{expected_throws_to_two_collision, phase_length_bound};
-pub use fitting::{fit_affine, fit_scu_alpha, LatencyFit};
 pub use bounds::{fai_system_latency_bound, theorem_3_bound, ScuPrediction};
+pub use fitting::{fit_affine, fit_scu_alpha, LatencyFit};
 pub use ramanujan::{ramanujan_q, sqrt_pi_n_over_2, z_values, z_worst};

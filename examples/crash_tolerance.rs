@@ -8,7 +8,10 @@ use practically_wait_free::core::{AlgorithmSpec, SimExperiment};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Corollary 2 — crash n−k of n processes at t = 1000, SCU(0,1):");
-    println!("{:>4} {:>4} {:>14} {:>16}", "n", "k", "W (with crashes)", "W (k crash-free)");
+    println!(
+        "{:>4} {:>4} {:>14} {:>16}",
+        "n", "k", "W (with crashes)", "W (k crash-free)"
+    );
     for (n, k) in [(8usize, 2usize), (16, 4), (32, 8), (64, 16)] {
         let mut exp = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, 500_000).seed(3);
         for p in k..n {
@@ -26,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("O(q + s·√k), because the stationary regime only sees live processes.\n");
 
     println!("Resilience comparison — crash one process at t = 1000, n = 4, 100k steps:");
-    println!("{:>16} {:>12} {:>30}", "algorithm", "total ops", "worst post-crash gap (steps)");
+    println!(
+        "{:>16} {:>12} {:>30}",
+        "algorithm", "total ops", "worst post-crash gap (steps)"
+    );
     for spec in [
         AlgorithmSpec::Scu { q: 0, s: 1 },
         AlgorithmSpec::FetchAndInc,

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("win state satisfies the same recurrence — with asymptotics √(πn/2).");
 
     println!("\nReal hardware (std::sync::atomic, this machine):");
-    println!("{:>8} {:>14} {:>16}", "threads", "rate (ops/step)", "counter integrity");
+    println!(
+        "{:>8} {:>14} {:>16}",
+        "threads", "rate (ops/step)", "counter integrity"
+    );
     let max_threads = std::thread::available_parallelism()?.get().min(8);
     let mut threads = 1;
     while threads <= max_threads {
@@ -45,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>8} {:>14.5} {:>16}",
             threads,
             report.completion_rate(),
-            if ok { "no lost increments" } else { "LOST INCREMENTS" }
+            if ok {
+                "no lost increments"
+            } else {
+                "LOST INCREMENTS"
+            }
         );
         threads *= 2;
     }

@@ -24,7 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .run()?
             .system_latency
             .unwrap();
-        println!("{:>4} {:>14.2} {:>14.2} {:>11.1}x", n, lock, free, lock / free);
+        println!(
+            "{:>4} {:>14.2} {:>14.2} {:>11.1}x",
+            n,
+            lock,
+            free,
+            lock / free
+        );
     }
     println!(
         "\nThe lock-based counter pays Θ(n) per operation (exact model: 1 + 3n = {}\n\

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = system_chain(n)?;
 
     println!("Figure 1 — the two chains for n = 2 processes.\n");
-    println!("Individual chain ({} states): stationary π and lifting image", ind.len());
+    println!(
+        "Individual chain ({} states): stationary π and lifting image",
+        ind.len()
+    );
     let pi = stationary_distribution(&ind)?;
     for (i, s) in ind.states().iter().enumerate() {
         let labels: Vec<&str> = s.iter().map(pstate).collect();
@@ -41,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nSystem chain ({} states): transition probabilities", sys.len());
+    println!(
+        "\nSystem chain ({} states): transition probabilities",
+        sys.len()
+    );
     let pi_sys = stationary_distribution(&sys)?;
     for (i, &(a, b)) in sys.states().iter().enumerate() {
         let row: Vec<String> = sys

@@ -13,7 +13,10 @@ use practically_wait_free::theory::bounds::ScuPrediction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("SCU(0,1) under the uniform stochastic scheduler");
-    println!("{:>4} {:>12} {:>12} {:>12} {:>10}", "n", "W (exact)", "W (sim)", "W (theory)", "W_i/(n·W)");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12} {:>10}",
+        "n", "W (exact)", "W (sim)", "W (theory)", "W_i/(n·W)"
+    );
 
     for n in [2usize, 3, 4, 5] {
         // Exact: stationary analysis of the system chain, with the
@@ -46,13 +49,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>6} {:>12} {:>10} {:>10}", "n", "W", "W/√n", "method");
     for n in [16usize, 64] {
         let w = practically_wait_free::algorithms::chains::scu::exact_system_latency(n)?;
-        println!("{:>6} {:>12.4} {:>10.4} {:>10}", n, w, w / (n as f64).sqrt(), "chain");
+        println!(
+            "{:>6} {:>12.4} {:>10.4} {:>10}",
+            n,
+            w,
+            w / (n as f64).sqrt(),
+            "chain"
+        );
     }
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    use pwf_rng::SeedableRng;
+    let mut rng = pwf_rng::rngs::StdRng::seed_from_u64(2);
     for n in [256usize, 1024, 4096] {
         let w = practically_wait_free::ballsbins::game::mean_phase_length(n, 200, 5_000, &mut rng);
-        println!("{:>6} {:>12.4} {:>10.4} {:>10}", n, w, w / (n as f64).sqrt(), "game");
+        println!(
+            "{:>6} {:>12.4} {:>10.4} {:>10}",
+            n,
+            w,
+            w / (n as f64).sqrt(),
+            "game"
+        );
     }
     println!("\nW/√n is flat: system latency is Θ(√n), not Θ(n) — Theorem 5.");
     Ok(())

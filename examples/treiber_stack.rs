@@ -12,7 +12,10 @@ use practically_wait_free::hardware::treiber::TreiberStack;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Simulated Treiber stack under the uniform stochastic scheduler:");
-    println!("{:>4} {:>14} {:>14} {:>10}", "n", "ops completed", "W (sys steps)", "fairness");
+    println!(
+        "{:>4} {:>14} {:>14} {:>10}",
+        "n", "ops completed", "W (sys steps)", "fairness"
+    );
     for n in [2usize, 4, 8] {
         let report = SimExperiment::new(AlgorithmSpec::TreiberStack, n, 300_000)
             .seed(5)

@@ -21,15 +21,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("A sequential bank account made lock-free by copy-modify-CAS");
     println!("(Herlihy's universal construction = SCU(q, 1), Section 5).\n");
 
-    println!("{:>4} {:>12} {:>14} {:>12} {:>12}", "n", "ops done", "final balance", "W measured", "W predicted");
+    println!(
+        "{:>4} {:>12} {:>14} {:>12} {:>12}",
+        "n", "ops done", "final balance", "W measured", "W predicted"
+    );
     for n in [2usize, 4, 8, 16] {
         let mut mem = SharedMemory::new();
         let obj = UniversalObject::new(&mut mem, BankAccount { balance: 0 });
         let mut ps: Vec<Box<dyn Process>> = (0..n)
             .map(|i| {
                 let script = vec![BankOp::Deposit(10), BankOp::Withdraw(10), BankOp::Balance];
-                Box::new(UniversalProcess::new(ProcessId::new(i), obj.clone(), script))
-                    as Box<dyn Process>
+                Box::new(UniversalProcess::new(
+                    ProcessId::new(i),
+                    obj.clone(),
+                    script,
+                )) as Box<dyn Process>
             })
             .collect();
         let exec = run(

@@ -23,11 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         500_000,
         3,
     )?;
-    println!("   observed minimal-progress bound T = {:?}", report.minimal_bound);
-    println!("   observed maximal-progress bound   = {:?}", report.maximal_bound);
+    println!(
+        "   observed minimal-progress bound T = {:?}",
+        report.minimal_bound
+    );
+    println!(
+        "   observed maximal-progress bound   = {:?}",
+        report.maximal_bound
+    );
     println!(
         "   wait-free in practice? {}",
-        if report.achieved_maximal_progress() { "YES" } else { "no" }
+        if report.achieved_maximal_progress() {
+            "YES"
+        } else {
+            "no"
+        }
     );
     if let Some(t) = report.minimal_bound {
         let generic = theorem_3_bound(1.0 / n as f64, t.min(300) as u32);

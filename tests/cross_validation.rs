@@ -7,8 +7,8 @@ use practically_wait_free::ballsbins::game::mean_phase_length;
 use practically_wait_free::core::chain_analysis::{analyze, ChainFamily};
 use practically_wait_free::core::{AlgorithmSpec, SimExperiment};
 use practically_wait_free::theory::ramanujan::z_worst;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pwf_rng::rngs::StdRng;
+use pwf_rng::SeedableRng;
 
 fn sim_system_latency(spec: AlgorithmSpec, n: usize, steps: u64, seed: u64) -> f64 {
     SimExperiment::new(spec, n, steps)
@@ -64,7 +64,10 @@ fn fai_chain_return_time_consistent_with_z_recurrence() {
         let w_rate = fai::exact_system_latency(n).unwrap();
         let w_hit = fai::return_time_of_win_state(n).unwrap();
         assert!((w_rate - w_hit).abs() < 1e-7, "n={n}");
-        assert!(w_rate <= z_worst(n) + 1e-9, "stationary W below worst-state Z");
+        assert!(
+            w_rate <= z_worst(n) + 1e-9,
+            "stationary W below worst-state Z"
+        );
     }
 }
 
@@ -140,5 +143,8 @@ fn scu_qs_preamble_bound_brackets_latency() {
     );
     // And the preamble dominates for large q: latency grew by most of
     // q (the rest is absorbed by the reduced loop contention).
-    assert!(w10 - w0 > 6.0, "preamble barely moved the latency: {w0} -> {w10}");
+    assert!(
+        w10 - w0 > 6.0,
+        "preamble barely moved the latency: {w0} -> {w10}"
+    );
 }

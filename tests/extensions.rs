@@ -10,8 +10,8 @@ use practically_wait_free::core::progress_audit::audit;
 use practically_wait_free::core::{AlgorithmSpec, SchedulerSpec, SimExperiment};
 use practically_wait_free::markov::mixing::lazy_mixing_time;
 use practically_wait_free::theory::fitting::fit_scu_alpha;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pwf_rng::rngs::StdRng;
+use pwf_rng::SeedableRng;
 
 #[test]
 fn lock_counter_latency_matches_closed_form() {
@@ -176,7 +176,11 @@ fn alpha_fit_on_exact_latencies_is_tight() {
         "fitted alpha {}",
         fit.alpha
     );
-    assert!(fit.rms_relative_error < 0.02, "residual {}", fit.rms_relative_error);
+    assert!(
+        fit.rms_relative_error < 0.02,
+        "residual {}",
+        fit.rms_relative_error
+    );
 }
 
 #[test]
@@ -191,18 +195,20 @@ fn mixing_time_small_relative_to_run_lengths() {
 
 #[test]
 fn gap_histogram_tail_is_thin_under_uniform_scheduler() {
+    use practically_wait_free::algorithms::scu::{ScuObject, ScuProcess};
     use practically_wait_free::sim::executor::{run, RunConfig};
     use practically_wait_free::sim::memory::SharedMemory;
     use practically_wait_free::sim::process::{Process, ProcessId};
     use practically_wait_free::sim::scheduler::UniformScheduler;
     use practically_wait_free::sim::stats::individual_latency_histogram;
-    use practically_wait_free::algorithms::scu::{ScuObject, ScuProcess};
 
     let n = 8;
     let mut mem = SharedMemory::new();
     let obj = ScuObject::alloc(&mut mem, 1);
     let mut ps: Vec<Box<dyn Process>> = (0..n)
-        .map(|i| Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>)
+        .map(|i| {
+            Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>
+        })
         .collect();
     let exec = run(
         &mut ps,

@@ -22,7 +22,9 @@ fn scu_execution(
     let mut mem = SharedMemory::new();
     let obj = ScuObject::alloc(&mut mem, 1);
     let mut ps: Vec<Box<dyn Process>> = (0..n)
-        .map(|i| Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>)
+        .map(|i| {
+            Box::new(ScuProcess::new(ProcessId::new(i), obj.clone(), 0, 1)) as Box<dyn Process>
+        })
         .collect();
     run(
         &mut ps,

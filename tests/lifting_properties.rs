@@ -2,14 +2,17 @@
 //! distributions, hitting times, ergodic flow, and liftings on
 //! randomly generated chains.
 
+// Proptest is an external crate gated behind `heavy-deps` so the
+// default workspace builds with zero crates.io dependencies; enable
+// the feature to run this suite.
+#![cfg(feature = "heavy-deps")]
+
 use practically_wait_free::markov::chain::MarkovChain;
 use practically_wait_free::markov::flow::ErgodicFlow;
 use practically_wait_free::markov::hitting::hitting_times;
 use practically_wait_free::markov::lifting::verify_lifting;
 use practically_wait_free::markov::linalg::Matrix;
-use practically_wait_free::markov::stationary::{
-    balance_residual, stationary_distribution,
-};
+use practically_wait_free::markov::stationary::{balance_residual, stationary_distribution};
 use practically_wait_free::markov::structure::is_irreducible;
 use proptest::prelude::*;
 

@@ -48,7 +48,10 @@ fn lemma_2_unbounded_algorithm_starves_under_stochastic_scheduler() {
         }
     }
     // "with high probability": all three seeds should starve at n=8.
-    assert_eq!(starving_runs, 3, "unbounded algorithm unexpectedly wait-free");
+    assert_eq!(
+        starving_runs, 3,
+        "unbounded algorithm unexpectedly wait-free"
+    );
 }
 
 #[test]

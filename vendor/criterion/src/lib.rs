@@ -1,0 +1,288 @@
+//! Offline shim for the `criterion` bench harness.
+//!
+//! Implements the API subset the `pwf-bench` targets use — benchmark
+//! groups, `bench_with_input`, throughput annotation — backed by a
+//! plain warm-up + timing loop that prints mean and minimum iteration
+//! time. No outlier analysis, no HTML reports, no baselines; swap the
+//! workspace dependency back to the registry crate for those (see
+//! `vendor/README.md`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier, displayed as `group/id`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter, for groups benching one function over a
+    /// parameter sweep.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work per iteration, used to report element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    warm_up: Duration,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly: warm-up for the configured time, then
+    /// `sample_size` timed iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.warm_up {
+            std::hint::black_box(body());
+        }
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_secs_f64() * 1e9;
+    if nanos < 1e3 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1e6 {
+        format!("{:.2} µs", nanos / 1e3)
+    } else if nanos < 1e9 {
+        format!("{:.2} ms", nanos / 1e6)
+    } else {
+        format!("{:.3} s", nanos / 1e9)
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up wall time before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's measurement length
+    /// is `sample_size` iterations, not a wall-time target.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with per-iteration work.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `body` with `input` under `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            recorded: Vec::new(),
+        };
+        body(&mut bencher, input);
+        self.report(&id, &bencher.recorded);
+        self
+    }
+
+    /// Benches `body` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            warm_up: self.warm_up,
+            recorded: Vec::new(),
+        };
+        body(&mut bencher);
+        self.report(&id, &bencher.recorded);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = *samples.iter().min().expect("non-empty");
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3e} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.3e} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {} min {} ({} samples){rate}",
+            self.name,
+            fmt_duration(mean),
+            fmt_duration(min),
+            samples.len()
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The bench harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benches `body` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            throughput: None,
+            _criterion: self,
+        };
+        group.name = "bench".into();
+        group.bench_function(id, body);
+        self
+    }
+
+    /// Prints the end-of-run marker.
+    pub fn final_summary(&self) {
+        println!("criterion-shim: run complete (offline harness, no statistics)");
+    }
+}
+
+/// Prevents the optimizer from removing a value. Re-exported because
+/// criterion users import it from here.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a bench group function that runs each registered bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(10));
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.bench_function("named", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn group_macro_and_timing_loop_run() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
+}

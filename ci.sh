@@ -9,6 +9,9 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy (offline, -D warnings)"
+cargo clippy --workspace --offline -- -D warnings
+
 echo "==> cargo build --release (offline)"
 cargo build --release --offline --workspace
 
@@ -18,5 +21,9 @@ cargo test -q --offline --workspace
 echo "==> pwf smoke: run --all --jobs 2 --fast"
 # --fast without --out is guaranteed not to overwrite results/.
 ./target/release/pwf run --all --jobs 2 --fast
+
+echo "==> pwf vet: systematic checker smoke + orderings lint"
+./target/release/pwf vet --fast
+./target/release/pwf vet --orderings
 
 echo "ci.sh: all green"

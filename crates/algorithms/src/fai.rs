@@ -81,6 +81,30 @@ impl FaiProcess {
     pub fn has_current_value(&self, mem: &SharedMemory) -> bool {
         mem.peek(self.counter) == self.v
     }
+
+    /// The value returned by the most recent successful increment
+    /// (`None` before the first win). Used by `pwf-checker` to record
+    /// operation histories without enabling full collection.
+    ///
+    /// Only meaningful *immediately after* a step that returned
+    /// [`StepOutcome::Completed`]: a later failed attempt refreshes the
+    /// local view `v` that the win value is derived from.
+    pub fn last_win(&self) -> Option<u64> {
+        if self.wins == 0 {
+            None
+        } else {
+            // A win at counter value k returned k, then set v = k + 1.
+            Some(self.v - 1)
+        }
+    }
+
+    /// Fingerprint of the behaviour-relevant local state. Two
+    /// `FaiProcess` values with equal fingerprints behave identically
+    /// on identical memory: the local view `v` is the entire state
+    /// machine (wins and collection only record history).
+    pub fn fingerprint(&self) -> u64 {
+        pwf_sim::memory::fnv1a(0x9E3779B97F4A7C15, &[self.v])
+    }
 }
 
 impl Process for FaiProcess {

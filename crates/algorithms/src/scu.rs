@@ -94,6 +94,9 @@ pub struct ScuProcess {
     scanned: u64,
     /// Per-process proposal sequence number.
     seq: u64,
+    /// `(observed, proposed)` of the most recent successful CAS, for
+    /// operation-history recording by checking tools.
+    last_completed: Option<(u64, u64)>,
 }
 
 impl ScuProcess {
@@ -121,6 +124,7 @@ impl ScuProcess {
             },
             scanned: 0,
             seq: 0,
+            last_completed: None,
         }
     }
 
@@ -145,6 +149,26 @@ impl ScuProcess {
     fn propose(&mut self) -> u64 {
         self.seq += 1;
         (self.seq << 16) | (self.id.index() as u64 & 0xFFFF)
+    }
+
+    /// The `(observed, proposed)` pair of the most recent completed
+    /// method call: the CAS swung `R` from `observed` to `proposed`.
+    /// Linearizability of the SCU object is exactly the chaining of
+    /// these pairs across all processes (see `pwf-checker`).
+    pub fn last_completed(&self) -> Option<(u64, u64)> {
+        self.last_completed
+    }
+
+    /// Fingerprint of the behaviour-relevant local state: the phase
+    /// program counter, the scanned value it will validate against,
+    /// and the proposal sequence number (which feeds future proposals).
+    pub fn fingerprint(&self) -> u64 {
+        let phase = match self.phase {
+            Phase::Preamble(k) => k as u64,
+            Phase::Scan(j) => (1 << 20) | j as u64,
+            Phase::Validate => 1 << 21,
+        };
+        pwf_sim::memory::fnv1a(0x517CC1B727220A95, &[phase, self.scanned, self.seq])
     }
 }
 
@@ -185,6 +209,7 @@ impl Process for ScuProcess {
             Phase::Validate => {
                 let proposal = self.propose();
                 if mem.cas(self.object.decision, self.scanned, proposal) {
+                    self.last_completed = Some((self.scanned, proposal));
                     self.phase = self.start_of_call();
                     StepOutcome::Completed
                 } else {

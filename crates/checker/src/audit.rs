@@ -1,0 +1,190 @@
+//! Lock-freedom auditing over the explored state graph.
+//!
+//! The explorer ([`crate::explore`]) catches livelocks *within* one
+//! execution (a repeated completion-free state). This module adds the
+//! global check: in the union of all explored transitions, is there a
+//! reachable cycle containing no operation completion? Such a cycle
+//! can be scheduled forever, producing an infinite execution in which
+//! no process completes — refuting lock-freedom even when no single
+//! bounded execution repeats a state.
+//!
+//! A second, stochastic angle reuses the workspace's Theorem 3 audit
+//! (`pwf_core::progress_audit`): long uniform-scheduler runs of the
+//! *unbounded* algorithm confirm that bounded minimal progress holds
+//! in the large, complementing the small-config exhaustive proof.
+
+use std::collections::{HashMap, HashSet};
+
+use pwf_core::progress_audit::{audit as stochastic_audit, ProgressAuditReport};
+use pwf_core::spec::{AlgorithmSpec, SchedulerSpec};
+use pwf_sim::crash::CrashScheduleError;
+
+/// The explored state graph: fingerprint-keyed states, transitions
+/// annotated with whether they completed an operation, and for each
+/// state the first schedule prefix that reached it (a witness).
+#[derive(Debug, Default)]
+pub struct StateGraph {
+    edges: HashMap<u64, Vec<(u64, bool)>>,
+    edge_set: HashSet<(u64, u64, bool)>,
+    first_prefix: HashMap<u64, Vec<usize>>,
+}
+
+impl StateGraph {
+    /// Records a state and (if new) the schedule prefix reaching it.
+    pub fn note_state(&mut self, fp: u64, prefix: &[usize]) {
+        self.first_prefix
+            .entry(fp)
+            .or_insert_with(|| prefix.to_vec());
+    }
+
+    /// Records a transition; returns `true` if it was new.
+    pub fn note_edge(&mut self, from: u64, to: u64, completed: bool) -> bool {
+        if self.edge_set.insert((from, to, completed)) {
+            self.edges.entry(from).or_default().push((to, completed));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of distinct states recorded.
+    pub fn state_count(&self) -> usize {
+        self.first_prefix.len()
+    }
+
+    /// The first schedule prefix that reached `fp`, if recorded.
+    pub fn witness_prefix(&self, fp: u64) -> Option<&[usize]> {
+        self.first_prefix.get(&fp).map(Vec::as_slice)
+    }
+
+    /// Searches the completion-free transition subgraph for a cycle.
+    /// Returns a state on the cycle, or `None` when every cycle of the
+    /// explored graph completes an operation — the explored witness of
+    /// lock-freedom.
+    pub fn completion_free_cycle(&self) -> Option<u64> {
+        // Iterative three-colour DFS over edges with `completed ==
+        // false`.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: HashMap<u64, Colour> = HashMap::new();
+        for &root in self.first_prefix.keys() {
+            if *colour.get(&root).unwrap_or(&Colour::White) != Colour::White {
+                continue;
+            }
+            // Stack of (node, next-child-index).
+            let mut stack: Vec<(u64, usize)> = vec![(root, 0)];
+            colour.insert(root, Colour::Grey);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = self.edges.get(&node);
+                let next = children.and_then(|cs| {
+                    cs.iter()
+                        .skip(*idx)
+                        .position(|&(_, completed)| !completed)
+                        .map(|off| (*idx + off, cs[*idx + off].0))
+                });
+                match next {
+                    Some((child_idx, child)) => {
+                        *idx = child_idx + 1;
+                        match *colour.get(&child).unwrap_or(&Colour::White) {
+                            Colour::Grey => return Some(child),
+                            Colour::White => {
+                                colour.insert(child, Colour::Grey);
+                                stack.push((child, 0));
+                            }
+                            Colour::Black => {}
+                        }
+                    }
+                    None => {
+                        colour.insert(node, Colour::Black);
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Runs the workspace's stochastic Theorem 3 progress audit for one of
+/// the paper's algorithm specs — the large-scale complement to the
+/// exhaustive small-config exploration.
+///
+/// # Errors
+///
+/// Propagates crash-schedule validation errors from the underlying
+/// experiment (none occur without crashes).
+pub fn stochastic_progress(
+    algorithm: AlgorithmSpec,
+    n: usize,
+    steps: u64,
+    seed: u64,
+) -> Result<ProgressAuditReport, CrashScheduleError> {
+    stochastic_audit(algorithm, SchedulerSpec::Uniform, n, steps, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_completion_free_cycle() {
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_state(2, &[0]);
+        g.note_state(3, &[0, 1]);
+        g.note_edge(1, 2, false);
+        g.note_edge(2, 3, false);
+        assert_eq!(g.completion_free_cycle(), None);
+        assert_eq!(g.state_count(), 3);
+    }
+
+    #[test]
+    fn cycle_broken_by_completion_is_accepted() {
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_state(2, &[0]);
+        g.note_edge(1, 2, false);
+        g.note_edge(2, 1, true); // the cycle completes an op
+        assert_eq!(g.completion_free_cycle(), None);
+    }
+
+    #[test]
+    fn completion_free_cycle_is_found() {
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_state(2, &[0]);
+        g.note_state(3, &[0, 1]);
+        g.note_edge(1, 2, false);
+        g.note_edge(2, 3, false);
+        g.note_edge(3, 2, false);
+        let hit = g.completion_free_cycle().expect("cycle exists");
+        assert!(hit == 2 || hit == 3);
+        assert!(g.witness_prefix(hit).is_some());
+    }
+
+    #[test]
+    fn duplicate_edges_are_not_recorded_twice() {
+        let mut g = StateGraph::default();
+        assert!(g.note_edge(1, 2, false));
+        assert!(!g.note_edge(1, 2, false));
+        assert!(g.note_edge(1, 2, true), "completion flag distinguishes");
+    }
+
+    #[test]
+    fn stochastic_progress_confirms_scu_minimal_progress() {
+        let report = stochastic_progress(AlgorithmSpec::Scu { q: 0, s: 1 }, 3, 50_000, 11).unwrap();
+        assert!(report.minimal_bound.is_some());
+    }
+
+    #[test]
+    fn self_loop_without_completion_is_a_livelock() {
+        let mut g = StateGraph::default();
+        g.note_state(5, &[]);
+        g.note_edge(5, 5, false);
+        assert_eq!(g.completion_free_cycle(), Some(5));
+    }
+}

@@ -1,0 +1,388 @@
+//! The `pwf vet` subcommand: systematic checking of the built-in
+//! targets, schedule replay, and the atomics-ordering lint.
+
+use std::fs;
+use std::path::PathBuf;
+
+use crate::explore::{explore, run_schedule, ExploreOptions, ViolationKind};
+use crate::lin;
+use crate::lint::{apply_allowlist, lint_dir, parse_allowlist};
+use crate::shrink::{parse_schedule, serialize_schedule, shrink};
+use crate::target::CheckTarget;
+use crate::targets::{fast_registry, find, registry};
+
+const USAGE: &str = "\
+pwf vet — systematic concurrency checking (DPOR exploration,
+linearizability, lock-freedom, atomics-ordering lint)
+
+USAGE:
+    pwf vet [TARGET...] [OPTIONS]
+        Exhaustively model-check the named targets (default: all).
+        Correct targets must verify; MUTANT targets must be caught,
+        with a shrunk, replayable counterexample schedule.
+        --fast          check the CI smoke subset (counter + stack)
+        --no-prune      disable partial-order reduction (full tree)
+        --emit DIR      write counterexample schedules to DIR
+        --list          list targets and exit
+
+    pwf vet --replay FILE [TARGET]
+        Re-execute a schedule file against its target and report the
+        outcome. The target comes from the file header unless named.
+
+    pwf vet --orderings [OPTIONS]
+        Statically lint atomic call sites for memory-ordering issues.
+        --root DIR       sources to scan (default crates/hardware/src)
+        --allowlist FILE audited-OK sites (default
+                         crates/hardware/orderings.allow)
+";
+
+/// Cap on naive-enumeration executions when measuring the reduction
+/// ratio; past this the ratio is reported as a lower bound. `--fast`
+/// uses the smaller cap to keep the CI smoke run in seconds.
+const NAIVE_CAP: u64 = 200_000;
+const NAIVE_CAP_FAST: u64 = 20_000;
+
+struct VetArgs {
+    names: Vec<String>,
+    fast: bool,
+    no_prune: bool,
+    list: bool,
+    orderings: bool,
+    root: PathBuf,
+    allowlist: PathBuf,
+    replay: Option<PathBuf>,
+    emit: Option<PathBuf>,
+}
+
+fn parse_vet_args(argv: Vec<String>) -> Result<VetArgs, String> {
+    let mut args = VetArgs {
+        names: Vec::new(),
+        fast: false,
+        no_prune: false,
+        list: false,
+        orderings: false,
+        root: PathBuf::from("crates/hardware/src"),
+        allowlist: PathBuf::from("crates/hardware/orderings.allow"),
+        replay: None,
+        emit: None,
+    };
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--fast" => args.fast = true,
+            "--no-prune" => args.no_prune = true,
+            "--list" => args.list = true,
+            "--orderings" => args.orderings = true,
+            "--root" => args.root = PathBuf::from(value_of("--root")?),
+            "--allowlist" => args.allowlist = PathBuf::from(value_of("--allowlist")?),
+            "--replay" => args.replay = Some(PathBuf::from(value_of("--replay")?)),
+            "--emit" => args.emit = Some(PathBuf::from(value_of("--emit")?)),
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            name => args.names.push(name.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+/// Entry point for `pwf vet`. Returns the process exit code: 0 when
+/// every target behaved as expected (and the lint ran clean), 1 on
+/// failures, 2 on usage errors.
+pub fn main(argv: Vec<String>) -> i32 {
+    let args = match parse_vet_args(argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return 0;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    if args.list {
+        for t in registry() {
+            let expect = if t.expect_failure {
+                "must-fail"
+            } else {
+                "must-pass"
+            };
+            println!("{:<22} {:<9} {}", t.name, expect, t.description);
+        }
+        return 0;
+    }
+    if args.orderings {
+        return cmd_orderings(&args);
+    }
+    if args.replay.is_some() {
+        return cmd_replay(&args);
+    }
+    cmd_vet(&args)
+}
+
+fn select_targets(args: &VetArgs) -> Result<Vec<CheckTarget>, String> {
+    if !args.names.is_empty() {
+        args.names
+            .iter()
+            .map(|n| find(n).ok_or_else(|| format!("unknown target {n:?} (see `pwf vet --list`)")))
+            .collect()
+    } else if args.fast {
+        Ok(fast_registry())
+    } else {
+        Ok(registry())
+    }
+}
+
+fn cmd_vet(args: &VetArgs) -> i32 {
+    let targets = match select_targets(args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return 2;
+        }
+    };
+    let mut failures = 0usize;
+    let mut dpor_total = 0u64;
+    let mut naive_total = 0u64;
+    let mut ratio_capped = false;
+    for target in &targets {
+        println!("== {} — {}", target.name, target.description);
+        let opts = ExploreOptions {
+            prune: !args.no_prune,
+            ..ExploreOptions::default()
+        };
+        let report = explore(target, &opts);
+        let s = &report.stats;
+        println!(
+            "   explored: {} executions, {} states, {} transitions, max depth {}{}",
+            s.executions,
+            s.distinct_states,
+            s.transitions,
+            s.max_depth,
+            if s.capped { " (CAPPED)" } else { "" }
+        );
+        // Reduction ratio: only meaningful on targets explored to
+        // completion with pruning on (mutants stop at the first
+        // violation in both modes).
+        if !args.no_prune && !target.expect_failure && report.violation.is_none() {
+            let naive = explore(
+                target,
+                &ExploreOptions {
+                    prune: false,
+                    max_executions: if args.fast { NAIVE_CAP_FAST } else { NAIVE_CAP },
+                    ..ExploreOptions::default()
+                },
+            );
+            let (n, capped) = (naive.stats.executions, naive.stats.capped);
+            let ratio = n as f64 / s.executions.max(1) as f64;
+            println!(
+                "   naive enumeration: {}{} executions → {:.1}x{} reduction",
+                n,
+                if capped { "+" } else { "" },
+                ratio,
+                if capped { "+" } else { "" }
+            );
+            dpor_total += s.executions;
+            naive_total += n;
+            ratio_capped |= capped;
+        }
+        let ok = match (&report.violation, target.expect_failure) {
+            (None, false) => {
+                let lock_free = report.graph.completion_free_cycle().is_none();
+                println!(
+                    "   linearizable: yes   lock-free: {}",
+                    if lock_free {
+                        "yes"
+                    } else {
+                        "NO (completion-free cycle)"
+                    }
+                );
+                lock_free
+            }
+            (None, true) => {
+                println!(
+                    "   MUTANT NOT CAUGHT: no violation in {} executions",
+                    s.executions
+                );
+                false
+            }
+            (Some(v), expect) => {
+                let kind = match v.kind {
+                    ViolationKind::NotLinearizable => "not linearizable",
+                    ViolationKind::Livelock => "livelock (completion-free cycle)",
+                };
+                println!("   violation: {kind} (witness {} steps)", v.schedule.len());
+                let small = shrink(target, v.kind, &v.schedule);
+                println!(
+                    "   shrunk schedule ({} steps): {}",
+                    small.len(),
+                    join(&small)
+                );
+                let rerun = run_schedule(target, &small, 4_096);
+                for op in rerun.ops() {
+                    println!("     {op}");
+                }
+                if let Some(dir) = &args.emit {
+                    let path = dir.join(format!("{}.sched", target.name));
+                    if fs::create_dir_all(dir)
+                        .and_then(|()| fs::write(&path, serialize_schedule(target.name, &small)))
+                        .is_ok()
+                    {
+                        println!("   wrote {}", path.display());
+                    }
+                }
+                expect
+            }
+        };
+        println!(
+            "   {}",
+            match (ok, target.expect_failure) {
+                (true, true) => "PASS (expected failure caught)",
+                (true, false) => "PASS",
+                (false, _) => "FAIL",
+            }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    if naive_total > 0 {
+        println!(
+            "\naggregate DPOR reduction: {:.1}x{} (naive {}{} vs {} pruned executions)",
+            naive_total as f64 / dpor_total.max(1) as f64,
+            if ratio_capped { "+" } else { "" },
+            naive_total,
+            if ratio_capped { "+" } else { "" },
+            dpor_total
+        );
+    }
+    println!(
+        "{} targets, {} passed, {} failed",
+        targets.len(),
+        targets.len() - failures,
+        failures
+    );
+    i32::from(failures > 0)
+}
+
+fn join(schedule: &[usize]) -> String {
+    schedule
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn cmd_replay(args: &VetArgs) -> i32 {
+    let path = args.replay.as_ref().expect("checked by caller");
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("error: reading {}: {err}", path.display());
+            return 1;
+        }
+    };
+    let (header_target, schedule) = match parse_schedule(&text) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return 1;
+        }
+    };
+    let name = args.names.first().cloned().or(header_target);
+    let Some(name) = name else {
+        eprintln!("error: schedule file has no target header; name the target");
+        return 2;
+    };
+    let Some(target) = find(&name) else {
+        eprintln!("error: unknown target {name:?} (see `pwf vet --list`)");
+        return 2;
+    };
+    println!("replaying {} steps against {}", schedule.len(), target.name);
+    let run = run_schedule(&target, &schedule, 4_096);
+    for op in run.ops() {
+        println!("  {op}");
+    }
+    if run.livelocked() {
+        println!("outcome: livelock (completion-free state revisited)");
+    } else {
+        let linearizable = lin::check(run.spec(), run.ops()).is_linearizable();
+        println!(
+            "outcome: terminal, linearizable: {}",
+            if linearizable { "yes" } else { "NO" }
+        );
+    }
+    0
+}
+
+fn cmd_orderings(args: &VetArgs) -> i32 {
+    let findings = match lint_dir(&args.root) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("error: scanning {}: {err}", args.root.display());
+            return 1;
+        }
+    };
+    let allow = fs::read_to_string(&args.allowlist)
+        .map(|t| parse_allowlist(&t))
+        .unwrap_or_default();
+    let verdict = apply_allowlist(findings, &allow);
+    for f in &verdict.violations {
+        println!("VIOLATION {f}");
+    }
+    for key in &verdict.stale {
+        println!("STALE allowlist entry matches nothing: {key}");
+    }
+    println!(
+        "orderings lint: {} violations, {} allowlisted sites, {} stale entries ({})",
+        verdict.violations.len(),
+        verdict.allowed.len(),
+        verdict.stale.len(),
+        args.root.display()
+    );
+    i32::from(!verdict.violations.is_empty() || !verdict.stale.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_recognises_flags() {
+        let args = parse_vet_args(argv(&[
+            "counter",
+            "--fast",
+            "--no-prune",
+            "--emit",
+            "out",
+            "--allowlist",
+            "a.allow",
+        ]))
+        .unwrap();
+        assert_eq!(args.names, vec!["counter"]);
+        assert!(args.fast && args.no_prune);
+        assert_eq!(args.emit.as_deref(), Some(std::path::Path::new("out")));
+        assert_eq!(args.allowlist.as_path(), std::path::Path::new("a.allow"));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_flags() {
+        assert!(parse_vet_args(argv(&["--bogus"])).is_err());
+        assert!(parse_vet_args(argv(&["--root"])).is_err());
+    }
+
+    #[test]
+    fn unknown_target_is_a_usage_error() {
+        assert_eq!(main(argv(&["no-such-target"])), 2);
+    }
+
+    #[test]
+    fn list_exits_cleanly() {
+        assert_eq!(main(argv(&["--list"])), 0);
+    }
+}

@@ -1,0 +1,507 @@
+//! Exhaustive schedule exploration with sleep-set dynamic
+//! partial-order reduction.
+//!
+//! The explorer drives a [`CheckTarget`] through every inequivalent
+//! interleaving of its (budget-bounded) processes. Exploration is
+//! *stateless*: processes are not cloned; each branch of the schedule
+//! tree rebuilds the configuration from the target's factory and
+//! replays the schedule prefix. That keeps the explorer agnostic to
+//! how processes store local state.
+//!
+//! ## Reduction
+//!
+//! Two steps are *independent* when their shared-memory accesses
+//! commute ([`Access::conflicts_with`]); swapping adjacent independent
+//! steps yields an equivalent execution (same Mazurkiewicz trace), so
+//! only one linear extension per trace needs checking. The classic
+//! sleep-set scheme realises this: after exploring process `p` from a
+//! state, `p` is put to sleep for the sibling subtrees and stays
+//! asleep in descendants until a step *dependent* on `p`'s pending
+//! access executes. A state whose enabled processes are all asleep is
+//! pruned (every trace through it has been covered). With `prune:
+//! false` the sleep sets are ignored and the full schedule tree is
+//! enumerated — the baseline for the reported reduction ratio.
+//!
+//! ## What is checked
+//!
+//! Terminal executions (every process exhausted its operation budget)
+//! have their operation histories checked for linearizability
+//! ([`crate::lin`]). Non-terminal repetition of a full-state
+//! fingerprint with no intervening completion is reported as a
+//! *livelock*: the repeated segment can be scheduled forever, so some
+//! infinite execution completes only finitely many operations,
+//! refuting lock-freedom. Fingerprints are 64-bit (FNV-1a), so a hash
+//! collision could in principle misreport; at the explored state
+//! counts (thousands) the collision probability is negligible, and
+//! every reported schedule replays deterministically for confirmation.
+
+use pwf_sim::memory::{fnv1a, Access, SharedMemory};
+use pwf_sim::process::ProcessId;
+use std::collections::HashMap;
+
+use crate::audit::StateGraph;
+use crate::lin;
+use crate::op::TimedOp;
+use crate::spec::Spec;
+use crate::target::{CheckProcess, CheckTarget};
+
+/// Exploration parameters.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Sleep-set partial-order reduction on (`true`) or naive full
+    /// enumeration (`false`).
+    pub prune: bool,
+    /// Abort a single execution past this many steps (treated as
+    /// divergence, reported as a livelock).
+    pub max_depth: usize,
+    /// Stop exploring after this many executions (naive baselines of
+    /// larger configs are capped; the cap is reported).
+    pub max_executions: u64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            prune: true,
+            max_depth: 4_096,
+            max_executions: 1_000_000,
+        }
+    }
+}
+
+/// Counters from one exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreStats {
+    /// Complete executions examined (leaves of the schedule tree).
+    pub executions: u64,
+    /// States pruned because every enabled process was asleep.
+    pub sleep_blocked: u64,
+    /// Distinct state-graph transitions taken.
+    pub transitions: u64,
+    /// Distinct global states reached (fingerprint-deduplicated).
+    pub distinct_states: u64,
+    /// Longest execution, in steps.
+    pub max_depth: usize,
+    /// Whether the execution cap cut exploration short.
+    pub capped: bool,
+}
+
+/// What kind of property failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A terminal history admits no legal linearization.
+    NotLinearizable,
+    /// A completion-free state cycle is schedulable (lock-freedom
+    /// fails), or an execution diverged past the depth bound.
+    Livelock,
+}
+
+/// A property violation with its witness schedule.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which property failed.
+    pub kind: ViolationKind,
+    /// The witness schedule (process indices, in step order).
+    pub schedule: Vec<usize>,
+    /// The operations completed along the witness.
+    pub ops: Vec<TimedOp>,
+}
+
+/// Result of exploring one target.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// First violation found, if any.
+    pub violation: Option<Violation>,
+    /// The explored state graph (for the global lock-freedom audit).
+    pub graph: StateGraph,
+}
+
+/// One in-flight execution of a rebuilt configuration.
+pub struct LiveRun {
+    mem: SharedMemory,
+    procs: Vec<Box<dyn CheckProcess>>,
+    /// The (immutable) initial spec terminal histories check against.
+    spec: Spec,
+    remaining: Vec<u32>,
+    trace: Vec<usize>,
+    ops: Vec<TimedOp>,
+    op_start: Vec<Option<u64>>,
+    /// Fingerprints of every state this run has passed through.
+    seen: HashMap<u64, usize>,
+    livelocked: bool,
+}
+
+impl LiveRun {
+    /// Starts a run from a freshly built configuration.
+    pub fn new(cfg: crate::target::CheckConfig) -> Self {
+        let n = cfg.procs.len();
+        assert_eq!(cfg.budgets.len(), n, "one budget per process");
+        let mut run = LiveRun {
+            mem: cfg.mem,
+            procs: cfg.procs,
+            spec: cfg.spec,
+            remaining: cfg.budgets,
+            trace: Vec::new(),
+            ops: Vec::new(),
+            op_start: vec![None; n],
+            seen: HashMap::new(),
+            livelocked: false,
+        };
+        let fp = run.fingerprint();
+        run.seen.insert(fp, 0);
+        run
+    }
+
+    /// Full-state fingerprint: shared memory, every process's local
+    /// state, and the remaining budgets.
+    pub fn fingerprint(&self) -> u64 {
+        let mut words = Vec::with_capacity(1 + 2 * self.procs.len());
+        words.push(self.mem.fingerprint());
+        for p in &self.procs {
+            words.push(p.local_fingerprint());
+        }
+        for &r in &self.remaining {
+            words.push(r as u64);
+        }
+        fnv1a(0x9D89_5A4B, &words)
+    }
+
+    /// Indices of processes that may still step.
+    pub fn enabled(&self) -> Vec<usize> {
+        if self.livelocked {
+            return Vec::new();
+        }
+        (0..self.procs.len())
+            .filter(|&i| self.remaining[i] > 0)
+            .collect()
+    }
+
+    /// Whether every process has exhausted its budget.
+    pub fn is_terminal(&self) -> bool {
+        self.remaining.iter().all(|&r| r == 0)
+    }
+
+    /// Whether the run hit a repeated completion-free state (or the
+    /// depth bound).
+    pub fn livelocked(&self) -> bool {
+        self.livelocked
+    }
+
+    /// The schedule so far.
+    pub fn trace(&self) -> &[usize] {
+        &self.trace
+    }
+
+    /// Completed operations so far.
+    pub fn ops(&self) -> &[TimedOp] {
+        &self.ops
+    }
+
+    /// The initial sequential spec of this configuration.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Steps process `p` once; returns its shared-memory access and
+    /// whether the step completed an operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not enabled.
+    pub fn step_raw(&mut self, p: usize, max_depth: usize) -> (Access, bool) {
+        assert!(self.remaining[p] > 0, "process p{p} is not enabled");
+        let now = self.trace.len() as u64 + 1;
+        if self.op_start[p].is_none() {
+            self.op_start[p] = Some(now);
+        }
+        let outcome = self.procs[p].step(&mut self.mem);
+        let access = self
+            .mem
+            .last_access()
+            .expect("every process step issues one shared-memory access");
+        self.trace.push(p);
+        let completed = outcome.is_completed();
+        if completed {
+            let invoke = self.op_start[p].take().expect("op start was just set");
+            self.ops.push(TimedOp {
+                process: ProcessId::new(p),
+                invoke,
+                response: now,
+                record: self.procs[p].last_op(),
+            });
+            self.remaining[p] -= 1;
+        }
+        let fp = self.fingerprint();
+        if self.seen.insert(fp, self.trace.len()).is_some() || self.trace.len() >= max_depth {
+            self.livelocked = true;
+        }
+        (access, completed)
+    }
+}
+
+struct Explorer<'t> {
+    target: &'t CheckTarget,
+    opts: ExploreOptions,
+    stats: ExploreStats,
+    graph: StateGraph,
+    violation: Option<Violation>,
+}
+
+impl Explorer<'_> {
+    /// Rebuilds the configuration and replays `prefix` against it.
+    fn execute(&mut self, prefix: &[usize]) -> LiveRun {
+        let mut run = LiveRun::new(self.target.build());
+        self.graph.note_state(run.fingerprint(), &[]);
+        for &p in prefix {
+            self.step(&mut run, p);
+        }
+        run
+    }
+
+    /// Steps `run` and records the transition in the state graph.
+    fn step(&mut self, run: &mut LiveRun, p: usize) -> Access {
+        let from = run.fingerprint();
+        let (access, completed) = run.step_raw(p, self.opts.max_depth);
+        let to = run.fingerprint();
+        if self.graph.note_edge(from, to, completed) {
+            self.stats.transitions += 1;
+        }
+        self.graph.note_state(to, run.trace());
+        self.stats.max_depth = self.stats.max_depth.max(run.trace().len());
+        access
+    }
+
+    fn record_violation(&mut self, kind: ViolationKind, run: &LiveRun) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                kind,
+                schedule: run.trace().to_vec(),
+                ops: run.ops().to_vec(),
+            });
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.violation.is_some() || self.stats.executions >= self.opts.max_executions
+    }
+
+    /// Depth-first exploration from the state reached by `prefix`
+    /// (already executed into `run`).
+    fn dfs(&mut self, run: LiveRun, prefix: &mut Vec<usize>, sleep: &[(usize, Access)]) {
+        if self.done() {
+            return;
+        }
+        if run.livelocked() {
+            self.stats.executions += 1;
+            self.record_violation(ViolationKind::Livelock, &run);
+            return;
+        }
+        if run.is_terminal() {
+            self.stats.executions += 1;
+            if !lin::check(run.spec(), run.ops()).is_linearizable() {
+                self.record_violation(ViolationKind::NotLinearizable, &run);
+            }
+            return;
+        }
+        let enabled = run.enabled();
+        let explorable: Vec<usize> = if self.opts.prune {
+            enabled
+                .iter()
+                .copied()
+                .filter(|p| !sleep.iter().any(|&(q, _)| q == *p))
+                .collect()
+        } else {
+            enabled
+        };
+        if explorable.is_empty() {
+            self.stats.sleep_blocked += 1;
+            return;
+        }
+        drop(run); // each child re-executes from a fresh build
+        let mut explored: Vec<(usize, Access)> = Vec::new();
+        for p in explorable {
+            if self.done() {
+                return;
+            }
+            let mut child = self.execute(prefix);
+            let access = self.step(&mut child, p);
+            // A sibling/inherited sleeper stays asleep only while the
+            // executed step is independent of its pending access.
+            let child_sleep: Vec<(usize, Access)> = sleep
+                .iter()
+                .chain(explored.iter())
+                .filter(|&&(q, a)| q != p && !a.conflicts_with(access))
+                .copied()
+                .collect();
+            prefix.push(p);
+            self.dfs(child, prefix, &child_sleep);
+            prefix.pop();
+            explored.push((p, access));
+        }
+    }
+}
+
+/// Exhaustively explores `target` under `opts`.
+pub fn explore(target: &CheckTarget, opts: &ExploreOptions) -> ExploreReport {
+    let mut ex = Explorer {
+        target,
+        opts: opts.clone(),
+        stats: ExploreStats::default(),
+        graph: StateGraph::default(),
+        violation: None,
+    };
+    let run = ex.execute(&[]);
+    let mut prefix = Vec::new();
+    ex.dfs(run, &mut prefix, &[]);
+    ex.stats.distinct_states = ex.graph.state_count() as u64;
+    if ex.stats.executions >= ex.opts.max_executions {
+        ex.stats.capped = true;
+    }
+    ExploreReport {
+        stats: ex.stats,
+        violation: ex.violation,
+        graph: ex.graph,
+    }
+}
+
+/// Re-executes a schedule against a fresh build of `target`, best
+/// effort: steps naming a disabled process are skipped, and if the run
+/// is not terminal when the schedule ends it is completed round-robin.
+/// Used by counterexample shrinking, where candidate schedules may be
+/// arbitrary subsequences.
+///
+/// Returns the run (terminal or livelocked).
+pub fn run_schedule(target: &CheckTarget, schedule: &[usize], max_depth: usize) -> LiveRun {
+    let mut run = LiveRun::new(target.build());
+    let n = run.procs.len();
+    for &p in schedule {
+        if run.livelocked() || run.is_terminal() {
+            break;
+        }
+        if p < n && run.remaining[p] > 0 {
+            let _ = run.step_raw(p, max_depth);
+        }
+    }
+    let mut next = 0usize;
+    while !run.livelocked() && !run.is_terminal() {
+        if run.remaining[next % n] > 0 {
+            let _ = run.step_raw(next % n, max_depth);
+        }
+        next += 1;
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpRecord;
+    use crate::target::CheckConfig;
+    use pwf_sim::memory::RegisterId;
+    use pwf_sim::process::{Process, StepOutcome};
+
+    /// A two-step counter increment *with* CAS retry (correct).
+    struct CasInc {
+        reg: RegisterId,
+        seen: Option<u64>,
+        last: u64,
+    }
+
+    impl Process for CasInc {
+        fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+            match self.seen {
+                None => {
+                    self.seen = Some(mem.read(self.reg));
+                    StepOutcome::Ongoing
+                }
+                Some(v) => {
+                    if mem.cas(self.reg, v, v + 1) {
+                        self.seen = None;
+                        self.last = v;
+                        StepOutcome::Completed
+                    } else {
+                        self.seen = None;
+                        StepOutcome::Ongoing
+                    }
+                }
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "cas-inc"
+        }
+    }
+
+    impl CheckProcess for CasInc {
+        fn last_op(&self) -> OpRecord {
+            OpRecord {
+                name: "inc",
+                input: None,
+                output: Some(self.last),
+            }
+        }
+
+        fn local_fingerprint(&self) -> u64 {
+            fnv1a(7, &[self.seen.map_or(u64::MAX, |v| v)])
+        }
+    }
+
+    fn cas_counter_config() -> CheckConfig {
+        let mut mem = SharedMemory::new();
+        let reg = mem.alloc(0);
+        CheckConfig {
+            mem,
+            procs: (0..2)
+                .map(|_| {
+                    Box::new(CasInc {
+                        reg,
+                        seen: None,
+                        last: 0,
+                    }) as Box<dyn CheckProcess>
+                })
+                .collect(),
+            spec: Spec::counter(),
+            budgets: vec![1, 1],
+        }
+    }
+
+    const CAS_COUNTER: CheckTarget = CheckTarget {
+        name: "test-cas-counter",
+        description: "two-step CAS counter, 2 procs x 1 op",
+        expect_failure: false,
+        build: cas_counter_config,
+    };
+
+    #[test]
+    fn correct_cas_counter_has_no_violation() {
+        let report = explore(&CAS_COUNTER, &ExploreOptions::default());
+        assert!(report.violation.is_none());
+        assert!(report.stats.executions > 0);
+        assert!(!report.stats.capped);
+    }
+
+    #[test]
+    fn pruned_exploration_examines_no_more_executions_than_naive() {
+        let naive = explore(
+            &CAS_COUNTER,
+            &ExploreOptions {
+                prune: false,
+                ..ExploreOptions::default()
+            },
+        );
+        let pruned = explore(&CAS_COUNTER, &ExploreOptions::default());
+        assert!(naive.violation.is_none());
+        assert!(pruned.violation.is_none());
+        assert!(pruned.stats.executions <= naive.stats.executions);
+        assert!(pruned.stats.distinct_states <= naive.stats.distinct_states);
+    }
+
+    #[test]
+    fn run_schedule_completes_partial_schedules() {
+        let run = run_schedule(&CAS_COUNTER, &[0], 1_000);
+        assert!(run.is_terminal());
+        assert_eq!(run.ops().len(), 2);
+    }
+}

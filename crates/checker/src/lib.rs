@@ -1,0 +1,38 @@
+//! Systematic concurrency checking for the practically-wait-free
+//! workspace: `pwf vet`.
+//!
+//! The paper's claims are probabilistic statements about *schedules*:
+//! lock-free algorithms behave wait-free because the scheduler is
+//! stochastic. This crate supplies the complementary *exhaustive*
+//! guarantee for small configurations — that the simulated algorithms
+//! are actually correct concurrent objects in every schedule, not just
+//! the likely ones:
+//!
+//! * [`explore`] — a loom-style stateless schedule explorer with
+//!   sleep-set dynamic partial-order reduction, driving
+//!   [`pwf_sim::process::Process`] implementations through every
+//!   inequivalent interleaving of a bounded configuration;
+//! * [`lin`] — Wing–Gong linearizability checking of the recorded
+//!   operation histories against sequential specs ([`spec`]);
+//! * [`audit`] — lock-freedom auditing: no reachable completion-free
+//!   state cycle, plus the workspace's stochastic Theorem 3 audit;
+//! * [`shrink`] — delta-debugging counterexample schedules down to
+//!   minimal, replayable witnesses;
+//! * [`lint`] — a static memory-ordering lint for the real atomics in
+//!   `pwf-hardware`;
+//! * [`targets`] — small configurations of the paper's algorithms
+//!   (fetch-and-inc, Treiber stack, `SCU(q,s)`, parallel code) and
+//!   seeded mutants (ABA, lost update, livelock) the checker must
+//!   catch;
+//! * [`cli`] — the `pwf vet` front end.
+
+pub mod audit;
+pub mod cli;
+pub mod explore;
+pub mod lin;
+pub mod lint;
+pub mod op;
+pub mod shrink;
+pub mod spec;
+pub mod target;
+pub mod targets;

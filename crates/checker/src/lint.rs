@@ -1,0 +1,469 @@
+//! Static atomics-ordering lint (`pwf vet --orderings`).
+//!
+//! Scans Rust sources for `std::sync::atomic` call sites and applies a
+//! small rule set about memory orderings. The hardware crate is the
+//! only place in this workspace where real atomics live; orderings
+//! there are correctness-critical and easy to silently weaken in
+//! review, so every site must either satisfy the rules or carry an
+//! entry in a committed allowlist with a one-line justification.
+//!
+//! The scanner is deliberately textual (no syntax tree): it finds
+//! method-call patterns (`.load(…)`, `.compare_exchange(…, …, …, …)`,
+//! `.fetch_*(…)`, `.swap(…)`, `.store(…)`), extracts the argument list
+//! by balanced-parenthesis matching, and attributes each site to the
+//! lexically enclosing `fn`. That is precise enough for this
+//! workspace's style and keeps the lint dependency-free.
+//!
+//! ## Rules
+//!
+//! * `seqcst` — any `SeqCst` ordering: almost always stronger than
+//!   needed; use acquire/release and justify the exceptions.
+//! * `cas-failure-order` — a compare-exchange whose failure ordering
+//!   is stronger than its success ordering.
+//! * `cas-no-release` — a compare-exchange whose success ordering
+//!   lacks release semantics: values written before the CAS are not
+//!   published to the reader that wins next.
+//! * `relaxed-store` — a `Relaxed` store: publishes nothing; only
+//!   correct for counters or data protected by another release edge.
+//! * `relaxed-rmw` — a `Relaxed` read-modify-write (`fetch_*`/`swap`).
+//! * `relaxed-load` — a `Relaxed` load: sees no writes published by a
+//!   release edge; only correct for statistics or tag counters.
+//!
+//! An allowlist line has the form
+//! `file.rs:function:rule  justification text`, and unused entries are
+//! themselves reported (stale allowlists hide regressions).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File name (base name of the scanned file).
+    pub file: String,
+    /// 1-based line number of the call site.
+    pub line: usize,
+    /// Lexically enclosing function.
+    pub function: String,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// The allowlist key for this finding.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.function, self.rule)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} ({}) [{}] {}",
+            self.file, self.line, self.function, self.rule, self.message
+        )
+    }
+}
+
+const ORDERINGS: [(&str, u8); 5] = [
+    ("SeqCst", 3),
+    ("AcqRel", 2),
+    ("Acquire", 1),
+    ("Release", 1),
+    ("Relaxed", 0),
+];
+
+fn ordering_of(arg: &str) -> Option<(&'static str, u8)> {
+    ORDERINGS
+        .iter()
+        .find(|(name, _)| arg.contains(name))
+        .map(|&(name, rank)| (name, rank))
+}
+
+/// The atomic method families the lint recognises.
+const METHODS: [&str; 4] = [".load(", ".store(", ".swap(", ".compare_exchange"];
+
+/// Strips line comments (best effort — this workspace does not put
+/// `//` inside string literals in atomic code).
+fn strip_comments(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Splits an argument list at top-level commas.
+fn split_args(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(args[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = args[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Extracts the balanced-parenthesis span starting at `open` (which
+/// must index a `(`); returns the contents between the parens.
+fn paren_span(text: &str, open: usize) -> Option<&str> {
+    debug_assert_eq!(&text[open..open + 1], "(");
+    let mut depth = 0usize;
+    for (off, c) in text[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[open + 1..open + off]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Lints one source text. `file_label` is used in findings (typically
+/// the file's base name).
+pub fn lint_source(file_label: &str, source: &str) -> Vec<Finding> {
+    // Pre-pass: byte offset → enclosing fn, via the last `fn name`
+    // declared at or before the offset.
+    let mut fns: Vec<(usize, String)> = Vec::new();
+    let mut clean = String::with_capacity(source.len());
+    for line in source.lines() {
+        clean.push_str(strip_comments(line));
+        clean.push('\n');
+    }
+    let bytes = clean.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = clean[i..].find("fn ") {
+        let at = i + pos;
+        // Require a word boundary before `fn`.
+        let boundary = at == 0 || !bytes[at - 1].is_ascii_alphanumeric() && bytes[at - 1] != b'_';
+        if boundary {
+            let rest = &clean[at + 3..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                fns.push((at, name));
+            }
+        }
+        i = at + 3;
+    }
+    let enclosing = |offset: usize| -> String {
+        fns.iter()
+            .rev()
+            .find(|&&(at, _)| at <= offset)
+            .map(|(_, name)| name.clone())
+            .unwrap_or_else(|| "<toplevel>".to_string())
+    };
+    let line_of = |offset: usize| -> usize { clean[..offset].matches('\n').count() + 1 };
+
+    let mut findings = Vec::new();
+    let mut push = |offset: usize, rule: &'static str, message: String| {
+        findings.push(Finding {
+            file: file_label.to_string(),
+            line: line_of(offset),
+            function: enclosing(offset),
+            rule,
+            message,
+        });
+    };
+
+    for method in METHODS {
+        let mut from = 0;
+        while let Some(pos) = clean[from..].find(method) {
+            let at = from + pos;
+            from = at + method.len();
+            // Locate the opening paren of the call.
+            let open = if method.ends_with('(') {
+                at + method.len() - 1
+            } else {
+                // `.compare_exchange` / `.compare_exchange_weak`
+                match clean[at..].find('(') {
+                    Some(off) => at + off,
+                    None => continue,
+                }
+            };
+            let Some(args_text) = paren_span(&clean, open) else {
+                continue;
+            };
+            let args = split_args(args_text);
+            let site_orderings: Vec<(&'static str, u8)> =
+                args.iter().filter_map(|a| ordering_of(a)).collect();
+            if site_orderings.is_empty() {
+                continue; // not an atomic call (e.g. Vec::swap)
+            }
+            for &(name, _) in &site_orderings {
+                if name == "SeqCst" {
+                    push(
+                        at,
+                        "seqcst",
+                        format!("{} uses SeqCst", method.trim_start_matches('.')),
+                    );
+                }
+            }
+            if method == ".compare_exchange" {
+                if let [.., success, failure] = site_orderings.as_slice() {
+                    if failure.1 > success.1 {
+                        push(
+                            at,
+                            "cas-failure-order",
+                            format!(
+                                "failure ordering {} stronger than success ordering {}",
+                                failure.0, success.0
+                            ),
+                        );
+                    }
+                    if success.0 == "Relaxed" || success.0 == "Acquire" {
+                        push(
+                            at,
+                            "cas-no-release",
+                            format!("success ordering {} lacks release semantics", success.0),
+                        );
+                    }
+                }
+            } else if let Some(&(name, _)) = site_orderings.first() {
+                if name == "Relaxed" {
+                    let rule = match method {
+                        ".load(" => "relaxed-load",
+                        ".store(" => "relaxed-store",
+                        _ => "relaxed-rmw",
+                    };
+                    push(
+                        at,
+                        rule,
+                        format!("Relaxed {}…)", method.trim_start_matches('.')),
+                    );
+                }
+            }
+        }
+    }
+    // `fetch_*` RMWs.
+    let mut from = 0;
+    while let Some(pos) = clean[from..].find(".fetch_") {
+        let at = from + pos;
+        from = at + ".fetch_".len();
+        let Some(open_off) = clean[at..].find('(') else {
+            continue;
+        };
+        let open = at + open_off;
+        let Some(args_text) = paren_span(&clean, open) else {
+            continue;
+        };
+        let orderings: Vec<(&'static str, u8)> = split_args(args_text)
+            .iter()
+            .filter_map(|a| ordering_of(a))
+            .collect();
+        match orderings.first() {
+            Some(&("SeqCst", _)) => push(at, "seqcst", "fetch_* uses SeqCst".to_string()),
+            Some(&("Relaxed", _)) => {
+                push(at, "relaxed-rmw", "Relaxed fetch_*(…)".to_string());
+            }
+            _ => {}
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Recursively lints every `*.rs` file under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal and file reads.
+pub fn lint_dir(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<_> = fs::read_dir(&dir)?.collect::<Result<_, _>>()?;
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let label = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let source = fs::read_to_string(&path)?;
+                findings.extend(lint_source(&label, &source));
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Parses an allowlist: `file.rs:function:rule  justification` per
+/// line, `#` comments and blank lines ignored.
+pub fn parse_allowlist(text: &str) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, justification) = match line.split_once(char::is_whitespace) {
+            Some((k, j)) => (k.to_string(), j.trim().to_string()),
+            None => (line.to_string(), String::new()),
+        };
+        map.insert(key, justification);
+    }
+    map
+}
+
+/// Splits findings into violations (not allowlisted) and the set of
+/// allowlist keys that matched; also returns allowlist entries that
+/// matched nothing (stale).
+pub struct LintVerdict {
+    /// Findings with no allowlist entry.
+    pub violations: Vec<Finding>,
+    /// Findings covered by the allowlist.
+    pub allowed: Vec<Finding>,
+    /// Allowlist keys that matched no finding.
+    pub stale: Vec<String>,
+}
+
+/// Applies an allowlist to a set of findings.
+pub fn apply_allowlist(findings: Vec<Finding>, allow: &BTreeMap<String, String>) -> LintVerdict {
+    let mut used: BTreeMap<&str, bool> = allow.keys().map(|k| (k.as_str(), false)).collect();
+    let mut violations = Vec::new();
+    let mut allowed = Vec::new();
+    for f in findings {
+        let key = f.key();
+        if let Some(hit) = used.get_mut(key.as_str()) {
+            *hit = true;
+            allowed.push(f);
+        } else {
+            violations.push(f);
+        }
+    }
+    let stale = used
+        .into_iter()
+        .filter_map(|(k, hit)| if hit { None } else { Some(k.to_string()) })
+        .collect();
+    LintVerdict {
+        violations,
+        allowed,
+        stale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn seqcst_is_flagged_everywhere() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }";
+        let fs = lint_source("t.rs", src);
+        assert_eq!(rules(&fs), vec!["seqcst"]);
+        assert_eq!(fs[0].function, "f");
+        assert_eq!(fs[0].key(), "t.rs:f:seqcst");
+    }
+
+    #[test]
+    fn relaxed_rules_distinguish_load_store_rmw() {
+        let src = r"
+fn g(a: &AtomicU64) {
+    a.load(Ordering::Relaxed);
+    a.store(1, Ordering::Relaxed);
+    a.fetch_add(1, Ordering::Relaxed);
+    a.swap(2, Ordering::Relaxed);
+}";
+        let fs = lint_source("t.rs", src);
+        let mut got = rules(&fs);
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![
+                "relaxed-load",
+                "relaxed-rmw",
+                "relaxed-rmw",
+                "relaxed-store"
+            ]
+        );
+    }
+
+    #[test]
+    fn cas_failure_stronger_than_success_is_flagged() {
+        let src = "fn h(a: &AtomicU64) { \
+                   a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire); }";
+        let fs = lint_source("t.rs", src);
+        assert!(rules(&fs).contains(&"cas-failure-order"));
+        assert!(rules(&fs).contains(&"cas-no-release"));
+    }
+
+    #[test]
+    fn release_cas_with_weaker_failure_is_clean() {
+        let src = "fn h(a: &AtomicU64) { \
+                   a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }";
+        assert!(lint_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_pairs_are_clean() {
+        let src = r"
+fn f(a: &AtomicU64) {
+    a.load(Ordering::Acquire);
+    a.store(1, Ordering::Release);
+    a.fetch_add(1, Ordering::AcqRel);
+}";
+        assert!(lint_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_non_atomic_calls_are_ignored() {
+        let src = r"
+fn f(v: &mut Vec<u64>) {
+    // a.load(Ordering::SeqCst);
+    v.swap(0, 1);
+}";
+        assert!(lint_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_round_trip_and_staleness() {
+        let src = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }";
+        let findings = lint_source("t.rs", src);
+        let allow =
+            parse_allowlist("# comment\nt.rs:f:relaxed-load  stats only\nt.rs:g:seqcst  gone\n");
+        let verdict = apply_allowlist(findings, &allow);
+        assert!(verdict.violations.is_empty());
+        assert_eq!(verdict.allowed.len(), 1);
+        assert_eq!(verdict.stale, vec!["t.rs:g:seqcst".to_string()]);
+    }
+
+    #[test]
+    fn compare_exchange_weak_is_recognised() {
+        let src = "fn f(a: &AtomicU64) { \
+                   a.compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed); }";
+        let fs = lint_source("t.rs", src);
+        assert_eq!(rules(&fs), vec!["cas-no-release"]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Operation records: what a completed method invocation *did*, with
+//! its real-time interval in the explored schedule.
+//!
+//! The simulator's histories (`pwf_sim::history`) carry only
+//! invoke/respond events; linearizability additionally needs the
+//! semantic content of each operation (which method, which argument,
+//! which return value). [`OpRecord`] carries that content and
+//! [`TimedOp`] pins it to the invoke/response steps of one execution.
+
+use std::fmt;
+
+use pwf_sim::process::ProcessId;
+
+/// The semantic content of one completed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpRecord {
+    /// Method name (`"inc"`, `"push"`, `"pop"`, `"enq"`, `"deq"`,
+    /// `"cas"`, …) — interpreted by the sequential spec.
+    pub name: &'static str,
+    /// Method argument, if any.
+    pub input: Option<u64>,
+    /// Return value; `None` encodes value-less returns (a push) and
+    /// "empty" returns (a pop/dequeue on an empty structure), which
+    /// specs disambiguate by method name.
+    pub output: Option<u64>,
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(v) = self.input {
+            write!(f, "({v})")?;
+        } else {
+            write!(f, "()")?;
+        }
+        match self.output {
+            Some(v) => write!(f, " -> {v}"),
+            None => write!(f, " -> ·"),
+        }
+    }
+}
+
+/// One operation of an explored execution, with its real-time
+/// interval: invoked at its process's first step of the invocation,
+/// responded at the completing step (both 1-based schedule indices).
+#[derive(Debug, Clone, Copy)]
+pub struct TimedOp {
+    /// The invoking process.
+    pub process: ProcessId,
+    /// 1-based step index of the operation's first step.
+    pub invoke: u64,
+    /// 1-based step index of the completing step.
+    pub response: u64,
+    /// What the operation did.
+    pub record: OpRecord,
+}
+
+impl TimedOp {
+    /// Whether this operation's response strictly precedes `other`'s
+    /// invocation (the real-time precedence linearizability must
+    /// respect).
+    pub fn precedes(&self, other: &TimedOp) -> bool {
+        self.response < other.invoke
+    }
+}
+
+impl fmt::Display for TimedOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>3},{:>3}] {} {}",
+            self.invoke, self.response, self.process, self.record
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &'static str, invoke: u64, response: u64) -> TimedOp {
+        TimedOp {
+            process: ProcessId::new(0),
+            invoke,
+            response,
+            record: OpRecord {
+                name,
+                input: None,
+                output: None,
+            },
+        }
+    }
+
+    #[test]
+    fn precedence_is_strict_response_before_invoke() {
+        let a = op("a", 1, 3);
+        let b = op("b", 4, 6);
+        let c = op("c", 3, 5);
+        assert!(a.precedes(&b));
+        assert!(!a.precedes(&c)); // overlap at step 3
+        assert!(!b.precedes(&a));
+    }
+
+    #[test]
+    fn records_render_compactly() {
+        let r = OpRecord {
+            name: "push",
+            input: Some(7),
+            output: None,
+        };
+        assert_eq!(r.to_string(), "push(7) -> ·");
+        let r = OpRecord {
+            name: "pop",
+            input: None,
+            output: Some(7),
+        };
+        assert_eq!(r.to_string(), "pop() -> 7");
+    }
+}

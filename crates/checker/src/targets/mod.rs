@@ -1,0 +1,70 @@
+//! The built-in target registry: the paper's algorithms in small,
+//! exhaustively checkable configurations, plus the seeded mutants the
+//! checker must catch.
+
+pub mod counter;
+pub mod parallel;
+pub mod scu;
+pub mod stack;
+
+use crate::target::CheckTarget;
+
+/// All built-in targets, correct configurations first.
+pub fn registry() -> Vec<CheckTarget> {
+    vec![
+        counter::FAI_COUNTER,
+        stack::TAGGED_STACK,
+        stack::ABA_SCENARIO_TAGGED,
+        scu::SCU_0_1,
+        scu::SCU_2_2,
+        parallel::PARALLEL,
+        counter::RW_COUNTER_MUTANT,
+        stack::ABA_MUTANT,
+        counter::LIVELOCK_MUTANT,
+    ]
+}
+
+/// The subset checked by `pwf vet --fast` (counter and stack families,
+/// including their mutants — the CI smoke configuration).
+pub fn fast_registry() -> Vec<CheckTarget> {
+    vec![
+        counter::FAI_COUNTER,
+        stack::TAGGED_STACK,
+        counter::RW_COUNTER_MUTANT,
+        stack::ABA_MUTANT,
+    ]
+}
+
+/// Looks a target up by its CLI name.
+pub fn find(name: &str) -> Option<CheckTarget> {
+    registry().into_iter().find(|t| t.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let mut names: Vec<&str> = registry().iter().map(|t| t.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+    }
+
+    #[test]
+    fn every_target_builds_consistently() {
+        for target in registry() {
+            let cfg = target.build();
+            assert_eq!(cfg.procs.len(), cfg.budgets.len(), "{}", target.name);
+            assert!(cfg.total_ops() > 0, "{}", target.name);
+        }
+    }
+
+    #[test]
+    fn fast_registry_is_a_subset() {
+        for t in fast_registry() {
+            assert!(find(t.name).is_some());
+        }
+    }
+}

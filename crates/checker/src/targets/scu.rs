@@ -1,0 +1,99 @@
+//! `SCU(q, s)` targets (paper, Algorithm 2).
+//!
+//! The sequential object behind an SCU method call is a CAS register:
+//! each completed call atomically swung the decision register `R` from
+//! its scanned value to a fresh proposal. Linearizability is exactly
+//! the chaining of `(observed, proposed)` pairs — every completed
+//! call's observation must be the previous call's proposal (or the
+//! initial value).
+
+use pwf_algorithms::scu::{ScuObject, ScuProcess};
+use pwf_sim::memory::SharedMemory;
+use pwf_sim::process::{Process, ProcessId, StepOutcome};
+
+use crate::op::OpRecord;
+use crate::spec::Spec;
+use crate::target::{CheckConfig, CheckProcess, CheckTarget};
+
+/// [`ScuProcess`] lifted into a checkable process.
+pub struct ScuAdapter {
+    inner: ScuProcess,
+}
+
+impl ScuAdapter {
+    /// Wraps an `SCU(q, s)` process.
+    pub fn new(id: ProcessId, object: ScuObject, q: usize, s: usize) -> Self {
+        ScuAdapter {
+            inner: ScuProcess::new(id, object, q, s),
+        }
+    }
+}
+
+impl Process for ScuAdapter {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        self.inner.step(mem)
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+impl CheckProcess for ScuAdapter {
+    fn last_op(&self) -> OpRecord {
+        let (observed, proposed) = self
+            .inner
+            .last_completed()
+            .expect("last_op is only read after a completed step");
+        OpRecord {
+            name: "cas",
+            input: Some(observed),
+            output: Some(proposed),
+        }
+    }
+
+    fn local_fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+}
+
+fn build_scu(q: usize, s: usize) -> CheckConfig {
+    let mut mem = SharedMemory::new();
+    let object = ScuObject::alloc(&mut mem, s);
+    CheckConfig {
+        procs: (0..2)
+            .map(|i| {
+                Box::new(ScuAdapter::new(ProcessId::new(i), object.clone(), q, s))
+                    as Box<dyn CheckProcess>
+            })
+            .collect(),
+        mem,
+        spec: Spec::cas_register(),
+        budgets: vec![2, 2],
+    }
+}
+
+fn build_scu_0_1() -> CheckConfig {
+    build_scu(0, 1)
+}
+
+fn build_scu_2_2() -> CheckConfig {
+    build_scu(2, 2)
+}
+
+/// `SCU(0, 1)` — scan is a single read of `R`, no preamble.
+pub const SCU_0_1: CheckTarget = CheckTarget {
+    name: "scu-0-1",
+    description: "SCU(0,1) as a CAS register, n=2, 2 ops each",
+    expect_failure: false,
+    build: build_scu_0_1,
+};
+
+/// `SCU(2, 2)` — two preamble steps and a two-step scan; the
+/// read-only prefix steps commute, exercising the reduction.
+pub const SCU_2_2: CheckTarget = CheckTarget {
+    name: "scu-2-2",
+    description: "SCU(2,2) as a CAS register, n=2, 2 ops each",
+    expect_failure: false,
+    build: build_scu_2_2,
+};

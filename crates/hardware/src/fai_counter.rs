@@ -63,7 +63,7 @@ impl FaiCounter {
 
     /// Current value (not a counted step; for verification).
     pub fn load(&self) -> u64 {
-        self.value.load(Ordering::SeqCst)
+        self.value.load(Ordering::Acquire)
     }
 
     /// Performs one fetch-and-increment with the augmented-CAS retry
@@ -71,12 +71,12 @@ impl FaiCounter {
     /// shared-memory steps it took (1 read + number of CAS attempts).
     pub fn fetch_and_inc(&self) -> (u64, u64) {
         let mut steps = 1u64;
-        let mut v = self.value.load(Ordering::SeqCst);
+        let mut v = self.value.load(Ordering::Acquire);
         loop {
             steps += 1;
             match self
                 .value
-                .compare_exchange(v, v + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire)
             {
                 Ok(_) => return (v, steps),
                 // The augmented CAS hands back the current value; no

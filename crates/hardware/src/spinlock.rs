@@ -49,7 +49,7 @@ impl SpinlockCounter {
 
     /// Current value (not a counted step).
     pub fn load(&self) -> u64 {
-        self.value.load(Ordering::SeqCst)
+        self.value.load(Ordering::Acquire)
     }
 
     /// One locked increment; returns `(previous value, steps taken)`.

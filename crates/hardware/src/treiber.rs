@@ -164,7 +164,7 @@ impl TreiberStack {
     /// Pops a value, or `None` if the stack is empty.
     pub fn pop(&self) -> Option<u64> {
         let idx = self.pop_internal(&self.head)?;
-        let value = self.nodes[idx as usize].value.load(Ordering::Relaxed);
+        let value = self.nodes[idx as usize].value.load(Ordering::Acquire);
         self.push_internal(&self.free, idx);
         Some(value)
     }

@@ -40,6 +40,11 @@ USAGE:
         Re-run deterministic experiments under the golden seed and
         diff against recorded results; exits nonzero on drift.
         --jobs N, --timeout SECS, --out DIR as above.
+
+    pwf vet [TARGET...] [OPTIONS]
+        Systematic concurrency checking: DPOR schedule exploration,
+        linearizability, lock-freedom, and the atomics-ordering lint.
+        See `pwf vet --help`.
 ";
 
 struct Args {
@@ -110,6 +115,11 @@ fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
 /// Entry point. Returns the process exit code: 0 success, 1 failures
 /// or drift, 2 usage errors.
 pub fn main(registry: Registry, argv: Vec<String>) -> i32 {
+    // `vet` owns its own flag grammar; hand it the raw argv before the
+    // experiment-runner flags are parsed.
+    if argv.first().map(String::as_str) == Some("vet") {
+        return pwf_checker::cli::main(argv[1..].to_vec());
+    }
     let args = match parse_args(argv) {
         Ok(args) => args,
         Err(msg) => {

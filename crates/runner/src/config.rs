@@ -13,7 +13,7 @@ use pwf_rng::{mix64, SeedableRng};
 
 /// The master seed used when the CLI is not given `--seed`. Recorded
 /// golden results in `results/` are generated with this value.
-pub const DEFAULT_MASTER_SEED: u64 = 0x5EED_0F_1AB5;
+pub const DEFAULT_MASTER_SEED: u64 = 0x005E_ED0F_1AB5;
 
 /// FNV-1a 64-bit hash of a name — stable, dependency-free, and good
 /// enough as input to the avalanche mix.

@@ -52,7 +52,7 @@ pub mod stats;
 pub use crash::{CrashSchedule, CrashScheduleError};
 pub use executor::{run, Completion, Execution, RunConfig};
 pub use history::{Event, History};
-pub use memory::{RegisterId, SharedMemory};
+pub use memory::{Access, AccessKind, RegisterId, SharedMemory};
 pub use process::{Process, ProcessId, StepOutcome};
 pub use quantum::{PriorityScheduler, QuantumScheduler};
 pub use replay::ReplayScheduler;

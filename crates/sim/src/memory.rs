@@ -10,6 +10,48 @@
 
 use std::fmt;
 
+/// The kind of a shared-memory access, as observed by checking tools.
+///
+/// A CAS is split by outcome because only a successful CAS mutates the
+/// register: a failed CAS commutes with reads and with other failed
+/// CASes on the same register, which is exactly the independence
+/// relation partial-order reduction needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// An atomic read.
+    Read,
+    /// An atomic write.
+    Write,
+    /// A compare-and-swap that succeeded (mutated the register).
+    CasSuccess,
+    /// A compare-and-swap that failed (read-only effect).
+    CasFailure,
+}
+
+/// One observed shared-memory access: which register, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The register touched.
+    pub register: RegisterId,
+    /// How it was touched.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Whether the access mutated the register.
+    pub fn mutates(self) -> bool {
+        matches!(self.kind, AccessKind::Write | AccessKind::CasSuccess)
+    }
+
+    /// Whether two accesses are *dependent* (order-sensitive): same
+    /// register and at least one of them mutates it. Independent
+    /// accesses commute — swapping adjacent independent steps yields an
+    /// equivalent execution.
+    pub fn conflicts_with(self, other: Access) -> bool {
+        self.register == other.register && (self.mutates() || other.mutates())
+    }
+}
+
 /// Identifier of a simulated shared register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RegisterId(usize);
@@ -46,6 +88,7 @@ impl fmt::Display for RegisterId {
 pub struct SharedMemory {
     regs: Vec<u64>,
     steps: u64,
+    last_access: Option<Access>,
 }
 
 impl SharedMemory {
@@ -79,6 +122,10 @@ impl SharedMemory {
     /// Panics if `r` was not allocated from this memory.
     pub fn read(&mut self, r: RegisterId) -> u64 {
         self.steps += 1;
+        self.last_access = Some(Access {
+            register: r,
+            kind: AccessKind::Read,
+        });
         self.regs[r.0]
     }
 
@@ -89,6 +136,10 @@ impl SharedMemory {
     /// Panics if `r` was not allocated from this memory.
     pub fn write(&mut self, r: RegisterId, value: u64) {
         self.steps += 1;
+        self.last_access = Some(Access {
+            register: r,
+            kind: AccessKind::Write,
+        });
         self.regs[r.0] = value;
     }
 
@@ -101,12 +152,19 @@ impl SharedMemory {
     /// Panics if `r` was not allocated from this memory.
     pub fn cas(&mut self, r: RegisterId, expected: u64, new: u64) -> bool {
         self.steps += 1;
-        if self.regs[r.0] == expected {
+        let hit = self.regs[r.0] == expected;
+        self.last_access = Some(Access {
+            register: r,
+            kind: if hit {
+                AccessKind::CasSuccess
+            } else {
+                AccessKind::CasFailure
+            },
+        });
+        if hit {
             self.regs[r.0] = new;
-            true
-        } else {
-            false
         }
+        hit
     }
 
     /// Augmented CAS (Section 7): like [`cas`](Self::cas) but returns
@@ -119,6 +177,14 @@ impl SharedMemory {
     pub fn cas_augmented(&mut self, r: RegisterId, expected: u64, new: u64) -> u64 {
         self.steps += 1;
         let old = self.regs[r.0];
+        self.last_access = Some(Access {
+            register: r,
+            kind: if old == expected {
+                AccessKind::CasSuccess
+            } else {
+                AccessKind::CasFailure
+            },
+        });
         if old == expected {
             self.regs[r.0] = new;
         }
@@ -134,6 +200,41 @@ impl SharedMemory {
     pub fn peek(&self, r: RegisterId) -> u64 {
         self.regs[r.0]
     }
+
+    /// The most recent shared-memory access, if any. A checking tool
+    /// (e.g. the `pwf-checker` schedule explorer) reads this after
+    /// every [`Process::step`](crate::process::Process::step) to learn
+    /// which register the step touched and whether it mutated it — the
+    /// dynamic dependence information partial-order reduction is built
+    /// on.
+    pub fn last_access(&self) -> Option<Access> {
+        self.last_access
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the register contents (the
+    /// shared component of a global simulation state). The step counter
+    /// and access log are deliberately excluded: two states reached by
+    /// different schedules but holding identical register values must
+    /// fingerprint equal.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(FNV_OFFSET, &self.regs)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Folds a slice of words into an FNV-1a hash, seeded with `seed` so
+/// fingerprints compose (`fnv1a(fnv1a(seed, a), b)` hashes `a ++ b`).
+pub fn fnv1a(seed: u64, words: &[u64]) -> u64 {
+    let mut h = seed;
+    for w in words {
+        for byte in w.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -189,6 +290,75 @@ mod tests {
         }
         assert_eq!(mem.steps(), 0);
         assert_eq!(mem.register_count(), 10);
+    }
+
+    #[test]
+    fn last_access_observes_every_kind() {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        assert_eq!(mem.last_access(), None, "allocation is not an access");
+        mem.read(r);
+        assert_eq!(mem.last_access().unwrap().kind, AccessKind::Read);
+        mem.write(r, 1);
+        assert_eq!(mem.last_access().unwrap().kind, AccessKind::Write);
+        assert!(mem.cas(r, 1, 2));
+        assert_eq!(mem.last_access().unwrap().kind, AccessKind::CasSuccess);
+        assert!(!mem.cas(r, 1, 3));
+        assert_eq!(mem.last_access().unwrap().kind, AccessKind::CasFailure);
+        assert_eq!(mem.cas_augmented(r, 2, 4), 2);
+        assert_eq!(mem.last_access().unwrap().kind, AccessKind::CasSuccess);
+        assert_eq!(mem.cas_augmented(r, 2, 5), 4);
+        let access = mem.last_access().unwrap();
+        assert_eq!(access.kind, AccessKind::CasFailure);
+        assert_eq!(access.register, r);
+    }
+
+    #[test]
+    fn conflict_relation_matches_commutativity() {
+        let mut mem = SharedMemory::new();
+        let a = mem.alloc(0);
+        let b = mem.alloc(0);
+        let read_a = Access {
+            register: a,
+            kind: AccessKind::Read,
+        };
+        let write_a = Access {
+            register: a,
+            kind: AccessKind::Write,
+        };
+        let casfail_a = Access {
+            register: a,
+            kind: AccessKind::CasFailure,
+        };
+        let write_b = Access {
+            register: b,
+            kind: AccessKind::Write,
+        };
+        // Reads and failed CASes on the same register commute.
+        assert!(!read_a.conflicts_with(read_a));
+        assert!(!read_a.conflicts_with(casfail_a));
+        // Any mutation on the same register conflicts.
+        assert!(read_a.conflicts_with(write_a));
+        assert!(write_a.conflicts_with(write_a));
+        assert!(casfail_a.conflicts_with(write_a));
+        // Different registers never conflict.
+        assert!(!write_a.conflicts_with(write_b));
+    }
+
+    #[test]
+    fn fingerprint_depends_on_values_not_history() {
+        let mut m1 = SharedMemory::new();
+        let r1 = m1.alloc(0);
+        let mut m2 = SharedMemory::new();
+        let r2 = m2.alloc(0);
+        // Different access histories, same final values.
+        m1.write(r1, 7);
+        m2.write(r2, 3);
+        m2.write(r2, 5);
+        m2.write(r2, 7);
+        assert_eq!(m1.fingerprint(), m2.fingerprint());
+        m1.write(r1, 8);
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
     }
 
     #[test]

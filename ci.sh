@@ -18,9 +18,20 @@ cargo build --release --offline --workspace
 echo "==> cargo test (offline)"
 cargo test -q --offline --workspace
 
+echo "==> obs zero-cost gate: workspace must build and test with obs off"
+cargo build --offline --no-default-features -p pwf-obs -p pwf-sim -p pwf-hardware
+cargo test -q --offline --no-default-features -p pwf-obs -p pwf-sim -p pwf-hardware
+
 echo "==> pwf smoke: run --all --jobs 2 --fast"
 # --fast without --out is guaranteed not to overwrite results/.
 ./target/release/pwf run --all --jobs 2 --fast
+
+echo "==> obs smoke: metrics run + Perfetto trace export"
+./target/release/pwf run obs_overhead --fast --metrics
+obs_trace_dir="$(mktemp -d)"
+./target/release/pwf trace exp_latency_hist --fast --out "$obs_trace_dir"
+test -s "$obs_trace_dir/exp_latency_hist.trace.json"
+rm -rf "$obs_trace_dir"
 
 echo "==> pwf vet: systematic checker smoke + orderings lint"
 ./target/release/pwf vet --fast

@@ -57,8 +57,13 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
 
     out.note("");
     out.note("simulated uniform stochastic scheduler for comparison (n = 8, 200k steps):");
+    if let Some(m) = cfg.obs.metrics() {
+        m.gauge_set("fig3.max_uniformity_dev", max_dev);
+        m.gauge_set("fig3.longest_solo_run", max_solo as f64);
+    }
     let sim = SimExperiment::new(AlgorithmSpec::FetchAndInc, 8, cfg.scaled(200_000))
         .seed(cfg.sub_seed(0))
+        .obs(cfg.obs.clone())
         .run()?;
     let total: u64 = sim.process_completions.iter().sum();
     out.header(&["process", "ops share"]);

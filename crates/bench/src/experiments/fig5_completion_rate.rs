@@ -74,7 +74,7 @@ quantum boundaries, flattening the curve):"
     let hw_ns = [1usize, 2, 4, 8];
     let mut measured = Vec::new();
     for &t in &hw_ns {
-        let report = FaiCounter::measure(t, cfg.scaled(300_000));
+        let report = FaiCounter::measure_obs(t, cfg.scaled(300_000), &cfg.obs);
         measured.push(report.completion_rate());
     }
     let m0 = measured[0];

@@ -3,7 +3,7 @@
 //! hardware. Lock-freedom permits unbounded per-operation latency;
 //! in practice the distribution is tight with a thin tail.
 
-use pwf_hardware::latency::measure_stack_op_latency;
+use pwf_hardware::latency::measure_stack_op_latency_obs;
 use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment. Hardware timing: not deterministic.
@@ -19,7 +19,7 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note(&format!(
         "E14 / latency distribution of Treiber stack ops, {threads} threads, 100k pairs each."
     ));
-    let h = measure_stack_op_latency(threads, cfg.scaled(100_000));
+    let h = measure_stack_op_latency_obs(threads, cfg.scaled(100_000), &cfg.obs);
 
     out.header(&["bucket >= ns", "count", "fraction"]);
     let total = h.count() as f64;
@@ -38,6 +38,15 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         h.quantile_upper_bound(0.999),
         h.max_ns()
     ));
+    if let Some(s) = h.summary() {
+        out.note(&format!(
+            "summary: n={} mean={} ns min={} ns max={} ns",
+            s.count,
+            fmt(s.mean),
+            s.min,
+            s.max
+        ));
+    }
     out.note("the mass concentrates in the lowest buckets and the tail decays");
     out.note("geometrically: individual operations behave wait-free in practice,");
     out.note("the empirical observation the paper sets out to explain.");

@@ -26,9 +26,11 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     for n in [2usize, 4, 8, 16, 32] {
         let lock = SimExperiment::new(AlgorithmSpec::LockCounter { cs_len: 2 }, n, steps)
             .seed(cfg.sub_seed(n as u64))
+            .obs(cfg.obs.clone())
             .run()?;
         let free = SimExperiment::new(AlgorithmSpec::FetchAndInc, n, steps)
             .seed(cfg.sub_seed(n as u64))
+            .obs(cfg.obs.clone())
             .run()?;
         let wl = lock.system_latency.unwrap();
         let wf = free.system_latency.unwrap();
@@ -88,8 +90,8 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("");
     out.note("hardware (this machine):");
     let threads = std::thread::available_parallelism()?.get().clamp(1, 8);
-    let fai = FaiCounter::measure(threads, cfg.scaled(100_000));
-    let spin = SpinlockCounter::measure(threads, cfg.scaled(100_000));
+    let fai = FaiCounter::measure_obs(threads, cfg.scaled(100_000), &cfg.obs);
+    let spin = SpinlockCounter::measure_obs(threads, cfg.scaled(100_000), &cfg.obs);
     out.header(&["counter", "threads", "rate (ops/step)"]);
     out.row(&[
         "lock-free".into(),

@@ -32,6 +32,7 @@ pub mod lock_baseline;
 pub mod min_to_max;
 pub mod mixing;
 pub mod nonuniform;
+pub mod obs_overhead;
 pub mod parallel;
 pub mod quantum;
 pub mod scan_chain;
@@ -39,7 +40,7 @@ pub mod unbounded;
 pub mod universal;
 
 /// All registered experiments.
-const ALL: [FnExperiment; 20] = [
+const ALL: [FnExperiment; 21] = [
     backoff::EXP,
     ballsbins::EXP,
     crashes::EXP,
@@ -55,6 +56,7 @@ const ALL: [FnExperiment; 20] = [
     min_to_max::EXP,
     mixing::EXP,
     nonuniform::EXP,
+    obs_overhead::EXP,
     parallel::EXP,
     quantum::EXP,
     scan_chain::EXP,
@@ -99,15 +101,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_holds_all_twenty_unique_experiments() {
+    fn registry_holds_all_twenty_one_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 20);
+        assert_eq!(reg.len(), 21);
         assert!(reg.get("exp_ballsbins").is_some());
         assert!(reg.get("fig5_completion_rate").is_some());
+        assert!(reg.get("obs_overhead").is_some());
     }
 
     #[test]
-    fn five_hardware_experiments_are_nondeterministic() {
+    fn six_hardware_experiments_are_nondeterministic() {
         let reg = registry();
         let hardware: Vec<&str> = reg
             .iter()
@@ -122,6 +125,7 @@ mod tests {
                 "fig3_step_share",
                 "fig4_conditional",
                 "fig5_completion_rate",
+                "obs_overhead",
             ]
         );
     }

@@ -1,8 +1,9 @@
 //! One-call simulation experiments: run an [`AlgorithmSpec`] under a
 //! [`SchedulerSpec`] and summarize the paper's measures.
 
+use pwf_obs::ObsHandle;
 use pwf_sim::crash::{CrashSchedule, CrashScheduleError};
-use pwf_sim::executor::{run, RunConfig};
+use pwf_sim::executor::{run, run_traced, RunConfig};
 use pwf_sim::memory::SharedMemory;
 use pwf_sim::process::ProcessId;
 use pwf_sim::progress;
@@ -25,6 +26,9 @@ pub struct SimExperiment {
     pub seed: u64,
     /// Crash events `(time, process index)`.
     pub crashes: Vec<(u64, usize)>,
+    /// Observability session (disabled by default; a handle with
+    /// tracing on makes [`run`](Self::run) emit scheduler events).
+    pub obs: ObsHandle,
 }
 
 impl SimExperiment {
@@ -37,7 +41,17 @@ impl SimExperiment {
             steps,
             seed: 0xABCD,
             crashes: Vec::new(),
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Attaches an observability session: metrics are recorded after
+    /// the run, and scheduler picks/completions/crashes are emitted as
+    /// events when the handle has tracing enabled.
+    #[must_use]
+    pub fn obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Replaces the scheduler.
@@ -84,7 +98,26 @@ impl SimExperiment {
         let mut processes = self.algorithm.build(&mut mem, self.n);
         let mut scheduler = self.scheduler.build();
         let config = RunConfig::new(self.steps).seed(self.seed).crashes(crashes);
-        let exec = run(&mut processes, scheduler.as_mut(), &mut mem, &config);
+        let exec = if let Some(tc) = self.obs.trace() {
+            let mut recorder = tc.recorder(0);
+            run_traced(
+                &mut processes,
+                scheduler.as_mut(),
+                &mut mem,
+                &config,
+                &mut recorder,
+            )
+        } else {
+            run(&mut processes, scheduler.as_mut(), &mut mem, &config)
+        };
+
+        if let Some(metrics) = self.obs.metrics() {
+            metrics.counter_add("sim.completions", exec.total_completions());
+            metrics.counter_add("sim.steps", exec.steps);
+            if let Some(h) = stats::system_latency_histogram(&exec) {
+                metrics.merge_histogram("sim.system_gap_steps", h.histogram());
+            }
+        }
 
         let progress_report = progress::measure(&exec, &crashed);
         let system = stats::system_latency(&exec);
@@ -216,6 +249,30 @@ mod tests {
             .unwrap();
         assert_eq!(report.maximal_progress_bound, None);
         assert!(report.minimal_progress_bound.is_some());
+    }
+
+    #[test]
+    fn observed_run_collects_metrics_and_events() {
+        let obs = ObsHandle::collecting(Some(1 << 12));
+        let report = SimExperiment::new(AlgorithmSpec::FetchAndInc, 2, 2_000)
+            .seed(7)
+            .obs(obs.clone())
+            .run()
+            .unwrap();
+        let snap = obs.metrics().unwrap().snapshot();
+        let completions = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "sim.completions")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert_eq!(completions, report.total_completions);
+        // One event per pick plus one per completion, no crashes
+        // (empty only if pwf-obs was built with tracing off).
+        let events = obs.trace().unwrap().events();
+        if !events.is_empty() {
+            assert_eq!(events.len() as u64, 2_000 + report.total_completions);
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! it with the predicted `Θ(1/√n)` and the worst case `1/n`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use pwf_obs::{EventKind, Histogram, ObsHandle};
 
 /// A shared fetch-and-increment counter with step accounting.
 #[derive(Debug, Default)]
@@ -122,6 +125,84 @@ impl FaiCounter {
             final_value: counter.load(),
         }
     }
+
+    /// [`measure`](Self::measure) with observability: per-operation
+    /// latencies land in the `fai.op_ns` metrics histogram, CAS
+    /// attempts and failures in `fai.cas_attempts` / `fai.cas_fails`
+    /// counters, and — when tracing is on — each operation becomes an
+    /// `OpStart`/`OpEnd` event pair (ticks = ns since the run started,
+    /// `OpEnd.arg` = failed CASes) in per-thread ring recorders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `ops_per_thread == 0`.
+    pub fn measure_obs(
+        threads: usize,
+        ops_per_thread: u64,
+        obs: &ObsHandle,
+    ) -> CompletionRateReport {
+        assert!(threads > 0, "need at least one thread");
+        assert!(ops_per_thread > 0, "need at least one operation");
+        let counter = FaiCounter::new();
+        let mut per_thread = Vec::with_capacity(threads);
+        let mut merged = Histogram::new();
+        if let Some(tc) = obs.trace() {
+            tc.set_ticks_per_us(1000.0); // ticks are nanoseconds
+        }
+        let epoch = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let counter = &counter;
+                let mut recorder = obs.trace().map(|tc| tc.recorder(t as u32));
+                handles.push(scope.spawn(move || {
+                    let mut tally = ThreadTally::default();
+                    let mut hist = Histogram::new();
+                    for _ in 0..ops_per_thread {
+                        let start = Instant::now();
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(EventKind::OpStart, epoch.elapsed().as_nanos() as u64, 0);
+                        }
+                        let (_, steps) = counter.fetch_and_inc();
+                        hist.record(start.elapsed().as_nanos() as u64);
+                        tally.successes += 1;
+                        tally.steps += steps;
+                        if let Some(rec) = recorder.as_mut() {
+                            // steps = 1 read + CAS attempts, and the
+                            // final CAS succeeded.
+                            let fails = steps - 2;
+                            rec.record(EventKind::OpEnd, epoch.elapsed().as_nanos() as u64, fails);
+                            if fails > 0 {
+                                rec.record(
+                                    EventKind::CasFail,
+                                    epoch.elapsed().as_nanos() as u64,
+                                    fails,
+                                );
+                            }
+                        }
+                    }
+                    (tally, hist)
+                }));
+            }
+            for h in handles {
+                let (tally, hist) = h.join().expect("worker thread panicked");
+                per_thread.push(tally);
+                merged.merge(&hist);
+            }
+        });
+        let report = CompletionRateReport {
+            threads,
+            per_thread,
+            final_value: counter.load(),
+        };
+        if let Some(metrics) = obs.metrics() {
+            metrics.merge_histogram("fai.op_ns", &merged);
+            let attempts = report.total_steps() - report.total_successes();
+            metrics.counter_add("fai.cas_attempts", attempts);
+            metrics.counter_add("fai.cas_fails", attempts - report.total_successes());
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +232,24 @@ mod tests {
         let report = FaiCounter::measure(2, 10_000);
         assert!(report.completion_rate() <= 0.5 + 1e-12);
         assert!(report.completion_rate() > 0.0);
+    }
+
+    #[test]
+    fn observed_measure_matches_plain_semantics() {
+        let obs = ObsHandle::collecting(Some(1 << 14));
+        let report = FaiCounter::measure_obs(2, 2_000, &obs);
+        assert_eq!(report.final_value, 4_000);
+        assert_eq!(report.total_successes(), 4_000);
+        let snap = obs.metrics().unwrap().snapshot();
+        assert!(snap.histograms.iter().any(|(n, _)| n == "fai.op_ns"));
+        let attempts = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "fai.cas_attempts")
+            .map(|&(_, v)| v)
+            .unwrap();
+        // One CAS minimum per success.
+        assert!(attempts >= 4_000);
     }
 
     #[test]

@@ -5,52 +5,42 @@
 
 use std::time::Instant;
 
+use pwf_obs::{EventKind, Histogram, LatencySummary, ObsHandle};
+
 use crate::treiber::TreiberStack;
 
-/// A base-2 logarithmic histogram of durations in nanoseconds.
-#[derive(Debug, Clone)]
+/// A base-2 logarithmic histogram of durations in nanoseconds — a
+/// thin wrapper over the shared [`pwf_obs::Histogram`] keeping the
+/// historical nanosecond-named API.
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    /// `buckets[k]` counts samples in `[2ᵏ, 2ᵏ⁺¹)` ns.
-    buckets: Vec<u64>,
-    count: u64,
-    max_ns: u64,
+    inner: Histogram,
 }
 
 impl LatencyHistogram {
     /// Creates an empty histogram covering up to `2⁶³` ns.
     pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; 64],
-            count: 0,
-            max_ns: 0,
-        }
+        Self::default()
     }
 
     /// Records one duration.
     pub fn record(&mut self, nanos: u64) {
-        let bucket = 63 - nanos.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.max_ns = self.max_ns.max(nanos);
+        self.inner.record(nanos);
     }
 
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.max_ns = self.max_ns.max(other.max_ns);
+        self.inner.merge(&other.inner);
     }
 
     /// Number of samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
     /// Largest recorded duration in nanoseconds.
     pub fn max_ns(&self) -> u64 {
-        self.max_ns
+        self.inner.max_value()
     }
 
     /// The smallest duration `d` (as a bucket upper bound, ns) such
@@ -60,33 +50,24 @@ impl LatencyHistogram {
     ///
     /// Panics unless `0 < quantile <= 1` or if the histogram is empty.
     pub fn quantile_upper_bound(&self, quantile: f64) -> u64 {
-        assert!(quantile > 0.0 && quantile <= 1.0, "quantile in (0, 1]");
-        assert!(self.count > 0, "histogram is empty");
-        let target = (quantile * self.count as f64).ceil() as u64;
-        let mut acc = 0u64;
-        for (k, &c) in self.buckets.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return 1u64 << (k + 1);
-            }
-        }
-        u64::MAX
+        self.inner.quantile_upper_bound(quantile)
     }
 
     /// Bucket counts `(lower_ns, count)` for non-empty buckets.
     pub fn non_empty_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(k, &c)| (1u64 << k, c))
-            .collect()
+        self.inner.non_empty_buckets()
     }
-}
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
+    /// Reduces the histogram to a quantile-capable summary. `None` if
+    /// empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_histogram(&self.inner)
+    }
+
+    /// The underlying shared histogram (for merging into a metrics
+    /// registry).
+    pub fn histogram(&self) -> &Histogram {
+        &self.inner
     }
 }
 
@@ -125,6 +106,92 @@ pub fn measure_stack_op_latency(threads: usize, pairs_per_thread: u64) -> Latenc
             merged.merge(&handle.join().expect("latency thread panicked"));
         }
     });
+    merged
+}
+
+/// [`measure_stack_op_latency`] with observability: per-operation
+/// latencies land in the `stack.op_ns` metrics histogram, total CAS
+/// attempts and retries in `stack.cas_attempts` / `stack.cas_retries`
+/// counters, and — when tracing is on — each operation becomes an
+/// `OpStart`/`OpEnd` event pair (ticks = ns since the run started,
+/// `OpEnd.arg` = CAS retries) in per-thread ring recorders.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or `pairs_per_thread == 0`.
+pub fn measure_stack_op_latency_obs(
+    threads: usize,
+    pairs_per_thread: u64,
+    obs: &ObsHandle,
+) -> LatencyHistogram {
+    assert!(threads > 0, "need at least one thread");
+    assert!(pairs_per_thread > 0, "need at least one operation");
+    let stack = TreiberStack::with_capacity(threads * 8);
+    let mut merged = LatencyHistogram::new();
+    let mut cas_attempts = 0u64;
+    if let Some(tc) = obs.trace() {
+        tc.set_ticks_per_us(1000.0); // ticks are nanoseconds
+    }
+    let epoch = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let stack = &stack;
+            let mut recorder = obs.trace().map(|tc| tc.recorder(t as u32));
+            handles.push(scope.spawn(move || {
+                let mut h = LatencyHistogram::new();
+                let mut attempts = 0u64;
+                for i in 0..pairs_per_thread {
+                    let v = ((t as u64) << 32) | i;
+                    // Push, then pop; each timed as one operation.
+                    for op in 0..2u64 {
+                        let start = Instant::now();
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record(EventKind::OpStart, epoch.elapsed().as_nanos() as u64, op);
+                        }
+                        let took = if op == 0 {
+                            stack.push_counted(v).expect("pool sized for all threads")
+                        } else {
+                            stack.pop_counted().1
+                        };
+                        h.record(start.elapsed().as_nanos() as u64);
+                        attempts += took;
+                        if let Some(rec) = recorder.as_mut() {
+                            let retries = took.saturating_sub(2);
+                            rec.record(
+                                EventKind::OpEnd,
+                                epoch.elapsed().as_nanos() as u64,
+                                retries,
+                            );
+                            if retries > 0 {
+                                rec.record(
+                                    EventKind::CasFail,
+                                    epoch.elapsed().as_nanos() as u64,
+                                    retries,
+                                );
+                            }
+                        }
+                    }
+                }
+                (h, attempts)
+            }));
+        }
+        for handle in handles {
+            let (h, attempts) = handle.join().expect("latency thread panicked");
+            merged.merge(&h);
+            cas_attempts += attempts;
+        }
+    });
+    if let Some(metrics) = obs.metrics() {
+        metrics.merge_histogram("stack.op_ns", merged.histogram());
+        metrics.counter_add("stack.cas_attempts", cas_attempts);
+        // 2 CAS per contention-free op (see `push_counted`): anything
+        // beyond that is retry work caused by contention.
+        metrics.counter_add(
+            "stack.cas_retries",
+            cas_attempts.saturating_sub(merged.count() * 2),
+        );
+    }
     merged
 }
 
@@ -195,5 +262,42 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_histogram_panics() {
         let _ = LatencyHistogram::new().quantile_upper_bound(0.5);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn observed_measurement_fills_metrics_and_events() {
+        let obs = ObsHandle::collecting(Some(1 << 14));
+        let h = measure_stack_op_latency_obs(2, 500, &obs);
+        assert_eq!(h.count(), 2 * 500 * 2);
+        let s = h.summary().unwrap();
+        assert!(s.p50 <= s.p99);
+
+        let snap = obs.metrics().unwrap().snapshot();
+        let attempts = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "stack.cas_attempts")
+            .map(|&(_, v)| v)
+            .unwrap();
+        // At least 2 CAS per operation.
+        assert!(attempts >= 2 * h.count());
+        assert!(snap.histograms.iter().any(|(n, _)| n == "stack.op_ns"));
+
+        let events = obs.trace().unwrap().events();
+        let starts = events
+            .iter()
+            .filter(|e| e.kind == EventKind::OpStart)
+            .count() as u64;
+        let ends = events.iter().filter(|e| e.kind == EventKind::OpEnd).count() as u64;
+        assert_eq!(starts, h.count());
+        assert_eq!(ends, h.count());
+    }
+
+    #[test]
+    fn disabled_handle_measures_without_observing() {
+        let obs = ObsHandle::disabled();
+        let h = measure_stack_op_latency_obs(2, 200, &obs);
+        assert_eq!(h.count(), 2 * 200 * 2);
     }
 }

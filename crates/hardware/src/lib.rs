@@ -15,6 +15,8 @@
 //!   written in safe Rust over index pools with tagged pointers.
 //! * [`latency`] — per-operation latency histograms (the
 //!   [1, Figure 6]-style motivation measurement).
+//! * [`overhead`] — self-measurement of the `pwf-obs` recording
+//!   substrate (ticket draw vs ring recorder vs timestamping).
 //!
 //! Everything is `#![forbid(unsafe_code)]`: ABA protection comes from
 //! packing `(tag, index)` pairs into `AtomicU64` words with globally
@@ -36,14 +38,16 @@
 pub mod fai_counter;
 pub mod latency;
 pub mod msqueue;
+pub mod overhead;
 pub mod recorder;
 pub mod schedule_stats;
 pub mod spinlock;
 pub mod treiber;
 
 pub use fai_counter::{CompletionRateReport, FaiCounter};
-pub use latency::{measure_stack_op_latency, LatencyHistogram};
+pub use latency::{measure_stack_op_latency, measure_stack_op_latency_obs, LatencyHistogram};
 pub use msqueue::{MsQueue, QueueError};
+pub use overhead::{measure_recording_overhead, OverheadReport};
 pub use recorder::{record_with_tickets, record_with_timestamps, ScheduleTrace};
 pub use schedule_stats::{conditional_next_step, step_share, uniformity_deviation};
 pub use spinlock::{SpinlockCounter, SpinlockReport};

@@ -112,7 +112,8 @@ impl MsQueue {
         self.next_tag.fetch_add(1, Ordering::Relaxed) as u32
     }
 
-    fn alloc(&self) -> Option<u32> {
+    /// Allocates a pool slot, counting CAS attempts into `attempts`.
+    fn alloc(&self, attempts: &mut u64) -> Option<u32> {
         loop {
             let head = self.free.load(Ordering::Acquire);
             let idx = idx_of(head);
@@ -120,6 +121,7 @@ impl MsQueue {
                 return None;
             }
             let next = self.nodes[idx as usize].next.load(Ordering::Acquire);
+            *attempts += 1;
             if self
                 .free
                 .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Relaxed)
@@ -130,11 +132,14 @@ impl MsQueue {
         }
     }
 
-    fn release(&self, idx: u32) {
+    /// Returns a slot to the pool, counting CAS attempts into
+    /// `attempts`.
+    fn release(&self, idx: u32, attempts: &mut u64) {
         let tagged = pack(self.fresh_tag(), idx);
         loop {
             let head = self.free.load(Ordering::Acquire);
             self.nodes[idx as usize].next.store(head, Ordering::Relaxed);
+            *attempts += 1;
             if self
                 .free
                 .compare_exchange_weak(head, tagged, Ordering::AcqRel, Ordering::Relaxed)
@@ -151,7 +156,20 @@ impl MsQueue {
     ///
     /// Returns [`QueueError::PoolExhausted`] if no node slot is free.
     pub fn enqueue(&self, value: u64) -> Result<(), QueueError> {
-        let idx = self.alloc().ok_or(QueueError::PoolExhausted)?;
+        self.enqueue_counted(value).map(|_| ())
+    }
+
+    /// [`enqueue`](Self::enqueue) that also returns the total CAS
+    /// attempts the operation took (pool allocation + linking; the
+    /// helping tail-swing CASes are included, since they are real
+    /// shared-memory steps; 3 = contention-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::PoolExhausted`] if no node slot is free.
+    pub fn enqueue_counted(&self, value: u64) -> Result<u64, QueueError> {
+        let mut attempts = 0u64;
+        let idx = self.alloc(&mut attempts).ok_or(QueueError::PoolExhausted)?;
         let node = &self.nodes[idx as usize];
         node.value.store(value, Ordering::Relaxed);
         // Fresh-tagged null: stale CASes on this node's next can never
@@ -169,22 +187,25 @@ impl MsQueue {
             }
             if idx_of(next) == NIL {
                 // Try to link our node after the last one.
+                attempts += 1;
                 if self.nodes[tail_idx]
                     .next
                     .compare_exchange(next, tagged, Ordering::AcqRel, Ordering::Relaxed)
                     .is_ok()
                 {
                     // Swing the tail (failure is fine — someone helped).
+                    attempts += 1;
                     let _ = self.tail.compare_exchange(
                         tail,
                         tagged,
                         Ordering::AcqRel,
                         Ordering::Relaxed,
                     );
-                    return Ok(());
+                    return Ok(attempts);
                 }
             } else {
                 // Tail lagging: help swing it.
+                attempts += 1;
                 let _ = self
                     .tail
                     .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
@@ -195,6 +216,15 @@ impl MsQueue {
     /// Dequeues the value at the head, or `None` if the queue is
     /// empty.
     pub fn dequeue(&self) -> Option<u64> {
+        self.dequeue_counted().0
+    }
+
+    /// [`dequeue`](Self::dequeue) that also returns the total CAS
+    /// attempts the operation took (head swing + dummy recycling,
+    /// plus any helping tail swings; 2 = contention-free, 0 =
+    /// observed empty without a CAS).
+    pub fn dequeue_counted(&self) -> (Option<u64>, u64) {
+        let mut attempts = 0u64;
         loop {
             let head = self.head.load(Ordering::Acquire);
             let tail = self.tail.load(Ordering::Acquire);
@@ -205,9 +235,10 @@ impl MsQueue {
             }
             if head_idx == idx_of(tail) as usize {
                 if idx_of(next) == NIL {
-                    return None;
+                    return (None, attempts);
                 }
                 // Tail lagging behind a linked node: help.
+                attempts += 1;
                 let _ = self
                     .tail
                     .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Relaxed);
@@ -217,14 +248,15 @@ impl MsQueue {
             // Read the value before the CAS: after it, the old dummy is
             // recycled. A stale read here is harmless — the CAS fails.
             let value = self.nodes[next_idx].value.load(Ordering::Acquire);
+            attempts += 1;
             if self
                 .head
                 .compare_exchange(head, next, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
                 // The old dummy is ours to recycle.
-                self.release(head_idx as u32);
-                return Some(value);
+                self.release(head_idx as u32, &mut attempts);
+                return (Some(value), attempts);
             }
         }
     }
@@ -330,6 +362,20 @@ mod tests {
             producer.join().unwrap();
             consumer.join().unwrap();
         });
+    }
+
+    #[test]
+    fn counted_ops_report_contention_free_attempts() {
+        let q = MsQueue::with_capacity(4);
+        // Alloc CAS + link CAS + tail-swing CAS.
+        assert_eq!(q.enqueue_counted(7), Ok(3));
+        // Head-swing CAS + dummy-recycle CAS.
+        let (v, attempts) = q.dequeue_counted();
+        assert_eq!(v, Some(7));
+        assert_eq!(attempts, 2);
+        let (none, attempts) = q.dequeue_counted();
+        assert_eq!(none, None);
+        assert_eq!(attempts, 0); // observed empty, no CAS issued
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! accounting.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use pwf_obs::{Histogram, ObsHandle};
 
 /// A counter protected by a test-and-set spinlock, with step
 /// accounting matching [`crate::fai_counter::FaiCounter`] (every
@@ -108,6 +111,56 @@ impl SpinlockCounter {
             final_value: counter.load(),
         }
     }
+
+    /// [`measure`](Self::measure) with observability: per-operation
+    /// latencies land in the `spinlock.op_ns` metrics histogram and
+    /// failed lock acquisitions (spins beyond the winning TAS) in the
+    /// `spinlock.spins` counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or `ops_per_thread == 0`.
+    pub fn measure_obs(threads: usize, ops_per_thread: u64, obs: &ObsHandle) -> SpinlockReport {
+        assert!(threads > 0, "need at least one thread");
+        assert!(ops_per_thread > 0, "need at least one operation");
+        let counter = SpinlockCounter::new();
+        let mut totals = Vec::with_capacity(threads);
+        let mut merged = Histogram::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let counter = &counter;
+                handles.push(scope.spawn(move || {
+                    let mut steps = 0u64;
+                    let mut hist = Histogram::new();
+                    for _ in 0..ops_per_thread {
+                        let start = Instant::now();
+                        steps += counter.increment().1;
+                        hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                    (steps, hist)
+                }));
+            }
+            for h in handles {
+                let (steps, hist) = h.join().expect("worker thread panicked");
+                totals.push(steps);
+                merged.merge(&hist);
+            }
+        });
+        let report = SpinlockReport {
+            threads,
+            successes: threads as u64 * ops_per_thread,
+            steps: totals.iter().sum(),
+            final_value: counter.load(),
+        };
+        if let Some(metrics) = obs.metrics() {
+            metrics.merge_histogram("spinlock.op_ns", &merged);
+            // 4 steps per uncontended op (TAS + read + write + unlock):
+            // the excess is spinning on a held lock.
+            metrics.counter_add("spinlock.spins", report.steps - 4 * report.successes);
+        }
+        report
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +188,16 @@ mod tests {
         let report = SpinlockCounter::measure(2, 10_000);
         assert!(report.completion_rate() <= 0.25 + 1e-12);
         assert!(report.completion_rate() > 0.0);
+    }
+
+    #[test]
+    fn observed_measure_matches_plain_semantics() {
+        let obs = ObsHandle::collecting(None);
+        let report = SpinlockCounter::measure_obs(2, 2_000, &obs);
+        assert_eq!(report.final_value, 4_000);
+        let snap = obs.metrics().unwrap().snapshot();
+        assert!(snap.histograms.iter().any(|(n, _)| n == "spinlock.op_ns"));
+        assert!(snap.counters.iter().any(|(n, _)| n == "spinlock.spins"));
     }
 
     #[test]

@@ -112,35 +112,41 @@ impl TreiberStack {
     }
 
     /// Pops a slot from one of the two internal stacks (`free` list or
-    /// the live stack). Returns the popped index.
-    fn pop_internal(&self, which: &AtomicU64) -> Option<u32> {
+    /// the live stack). Returns the popped index and the number of CAS
+    /// attempts it took (1 = contention-free).
+    fn pop_internal(&self, which: &AtomicU64) -> (Option<u32>, u64) {
+        let mut attempts = 0u64;
         loop {
             let head = which.load(Ordering::Acquire);
             let idx = idx_of(head);
             if idx == NIL {
-                return None;
+                return (None, attempts);
             }
             let next = self.nodes[idx as usize].next.load(Ordering::Acquire);
+            attempts += 1;
             if which
                 .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
-                return Some(idx);
+                return (Some(idx), attempts);
             }
         }
     }
 
-    /// Pushes slot `idx` onto one of the two internal stacks.
-    fn push_internal(&self, which: &AtomicU64, idx: u32) {
+    /// Pushes slot `idx` onto one of the two internal stacks and
+    /// returns the number of CAS attempts it took.
+    fn push_internal(&self, which: &AtomicU64, idx: u32) -> u64 {
         let tagged = pack(self.fresh_tag(), idx);
+        let mut attempts = 0u64;
         loop {
             let head = which.load(Ordering::Acquire);
             self.nodes[idx as usize].next.store(head, Ordering::Relaxed);
+            attempts += 1;
             if which
                 .compare_exchange_weak(head, tagged, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
-                return;
+                return attempts;
             }
         }
     }
@@ -151,22 +157,42 @@ impl TreiberStack {
     ///
     /// Returns [`StackError::PoolExhausted`] if no node slot is free.
     pub fn push(&self, value: u64) -> Result<(), StackError> {
-        let idx = self
-            .pop_internal(&self.free)
-            .ok_or(StackError::PoolExhausted)?;
+        self.push_counted(value).map(|_| ())
+    }
+
+    /// [`push`](Self::push) that also returns the total CAS attempts
+    /// the operation took (free-list pop + head push; 2 =
+    /// contention-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackError::PoolExhausted`] if no node slot is free.
+    pub fn push_counted(&self, value: u64) -> Result<u64, StackError> {
+        let (idx, alloc_attempts) = self.pop_internal(&self.free);
+        let idx = idx.ok_or(StackError::PoolExhausted)?;
         self.nodes[idx as usize]
             .value
             .store(value, Ordering::Relaxed);
-        self.push_internal(&self.head, idx);
-        Ok(())
+        let push_attempts = self.push_internal(&self.head, idx);
+        Ok(alloc_attempts + push_attempts)
     }
 
     /// Pops a value, or `None` if the stack is empty.
     pub fn pop(&self) -> Option<u64> {
-        let idx = self.pop_internal(&self.head)?;
+        self.pop_counted().0
+    }
+
+    /// [`pop`](Self::pop) that also returns the total CAS attempts the
+    /// operation took (head pop + free-list push; 2 =
+    /// contention-free, 0 = observed empty without a CAS).
+    pub fn pop_counted(&self) -> (Option<u64>, u64) {
+        let (idx, pop_attempts) = self.pop_internal(&self.head);
+        let Some(idx) = idx else {
+            return (None, pop_attempts);
+        };
         let value = self.nodes[idx as usize].value.load(Ordering::Acquire);
-        self.push_internal(&self.free, idx);
-        Some(value)
+        let free_attempts = self.push_internal(&self.free, idx);
+        (Some(value), pop_attempts + free_attempts)
     }
 
     /// Whether the stack is currently empty (racy, for diagnostics).
@@ -273,6 +299,18 @@ mod tests {
             consumer.join().unwrap();
         });
         assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn counted_ops_report_contention_free_attempts() {
+        let s = TreiberStack::with_capacity(4);
+        assert_eq!(s.push_counted(7), Ok(2)); // free-pop CAS + head-push CAS
+        let (v, attempts) = s.pop_counted();
+        assert_eq!(v, Some(7));
+        assert_eq!(attempts, 2); // head-pop CAS + free-push CAS
+        let (none, attempts) = s.pop_counted();
+        assert_eq!(none, None);
+        assert_eq!(attempts, 0); // observed empty, no CAS issued
     }
 
     #[test]

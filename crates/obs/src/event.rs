@@ -1,0 +1,97 @@
+//! The typed event vocabulary of the tracing layer.
+//!
+//! Events are small `Copy` records: a global fetch-and-increment
+//! *ticket* (total order across threads — the paper's Appendix A
+//! recording method), a caller-supplied *tick* (timestamp in whatever
+//! unit the producer uses: system steps in the simulator, nanoseconds
+//! on hardware), the producing thread, a kind, and one argument word.
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// An operation began (`arg` = operation tag; paired with
+    /// [`EventKind::OpEnd`] on the same thread).
+    OpStart,
+    /// An operation finished (`arg` = retries or steps it took).
+    OpEnd,
+    /// An operation completed, unpaired (`arg` = completing process).
+    Complete,
+    /// A CAS was attempted (`arg` = attempt number within the op).
+    CasAttempt,
+    /// A CAS failed (`arg` = failed-attempt count).
+    CasFail,
+    /// A backoff wait was taken (`arg` = wait amount).
+    Backoff,
+    /// The scheduler picked a process (`arg` = process index).
+    SchedulerPick,
+    /// A run phase began (`arg` = phase tag).
+    PhaseBegin,
+    /// A run phase ended (`arg` = phase tag).
+    PhaseEnd,
+    /// A process crashed (`arg` = process index).
+    Crash,
+}
+
+impl EventKind {
+    /// Stable display name (used for Perfetto event names).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::OpStart => "op_start",
+            EventKind::OpEnd => "op_end",
+            EventKind::Complete => "complete",
+            EventKind::CasAttempt => "cas_attempt",
+            EventKind::CasFail => "cas_fail",
+            EventKind::Backoff => "backoff",
+            EventKind::SchedulerPick => "sched_pick",
+            EventKind::PhaseBegin => "phase_begin",
+            EventKind::PhaseEnd => "phase_end",
+            EventKind::Crash => "crash",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global order ticket (drawn by fetch-and-increment at record
+    /// time; sorting by ticket recovers the cross-thread total order).
+    pub ticket: u64,
+    /// Producer-defined timestamp (simulator steps, nanoseconds, …).
+    pub tick: u64,
+    /// Producing thread / process index.
+    pub thread: u32,
+    /// What happened.
+    pub kind: EventKind,
+    /// One argument word, meaning per [`EventKind`].
+    pub arg: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let kinds = [
+            EventKind::OpStart,
+            EventKind::OpEnd,
+            EventKind::Complete,
+            EventKind::CasAttempt,
+            EventKind::CasFail,
+            EventKind::Backoff,
+            EventKind::SchedulerPick,
+            EventKind::PhaseBegin,
+            EventKind::PhaseEnd,
+            EventKind::Crash,
+        ];
+        let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+
+    #[test]
+    fn events_are_small() {
+        // The ring buffer stores events by value; keep them compact.
+        assert!(std::mem::size_of::<Event>() <= 40);
+    }
+}

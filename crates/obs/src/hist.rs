@@ -1,0 +1,229 @@
+//! The shared base-2 logarithmic histogram.
+//!
+//! One binning scheme serves every latency/gap distribution in the
+//! workspace: `buckets[k]` counts samples in `[2ᵏ, 2ᵏ⁺¹)`, in whatever
+//! unit the caller records (nanoseconds on hardware, system steps in
+//! the simulator). The state is mergeable — per-thread histograms are
+//! recorded independently and combined after the run, the same
+//! perturbation-minimizing shape as the ring recorders — and exact
+//! `count/sum/min/max` ride along so summaries lose nothing to the
+//! bucketing.
+
+/// A base-2 logarithmic histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[k]` counts samples in `[2ᵏ, 2ᵏ⁺¹)`.
+    buckets: Vec<u64>,
+    count: u64,
+    /// Exact sum of all samples (u128: 2⁶⁴ samples of 2⁶⁴ cannot
+    /// overflow it).
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. Zero is binned with 1 (the first bucket).
+    pub fn record(&mut self, value: u64) {
+        let bucket = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one. Merge is commutative
+    /// and associative, so per-thread histograms combine in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean of the samples; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest recorded sample; `None` if empty.
+    pub fn min_value(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest recorded sample (0 if empty, matching the historical
+    /// `max_gap`/`max_ns` accessors).
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower bound, count)`.
+    pub fn non_empty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (1u64 << k, c))
+            .collect()
+    }
+
+    /// Smallest bucket upper bound covering at least `quantile` of the
+    /// samples (`u64::MAX` when the covering bucket is the top one,
+    /// whose true upper bound `2⁶⁴` is not representable).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < quantile <= 1` and the histogram is
+    /// non-empty.
+    pub fn quantile_upper_bound(&self, quantile: f64) -> u64 {
+        assert!(quantile > 0.0 && quantile <= 1.0, "quantile in (0, 1]");
+        assert!(self.count > 0, "histogram is empty");
+        let target = (quantile * self.count as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return if k >= 63 { u64::MAX } else { 1u64 << (k + 1) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// [`quantile_upper_bound`](Self::quantile_upper_bound) that
+    /// returns `None` instead of panicking on an empty histogram.
+    pub fn quantile(&self, quantile: f64) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.quantile_upper_bound(quantile))
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_places_samples_in_log_buckets() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        let buckets = h.non_empty_buckets();
+        assert!(buckets.contains(&(1, 1)));
+        assert!(buckets.contains(&(2, 2)));
+        assert!(buckets.contains(&(1024, 1)));
+        assert_eq!(h.max_value(), 1024);
+        assert_eq!(h.min_value(), Some(1));
+        assert_eq!(h.sum(), 1030);
+    }
+
+    #[test]
+    fn zero_goes_to_first_bucket_but_sum_is_exact() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.non_empty_buckets(), vec![(1, 1)]);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min_value(), Some(0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_cover_the_max() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 40, 80, 10_000] {
+            h.record(v);
+        }
+        let q50 = h.quantile_upper_bound(0.5);
+        let q99 = h.quantile_upper_bound(0.99);
+        assert!(q50 <= q99);
+        assert!(q99 >= 10_000);
+        assert_eq!(h.quantile(0.5), Some(q50));
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let samples = [3u64, 9, 81, 6561, 0, 7];
+        let mut all = Histogram::new();
+        let (mut a, mut b) = (Histogram::new(), Histogram::new());
+        for (i, &v) in samples.iter().enumerate() {
+            all.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn top_bucket_quantile_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_upper_bound(0.5), u64::MAX);
+        assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_behaviour() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min_value(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max_value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_upper_bound_of_empty_panics() {
+        let _ = Histogram::new().quantile_upper_bound(0.5);
+    }
+}

@@ -1,0 +1,182 @@
+//! A small metrics registry: named counters, gauges, and histograms.
+//!
+//! Metrics are aggregation-path state — they are touched when an
+//! experiment finishes a phase or merges per-thread results, never in
+//! the instrumented hot loops — so they sit behind plain mutexes and
+//! stay available whether or not the `obs` tracing feature is on.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::hist::Histogram;
+use crate::summary::LatencySummary;
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// All methods take `&self`; the registry is shared behind an `Arc`
+/// between the orchestrator and the experiments it runs.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut counters = self.counters.lock().expect("metrics poisoned");
+        *counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().expect("metrics poisoned");
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut hists = self.hists.lock().expect("metrics poisoned");
+        hists.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Merges a locally-accumulated histogram into the named one —
+    /// the preferred shape for per-thread recording: record into a
+    /// private [`Histogram`], merge once at the end.
+    pub fn merge_histogram(&self, name: &str, hist: &Histogram) {
+        let mut hists = self.hists.lock().expect("metrics poisoned");
+        hists.entry(name.to_string()).or_default().merge(hist);
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let histograms = self
+            .hists
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+            .filter_map(|(k, h)| LatencySummary::from_histogram(h).map(|s| (k.clone(), s)))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Metrics`] registry, with histograms
+/// reduced to [`LatencySummary`] form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → total.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → last value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary with quantiles.
+    pub histograms: Vec<(String, LatencySummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as aligned report lines (sorted by name
+    /// within each section, deterministic).
+    pub fn render(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for (name, value) in &self.counters {
+            lines.push(format!("counter {name} = {value}"));
+        }
+        for (name, value) in &self.gauges {
+            lines.push(format!("gauge   {name} = {value:.3}"));
+        }
+        for (name, s) in &self.histograms {
+            lines.push(format!(
+                "hist    {name}: n={} mean={:.1} min={} p50<={} p90<={} p99<={} p999<={} max={}",
+                s.count, s.mean, s.min, s.p50, s.p90, s.p99, s.p999, s.max
+            ));
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let m = Metrics::new();
+        m.counter_add("cas.fail", 3);
+        m.counter_add("cas.fail", 4);
+        m.gauge_set("wall_ms", 1.0);
+        m.gauge_set("wall_ms", 2.5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters, vec![("cas.fail".to_string(), 7)]);
+        assert_eq!(snap.gauges, vec![("wall_ms".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn histograms_record_and_merge() {
+        let m = Metrics::new();
+        m.record("lat", 8);
+        let mut local = Histogram::new();
+        local.record(16);
+        local.record(32);
+        m.merge_histogram("lat", &local);
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        let (name, s) = &snap.histograms[0];
+        assert_eq!(name, "lat");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 8);
+        assert_eq!(s.max, 32);
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let m = Metrics::new();
+        m.counter_add("b", 1);
+        m.counter_add("a", 1);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn render_covers_all_sections() {
+        let m = Metrics::new();
+        assert!(m.snapshot().is_empty());
+        m.counter_add("ops", 10);
+        m.gauge_set("load", 0.5);
+        m.record("lat", 100);
+        let lines = m.snapshot().render();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("counter ops"));
+        assert!(lines[1].starts_with("gauge   load"));
+        assert!(lines[2].starts_with("hist    lat"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Chrome trace-event JSON export (loadable by Perfetto / `chrome://tracing`).
+//!
+//! Emits the JSON-object form of the trace-event format:
+//! `{"traceEvents": [...], "displayTimeUnit": "ns"}`. Paired
+//! [`EventKind::OpStart`]/[`EventKind::OpEnd`] events on the same
+//! thread become `"X"` complete events (duration slices); everything
+//! else becomes `"i"` instant events. Process and thread names are
+//! emitted as `"M"` metadata records.
+//!
+//! The exporter is tolerant of ring-buffer drops: an `OpEnd` whose
+//! start was overwritten is emitted as an instant, and unmatched
+//! `OpStart`s are flushed as instants at the end.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Event, EventKind};
+
+/// Serializes events as Chrome trace-event JSON.
+///
+/// `ticks_per_us` converts the events' `tick` unit into microseconds
+/// (the format's `ts` unit): pass `1.0` when ticks are already µs,
+/// `1000.0` when they are nanoseconds, or any scale that keeps the
+/// trace readable for unitless simulator steps.
+pub fn trace_json(events: &[Event], process_name: &str, ticks_per_us: f64) -> String {
+    let scale = if ticks_per_us > 0.0 {
+        ticks_per_us
+    } else {
+        1.0
+    };
+    let mut out = Vec::new();
+
+    out.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":{}}}}}",
+        json_string(process_name)
+    ));
+    let mut threads: Vec<u32> = events.iter().map(|e| e.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in &threads {
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":\"thread {t}\"}}}}"
+        ));
+    }
+
+    // Per-thread stacks of open OpStart events, matched LIFO so nested
+    // operations pair correctly.
+    let mut open: BTreeMap<u32, Vec<Event>> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::OpStart => open.entry(e.thread).or_default().push(*e),
+            EventKind::OpEnd => {
+                if let Some(start) = open.get_mut(&e.thread).and_then(Vec::pop) {
+                    out.push(complete_event(&start, e, scale));
+                } else {
+                    // The matching start was lost to ring wraparound.
+                    out.push(instant_event(e, scale));
+                }
+            }
+            _ => out.push(instant_event(e, scale)),
+        }
+    }
+    for starts in open.values() {
+        for start in starts {
+            out.push(instant_event(start, scale));
+        }
+    }
+
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\"}}",
+        out.join(",")
+    )
+}
+
+fn ts(tick: u64, scale: f64) -> f64 {
+    tick as f64 / scale
+}
+
+fn complete_event(start: &Event, end: &Event, scale: f64) -> String {
+    let dur = ts(end.tick.saturating_sub(start.tick), scale);
+    format!(
+        "{{\"name\":\"op:{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"tag\":{},\"retries\":{}}}}}",
+        start.arg,
+        start.thread,
+        json_number(ts(start.tick, scale)),
+        json_number(dur),
+        start.arg,
+        end.arg
+    )
+}
+
+fn instant_event(e: &Event, scale: f64) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"arg\":{}}}}}",
+        json_string(e.kind.name()),
+        e.thread,
+        json_number(ts(e.tick, scale)),
+        e.arg
+    )
+}
+
+/// Formats an f64 as a JSON number (never NaN/Inf for our inputs;
+/// trims to integer form when exact to keep traces compact).
+fn json_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string per JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ticket: u64, tick: u64, thread: u32, kind: EventKind, arg: u64) -> Event {
+        Event {
+            ticket,
+            tick,
+            thread,
+            kind,
+            arg,
+        }
+    }
+
+    #[test]
+    fn pairs_start_end_into_complete_events() {
+        let events = [
+            ev(0, 100, 1, EventKind::OpStart, 7),
+            ev(1, 150, 1, EventKind::CasFail, 1),
+            ev(2, 200, 1, EventKind::OpEnd, 2),
+        ];
+        let json = trace_json(&events, "demo", 1.0);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":100"));
+        assert!(json.contains("\"retries\":2"));
+        assert!(json.contains("\"name\":\"cas_fail\""));
+        assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+    }
+
+    #[test]
+    fn unmatched_events_degrade_to_instants() {
+        // End without start (wrapped ring) and start without end
+        // (still in flight) both survive as instants.
+        let events = [
+            ev(0, 10, 0, EventKind::OpEnd, 0),
+            ev(1, 20, 0, EventKind::OpStart, 3),
+        ];
+        let json = trace_json(&events, "demo", 1.0);
+        assert!(!json.contains("\"ph\":\"X\""));
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+    }
+
+    #[test]
+    fn nested_ops_match_lifo() {
+        let events = [
+            ev(0, 0, 0, EventKind::OpStart, 1),
+            ev(1, 10, 0, EventKind::OpStart, 2),
+            ev(2, 20, 0, EventKind::OpEnd, 0),
+            ev(3, 30, 0, EventKind::OpEnd, 0),
+        ];
+        let json = trace_json(&events, "demo", 1.0);
+        // Inner op: ts 10 dur 10; outer op: ts 0 dur 30.
+        assert!(json.contains("\"ts\":10,\"dur\":10"));
+        assert!(json.contains("\"ts\":0,\"dur\":30"));
+    }
+
+    #[test]
+    fn scale_converts_ticks_to_microseconds() {
+        let events = [
+            ev(0, 2000, 0, EventKind::OpStart, 0),
+            ev(1, 4000, 0, EventKind::OpEnd, 0),
+        ];
+        let json = trace_json(&events, "demo", 1000.0);
+        assert!(json.contains("\"ts\":2,\"dur\":2"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = trace_json(&[], "a \"b\"\n", 1.0);
+        assert!(json.contains("a \\\"b\\\"\\n"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Lock-free-friendly per-thread event recorders.
+//!
+//! The design follows the paper's Appendix A argument: the act of
+//! measuring perturbs the schedule, so the recorder must be as close
+//! to free as possible on the instrumented thread. Each thread owns a
+//! private fixed-capacity ring buffer (no sharing, no locks on the
+//! record path); the only shared-memory touch per event is one relaxed
+//! fetch-and-increment on a global ticket counter — the same primitive
+//! the paper prefers over timestamps for schedule recording. Rings are
+//! deposited into the collector when the thread finishes and merged
+//! into one ticket-ordered stream afterwards.
+//!
+//! When the ring wraps, the *oldest* events are overwritten (the tail
+//! of a run is usually the interesting part) and the drop count is
+//! reported, so truncation is never silent.
+//!
+//! With the `obs` feature disabled both types are zero-sized and every
+//! method is an empty `#[inline]` body: instrumented code compiles to
+//! exactly the un-instrumented code.
+
+#[cfg(feature = "obs")]
+pub use enabled::{ThreadRecorder, TraceCollector};
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::{ThreadRecorder, TraceCollector};
+
+/// Default per-thread ring capacity (events).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    use crate::event::{Event, EventKind};
+
+    #[derive(Debug)]
+    struct ThreadLog {
+        events: Vec<Event>,
+        recorded: u64,
+        dropped: u64,
+    }
+
+    /// The shared side of a tracing session: the global ticket counter
+    /// plus the deposit box for finished per-thread rings.
+    #[derive(Debug)]
+    pub struct TraceCollector {
+        ticket: AtomicU64,
+        capacity: usize,
+        /// Tick-to-microsecond conversion used by the Perfetto
+        /// exporter (f64 bits; 1 tick = 1 µs by default).
+        ticks_per_us: AtomicU64,
+        logs: Mutex<Vec<ThreadLog>>,
+    }
+
+    impl TraceCollector {
+        /// Creates a collector whose recorders keep the last
+        /// `capacity_per_thread` events each.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `capacity_per_thread == 0`.
+        pub fn new(capacity_per_thread: usize) -> Arc<Self> {
+            assert!(capacity_per_thread > 0, "ring capacity must be positive");
+            Arc::new(TraceCollector {
+                ticket: AtomicU64::new(0),
+                capacity: capacity_per_thread,
+                ticks_per_us: AtomicU64::new(1.0f64.to_bits()),
+                logs: Mutex::new(Vec::new()),
+            })
+        }
+
+        /// Creates a new per-thread recorder. Call once per thread and
+        /// move the recorder into it.
+        pub fn recorder(self: &Arc<Self>, thread: u32) -> ThreadRecorder {
+            ThreadRecorder {
+                collector: Arc::clone(self),
+                thread,
+                ring: Vec::with_capacity(self.capacity),
+                write: 0,
+                recorded: 0,
+                dropped: 0,
+            }
+        }
+
+        /// Declares how many ticks make one microsecond (for trace
+        /// export): 1.0 when ticks are µs, 1000.0 when ticks are ns.
+        pub fn set_ticks_per_us(&self, ticks: f64) {
+            self.ticks_per_us.store(ticks.to_bits(), Ordering::Relaxed);
+        }
+
+        /// The tick-to-microsecond conversion factor.
+        pub fn ticks_per_us(&self) -> f64 {
+            f64::from_bits(self.ticks_per_us.load(Ordering::Relaxed))
+        }
+
+        /// All deposited events, merged across threads and sorted into
+        /// the global ticket order. Call after the recording threads
+        /// have finished (dropped their recorders).
+        pub fn events(&self) -> Vec<Event> {
+            let logs = self.logs.lock().expect("trace collector poisoned");
+            let mut all: Vec<Event> = logs.iter().flat_map(|l| l.events.iter().copied()).collect();
+            all.sort_unstable_by_key(|e| e.ticket);
+            all
+        }
+
+        /// Total events recorded (including later-overwritten ones).
+        pub fn recorded(&self) -> u64 {
+            let logs = self.logs.lock().expect("trace collector poisoned");
+            logs.iter().map(|l| l.recorded).sum()
+        }
+
+        /// Events lost to ring wraparound.
+        pub fn dropped(&self) -> u64 {
+            let logs = self.logs.lock().expect("trace collector poisoned");
+            logs.iter().map(|l| l.dropped).sum()
+        }
+    }
+
+    /// A single thread's fixed-capacity event ring. Created by
+    /// [`TraceCollector::recorder`]; deposits its ring back into the
+    /// collector on drop.
+    #[derive(Debug)]
+    pub struct ThreadRecorder {
+        collector: Arc<TraceCollector>,
+        thread: u32,
+        ring: Vec<Event>,
+        /// Next overwrite position once the ring is full.
+        write: usize,
+        recorded: u64,
+        dropped: u64,
+    }
+
+    impl ThreadRecorder {
+        /// Records one event: draws a global ticket and pushes into
+        /// the private ring, overwriting the oldest event when full.
+        #[inline]
+        pub fn record(&mut self, kind: EventKind, tick: u64, arg: u64) {
+            let ticket = self.collector.ticket.fetch_add(1, Ordering::Relaxed);
+            let event = Event {
+                ticket,
+                tick,
+                thread: self.thread,
+                kind,
+                arg,
+            };
+            if self.ring.len() < self.ring.capacity() {
+                self.ring.push(event);
+            } else {
+                self.ring[self.write] = event;
+                self.write = (self.write + 1) % self.ring.len();
+                self.dropped += 1;
+            }
+            self.recorded += 1;
+        }
+
+        /// Events recorded by this thread so far.
+        pub fn recorded(&self) -> u64 {
+            self.recorded
+        }
+
+        /// Deposits the ring into the collector (equivalent to drop,
+        /// spelled out for clarity at call sites).
+        pub fn finish(self) {}
+    }
+
+    impl Drop for ThreadRecorder {
+        fn drop(&mut self) {
+            let log = ThreadLog {
+                events: std::mem::take(&mut self.ring),
+                recorded: self.recorded,
+                dropped: self.dropped,
+            };
+            self.collector
+                .logs
+                .lock()
+                .expect("trace collector poisoned")
+                .push(log);
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use std::sync::Arc;
+
+    use crate::event::{Event, EventKind};
+
+    /// No-op stand-in for the tracing collector (`obs` feature off).
+    #[derive(Debug)]
+    pub struct TraceCollector;
+
+    impl TraceCollector {
+        /// No-op constructor; the capacity is ignored.
+        pub fn new(_capacity_per_thread: usize) -> Arc<Self> {
+            Arc::new(TraceCollector)
+        }
+
+        /// Returns a zero-sized recorder that discards everything.
+        pub fn recorder(self: &Arc<Self>, _thread: u32) -> ThreadRecorder {
+            ThreadRecorder
+        }
+
+        /// No-op.
+        pub fn set_ticks_per_us(&self, _ticks: f64) {}
+
+        /// Always 1.0.
+        pub fn ticks_per_us(&self) -> f64 {
+            1.0
+        }
+
+        /// Always empty.
+        pub fn events(&self) -> Vec<Event> {
+            Vec::new()
+        }
+
+        /// Always zero.
+        pub fn recorded(&self) -> u64 {
+            0
+        }
+
+        /// Always zero.
+        pub fn dropped(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Zero-sized no-op recorder (`obs` feature off): `record` has an
+    /// empty body and instrumented code compiles to the
+    /// un-instrumented code.
+    #[derive(Debug)]
+    pub struct ThreadRecorder;
+
+    impl ThreadRecorder {
+        /// Discards the event.
+        #[inline(always)]
+        pub fn record(&mut self, _kind: EventKind, _tick: u64, _arg: u64) {}
+
+        /// Always zero.
+        pub fn recorded(&self) -> u64 {
+            0
+        }
+
+        /// No-op.
+        pub fn finish(self) {}
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn events_merge_in_ticket_order_across_threads() {
+        let collector = TraceCollector::new(1024);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let mut rec = collector.recorder(t);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        rec.record(EventKind::CasAttempt, i, i);
+                    }
+                });
+            }
+        });
+        let events = collector.events();
+        assert_eq!(events.len(), 2000);
+        assert_eq!(collector.recorded(), 2000);
+        assert_eq!(collector.dropped(), 0);
+        // Tickets are the global total order: strictly increasing and
+        // a permutation of 0..2000.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.ticket, i as u64);
+        }
+        // Every thread contributed all of its events.
+        for t in 0..4u32 {
+            assert_eq!(events.iter().filter(|e| e.thread == t).count(), 500);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_the_most_recent_events() {
+        let collector = TraceCollector::new(8);
+        let mut rec = collector.recorder(0);
+        for i in 0..20u64 {
+            rec.record(EventKind::SchedulerPick, i, i);
+        }
+        rec.finish();
+        let events = collector.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(collector.recorded(), 20);
+        assert_eq!(collector.dropped(), 12);
+        // The survivors are exactly the last 8 recorded events.
+        let ticks: Vec<u64> = events.iter().map(|e| e.tick).collect();
+        assert_eq!(ticks, (12..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ticks_per_us_round_trips() {
+        let collector = TraceCollector::new(8);
+        assert_eq!(collector.ticks_per_us(), 1.0);
+        collector.set_ticks_per_us(1000.0);
+        assert_eq!(collector.ticks_per_us(), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = TraceCollector::new(0);
+    }
+}
+
+#[cfg(all(test, not(feature = "obs")))]
+mod zero_cost_tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn disabled_recorder_is_zero_sized_and_records_nothing() {
+        // The zero-cost contract: the recorder carries no state, so
+        // the empty inline record() leaves no trace in generated code.
+        assert_eq!(std::mem::size_of::<ThreadRecorder>(), 0);
+        assert_eq!(std::mem::size_of::<TraceCollector>(), 0);
+        let collector = TraceCollector::new(8);
+        let mut rec = collector.recorder(0);
+        for i in 0..100 {
+            rec.record(EventKind::CasFail, i, i);
+        }
+        assert_eq!(rec.recorded(), 0);
+        rec.finish();
+        assert!(collector.events().is_empty());
+        assert_eq!(collector.recorded(), 0);
+        assert_eq!(collector.dropped(), 0);
+    }
+}

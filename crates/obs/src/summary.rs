@@ -1,0 +1,112 @@
+//! Quantile-capable latency summaries, shared by the simulator's
+//! system/individual latencies and the hardware measurements.
+//!
+//! The historical `LatencySummary` carried only `count/mean/min/max`;
+//! this one keeps those fields bit-identical (exact arithmetic over
+//! the gaps, not bucket approximations) and adds bucketed quantile
+//! upper bounds from the shared [`Histogram`].
+
+use crate::hist::Histogram;
+
+/// Summary statistics of a sequence of gaps or durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Bucket upper bound covering at least half the samples.
+    pub p50: u64,
+    /// Bucket upper bound covering at least 90% of the samples.
+    pub p90: u64,
+    /// Bucket upper bound covering at least 99% of the samples.
+    pub p99: u64,
+    /// Bucket upper bound covering at least 99.9% of the samples.
+    pub p999: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes the gaps between consecutive entries of `times`.
+    /// `None` if fewer than two times are given.
+    ///
+    /// Out-of-order inputs (possible from hardware timestamp
+    /// recorders, whose clock reads can interleave across cores) are
+    /// handled by saturating each gap at zero instead of underflowing.
+    pub fn from_times(times: &[u64]) -> Option<Self> {
+        if times.len() < 2 {
+            return None;
+        }
+        let mut hist = Histogram::new();
+        for w in times.windows(2) {
+            // Saturate: a non-monotonic pair contributes a zero gap
+            // rather than a 2⁶⁴-sized one (or a debug-mode panic).
+            hist.record(w[1].saturating_sub(w[0]));
+        }
+        Self::from_histogram(&hist)
+    }
+
+    /// Summarizes an already-recorded histogram. `None` if it is
+    /// empty.
+    pub fn from_histogram(hist: &Histogram) -> Option<Self> {
+        if hist.is_empty() {
+            return None;
+        }
+        Some(LatencySummary {
+            count: hist.count(),
+            mean: hist.mean().expect("non-empty"),
+            min: hist.min_value().expect("non-empty"),
+            max: hist.max_value(),
+            p50: hist.quantile_upper_bound(0.5),
+            p90: hist.quantile_upper_bound(0.9),
+            p99: hist.quantile_upper_bound(0.99),
+            p999: hist.quantile_upper_bound(0.999),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fields_match_the_gaps() {
+        let s = LatencySummary::from_times(&[10, 20, 40]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 20);
+        assert!((s.mean - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let s = LatencySummary::from_times(&[0, 1, 3, 7, 1000]).unwrap();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 >= s.max);
+    }
+
+    #[test]
+    fn too_few_times_yield_none() {
+        assert!(LatencySummary::from_times(&[]).is_none());
+        assert!(LatencySummary::from_times(&[5]).is_none());
+    }
+
+    #[test]
+    fn non_monotonic_times_saturate_to_zero_gaps() {
+        // 30 → 10 underflowed (debug-panicked) in the historical
+        // sim implementation; here it is a zero gap.
+        let s = LatencySummary::from_times(&[30, 10, 20]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_histogram_of_empty_is_none() {
+        assert!(LatencySummary::from_histogram(&Histogram::new()).is_none());
+    }
+}

@@ -1,4 +1,4 @@
-//! The `pwf` command-line front end: `list`, `run`, `check`.
+//! The `pwf` command-line front end: `list`, `run`, `check`, `trace`.
 //!
 //! The binary itself lives in `pwf-bench` (which owns the experiment
 //! registrations); it delegates straight here:
@@ -25,7 +25,8 @@ pwf — parallel experiment runner for the practically-wait-free workspace
 
 USAGE:
     pwf list
-        List registered experiments.
+        List registered experiments (with last-run wall time when a
+        BENCH_runner.json trajectory is present).
 
     pwf run (--all | NAME...) [OPTIONS]
         Run experiments in parallel and record results.
@@ -35,11 +36,19 @@ USAGE:
         --timeout SECS  per-experiment budget (default 300)
         --out DIR       results directory (default results/)
         --no-write      do not write any files
+        --metrics       print per-experiment counters/gauges/quantiles
+        --trace DIR     also write Chrome trace-event JSON (Perfetto)
 
     pwf check [NAME...] [OPTIONS]
         Re-run deterministic experiments under the golden seed and
         diff against recorded results; exits nonzero on drift.
         --jobs N, --timeout SECS, --out DIR as above.
+
+    pwf trace (--all | NAME...) [OPTIONS]
+        Run experiments with tracing on and write one Perfetto-loadable
+        trace-event JSON file per experiment (default traces/; override
+        with --out DIR). Implies --metrics; results files are not
+        touched.
 
     pwf vet [TARGET...] [OPTIONS]
         Systematic concurrency checking: DPOR schedule exploration,
@@ -58,6 +67,8 @@ struct Args {
     out: PathBuf,
     out_explicit: bool,
     no_write: bool,
+    metrics: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
@@ -76,6 +87,8 @@ fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
         out: PathBuf::from("results"),
         out_explicit: false,
         no_write: false,
+        metrics: false,
+        trace: None,
     };
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
@@ -84,6 +97,10 @@ fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
             "--all" => args.all = true,
             "--fast" => args.fast = true,
             "--no-write" => args.no_write = true,
+            "--metrics" => args.metrics = true,
+            "--trace" => {
+                args.trace = Some(PathBuf::from(value_of("--trace")?));
+            }
             "--jobs" => {
                 args.jobs = value_of("--jobs")?
                     .parse()
@@ -132,6 +149,7 @@ pub fn main(registry: Registry, argv: Vec<String>) -> i32 {
         "list" => cmd_list(&registry),
         "run" => cmd_run(&registry, &args),
         "check" => cmd_check(&registry, &args),
+        "trace" => cmd_trace(&registry, &args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             0
@@ -143,14 +161,49 @@ pub fn main(registry: Registry, argv: Vec<String>) -> i32 {
     }
 }
 
+/// Last-run wall time per experiment, read from the trajectory the
+/// previous `pwf run` left behind. Missing or malformed files just
+/// mean no column.
+fn last_run_wall_ms(path: &Path) -> std::collections::BTreeMap<String, f64> {
+    let mut map = std::collections::BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return map;
+    };
+    if let Some(exps) = doc.get("experiments").and_then(Json::as_array) {
+        for e in exps {
+            if let (Some(name), Some(wall)) = (
+                e.get("name").and_then(Json::as_str),
+                e.get("wall_ms").and_then(Json::as_f64),
+            ) {
+                map.insert(name.to_string(), wall);
+            }
+        }
+    }
+    map
+}
+
 fn cmd_list(registry: &Registry) -> i32 {
+    let last = last_run_wall_ms(Path::new("BENCH_runner.json"));
     for exp in registry.iter() {
         let kind = if exp.deterministic() {
             "deterministic"
         } else {
             "hardware"
         };
-        println!("{:<24} {:<14} {}", exp.name(), kind, exp.description());
+        let wall = match last.get(exp.name()) {
+            Some(ms) => format!("{}s", fmt(ms / 1e3)),
+            None => "-".to_string(),
+        };
+        println!(
+            "{:<24} {:<14} {:>9}  {}",
+            exp.name(),
+            kind,
+            wall,
+            exp.description()
+        );
     }
     0
 }
@@ -179,6 +232,8 @@ fn run_options(args: &Args) -> RunOptions {
         timeout: Duration::from_secs(args.timeout_secs),
         master_seed: args.seed,
         fast: args.fast,
+        metrics: args.metrics,
+        trace_dir: args.trace.clone(),
     }
 }
 
@@ -207,6 +262,41 @@ fn print_summary(summary: &RunSummary) {
     }
 }
 
+/// Prints the observability harvest of every run that has one.
+fn print_metrics(summary: &RunSummary) {
+    for run in &summary.runs {
+        let Some(obs) = &run.obs else { continue };
+        println!("\nmetrics for {}:", run.name);
+        if obs.metrics.is_empty() {
+            println!("  (nothing recorded)");
+        }
+        for line in obs.metrics.render() {
+            println!("  {line}");
+        }
+        if obs.events_recorded > 0 {
+            println!(
+                "  events  {} recorded, {} dropped to ring wraparound",
+                obs.events_recorded, obs.events_dropped
+            );
+        }
+    }
+}
+
+/// Writes one Chrome trace-event JSON file per traced run; returns
+/// how many were written.
+fn write_traces(dir: &Path, summary: &RunSummary) -> std::io::Result<usize> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = 0;
+    for run in &summary.runs {
+        let Some(trace) = run.obs.as_ref().and_then(|o| o.trace_json.as_ref()) else {
+            continue;
+        };
+        std::fs::write(dir.join(format!("{}.trace.json", run.name)), trace)?;
+        written += 1;
+    }
+    Ok(written)
+}
+
 fn cmd_run(registry: &Arc<Registry>, args: &Args) -> i32 {
     let names = match resolve_names(registry, args) {
         Ok(names) => names,
@@ -231,6 +321,18 @@ fn cmd_run(registry: &Arc<Registry>, args: &Args) -> i32 {
 
     let summary = run_experiments(registry, &names, &run_options(args));
     print_summary(&summary);
+    if args.metrics {
+        print_metrics(&summary);
+    }
+    if let Some(dir) = &args.trace {
+        match write_traces(dir, &summary) {
+            Ok(written) => println!("wrote {} trace files under {}", written, dir.display()),
+            Err(err) => {
+                eprintln!("error: writing traces: {err}");
+                return 1;
+            }
+        }
+    }
 
     if write {
         if let Err(err) = write_outputs(&args.out, &summary) {
@@ -266,18 +368,30 @@ fn write_outputs(out_dir: &Path, summary: &RunSummary) -> std::io::Result<()> {
 }
 
 /// Writes the timing trajectory of the run — when each experiment
-/// started and how long it took, i.e. the realized parallel schedule.
+/// started and how long it took, i.e. the realized parallel schedule,
+/// plus trace event volumes when observability was on.
 fn write_trajectory(path: &Path, summary: &RunSummary) -> std::io::Result<()> {
     let experiments = summary
         .runs
         .iter()
         .map(|run| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("name".into(), Json::Str(run.name.clone())),
                 ("outcome".into(), Json::Str(run.outcome.label().into())),
                 ("started_ms".into(), Json::Num(run.started_ms)),
                 ("wall_ms".into(), Json::Num(run.wall_ms)),
-            ])
+            ];
+            if let Some(obs) = &run.obs {
+                fields.push((
+                    "events_recorded".into(),
+                    Json::Int(obs.events_recorded as i128),
+                ));
+                fields.push((
+                    "events_dropped".into(),
+                    Json::Int(obs.events_dropped as i128),
+                ));
+            }
+            Json::Obj(fields)
         })
         .collect();
     let doc = Json::Obj(vec![
@@ -288,6 +402,43 @@ fn write_trajectory(path: &Path, summary: &RunSummary) -> std::io::Result<()> {
         ("experiments".into(), Json::Arr(experiments)),
     ]);
     std::fs::write(path, doc.render())
+}
+
+/// `pwf trace`: run with event tracing on and write one Perfetto
+/// trace per experiment. A diagnostic run — golden results files are
+/// never touched.
+fn cmd_trace(registry: &Arc<Registry>, args: &Args) -> i32 {
+    let names = match resolve_names(registry, args) {
+        Ok(names) => names,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return 2;
+        }
+    };
+    let dir = if args.out_explicit {
+        args.out.clone()
+    } else {
+        PathBuf::from("traces")
+    };
+    let mut opts = run_options(args);
+    opts.metrics = true;
+    opts.trace_dir = Some(dir.clone());
+
+    let summary = run_experiments(registry, &names, &opts);
+    print_summary(&summary);
+    print_metrics(&summary);
+    match write_traces(&dir, &summary) {
+        Ok(written) => println!(
+            "\nwrote {} trace files under {} (load in ui.perfetto.dev or chrome://tracing)",
+            written,
+            dir.display()
+        ),
+        Err(err) => {
+            eprintln!("error: writing traces: {err}");
+            return 1;
+        }
+    }
+    i32::from(!summary.all_passed())
 }
 
 fn cmd_check(registry: &Arc<Registry>, args: &Args) -> i32 {
@@ -378,7 +529,18 @@ mod tests {
     fn parse_rejects_unknown_flags_and_missing_values() {
         assert!(parse_args(argv(&["run", "--bogus"])).is_err());
         assert!(parse_args(argv(&["run", "--jobs"])).is_err());
+        assert!(parse_args(argv(&["run", "--trace"])).is_err());
         assert!(parse_args(argv(&[])).is_err());
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let args = parse_args(argv(&["run", "--all", "--metrics", "--trace", "tr"])).unwrap();
+        assert!(args.metrics);
+        assert_eq!(args.trace, Some(PathBuf::from("tr")));
+        let args = parse_args(argv(&["trace", "exp_a"])).unwrap();
+        assert_eq!(args.command, "trace");
+        assert_eq!(args.names, vec!["exp_a"]);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! experiments never changes another experiment's stream (seeds depend
 //! on the *name*, not the registration order).
 
+use pwf_obs::ObsHandle;
 use pwf_rng::rngs::StdRng;
 use pwf_rng::{mix64, SeedableRng};
 
@@ -40,6 +41,10 @@ pub struct ExpConfig {
     /// Smoke profile: iteration counts scaled down ~10× so the full
     /// suite finishes in well under two minutes.
     pub fast: bool,
+    /// Observability session (disabled by default). Experiment bodies
+    /// may record metrics into it and attach it to the measurements
+    /// they drive; the orchestrator harvests it after the run.
+    pub obs: ObsHandle,
 }
 
 impl Default for ExpConfig {
@@ -47,17 +52,27 @@ impl Default for ExpConfig {
         ExpConfig {
             seed: DEFAULT_MASTER_SEED,
             fast: false,
+            obs: ObsHandle::disabled(),
         }
     }
 }
 
 impl ExpConfig {
-    /// A full-profile config for `name` under `master`.
+    /// A full-profile config for `name` under `master`, with
+    /// observability off.
     pub fn for_experiment(master: u64, name: &str, fast: bool) -> Self {
         ExpConfig {
             seed: derive_seed(master, name),
             fast,
+            obs: ObsHandle::disabled(),
         }
+    }
+
+    /// Replaces the observability session.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The experiment's main generator.
@@ -118,7 +133,7 @@ mod tests {
     fn sub_seeds_are_decorrelated() {
         let cfg = ExpConfig {
             seed: 9,
-            fast: false,
+            ..ExpConfig::default()
         };
         assert_ne!(cfg.sub_seed(0), cfg.sub_seed(1));
         assert_ne!(cfg.sub_seed(0), cfg.seed);
@@ -129,11 +144,12 @@ mod tests {
     fn scaling_only_in_fast_mode() {
         let full = ExpConfig {
             seed: 0,
-            fast: false,
+            ..ExpConfig::default()
         };
         let fast = ExpConfig {
             seed: 0,
             fast: true,
+            ..ExpConfig::default()
         };
         assert_eq!(full.scaled(400_000), 400_000);
         assert_eq!(fast.scaled(400_000), 40_000);

@@ -11,10 +11,13 @@
 //! neither failure mode aborts the remaining experiments.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use pwf_obs::{trace_json, MetricsSnapshot, ObsHandle, DEFAULT_RING_CAPACITY};
 
 use crate::config::ExpConfig;
 use crate::registry::Registry;
@@ -33,6 +36,13 @@ pub struct RunOptions {
     pub master_seed: u64,
     /// Run the reduced-iteration smoke profile.
     pub fast: bool,
+    /// Collect per-experiment metrics (counters, gauges, latency
+    /// quantiles) and attach a snapshot to each [`ExpRun`].
+    pub metrics: bool,
+    /// Collect event traces and render each experiment's Chrome
+    /// trace-event JSON (the files are written by the CLI into this
+    /// directory). Implies metrics collection.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -42,6 +52,8 @@ impl Default for RunOptions {
             timeout: Duration::from_secs(300),
             master_seed: DEFAULT_MASTER_SEED,
             fast: false,
+            metrics: false,
+            trace_dir: None,
         }
     }
 }
@@ -79,6 +91,22 @@ impl ExpOutcome {
     }
 }
 
+/// Observability harvest from one experiment: whatever landed in the
+/// per-experiment [`ObsHandle`] by the time the run (or its timeout)
+/// ended.
+#[derive(Debug)]
+pub struct ObsData {
+    /// Snapshot of the experiment's metrics registry.
+    pub metrics: MetricsSnapshot,
+    /// Events recorded into trace rings (including overwritten ones);
+    /// zero when tracing was off.
+    pub events_recorded: u64,
+    /// Events lost to ring wraparound.
+    pub events_dropped: u64,
+    /// Chrome trace-event JSON, when tracing was on.
+    pub trace_json: Option<String>,
+}
+
 /// One experiment's slot in the run: outcome plus timing trajectory
 /// (offsets are relative to the start of the whole run, giving the
 /// parallel schedule for `BENCH_runner.json`).
@@ -92,6 +120,9 @@ pub struct ExpRun {
     pub started_ms: f64,
     /// Wall time spent on it, in milliseconds.
     pub wall_ms: f64,
+    /// Observability harvest; `None` unless [`RunOptions::metrics`]
+    /// or [`RunOptions::trace_dir`] asked for collection.
+    pub obs: Option<ObsData>,
 }
 
 /// The result of an orchestrated run, in request order.
@@ -147,12 +178,13 @@ pub fn run_experiments(
                 let name = &names[idx];
                 let started_ms = run_start.elapsed().as_secs_f64() * 1e3;
                 let exp_start = Instant::now();
-                let outcome = run_one(registry, name, opts);
+                let (outcome, obs) = run_one(registry, name, opts);
                 let run = ExpRun {
                     name: name.clone(),
                     outcome,
                     started_ms,
                     wall_ms: exp_start.elapsed().as_secs_f64() * 1e3,
+                    obs,
                 };
                 slots.lock().expect("result mutex")[idx] = Some(run);
             });
@@ -174,21 +206,31 @@ pub fn run_experiments(
 }
 
 /// Runs a single experiment on a dedicated thread with timeout and
-/// panic isolation.
-fn run_one(registry: &Arc<Registry>, name: &str, opts: &RunOptions) -> ExpOutcome {
+/// panic isolation, harvesting its observability session afterwards.
+fn run_one(
+    registry: &Arc<Registry>,
+    name: &str,
+    opts: &RunOptions,
+) -> (ExpOutcome, Option<ObsData>) {
     if registry.get(name).is_none() {
-        return ExpOutcome::Unknown;
+        return (ExpOutcome::Unknown, None);
     }
-    let cfg = ExpConfig::for_experiment(opts.master_seed, name, opts.fast);
+    let observe = opts.metrics || opts.trace_dir.is_some();
+    let obs = if observe {
+        ObsHandle::collecting(opts.trace_dir.as_ref().map(|_| DEFAULT_RING_CAPACITY))
+    } else {
+        ObsHandle::disabled()
+    };
+    let cfg = ExpConfig::for_experiment(opts.master_seed, name, opts.fast).with_obs(obs.clone());
     let (tx, rx) = mpsc::channel();
     let registry = Arc::clone(registry);
-    let name = name.to_string();
+    let thread_name = name.to_string();
     // Detached (non-scoped) thread: if it hangs past the timeout we
     // abandon it rather than block the pool.
     std::thread::Builder::new()
-        .name(format!("pwf-{name}"))
+        .name(format!("pwf-{thread_name}"))
         .spawn(move || {
-            let exp = registry.get(&name).expect("checked above");
+            let exp = registry.get(&thread_name).expect("checked above");
             let result = catch_unwind(AssertUnwindSafe(|| exp.run(&cfg)));
             let outcome = match result {
                 Ok(Ok(report)) => ExpOutcome::Success(report),
@@ -200,10 +242,26 @@ fn run_one(registry: &Arc<Registry>, name: &str, opts: &RunOptions) -> ExpOutcom
             let _ = tx.send(outcome);
         })
         .expect("spawn experiment thread");
-    match rx.recv_timeout(opts.timeout) {
+    let outcome = match rx.recv_timeout(opts.timeout) {
         Ok(outcome) => outcome,
         Err(_) => ExpOutcome::TimedOut,
-    }
+    };
+    // Harvest whatever was deposited so far. After a timeout this is a
+    // partial view (the abandoned thread still holds its recorders),
+    // which is exactly what a post-mortem wants.
+    let obs_data = observe.then(|| {
+        let trace = obs.trace();
+        ObsData {
+            metrics: obs
+                .metrics()
+                .map(|m| m.snapshot())
+                .unwrap_or_else(|| pwf_obs::Metrics::new().snapshot()),
+            events_recorded: trace.map(|t| t.recorded()).unwrap_or(0),
+            events_dropped: trace.map(|t| t.dropped()).unwrap_or(0),
+            trace_json: trace.map(|t| trace_json(&t.events(), name, t.ticks_per_us())),
+        }
+    });
+    (outcome, obs_data)
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -256,6 +314,19 @@ mod tests {
             description: "errors",
             deterministic: true,
             body: |_, _| Err(ExpError::from("synthetic failure")),
+        }))
+        .unwrap();
+        reg.register(Box::new(FnExperiment {
+            name: "observed",
+            description: "records into the obs session",
+            deterministic: true,
+            body: |cfg, out| {
+                if let Some(m) = cfg.obs.metrics() {
+                    m.counter_add("test.ops", 7);
+                }
+                out.note("ok");
+                Ok(())
+            },
         }))
         .unwrap();
         reg.register(Box::new(FnExperiment {
@@ -316,6 +387,33 @@ mod tests {
         let summary = run_experiments(&reg, &names(&["nope"]), &RunOptions::default());
         assert!(matches!(summary.runs[0].outcome, ExpOutcome::Unknown));
         assert!(!summary.all_passed());
+    }
+
+    #[test]
+    fn obs_data_is_harvested_only_when_requested() {
+        let reg = registry();
+        // Default options: no collection, no harvest.
+        let plain = run_experiments(&reg, &names(&["observed"]), &RunOptions::default());
+        assert!(plain.runs[0].obs.is_none());
+
+        // Metrics + tracing: counters, the wall-time gauge, and a
+        // rendered trace document all come back.
+        let opts = RunOptions {
+            metrics: true,
+            trace_dir: Some(PathBuf::from("ignored-by-orchestrator")),
+            ..RunOptions::default()
+        };
+        let summary = run_experiments(&reg, &names(&["observed"]), &opts);
+        assert!(summary.runs[0].outcome.is_success());
+        let obs = summary.runs[0].obs.as_ref().expect("harvested");
+        assert!(obs
+            .metrics
+            .counters
+            .iter()
+            .any(|(n, v)| n == "test.ops" && *v == 7));
+        assert!(obs.metrics.gauges.iter().any(|(n, _)| n == "exp.wall_ms"));
+        let trace = obs.trace_json.as_ref().expect("trace rendered");
+        assert!(trace.starts_with("{\"traceEvents\":["));
     }
 
     #[test]

@@ -35,14 +35,19 @@ pub trait Experiment: Send + Sync {
 
     /// Runs the experiment end-to-end: builds the report scaffold,
     /// stamps standard parameters, executes [`fill`](Experiment::fill),
-    /// and records wall time.
+    /// and records wall time (into the report, and into the config's
+    /// observability session as the `exp.wall_ms` gauge).
     fn run(&self, cfg: &ExpConfig) -> Result<Report, ExpError> {
         let start = Instant::now();
         let mut out = ReportBuilder::new(self.name(), cfg.seed);
         out.param("profile", cfg.profile());
         out.param("deterministic", self.deterministic());
         self.fill(cfg, &mut out)?;
-        Ok(out.finish(start.elapsed().as_secs_f64() * 1e3))
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if let Some(metrics) = cfg.obs.metrics() {
+            metrics.gauge_set("exp.wall_ms", wall_ms);
+        }
+        Ok(out.finish(wall_ms))
     }
 }
 
@@ -203,6 +208,7 @@ mod tests {
         let cfg = ExpConfig {
             seed: 41,
             fast: true,
+            ..ExpConfig::default()
         };
         let report = reg.get("m").unwrap().run(&cfg).unwrap();
         assert_eq!(report.name, "m");
@@ -210,5 +216,20 @@ mod tests {
         assert_eq!(report.param("profile"), Some("fast"));
         assert_eq!(report.param("deterministic"), Some("true"));
         assert!(report.wall_time_ms >= 0.0);
+    }
+
+    #[test]
+    fn run_records_wall_time_gauge_when_observed() {
+        use pwf_obs::ObsHandle;
+        let mut reg = Registry::new();
+        reg.register(demo("g")).unwrap();
+        let obs = ObsHandle::collecting(None);
+        let cfg = ExpConfig::default().with_obs(obs.clone());
+        reg.get("g").unwrap().run(&cfg).unwrap();
+        let snap = obs.metrics().unwrap().snapshot();
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "exp.wall_ms" && *v >= 0.0));
     }
 }

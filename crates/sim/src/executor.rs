@@ -4,6 +4,7 @@
 //! performs local computation and one shared-memory step. The executor
 //! records completions and (optionally) the full schedule trace.
 
+use pwf_obs::{EventKind, ThreadRecorder};
 use pwf_rng::rngs::StdRng;
 use pwf_rng::SeedableRng;
 
@@ -106,6 +107,60 @@ impl RunConfig {
     }
 }
 
+/// Observer of executor decisions, called once per scheduler pick,
+/// completion, and crash.
+///
+/// The executor is generic over the hook and `run` instantiates it
+/// with [`NoHook`] (empty inline methods), so un-observed runs compile
+/// to exactly the pre-hook loop — observability costs nothing unless a
+/// hook is passed.
+pub trait StepHook {
+    /// The scheduler picked process `p` at time `tau`.
+    #[inline]
+    fn on_pick(&mut self, tau: u64, p: ProcessId) {
+        let _ = (tau, p);
+    }
+
+    /// Process `p` completed an operation at time `tau`.
+    #[inline]
+    fn on_complete(&mut self, tau: u64, p: ProcessId) {
+        let _ = (tau, p);
+    }
+
+    /// Process `p` crashed at time `tau`.
+    #[inline]
+    fn on_crash(&mut self, tau: u64, p: ProcessId) {
+        let _ = (tau, p);
+    }
+}
+
+/// The do-nothing hook used by [`run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl StepHook for NoHook {}
+
+/// A `pwf-obs` event recorder observes the executor directly: picks,
+/// completions, and crashes become typed events (ticks = system steps).
+/// With the `obs` feature off the recorder is a zero-sized no-op and
+/// this impl is free.
+impl StepHook for ThreadRecorder {
+    #[inline]
+    fn on_pick(&mut self, tau: u64, p: ProcessId) {
+        self.record(EventKind::SchedulerPick, tau, p.index() as u64);
+    }
+
+    #[inline]
+    fn on_complete(&mut self, tau: u64, p: ProcessId) {
+        self.record(EventKind::Complete, tau, p.index() as u64);
+    }
+
+    #[inline]
+    fn on_crash(&mut self, tau: u64, p: ProcessId) {
+        self.record(EventKind::Crash, tau, p.index() as u64);
+    }
+}
+
 /// Runs `processes` under `scheduler` against `memory` per `config`.
 ///
 /// Time steps are 1-based (`τ = 1, 2, …`), matching the paper. Crashes
@@ -121,6 +176,31 @@ pub fn run(
     scheduler: &mut dyn Scheduler,
     memory: &mut SharedMemory,
     config: &RunConfig,
+) -> Execution {
+    run_hooked(processes, scheduler, memory, config, &mut NoHook)
+}
+
+/// [`run`] with event recording: scheduler picks, completions, and
+/// crashes are emitted into `recorder` (one [`Event`](pwf_obs::Event)
+/// each, `tick` = system step `τ`).
+pub fn run_traced(
+    processes: &mut [Box<dyn Process>],
+    scheduler: &mut dyn Scheduler,
+    memory: &mut SharedMemory,
+    config: &RunConfig,
+    recorder: &mut ThreadRecorder,
+) -> Execution {
+    run_hooked(processes, scheduler, memory, config, recorder)
+}
+
+/// [`run`] with an arbitrary [`StepHook`], monomorphized per hook
+/// type.
+pub fn run_hooked<H: StepHook>(
+    processes: &mut [Box<dyn Process>],
+    scheduler: &mut dyn Scheduler,
+    memory: &mut SharedMemory,
+    config: &RunConfig,
+    hook: &mut H,
 ) -> Execution {
     let n = processes.len();
     assert!(n > 0, "need at least one process");
@@ -139,9 +219,11 @@ pub fn run(
     for tau in 1..=config.steps {
         for p in config.crashes.crashes_at(tau) {
             active.crash(p);
+            hook.on_crash(tau, p);
         }
         let p = scheduler.schedule(tau, &active, &mut rng);
         debug_assert!(active.is_active(p), "scheduler returned crashed process");
+        hook.on_pick(tau, p);
         let before = memory.steps();
         let outcome = processes[p.index()].step(memory);
         debug_assert_eq!(
@@ -156,6 +238,7 @@ pub fn run(
                 process: p,
             });
             process_completions[p.index()] += 1;
+            hook.on_complete(tau, p);
         }
         if let Some(t) = trace.as_mut() {
             t.push(p);
@@ -256,6 +339,74 @@ mod tests {
         };
         let a = run_once();
         let b = run_once();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn traced_run_emits_the_schedule_as_events() {
+        use pwf_obs::TraceCollector;
+
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 2, 2);
+        let mut sched = AdversarialScheduler::round_robin(2);
+        let collector = TraceCollector::new(1024);
+        let mut rec = collector.recorder(0);
+        let exec = run_traced(
+            &mut ps,
+            &mut sched,
+            &mut mem,
+            &RunConfig::new(8).record_trace(true),
+            &mut rec,
+        );
+        rec.finish();
+        let events = collector.events();
+        // 8 scheduler picks + 4 completions.
+        let picks: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == pwf_obs::EventKind::SchedulerPick)
+            .map(|e| e.arg)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        let completes: Vec<(u64, u64)> = events
+            .iter()
+            .filter(|e| e.kind == pwf_obs::EventKind::Complete)
+            .map(|e| (e.tick, e.arg))
+            .collect();
+        assert_eq!(
+            completes,
+            exec.completions
+                .iter()
+                .map(|c| (c.time, c.process.index() as u64))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hooked_run_matches_plain_run() {
+        let run_with_hook = |hooked: bool| {
+            let mut mem = SharedMemory::new();
+            let mut ps = ticking_fleet(&mut mem, 4, 3);
+            let mut sched = UniformScheduler::new();
+            let config = RunConfig::new(500).seed(42).record_trace(true);
+            if hooked {
+                struct CountHook(u64);
+                impl StepHook for CountHook {
+                    fn on_pick(&mut self, _tau: u64, _p: ProcessId) {
+                        self.0 += 1;
+                    }
+                }
+                let mut hook = CountHook(0);
+                let exec = run_hooked(&mut ps, &mut sched, &mut mem, &config, &mut hook);
+                assert_eq!(hook.0, 500);
+                exec
+            } else {
+                run(&mut ps, &mut sched, &mut mem, &config)
+            }
+        };
+        let a = run_with_hook(true);
+        let b = run_with_hook(false);
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.completions, b.completions);
     }

@@ -12,35 +12,12 @@
 use crate::executor::Execution;
 use crate::process::ProcessId;
 
-/// Summary statistics of a sequence of gaps (latencies).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LatencySummary {
-    /// Number of gaps measured.
-    pub count: u64,
-    /// Mean gap.
-    pub mean: f64,
-    /// Smallest gap.
-    pub min: u64,
-    /// Largest gap.
-    pub max: u64,
-}
+use pwf_obs::Histogram;
 
-impl LatencySummary {
-    fn from_times(times: &[u64]) -> Option<Self> {
-        if times.len() < 2 {
-            return None;
-        }
-        let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
-        let count = gaps.len() as u64;
-        let sum: u64 = gaps.iter().sum();
-        Some(LatencySummary {
-            count,
-            mean: sum as f64 / count as f64,
-            min: *gaps.iter().min().expect("non-empty"),
-            max: *gaps.iter().max().expect("non-empty"),
-        })
-    }
-}
+/// Summary statistics of a sequence of gaps (latencies): exact
+/// `count/mean/min/max` plus bucketed `p50/p90/p99/p999` quantile
+/// upper bounds. Shared with the hardware measurements via `pwf-obs`.
+pub use pwf_obs::LatencySummary;
 
 /// System latency: gaps between consecutive completions by any
 /// process. `None` if fewer than two operations completed.
@@ -138,48 +115,33 @@ pub fn conditional_next_step(execution: &Execution, p: ProcessId) -> Option<Vec<
 /// distribution: lock-freedom permits unbounded gaps, and the
 /// histogram shows how thin the tail actually is under a stochastic
 /// scheduler.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GapHistogram {
-    /// `buckets[k]` counts gaps in `[2ᵏ, 2ᵏ⁺¹)` steps.
-    buckets: Vec<u64>,
-    count: u64,
-    max_gap: u64,
+    inner: Histogram,
 }
 
 impl GapHistogram {
     fn new() -> Self {
-        GapHistogram {
-            buckets: vec![0; 64],
-            count: 0,
-            max_gap: 0,
-        }
+        Self::default()
     }
 
     fn record(&mut self, gap: u64) {
-        let bucket = 63 - gap.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
-        self.count += 1;
-        self.max_gap = self.max_gap.max(gap);
+        self.inner.record(gap);
     }
 
     /// Number of recorded gaps.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
     /// Largest recorded gap.
     pub fn max_gap(&self) -> u64 {
-        self.max_gap
+        self.inner.max_value()
     }
 
     /// Non-empty buckets as `(lower bound, count)`.
     pub fn non_empty_buckets(&self) -> Vec<(u64, u64)> {
-        self.buckets
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(k, &c)| (1u64 << k, c))
-            .collect()
+        self.inner.non_empty_buckets()
     }
 
     /// Smallest bucket upper bound covering at least `quantile` of the
@@ -190,17 +152,19 @@ impl GapHistogram {
     /// Panics unless `0 < quantile <= 1` and the histogram is
     /// non-empty.
     pub fn quantile_upper_bound(&self, quantile: f64) -> u64 {
-        assert!(quantile > 0.0 && quantile <= 1.0, "quantile in (0, 1]");
-        assert!(self.count > 0, "histogram is empty");
-        let target = (quantile * self.count as f64).ceil() as u64;
-        let mut acc = 0u64;
-        for (k, &c) in self.buckets.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return 1u64 << (k + 1);
-            }
-        }
-        u64::MAX
+        self.inner.quantile_upper_bound(quantile)
+    }
+
+    /// Reduces the histogram to a quantile-capable summary. `None` if
+    /// no gaps were recorded.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        LatencySummary::from_histogram(&self.inner)
+    }
+
+    /// The underlying shared histogram (for merging into a metrics
+    /// registry).
+    pub fn histogram(&self) -> &Histogram {
+        &self.inner
     }
 }
 
@@ -435,6 +399,25 @@ mod tests {
         let e = exec_with(10, vec![(1, 0)], 1, None);
         assert!(individual_latency_histogram(&e, ProcessId::new(0)).is_none());
         assert!(system_latency_histogram(&e).is_none());
+    }
+
+    #[test]
+    fn latency_summaries_expose_quantiles() {
+        let e = exec_with(100, vec![(10, 0), (20, 1), (40, 0)], 2, None);
+        let s = system_latency(&e).unwrap();
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+        assert!(s.p999 >= s.max);
+    }
+
+    #[test]
+    fn gap_histogram_reduces_to_summary() {
+        let e = exec_with(100, vec![(1, 0), (2, 0), (4, 0), (20, 0)], 1, None);
+        let h = individual_latency_histogram(&e, ProcessId::new(0)).unwrap();
+        let s = h.summary().unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 16);
+        assert_eq!(s.min, 1);
+        assert_eq!(h.histogram().count(), 3);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! | [`pwf_ballsbins`] | the iterated balls-into-bins game of Section 6.1.3 |
 //! | [`pwf_theory`] | Ramanujan Q / `Z(i)` recurrence, birthday bounds, latency and completion-rate predictions |
 //! | [`pwf_hardware`] | real-atomics Treiber stack, Michael–Scott queue, FAI counter, schedule recorders (Appendix A/B) |
+//! | [`pwf_obs`] | zero-dependency tracing + metrics: ticket-ordered event rings, log2 histograms with quantiles, Perfetto export |
 //! | [`pwf_core`] | one-call experiment drivers combining all of the above |
 //!
 //! # Quickstart
@@ -60,5 +61,6 @@ pub use pwf_ballsbins as ballsbins;
 pub use pwf_core as core;
 pub use pwf_hardware as hardware;
 pub use pwf_markov as markov;
+pub use pwf_obs as obs;
 pub use pwf_sim as sim;
 pub use pwf_theory as theory;

@@ -1,0 +1,104 @@
+//! Property-based tests on the observability layer: histogram merge
+//! is a commutative monoid, quantile bounds really bound ranks, and
+//! latency summaries never panic on adversarial timestamp streams.
+
+// Proptest is an external crate gated behind `heavy-deps` so the
+// default workspace builds with zero crates.io dependencies; enable
+// the feature to run this suite.
+#![cfg(feature = "heavy-deps")]
+
+use practically_wait_free::obs::{Histogram, LatencySummary};
+use proptest::prelude::*;
+
+/// Samples spanning every magnitude (including the extremes), not
+/// just the small integers a naive `0..N` range would produce.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (0u64..64, 0u64..u64::MAX).prop_map(|(shift, raw)| raw >> shift),
+        Just(u64::MAX),
+        Just(0u64),
+    ]
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in prop::collection::vec(arb_sample(), 0..40),
+        b in prop::collection::vec(arb_sample(), 0..40),
+        c in prop::collection::vec(arb_sample(), 0..40),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // Both equal recording every sample into one histogram — the
+        // property that makes per-thread recording safe.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&ab_c, &hist_of(&all));
+    }
+
+    #[test]
+    fn quantile_bounds_cover_their_rank(
+        values in prop::collection::vec(arb_sample(), 1..80),
+        q_permille in 1u32..1001,
+    ) {
+        let h = hist_of(&values);
+        let q = q_permille as f64 / 1000.0;
+        let bound = h.quantile_upper_bound(q);
+
+        // Rank guarantee: at least ceil(q * n) samples are <= bound.
+        let target = (q * values.len() as f64).ceil() as usize;
+        let covered = values.iter().filter(|&&v| v <= bound).count();
+        prop_assert!(
+            covered >= target,
+            "bound {} covers {}/{} samples, needed {}",
+            bound, covered, values.len(), target
+        );
+
+        // Monotone in q, and q = 1 covers the maximum.
+        prop_assert!(bound <= h.quantile_upper_bound(1.0));
+        prop_assert!(h.quantile_upper_bound(1.0) >= h.max_value());
+    }
+
+    #[test]
+    fn summaries_survive_non_monotonic_time_streams(
+        times in prop::collection::vec(arb_sample(), 0..60),
+    ) {
+        // Timestamps from real clocks can go backwards (migration
+        // between cores, NTP steps); from_times must saturate, never
+        // underflow or panic.
+        match LatencySummary::from_times(&times) {
+            None => prop_assert!(times.len() < 2),
+            Some(s) => {
+                prop_assert_eq!(s.count, times.len() as u64 - 1);
+                prop_assert!(s.min <= s.max);
+                prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+                prop_assert!(s.mean >= 0.0);
+            }
+        }
+    }
+}

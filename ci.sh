@@ -37,4 +37,15 @@ echo "==> pwf vet: systematic checker smoke + orderings lint"
 ./target/release/pwf vet --fast
 ./target/release/pwf vet --orderings
 
+echo "==> markov perf smoke: sparse must beat dense above the crossover"
+# exp_markov_bench times the dense direct-solve SCU analysis against
+# the sparse iterative pipeline and returns nonzero if sparse is not
+# strictly faster at the dense wall; it also refreshes
+# BENCH_markov.json. (--fast keeps the dense side at n <= 6.)
+./target/release/pwf run exp_markov_bench --fast
+grep -q '"speedup"' BENCH_markov.json
+
+echo "==> sparse-vs-dense solver property tests (vendored proptest)"
+cargo test -q --offline --features heavy-deps --test sparse_markov_properties
+
 echo "ci.sh: all green"

@@ -6,8 +6,10 @@
 //! Global chain: states `v_1 … v_n` counting how many processes hold
 //! the current value.
 
-use pwf_markov::chain::{ChainBuilder, ChainError, MarkovChain};
-use pwf_markov::hitting::hitting_times;
+use pwf_markov::chain::{ChainError, MarkovChain};
+use pwf_markov::hitting::{hitting_times, sparse_hitting_times};
+use pwf_markov::solve::{GaussSeidelOptions, Metrics, PowerOptions, SolveStats};
+use pwf_markov::sparse::{SparseChain, SparseChainBuilder};
 use pwf_markov::stationary::stationary_distribution;
 
 use super::latency_from_success_probabilities;
@@ -26,9 +28,42 @@ pub fn lift(state: &SubsetState) -> usize {
     state.count_ones() as usize
 }
 
-/// Builds the individual chain on `n` processes: from subset `S`, a
-/// step by `i ∈ S` wins and moves to `{i}`; a step by `i ∉ S` fails
-/// its CAS, learns the current value, and moves to `S ∪ {i}`.
+/// Builds the individual chain on `n` processes in sparse (CSR) form:
+/// from subset `S`, a step by `i ∈ S` wins and moves to `{i}`; a step
+/// by `i ∉ S` fails its CAS, learns the current value, and moves to
+/// `S ∪ {i}`.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > MAX_INDIVIDUAL_N`.
+pub fn sparse_individual_chain(n: usize) -> Result<SparseChain<SubsetState>, ChainError> {
+    assert!(n >= 1, "need at least one process");
+    assert!(
+        n <= MAX_INDIVIDUAL_N,
+        "individual chain has 2^n - 1 states; n must be at most {MAX_INDIVIDUAL_N}"
+    );
+    let p = 1.0 / n as f64;
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut b = SparseChainBuilder::new();
+    for s in 1..=full {
+        b.state(s);
+    }
+    for s in 1..=full {
+        for i in 0..n {
+            let bit = 1u32 << i;
+            let next = if s & bit != 0 { bit } else { s | bit };
+            b.transition(s, next, p);
+        }
+    }
+    b.build()
+}
+
+/// Dense individual chain — a [`SparseChain::to_dense`] conversion of
+/// [`sparse_individual_chain`], kept as the direct-solve oracle.
 ///
 /// # Errors
 ///
@@ -38,30 +73,41 @@ pub fn lift(state: &SubsetState) -> usize {
 ///
 /// Panics if `n == 0` or `n > MAX_INDIVIDUAL_N`.
 pub fn individual_chain(n: usize) -> Result<MarkovChain<SubsetState>, ChainError> {
+    sparse_individual_chain(n)?.to_dense()
+}
+
+/// Builds the global chain in sparse (CSR) form — the primary
+/// representation; the chain is `n` states with ≤ 2 transitions each,
+/// so it scales to millions of processes. From `i`: to `1` with
+/// probability `i/n` (a holder wins), to `i + 1` with probability
+/// `1 − i/n`.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sparse_global_chain(n: usize) -> Result<SparseChain<usize>, ChainError> {
     assert!(n >= 1, "need at least one process");
-    assert!(
-        n <= MAX_INDIVIDUAL_N,
-        "individual chain has 2^n - 1 states; n must be at most {MAX_INDIVIDUAL_N}"
-    );
-    let p = 1.0 / n as f64;
-    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-    let mut b = ChainBuilder::new();
-    for s in 1..=full {
-        b = b.state(s);
+    let nf = n as f64;
+    let mut b = SparseChainBuilder::new();
+    for i in 1..=n {
+        b.state(i);
     }
-    for s in 1..=full {
-        for i in 0..n {
-            let bit = 1u32 << i;
-            let next = if s & bit != 0 { bit } else { s | bit };
-            b = b.transition(s, next, p);
+    for i in 1..=n {
+        b.transition(i, 1, i as f64 / nf);
+        if i < n {
+            b.transition(i, i + 1, 1.0 - i as f64 / nf);
         }
     }
     b.build()
 }
 
-/// Builds the global chain: states `1 ..= n` (number of processes with
-/// the current value). From `i`: to `1` with probability `i/n` (a
-/// holder wins), to `i + 1` with probability `1 − i/n`.
+/// Dense global chain — a [`SparseChain::to_dense`] conversion of
+/// [`sparse_global_chain`], kept as the direct-solve oracle for
+/// small `n`.
 ///
 /// # Errors
 ///
@@ -71,19 +117,38 @@ pub fn individual_chain(n: usize) -> Result<MarkovChain<SubsetState>, ChainError
 ///
 /// Panics if `n == 0`.
 pub fn global_chain(n: usize) -> Result<MarkovChain<usize>, ChainError> {
-    assert!(n >= 1, "need at least one process");
-    let nf = n as f64;
-    let mut b = ChainBuilder::new();
-    for i in 1..=n {
-        b = b.state(i);
-    }
-    for i in 1..=n {
-        b = b.transition(i, 1, i as f64 / nf);
-        if i < n {
-            b = b.transition(i, i + 1, 1.0 - i as f64 / nf);
-        }
-    }
-    b.build()
+    sparse_global_chain(n)?.to_dense()
+}
+
+/// System latency for large `n` via the sparse global chain and
+/// adaptive power iteration, with solver statistics — the scalable
+/// counterpart of [`exact_system_latency`].
+///
+/// # Errors
+///
+/// Propagates sparse-solver convergence failures.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn large_system_latency_with(
+    n: usize,
+    opts: &PowerOptions,
+    metrics: Option<&Metrics>,
+) -> Result<(f64, SolveStats), LatencyError> {
+    let chain = sparse_global_chain(n)?;
+    let solve = chain
+        .stationary_with(opts, metrics)
+        .map_err(LatencyError::Stationary)?;
+    let succ: Vec<f64> = chain
+        .states()
+        .iter()
+        .map(|&i| i as f64 / n as f64)
+        .collect();
+    Ok((
+        latency_from_success_probabilities(&solve.pi, &succ),
+        solve.stats,
+    ))
 }
 
 /// Exact system latency `W` (expected steps between wins) from the
@@ -115,6 +180,26 @@ pub fn return_time_of_win_state(n: usize) -> Result<f64, LatencyError> {
     let chain = global_chain(n)?;
     let idx = chain.state_index(&1).expect("state 1 exists");
     Ok(hitting_times(&chain, idx)?[idx])
+}
+
+/// Expected return time of the win state via sparse Gauss–Seidel —
+/// the scalable counterpart of [`return_time_of_win_state`].
+///
+/// # Errors
+///
+/// Propagates chain and solver-convergence errors.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sparse_return_time_of_win_state(
+    n: usize,
+    opts: &GaussSeidelOptions,
+    metrics: Option<&Metrics>,
+) -> Result<f64, LatencyError> {
+    let chain = sparse_global_chain(n)?;
+    let idx = chain.state_index(&1).expect("state 1 exists");
+    Ok(sparse_hitting_times(&chain, idx, opts, metrics)?[idx])
 }
 
 /// Exact individual latency `W_i` from the individual chain: process
@@ -287,5 +372,48 @@ mod tests {
     fn lift_is_popcount() {
         assert_eq!(lift(&0b1011), 3);
         assert_eq!(lift(&0b1), 1);
+    }
+
+    #[test]
+    fn kernel_condition_holds_on_sparse_chains() {
+        use pwf_markov::lifting::kernel_residual_sparse;
+        for n in 2..=8 {
+            let ind = sparse_individual_chain(n).unwrap();
+            let glob = sparse_global_chain(n).unwrap();
+            let map = |s: &SubsetState| lift(s);
+            let r = kernel_residual_sparse(&ind, &glob, map).unwrap();
+            assert!(r < 1e-12, "n={n}: kernel residual {r}");
+        }
+    }
+
+    #[test]
+    fn sparse_latency_matches_dense() {
+        for n in [4usize, 16, 64] {
+            let dense = exact_system_latency(n).unwrap();
+            let (sparse, stats) =
+                large_system_latency_with(n, &PowerOptions::new(400_000, 1e-12), None).unwrap();
+            assert!(
+                (dense - sparse).abs() / dense < 1e-6,
+                "n={n}: dense {dense} vs sparse {sparse}"
+            );
+            assert!(stats.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn sparse_return_time_matches_dense_and_scales() {
+        let opts = GaussSeidelOptions::default();
+        for n in [4usize, 16, 64] {
+            let dense = return_time_of_win_state(n).unwrap();
+            let sparse = sparse_return_time_of_win_state(n, &opts, None).unwrap();
+            assert!(
+                (dense - sparse).abs() < 1e-7,
+                "n={n}: dense {dense} vs sparse {sparse}"
+            );
+        }
+        // Far past any dense solve: Lemma 12's 2√n bound must hold.
+        let w = sparse_return_time_of_win_state(10_000, &opts, None).unwrap();
+        assert!(w <= 2.0 * 100.0 + 1e-6, "W = {w}");
+        assert!(w > 100.0, "W = {w} suspiciously small");
     }
 }

@@ -13,7 +13,8 @@
 //! lock; collapsing it through "forget the identity" is a lifting in
 //! exactly the sense of Lemma 5.
 
-use pwf_markov::chain::{ChainBuilder, ChainError, MarkovChain};
+use pwf_markov::chain::{ChainError, MarkovChain};
+use pwf_markov::sparse::{SparseChain, SparseChainBuilder};
 use pwf_markov::stationary::stationary_distribution;
 
 use super::latency_from_success_probabilities;
@@ -62,27 +63,41 @@ pub fn lift(state: &LockStateWho) -> LockState {
 ///
 /// Panics if `n == 0`, `cs == 0`, or `cs > 254`.
 pub fn system_chain(n: usize, cs: usize) -> Result<MarkovChain<LockState>, ChainError> {
+    sparse_system_chain(n, cs)?.to_dense()
+}
+
+/// Builds the system chain in sparse (CSR) form — the primary
+/// representation; [`system_chain`] is its dense conversion.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `cs == 0`, or `cs > 254`.
+pub fn sparse_system_chain(n: usize, cs: usize) -> Result<SparseChain<LockState>, ChainError> {
     assert!(n >= 1 && cs >= 1, "need n ≥ 1 and cs ≥ 1");
     assert!(cs <= 254, "critical section must fit in a byte");
     let nf = n as f64;
     let total = (cs + 1) as u8; // critical steps + unlock
-    let mut b = ChainBuilder::new();
-    b = b.state(LockState::Free);
+    let mut b = SparseChainBuilder::new();
+    b.state(LockState::Free);
     for r in 1..=total {
-        b = b.state(LockState::Held(r));
+        b.state(LockState::Held(r));
     }
     // Free: whoever is scheduled acquires.
-    b = b.transition(LockState::Free, LockState::Held(total), 1.0);
+    b.transition(LockState::Free, LockState::Held(total), 1.0);
     for r in 1..=total {
         let next = if r == 1 {
             LockState::Free
         } else {
             LockState::Held(r - 1)
         };
-        b = b.transition(LockState::Held(r), next, 1.0 / nf);
+        b.transition(LockState::Held(r), next, 1.0 / nf);
         if n > 1 {
             // A spinner steps: nothing changes.
-            b = b.transition(LockState::Held(r), LockState::Held(r), 1.0 - 1.0 / nf);
+            b.transition(LockState::Held(r), LockState::Held(r), 1.0 - 1.0 / nf);
         }
     }
     b.build()
@@ -98,16 +113,33 @@ pub fn system_chain(n: usize, cs: usize) -> Result<MarkovChain<LockState>, Chain
 ///
 /// Panics if `n == 0`, `n > 255`, `cs == 0`, or `cs > 254`.
 pub fn individual_chain(n: usize, cs: usize) -> Result<MarkovChain<LockStateWho>, ChainError> {
+    sparse_individual_chain(n, cs)?.to_dense()
+}
+
+/// Builds the individual chain in sparse (CSR) form — the primary
+/// representation; [`individual_chain`] is its dense conversion.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `n > 255`, `cs == 0`, or `cs > 254`.
+pub fn sparse_individual_chain(
+    n: usize,
+    cs: usize,
+) -> Result<SparseChain<LockStateWho>, ChainError> {
     assert!(n >= 1 && cs >= 1, "need n ≥ 1 and cs ≥ 1");
     assert!(n <= 255, "n must fit in a byte");
     assert!(cs <= 254, "critical section must fit in a byte");
     let nf = n as f64;
     let total = (cs + 1) as u8;
-    let mut b = ChainBuilder::new();
-    b = b.state(LockStateWho::Free);
+    let mut b = SparseChainBuilder::new();
+    b.state(LockStateWho::Free);
     for holder in 0..n as u8 {
         for r in 1..=total {
-            b = b.state(LockStateWho::Held {
+            b.state(LockStateWho::Held {
                 holder,
                 remaining: r,
             });
@@ -115,7 +147,7 @@ pub fn individual_chain(n: usize, cs: usize) -> Result<MarkovChain<LockStateWho>
     }
     for holder in 0..n as u8 {
         // From Free, the scheduled process (prob 1/n each) acquires.
-        b = b.transition(
+        b.transition(
             LockStateWho::Free,
             LockStateWho::Held {
                 holder,
@@ -136,9 +168,9 @@ pub fn individual_chain(n: usize, cs: usize) -> Result<MarkovChain<LockStateWho>
                     remaining: r - 1,
                 }
             };
-            b = b.transition(state, next, 1.0 / nf);
+            b.transition(state, next, 1.0 / nf);
             if n > 1 {
-                b = b.transition(state, state, 1.0 - 1.0 / nf);
+                b.transition(state, state, 1.0 - 1.0 / nf);
             }
         }
     }
@@ -216,6 +248,17 @@ mod tests {
         let w_more_n = exact_system_latency(8, 1).unwrap();
         assert!((w_more_cs - w_base - 8.0).abs() < 1e-8); // +2 cs steps × n=4
         assert!((w_more_n - (1.0 + 2.0 * 8.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn kernel_condition_holds_on_sparse_chains() {
+        use pwf_markov::lifting::kernel_residual_sparse;
+        for (n, cs) in [(2usize, 1usize), (3, 2), (16, 3)] {
+            let ind = sparse_individual_chain(n, cs).unwrap();
+            let sys = sparse_system_chain(n, cs).unwrap();
+            let r = kernel_residual_sparse(&ind, &sys, lift).unwrap();
+            assert!(r < 1e-12, "n={n} cs={cs}: kernel residual {r}");
+        }
     }
 
     #[test]

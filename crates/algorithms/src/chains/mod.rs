@@ -13,6 +13,14 @@
 //! parallel code), so constructions enforce small-`n` limits; the
 //! system chains scale comfortably to hundreds of processes.
 //!
+//! All chains are built **sparse-native** (CSR, via
+//! [`pwf_markov::sparse::SparseChainBuilder`]); the dense variants are
+//! [`pwf_markov::sparse::SparseChain::to_dense`] conversions kept as
+//! direct-solve oracles for small `n`. Past the enumeration wall, the
+//! SCU lifting is verified by the symmetry-reduced kernel check
+//! ([`scu::verify_lifting_by_symmetry`]) and latencies come from the
+//! adaptive iterative solvers.
+//!
 //! ## A note on the paper's printed transition probabilities
 //!
 //! The arXiv version's list of system-chain transitions in

@@ -8,7 +8,8 @@
 //! System chain `M_S`: states are the occupancy vectors
 //! `(v_0, …, v_{q−1})` with `Σ v_j = n`.
 
-use pwf_markov::chain::{ChainBuilder, ChainError, MarkovChain};
+use pwf_markov::chain::{ChainError, MarkovChain};
+use pwf_markov::sparse::{SparseChain, SparseChainBuilder};
 use pwf_markov::stationary::stationary_distribution;
 
 use super::latency_from_success_probabilities;
@@ -45,6 +46,24 @@ pub fn lift(state: &CounterState, q: usize) -> OccupancyState {
 /// Panics if `n == 0`, `q == 0`, `q > 255`, or `qⁿ` exceeds
 /// [`MAX_INDIVIDUAL_STATES`].
 pub fn individual_chain(n: usize, q: usize) -> Result<MarkovChain<CounterState>, ChainError> {
+    sparse_individual_chain(n, q)?.to_dense()
+}
+
+/// Builds the individual chain in sparse (CSR) form — the primary
+/// representation; [`individual_chain`] is its dense conversion.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `q == 0`, `q > 255`, or `qⁿ` exceeds
+/// [`MAX_INDIVIDUAL_STATES`].
+pub fn sparse_individual_chain(
+    n: usize,
+    q: usize,
+) -> Result<SparseChain<CounterState>, ChainError> {
     assert!(n >= 1 && q >= 1, "need n ≥ 1 and q ≥ 1");
     assert!(q <= 255, "q must fit in a byte");
     let states_count = (q as f64).powi(n as i32);
@@ -73,15 +92,15 @@ pub fn individual_chain(n: usize, q: usize) -> Result<MarkovChain<CounterState>,
     }
 
     let p = 1.0 / n as f64;
-    let mut b = ChainBuilder::new();
+    let mut b = SparseChainBuilder::new();
     for s in &states {
-        b = b.state(s.clone());
+        b.state(s.clone());
     }
     for s in &states {
         for i in 0..n {
             let mut next = s.clone();
             next[i] = ((next[i] as usize + 1) % q) as u8;
-            b = b.transition(s.clone(), next, p);
+            b.transition(s.clone(), next, p);
         }
     }
     b.build()
@@ -98,6 +117,21 @@ pub fn individual_chain(n: usize, q: usize) -> Result<MarkovChain<CounterState>,
 ///
 /// Panics if `n == 0`, `q == 0`, or `n > 255`.
 pub fn system_chain(n: usize, q: usize) -> Result<MarkovChain<OccupancyState>, ChainError> {
+    sparse_system_chain(n, q)?.to_dense()
+}
+
+/// Builds the system chain in sparse (CSR) form — the primary
+/// representation (`C(n+q−1, q−1)` states, ≤ `q` transitions each);
+/// [`system_chain`] is its dense conversion.
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid inputs).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `q == 0`, or `n > 255`.
+pub fn sparse_system_chain(n: usize, q: usize) -> Result<SparseChain<OccupancyState>, ChainError> {
     assert!(n >= 1 && q >= 1, "need n ≥ 1 and q ≥ 1");
     assert!(n <= 255, "n must fit in a byte");
 
@@ -119,9 +153,9 @@ pub fn system_chain(n: usize, q: usize) -> Result<MarkovChain<OccupancyState>, C
     compositions(n, q, &mut Vec::new(), &mut states);
 
     let nf = n as f64;
-    let mut b = ChainBuilder::new();
+    let mut b = SparseChainBuilder::new();
     for s in &states {
-        b = b.state(s.clone());
+        b.state(s.clone());
     }
     for s in &states {
         for j in 0..q {
@@ -131,7 +165,7 @@ pub fn system_chain(n: usize, q: usize) -> Result<MarkovChain<OccupancyState>, C
             let mut next = s.clone();
             next[j] -= 1;
             next[(j + 1) % q] += 1;
-            b = b.transition(s.clone(), next, s[j] as f64 / nf);
+            b.transition(s.clone(), next, s[j] as f64 / nf);
         }
     }
     b.build()
@@ -243,6 +277,17 @@ mod tests {
         for (n, q) in [(2, 3), (3, 3), (4, 2)] {
             let wi = exact_individual_latency(n, q, 0).unwrap();
             assert!((wi - (n * q) as f64).abs() < 1e-8, "n={n}, q={q}: W_i={wi}");
+        }
+    }
+
+    #[test]
+    fn kernel_condition_holds_on_sparse_chains() {
+        use pwf_markov::lifting::kernel_residual_sparse;
+        for (n, q) in [(2usize, 3usize), (3, 3), (4, 2)] {
+            let ind = sparse_individual_chain(n, q).unwrap();
+            let sys = sparse_system_chain(n, q).unwrap();
+            let r = kernel_residual_sparse(&ind, &sys, |s| lift(s, q)).unwrap();
+            assert!(r < 1e-12, "n={n} q={q}: kernel residual {r}");
         }
     }
 

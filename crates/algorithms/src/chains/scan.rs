@@ -21,6 +21,7 @@
 //! is built sparsely over the reachable set only.
 
 use pwf_markov::chain::ChainError;
+use pwf_markov::solve::{Metrics, PowerOptions, SolveStats};
 use pwf_markov::sparse::{SparseChain, SparseChainBuilder};
 
 use super::latency_from_success_probabilities;
@@ -160,23 +161,42 @@ pub fn system_chain(n: usize, s: usize) -> Result<SparseChain<ScanState>, ChainE
     builder.build()
 }
 
-/// Exact system latency of `SCU(0, s)` with mid-scan invalidation.
+/// Exact system latency of `SCU(0, s)` with mid-scan invalidation,
+/// via the adaptive sparse solver, with solver statistics and optional
+/// metrics publication.
 ///
 /// # Errors
 ///
 /// Propagates chain construction and solver-convergence errors.
-pub fn exact_system_latency(n: usize, s: usize) -> Result<f64, LatencyError> {
+pub fn exact_system_latency_with(
+    n: usize,
+    s: usize,
+    opts: &PowerOptions,
+    metrics: Option<&Metrics>,
+) -> Result<(f64, SolveStats), LatencyError> {
     let layout = CellLayout { s };
     let chain = system_chain(n, s)?;
-    let pi = chain
-        .stationary(500_000, 1e-12)
+    let solve = chain
+        .stationary_with(opts, metrics)
         .map_err(LatencyError::Stationary)?;
     let succ: Vec<f64> = chain
         .states()
         .iter()
         .map(|state| state[layout.cas(true)] as f64 / n as f64)
         .collect();
-    Ok(latency_from_success_probabilities(&pi, &succ))
+    Ok((
+        latency_from_success_probabilities(&solve.pi, &succ),
+        solve.stats,
+    ))
+}
+
+/// Exact system latency of `SCU(0, s)` with mid-scan invalidation.
+///
+/// # Errors
+///
+/// Propagates chain construction and solver-convergence errors.
+pub fn exact_system_latency(n: usize, s: usize) -> Result<f64, LatencyError> {
+    exact_system_latency_with(n, s, &PowerOptions::new(500_000, 1e-12), None).map(|(w, _)| w)
 }
 
 #[cfg(test)]

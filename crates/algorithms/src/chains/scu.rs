@@ -1,8 +1,21 @@
 //! Exact chains for the scan-validate component `SCU(0, 1)`
 //! (paper, Section 6.1.1, Lemmas 3–7).
+//!
+//! Chains are built **sparse-first**: the CSR constructions
+//! ([`sparse_individual_chain`], [`sparse_system_chain`]) are the
+//! primary representation, and the dense variants are thin
+//! [`SparseChain::to_dense`] conversions kept for the small-`n`
+//! direct-solve oracle. Beyond the exhaustive range, the lifting of
+//! Lemma 5 is verified by the symmetry-reduced kernel check
+//! ([`verify_lifting_by_symmetry`]), which needs only the `Θ(n²)`
+//! system chain and `O(n)` work per symmetry class — no `3ⁿ − 1`
+//! enumeration.
 
-use pwf_markov::chain::{ChainBuilder, ChainError, MarkovChain};
+use pwf_markov::chain::{ChainError, MarkovChain};
+use pwf_markov::solve::{Metrics, PowerOptions, SolveStats};
+use pwf_markov::sparse::{SparseChain, SparseChainBuilder};
 use pwf_markov::stationary::{stationary_distribution, StationaryError};
+use pwf_rng::{Rng, SeedableRng};
 
 use super::latency_from_success_probabilities;
 
@@ -29,9 +42,15 @@ pub type IndividualState = Vec<PState>;
 /// to CAS with the current value).
 pub type SystemState = (usize, usize);
 
-/// Maximum `n` for which the individual chain (`3ⁿ − 1` states) is
-/// built; beyond this the dense representation is impractical.
+/// Maximum `n` for which the *dense* individual chain (`3ⁿ − 1`
+/// states) is built; beyond this the `(3ⁿ − 1)²` matrix is
+/// impractical.
 pub const MAX_INDIVIDUAL_N: usize = 7;
+
+/// Maximum `n` for the *sparse* individual chain: `3ⁿ − 1` states
+/// with `n` transitions each is memory-feasible a bit further than
+/// the dense matrix, but still exponential.
+pub const MAX_SPARSE_INDIVIDUAL_N: usize = 12;
 
 /// Maximum `n` for the system chain: it has `Θ(n²)` states and the
 /// solver is dense, so `n = 128` (≈ 8.4k states) is the practical
@@ -76,7 +95,12 @@ fn enumerate_individual_states(n: usize) -> Vec<IndividualState> {
     }
 }
 
-fn individual_successor(state: &IndividualState, i: usize) -> (IndividualState, bool) {
+/// One scheduled step of process `i` from an individual-chain state:
+/// returns the successor state and whether the step was a successful
+/// CAS. This is the paper's prose dynamics verbatim and the single
+/// source of truth for every SCU chain construction and for the
+/// symmetry-reduced lifting check.
+pub fn individual_successor(state: &IndividualState, i: usize) -> (IndividualState, bool) {
     let mut next = state.clone();
     match state[i] {
         PState::Read => {
@@ -101,9 +125,42 @@ fn individual_successor(state: &IndividualState, i: usize) -> (IndividualState, 
     }
 }
 
-/// Builds the individual chain for `SCU(0, 1)` on `n` processes:
-/// `3ⁿ − 1` states, uniform scheduling (each process steps with
-/// probability `1/n`).
+/// Builds the individual chain for `SCU(0, 1)` on `n` processes in
+/// sparse (CSR) form: `3ⁿ − 1` states with `n` transitions each,
+/// uniform scheduling (each process steps with probability `1/n`).
+///
+/// # Errors
+///
+/// Propagates chain-validation errors (none occur for valid `n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `n > MAX_SPARSE_INDIVIDUAL_N`.
+pub fn sparse_individual_chain(n: usize) -> Result<SparseChain<IndividualState>, ChainError> {
+    assert!(n >= 1, "need at least one process");
+    assert!(
+        n <= MAX_SPARSE_INDIVIDUAL_N,
+        "individual chain has 3^n - 1 states even in sparse form; \
+         n must be at most {MAX_SPARSE_INDIVIDUAL_N}"
+    );
+    let states = enumerate_individual_states(n);
+    let p = 1.0 / n as f64;
+    let mut b = SparseChainBuilder::new();
+    for s in &states {
+        b.state(s.clone());
+    }
+    for s in &states {
+        for i in 0..n {
+            let (next, _) = individual_successor(s, i);
+            b.transition(s.clone(), next, p);
+        }
+    }
+    b.build()
+}
+
+/// Builds the dense individual chain — a [`SparseChain::to_dense`]
+/// conversion of [`sparse_individual_chain`], kept as the direct-solve
+/// oracle.
 ///
 /// # Errors
 ///
@@ -113,28 +170,16 @@ fn individual_successor(state: &IndividualState, i: usize) -> (IndividualState, 
 ///
 /// Panics if `n == 0` or `n > MAX_INDIVIDUAL_N`.
 pub fn individual_chain(n: usize) -> Result<MarkovChain<IndividualState>, ChainError> {
-    assert!(n >= 1, "need at least one process");
     assert!(
         n <= MAX_INDIVIDUAL_N,
         "individual chain has 3^n - 1 states; n must be at most {MAX_INDIVIDUAL_N}"
     );
-    let states = enumerate_individual_states(n);
-    let p = 1.0 / n as f64;
-    let mut b = ChainBuilder::new();
-    for s in &states {
-        b = b.state(s.clone());
-    }
-    for s in &states {
-        for i in 0..n {
-            let (next, _) = individual_successor(s, i);
-            b = b.transition(s.clone(), next, p);
-        }
-    }
-    b.build()
+    sparse_individual_chain(n)?.to_dense()
 }
 
-/// Builds the system chain for `SCU(0, 1)` on `n` processes: states
-/// `(a, b)` with `a + b ≤ n`, excluding the unreachable `(0, n)`.
+/// Builds the dense system chain — a [`SparseChain::to_dense`]
+/// conversion of [`sparse_system_chain`], kept as the direct-solve
+/// oracle for small `n`.
 ///
 /// # Errors
 ///
@@ -144,45 +189,17 @@ pub fn individual_chain(n: usize) -> Result<MarkovChain<IndividualState>, ChainE
 ///
 /// Panics if `n == 0` or `n > MAX_SYSTEM_N`.
 pub fn system_chain(n: usize) -> Result<MarkovChain<SystemState>, ChainError> {
-    assert!(n >= 1, "need at least one process");
     assert!(
         n <= MAX_SYSTEM_N,
         "system chain has Θ(n²) states; n must be at most {MAX_SYSTEM_N} \
          (use pwf-ballsbins for Monte-Carlo estimates at larger n)"
     );
-    let nf = n as f64;
-    let mut b = ChainBuilder::new();
-    for a in 0..=n {
-        for bb in 0..=(n - a) {
-            if (a, bb) != (0, n) {
-                b = b.state((a, bb));
-            }
-        }
-    }
-    for a in 0..=n {
-        for bb in 0..=(n - a) {
-            if (a, bb) == (0, n) {
-                continue;
-            }
-            let c = n - a - bb;
-            if a > 0 {
-                b = b.transition((a, bb), (a - 1, bb), a as f64 / nf);
-            }
-            if bb > 0 {
-                b = b.transition((a, bb), (a + 1, bb - 1), bb as f64 / nf);
-            }
-            if c > 0 {
-                // Success: winner reads, all other current CASes stale.
-                b = b.transition((a, bb), (a + 1, n - a - 1), c as f64 / nf);
-            }
-        }
-    }
-    b.build()
+    sparse_system_chain(n)?.to_dense()
 }
 
-/// Builds the system chain in sparse form, usable far beyond
-/// [`MAX_SYSTEM_N`] (the chain has `Θ(n²)` states but only ≤ 3
-/// transitions per state).
+/// Builds the system chain in sparse (CSR) form — the primary
+/// representation, usable far beyond [`MAX_SYSTEM_N`] (the chain has
+/// `Θ(n²)` states but only ≤ 3 transitions per state).
 ///
 /// # Errors
 ///
@@ -191,12 +208,10 @@ pub fn system_chain(n: usize) -> Result<MarkovChain<SystemState>, ChainError> {
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn sparse_system_chain(
-    n: usize,
-) -> Result<pwf_markov::sparse::SparseChain<SystemState>, ChainError> {
+pub fn sparse_system_chain(n: usize) -> Result<SparseChain<SystemState>, ChainError> {
     assert!(n >= 1, "need at least one process");
     let nf = n as f64;
-    let mut b = pwf_markov::sparse::SparseChainBuilder::new();
+    let mut b = SparseChainBuilder::new();
     for a in 0..=n {
         for bb in 0..=(n - a) {
             if (a, bb) != (0, n) {
@@ -224,8 +239,41 @@ pub fn sparse_system_chain(
     b.build()
 }
 
-/// System latency for large `n` via the sparse chain and lazy power
-/// iteration — the scalable counterpart of [`exact_system_latency`].
+/// System latency for large `n` via the sparse chain and adaptive lazy
+/// power iteration — the scalable counterpart of
+/// [`exact_system_latency`]. Returns the latency together with the
+/// solver's work statistics; an optional metrics registry receives the
+/// solver's counters and gauges.
+///
+/// # Errors
+///
+/// Propagates sparse-solver convergence failures.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn large_system_latency_with(
+    n: usize,
+    opts: &PowerOptions,
+    metrics: Option<&Metrics>,
+) -> Result<(f64, SolveStats), LatencyError> {
+    let chain = sparse_system_chain(n)?;
+    let solve = chain
+        .stationary_with(opts, metrics)
+        .map_err(LatencyError::Stationary)?;
+    let succ: Vec<f64> = chain
+        .states()
+        .iter()
+        .map(|&(a, b)| (n - a - b) as f64 / n as f64)
+        .collect();
+    Ok((
+        latency_from_success_probabilities(&solve.pi, &succ),
+        solve.stats,
+    ))
+}
+
+/// System latency for large `n` — [`large_system_latency_with`] with
+/// adaptive stopping at the given budget/tolerance and no metrics.
 ///
 /// # Errors
 ///
@@ -235,16 +283,108 @@ pub fn sparse_system_chain(
 ///
 /// Panics if `n == 0`.
 pub fn large_system_latency(n: usize, max_iters: usize, tol: f64) -> Result<f64, LatencyError> {
-    let chain = sparse_system_chain(n)?;
-    let pi = chain
-        .stationary(max_iters, tol)
-        .map_err(LatencyError::Stationary)?;
-    let succ: Vec<f64> = chain
-        .states()
-        .iter()
-        .map(|&(a, b)| (n - a - b) as f64 / n as f64)
-        .collect();
-    Ok(latency_from_success_probabilities(&pi, &succ))
+    large_system_latency_with(n, &PowerOptions::new(max_iters, tol), None).map(|(w, _)| w)
+}
+
+/// Result of the symmetry-reduced kernel check of Lemma 5's lifting
+/// (see [`verify_lifting_by_symmetry`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SymmetryLiftingReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Symmetry classes checked — one per system-chain state `(a, b)`,
+    /// i.e. `(n+1)(n+2)/2 − 1`.
+    pub classes: usize,
+    /// Individual states whose rows were checked (canonical
+    /// representative plus sampled permutations, per class).
+    pub states_checked: usize,
+    /// Worst violation of the kernel condition
+    /// `Σ_{y : f(y) = j} P'(x, y) = P(f(x), j)` over all checked rows.
+    pub kernel_residual: f64,
+}
+
+/// Verifies Lemma 5's lifting for `SCU(0, 1)` at sizes where the
+/// `3ⁿ − 1`-state individual chain cannot be enumerated, via *strong
+/// lumpability*: the kernel condition
+/// `Σ_{y : f(y) = j} P'(x, y) = P(f(x), j)` for every individual state
+/// `x` implies the ergodic-flow homomorphism of Definition 2 for
+/// whatever stationary distribution the chains have, so checking it
+/// row-by-row needs no solves and no full enumeration.
+///
+/// The check is symmetry-reduced: the lifting map and the dynamics are
+/// invariant under permuting process indices, so the kernel condition
+/// holds for every `x` in a permutation orbit iff it holds for one
+/// member. Each system state `(a, b)` is one orbit; the check visits
+/// its canonical representative (`a`×`Read`, `b`×`OldCas`, rest
+/// `CCas`) and, to guard the symmetry argument itself, an extra
+/// `samples_per_class` seeded random permutations of it. Total work is
+/// `O(n³ · samples)` for the `Θ(n²)` classes — at `n = 20` that is 230
+/// classes against 3²⁰ − 1 ≈ 3.5 · 10⁹ individual states.
+///
+/// # Errors
+///
+/// Propagates system-chain construction errors.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn verify_lifting_by_symmetry(
+    n: usize,
+    samples_per_class: usize,
+    seed: u64,
+) -> Result<SymmetryLiftingReport, LatencyError> {
+    let sys = sparse_system_chain(n)?;
+    let mut rng = pwf_rng::rngs::StdRng::seed_from_u64(seed);
+    let inv_n = 1.0 / n as f64;
+    let mut worst: f64 = 0.0;
+    let mut states_checked = 0usize;
+    let mut collapsed: Vec<(SystemState, f64)> = Vec::with_capacity(4);
+    for (idx, &(a, b)) in sys.states().iter().enumerate() {
+        let c = n - a - b;
+        let mut rep = vec![PState::Read; a];
+        rep.extend(std::iter::repeat(PState::OldCas).take(b));
+        rep.extend(std::iter::repeat(PState::CCas).take(c));
+        for sample in 0..=samples_per_class {
+            let mut x = rep.clone();
+            if sample > 0 {
+                rng.shuffle(&mut x);
+            }
+            debug_assert_eq!(lift(&x), (a, b));
+            // Collapsed row: Σ_{y : f(y) = j} P'(x, y), at most 4
+            // distinct targets (one per scheduled-process kind, plus
+            // coincidences).
+            collapsed.clear();
+            for i in 0..n {
+                let (next, _) = individual_successor(&x, i);
+                let target = lift(&next);
+                match collapsed.iter_mut().find(|(t, _)| *t == target) {
+                    Some((_, p)) => *p += inv_n,
+                    None => collapsed.push((target, inv_n)),
+                }
+            }
+            // Compare against the system row P((a, b), ·) over the
+            // union of supports.
+            for &(t, p) in &collapsed {
+                let j = sys
+                    .state_index(&t)
+                    .expect("lifted successor must be a system state");
+                worst = worst.max((p - sys.prob(idx, j)).abs());
+            }
+            for (j, p) in sys.row(idx) {
+                let t = sys.state(j as usize);
+                if !collapsed.iter().any(|(tt, _)| tt == t) {
+                    worst = worst.max(p.abs());
+                }
+            }
+            states_checked += 1;
+        }
+    }
+    Ok(SymmetryLiftingReport {
+        n,
+        classes: sys.len(),
+        states_checked,
+        kernel_residual: worst,
+    })
 }
 
 /// Per-state success probability in the system chain: a step from
@@ -500,5 +640,76 @@ mod sparse_tests {
         let w = large_system_latency(256, 400_000, 1e-11).unwrap();
         let ratio = w / 16.0;
         assert!(ratio > 1.6 && ratio < 2.0, "W/sqrt(n) = {ratio}");
+    }
+
+    #[test]
+    fn latency_with_reports_solver_work() {
+        let (w, stats) =
+            large_system_latency_with(64, &PowerOptions::new(400_000, 1e-10), None).unwrap();
+        assert!(w > 0.0);
+        assert!(stats.iterations > 0);
+        assert!(stats.residual.is_finite());
+    }
+
+    #[test]
+    fn sparse_individual_chain_matches_dense() {
+        let n = 4;
+        let sparse = sparse_individual_chain(n).unwrap();
+        let dense = individual_chain(n).unwrap();
+        assert_eq!(sparse.len(), dense.len());
+        // Distinct processes always produce distinct successors here,
+        // so each row has exactly n entries.
+        assert_eq!(sparse.nnz(), sparse.len() * n);
+        for i in 0..sparse.len() {
+            for (j, p) in sparse.row(i) {
+                assert!((p - dense.prob(i, j as usize)).abs() < 1e-15);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod lifting_tests {
+    use super::*;
+    use pwf_markov::lifting::kernel_residual_sparse;
+
+    #[test]
+    fn kernel_condition_holds_exhaustively_for_small_n() {
+        // The strong-lumpability (kernel) condition checked over every
+        // individual state — the ground truth the symmetry-reduced
+        // check must reproduce.
+        for n in 2..=6 {
+            let ind = sparse_individual_chain(n).unwrap();
+            let sys = sparse_system_chain(n).unwrap();
+            let r = kernel_residual_sparse(&ind, &sys, lift).unwrap();
+            assert!(r < 1e-12, "n={n}: kernel residual {r}");
+        }
+    }
+
+    #[test]
+    fn symmetry_check_matches_exhaustive_kernel_check() {
+        for n in 2..=6 {
+            let report = verify_lifting_by_symmetry(n, 3, 0xA11CE).unwrap();
+            assert!(
+                report.kernel_residual < 1e-12,
+                "n={n}: residual {}",
+                report.kernel_residual
+            );
+            assert_eq!(report.classes, (n + 1) * (n + 2) / 2 - 1);
+            assert_eq!(report.states_checked, report.classes * 4);
+        }
+    }
+
+    #[test]
+    fn symmetry_check_verifies_lifting_at_n_20() {
+        // The acceptance bar for the sparse-first engine: Lemma 5
+        // verified at n = 20, far past the 3ⁿ − 1 enumeration wall.
+        let report = verify_lifting_by_symmetry(20, 4, 0xBEEF).unwrap();
+        assert_eq!(report.classes, 21 * 22 / 2 - 1);
+        assert!(
+            report.kernel_residual < 1e-12,
+            "residual {}",
+            report.kernel_residual
+        );
     }
 }

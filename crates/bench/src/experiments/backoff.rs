@@ -15,6 +15,7 @@ use pwf_sim::stats::system_latency;
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_backoff",
     description: "Ablation: bounded exponential backoff degrades toward Algorithm 1 starvation",
+    sizes: "cap=1..256",
     deterministic: true,
     body: fill,
 };

@@ -11,6 +11,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_ballsbins",
     description: "Lemmas 8-9: iterated balls-into-bins phase lengths and range dynamics",
+    sizes: "n=4..32768",
     deterministic: true,
     body: fill,
 };

@@ -9,6 +9,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_crashes",
     description: "Corollary 2: crashed processes drop out of the latency bound (k replaces n)",
+    sizes: "n=8..32",
     deterministic: true,
     body: fill,
 };

@@ -12,6 +12,7 @@ use pwf_theory::ramanujan::{sqrt_pi_n_over_2, z_worst};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_fai_chain",
     description: "Lemmas 12-14: fetch-and-increment chains, Z recurrence, Ramanujan asymptotics",
+    sizes: "n=2..4096",
     deterministic: true,
     body: fill,
 };

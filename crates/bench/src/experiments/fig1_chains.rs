@@ -1,15 +1,22 @@
 //! E1 — Figure 1: the individual and system chains of the
-//! scan-validate pattern for two processes, with their lifting.
+//! scan-validate pattern for two processes, with their lifting — plus
+//! a size sweep of the same construction on the sparse engine,
+//! fanned out on `cfg.jobs` threads, to show how the collapsed system
+//! chain scales where the individual chain cannot.
 
-use pwf_algorithms::chains::scu::{individual_chain, lift, system_chain, PState};
+use pwf_algorithms::chains::scu::{
+    individual_chain, large_system_latency_with, lift, sparse_system_chain, system_chain, PState,
+};
 use pwf_markov::lifting::verify_lifting;
+use pwf_markov::solve::PowerOptions;
 use pwf_markov::stationary::stationary_distribution;
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment.
 pub const EXP: FnExperiment = FnExperiment {
     name: "fig1_chains",
     description: "Figure 1: individual and system chains of scan-validate (n = 2) with lifting",
+    sizes: "n=2..64",
     deterministic: true,
     body: fill,
 };
@@ -22,7 +29,7 @@ fn name(p: &PState) -> &'static str {
     }
 }
 
-fn fill(_cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("E1 / Figure 1: individual chain and system chain, n = 2.");
     let ind = individual_chain(2)?;
     let sys = system_chain(2)?;
@@ -75,5 +82,35 @@ fn fill(_cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         report.lifted_states,
         report.base_states
     ));
+
+    out.note("");
+    out.note("the same system chain, swept in size on the sparse engine:");
+    out.header(&["n", "states", "nnz", "iters", "W", "W/sqrt(n)"]);
+    let sizes: Vec<usize> = [2usize, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&n| !cfg.fast || n <= 16)
+        .collect();
+    let opts = PowerOptions::new(500_000, 1e-12);
+    let rows = parallel_map(cfg.jobs, &sizes, |&n| -> Result<_, String> {
+        let chain = sparse_system_chain(n).map_err(|e| e.to_string())?;
+        let (w, stats) = large_system_latency_with(n, &opts, None).map_err(|e| e.to_string())?;
+        Ok((n, chain.len(), chain.nnz(), stats.iterations, w))
+    });
+    for row in rows {
+        let (n, states, nnz, iters, w) = row?;
+        out.row(&[
+            n.to_string(),
+            states.to_string(),
+            nnz.to_string(),
+            iters.to_string(),
+            fmt(w),
+            fmt(w / (n as f64).sqrt()),
+        ]);
+    }
+    out.note("");
+    out.note("states grow as (n+1)(n+2)/2 - 1 with <= 3 transitions each: the CSR");
+    out.note("representation and the adaptive power iteration keep the per-size cost");
+    out.note("near-linear, where the 3^n - 1 individual chain is out of reach past");
+    out.note("n = 7 even to build.");
     Ok(())
 }

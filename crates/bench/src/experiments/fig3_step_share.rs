@@ -13,6 +13,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "fig3_step_share",
     description: "Figure 3: per-thread step share on real hardware vs the uniform model",
+    sizes: "threads=2..16",
     deterministic: false,
     body: fill,
 };

@@ -23,6 +23,7 @@ use pwf_sim::stats;
 pub const EXP: FnExperiment = FnExperiment {
     name: "fig4_conditional",
     description: "Figure 4: conditional next-step distribution, hardware and simulator",
+    sizes: "threads=2..8",
     deterministic: false,
     body: fill,
 };

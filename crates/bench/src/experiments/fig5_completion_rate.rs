@@ -14,6 +14,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "fig5_completion_rate",
     description: "Figure 5: completion rate vs 1/sqrt(n) prediction, simulator and hardware",
+    sizes: "n=1..64",
     deterministic: false,
     body: fill,
 };

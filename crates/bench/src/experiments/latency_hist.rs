@@ -10,6 +10,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_latency_hist",
     description: "Latency distribution of real Treiber-stack operations (hardware)",
+    sizes: "threads=2..8",
     deterministic: false,
     body: fill,
 };

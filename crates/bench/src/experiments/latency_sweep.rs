@@ -10,6 +10,7 @@ use pwf_theory::bounds::ScuPrediction;
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_latency_sweep",
     description: "Theorems 4-5: W = O(q + s*sqrt(n)) and W_i = n*W swept over n, q, s",
+    sizes: "n=2..64 q=0..32",
     deterministic: true,
     body: fill,
 };

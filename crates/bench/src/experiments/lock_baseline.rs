@@ -14,6 +14,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_lock_baseline",
     description: "Blocking baseline: spinlock vs lock-free counter, crashes, real atomics",
+    sizes: "n=2..32",
     deterministic: false,
     body: fill,
 };

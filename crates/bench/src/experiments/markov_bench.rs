@@ -1,0 +1,134 @@
+//! `exp_markov_bench` — the perf gate for the sparse-first Markov
+//! engine: times the dense direct-solve SCU analysis against the
+//! sparse iterative pipeline at the sizes both can run, sweeps the
+//! sparse engine past the dense wall, and records the trajectory in
+//! `BENCH_markov.json` so speedups are tracked across PRs.
+//!
+//! Wall-clock measurement is hardware-dependent, so the experiment
+//! registers `deterministic: false` and `pwf check` skips it; the
+//! agreement checks (dense and sparse `W` within `1e-6`) and the
+//! crossover gate (sparse strictly faster at the dense wall) are what
+//! make it a test rather than a report.
+
+use std::path::Path;
+use std::time::Instant;
+
+use pwf_core::chain_analysis::{analyze, analyze_scu_large, ChainFamily};
+use pwf_markov::solve::PowerOptions;
+use pwf_runner::json::Json;
+use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+
+/// The registered experiment.
+pub const EXP: FnExperiment = FnExperiment {
+    name: "exp_markov_bench",
+    description: "Perf gate: dense vs sparse SCU analysis wall time, BENCH_markov.json trajectory",
+    sizes: "n=5..28",
+    deterministic: false,
+    body: fill,
+};
+
+/// Largest `n` the dense oracle handles (`3⁷ − 1 = 2186` individual
+/// states); the full profile times both pipelines up to here, and the
+/// crossover gate is applied at the largest dense size run.
+const DENSE_WALL: usize = 7;
+
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    out.note("markov engine benchmark: full SCU analysis (chains + lifting + W),");
+    out.note("dense direct solve vs sparse iterative pipeline.");
+    out.header(&["n", "dense ms", "sparse ms", "speedup", "W rel err"]);
+
+    let opts = PowerOptions::new(500_000, 1e-12);
+    let metrics = cfg.obs.metrics().map(|m| &**m);
+    let dense_sizes: &[usize] = if cfg.fast {
+        &[5, 6]
+    } else {
+        &[5, 6, DENSE_WALL]
+    };
+    let sparse_only: &[usize] = if cfg.fast { &[12] } else { &[12, 20, 28] };
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut wall_speedup = None;
+    for &n in dense_sizes {
+        let start = Instant::now();
+        let dense = analyze(ChainFamily::Scu01, n)?;
+        let dense_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let sparse = analyze_scu_large(n, 2, cfg.sub_seed(n as u64), &opts, metrics)?;
+        let sparse_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let rel = (dense.system_latency - sparse.system_latency).abs() / dense.system_latency;
+        if rel > 1e-6 {
+            return Err(format!("dense/sparse W disagree at n = {n} (rel {rel:e})").into());
+        }
+        let speedup = dense_ms / sparse_ms;
+        wall_speedup = Some((n, speedup));
+        out.row(&[
+            n.to_string(),
+            fmt(dense_ms),
+            fmt(sparse_ms),
+            fmt(speedup),
+            fmt(rel),
+        ]);
+        entries.push(Json::Obj(vec![
+            ("n".into(), Json::Int(n as i128)),
+            ("dense_ms".into(), Json::Num(dense_ms)),
+            ("sparse_ms".into(), Json::Num(sparse_ms)),
+            ("speedup".into(), Json::Num(speedup)),
+            ("w_rel_err".into(), Json::Num(rel)),
+        ]));
+    }
+
+    for &n in sparse_only {
+        let start = Instant::now();
+        let sparse = analyze_scu_large(n, 2, cfg.sub_seed(n as u64), &opts, metrics)?;
+        let sparse_ms = start.elapsed().as_secs_f64() * 1e3;
+        out.row(&[
+            n.to_string(),
+            "-".into(),
+            fmt(sparse_ms),
+            "-".into(),
+            "-".into(),
+        ]);
+        entries.push(Json::Obj(vec![
+            ("n".into(), Json::Int(n as i128)),
+            ("sparse_ms".into(), Json::Num(sparse_ms)),
+            (
+                "solver_iterations".into(),
+                Json::Int(sparse.solver.iterations as i128),
+            ),
+            ("kernel_residual".into(), Json::Num(sparse.kernel_residual)),
+        ]));
+    }
+
+    let mut fields = vec![
+        ("benchmark".into(), Json::Str("pwf-markov".into())),
+        ("dense_wall_n".into(), Json::Int(DENSE_WALL as i128)),
+        ("profile".into(), Json::Str(cfg.profile().into())),
+    ];
+    if let Some((n, speedup)) = wall_speedup {
+        fields.push(("largest_dense_n".into(), Json::Int(n as i128)));
+        fields.push(("speedup_at_dense_wall".into(), Json::Num(speedup)));
+    }
+    fields.push(("sizes".into(), Json::Arr(entries)));
+    std::fs::write(Path::new("BENCH_markov.json"), Json::Obj(fields).render())
+        .map_err(|e| format!("writing BENCH_markov.json: {e}"))?;
+    out.note("");
+    out.note("trajectory written to BENCH_markov.json.");
+
+    if let Some((n, speedup)) = wall_speedup {
+        // The crossover gate: at the largest dense size run, the
+        // iterative sparse pipeline must beat O(states^3) elimination
+        // outright.
+        if speedup <= 1.0 {
+            return Err(format!(
+                "sparse pipeline is not faster than dense at n = {n} (speedup {speedup:.2}x)"
+            )
+            .into());
+        }
+        out.note(&format!(
+            "speedup at the largest dense size (n = {n}): {speedup:.0}x"
+        ));
+    }
+    Ok(())
+}

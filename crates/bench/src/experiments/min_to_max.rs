@@ -10,6 +10,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_min_to_max",
     description: "Theorem 3: minimal progress becomes maximal under stochastic schedulers",
+    sizes: "n=2..16",
     deterministic: true,
     body: fill,
 };

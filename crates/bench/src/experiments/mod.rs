@@ -29,6 +29,7 @@ pub mod latency_hist;
 pub mod latency_sweep;
 pub mod lifting_scu;
 pub mod lock_baseline;
+pub mod markov_bench;
 pub mod min_to_max;
 pub mod mixing;
 pub mod nonuniform;
@@ -40,7 +41,7 @@ pub mod unbounded;
 pub mod universal;
 
 /// All registered experiments.
-const ALL: [FnExperiment; 21] = [
+const ALL: [FnExperiment; 22] = [
     backoff::EXP,
     ballsbins::EXP,
     crashes::EXP,
@@ -53,6 +54,7 @@ const ALL: [FnExperiment; 21] = [
     latency_sweep::EXP,
     lifting_scu::EXP,
     lock_baseline::EXP,
+    markov_bench::EXP,
     min_to_max::EXP,
     mixing::EXP,
     nonuniform::EXP,
@@ -101,16 +103,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_holds_all_twenty_one_unique_experiments() {
+    fn registry_holds_all_twenty_two_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 21);
+        assert_eq!(reg.len(), 22);
         assert!(reg.get("exp_ballsbins").is_some());
         assert!(reg.get("fig5_completion_rate").is_some());
         assert!(reg.get("obs_overhead").is_some());
+        assert!(reg.get("exp_markov_bench").is_some());
     }
 
     #[test]
-    fn six_hardware_experiments_are_nondeterministic() {
+    fn seven_hardware_experiments_are_nondeterministic() {
         let reg = registry();
         let hardware: Vec<&str> = reg
             .iter()
@@ -122,11 +125,27 @@ mod tests {
             vec![
                 "exp_latency_hist",
                 "exp_lock_baseline",
+                "exp_markov_bench",
                 "fig3_step_share",
                 "fig4_conditional",
                 "fig5_completion_rate",
                 "obs_overhead",
             ]
         );
+    }
+
+    #[test]
+    fn swept_experiments_declare_their_size_ranges() {
+        let reg = registry();
+        for name in [
+            "exp_lifting_scu",
+            "fig1_chains",
+            "exp_mixing",
+            "exp_scan_chain",
+        ] {
+            let exp = reg.get(name).unwrap();
+            assert!(!exp.sizes().is_empty(), "{name} should declare sizes");
+        }
+        assert_eq!(reg.get("exp_lifting_scu").unwrap().sizes(), "n=2..24");
     }
 }

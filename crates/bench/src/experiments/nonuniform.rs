@@ -10,6 +10,7 @@ use pwf_runner::{fmt, ExpConfig, ExpError, ExpResult, FnExperiment, ReportBuilde
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_nonuniform",
     description: "Section 8: SCU(0,1) under non-uniform (lottery/sticky) stochastic schedulers",
+    sizes: "n=16",
     deterministic: true,
     body: fill,
 };

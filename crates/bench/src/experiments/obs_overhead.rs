@@ -15,6 +15,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "obs_overhead",
     description: "Observability self-measurement: ticket vs ring vs timestamp recording cost",
+    sizes: "threads=2..8",
     deterministic: false,
     body: fill,
 };

@@ -9,6 +9,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_parallel",
     description: "Lemmas 10-11: parallel code exact chain latency q and n*q vs simulation",
+    sizes: "n=2..4 q=2..6",
     deterministic: true,
     body: fill,
 };

@@ -11,6 +11,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_quantum",
     description: "Quantum and priority scheduling of SCU(0,1): theta > 0 keeps Theorem 3 alive",
+    sizes: "n=8",
     deterministic: true,
     body: fill,
 };

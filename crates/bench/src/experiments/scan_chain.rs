@@ -1,15 +1,19 @@
 //! E16 (extension) — Corollary 1, sharpened: the exact `SCU(0, s)`
 //! system chain with honest mid-scan invalidation, versus simulation
-//! and the paper's `α·s·√n` model.
+//! and the paper's `α·s·√n` model. Each `(n, s)` point is an
+//! independent chain solve plus a simulation run; the sweep fans out
+//! on `cfg.jobs` threads, and the sparse engine extends it to
+//! `n = 32`.
 
 use pwf_algorithms::chains::scan;
 use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment.
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_scan_chain",
     description: "Corollary 1 sharpened: exact SCU(0,s) scan chain vs simulation",
+    sizes: "n=4..32 s=1..3",
     deterministic: true,
     body: fill,
 };
@@ -17,7 +21,7 @@ pub const EXP: FnExperiment = FnExperiment {
 fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("E16 / Corollary 1 with mid-scan invalidation: W(n, s) exact vs sim.");
     out.header(&["n", "s", "W chain", "W sim", "rel err", "W/(s*sqrt(n))"]);
-    for (tag, (n, s)) in [
+    let points: Vec<(usize, (usize, usize))> = [
         (4usize, 1usize),
         (4, 2),
         (4, 3),
@@ -26,16 +30,25 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         (8, 3),
         (16, 1),
         (16, 2),
+        (16, 3),
+        (32, 1),
+        (32, 2),
     ]
     .into_iter()
     .enumerate()
-    {
-        let chain = scan::exact_system_latency(n, s)?;
+    .collect();
+    let rows = parallel_map(cfg.jobs, &points, |&(tag, (n, s))| -> Result<_, String> {
+        let chain = scan::exact_system_latency(n, s).map_err(|e| e.to_string())?;
         let sim = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s }, n, cfg.scaled(500_000))
             .seed(cfg.sub_seed(tag as u64))
-            .run()?
+            .run()
+            .map_err(|e| e.to_string())?
             .system_latency
-            .unwrap();
+            .ok_or("simulation recorded no completions")?;
+        Ok((n, s, chain, sim))
+    });
+    for row in rows {
+        let (n, s, chain, sim) = row?;
         out.row(&[
             n.to_string(),
             s.to_string(),

@@ -9,6 +9,7 @@ use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_unbounded",
     description: "Lemma 2: Algorithm 1 starves under the uniform scheduler (not wait-free)",
+    sizes: "n=4..16",
     deterministic: true,
     body: fill,
 };

@@ -14,6 +14,7 @@ use pwf_sim::stats::{individual_latency, system_latency};
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_universal",
     description: "Theorem 4 as a pricing rule: universal construction costs O(q + sqrt(n))",
+    sizes: "n=2..64",
     deterministic: true,
     body: fill,
 };

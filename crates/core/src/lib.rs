@@ -38,7 +38,7 @@ pub mod progress_audit;
 pub mod scan_analysis;
 pub mod spec;
 
-pub use chain_analysis::{analyze, ChainFamily, ChainReport};
+pub use chain_analysis::{analyze, analyze_scu_large, ChainFamily, ChainReport, LargeScuReport};
 pub use completion_model::{completion_rate_series, CompletionRatePoint};
 pub use experiment::{SimExperiment, SimReport};
 pub use progress_audit::{audit, ProgressAuditReport};

@@ -11,6 +11,7 @@ use std::fmt;
 use std::hash::Hash;
 
 use crate::linalg::Matrix;
+use crate::sparse::SparseChain;
 
 /// Tolerance used when validating that transition rows are stochastic.
 pub const ROW_SUM_TOLERANCE: f64 = 1e-9;
@@ -189,8 +190,41 @@ impl<S: Clone + Eq + Hash> MarkovChain<S> {
 
     /// The out-neighbours of state `i` (indices with positive
     /// probability).
+    ///
+    /// Each call scans one dense row and allocates; code traversing
+    /// the whole graph should extract a
+    /// [`crate::structure::Adjacency`] once instead of calling this in
+    /// a loop (the old `structure` reachability did exactly that and
+    /// was accidentally `O(n³)`).
     pub fn successors(&self, i: usize) -> Vec<usize> {
         (0..self.len()).filter(|&j| self.prob(i, j) > 0.0).collect()
+    }
+
+    /// Converts to the CSR sparse representation, dropping zero
+    /// entries. Infallible: a built dense chain is already validated.
+    pub fn to_sparse(&self) -> SparseChain<S> {
+        let n = self.len();
+        let mut cols = Vec::new();
+        let mut probs = Vec::new();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0);
+        for i in 0..n {
+            for j in 0..n {
+                let p = self.transition[(i, j)];
+                if p > 0.0 {
+                    cols.push(j as u32);
+                    probs.push(p);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        SparseChain::from_validated_parts(
+            self.states.clone(),
+            self.index.clone(),
+            cols,
+            probs,
+            row_ptr,
+        )
     }
 }
 
@@ -362,6 +396,16 @@ mod tests {
             .unwrap();
         assert_eq!(c.successors(0), vec![1]);
         assert_eq!(c.successors(1), vec![0, 1]);
+    }
+
+    #[test]
+    fn to_sparse_drops_zero_entries() {
+        let c = two_state();
+        let s = c.to_sparse();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.prob(0, 1), 0.25);
+        assert_eq!(s.state_index(&"b"), Some(1));
     }
 
     #[test]

@@ -3,11 +3,22 @@
 //! For a fixed target `j`, the vector `h_·j` solves the linear system
 //! `h_ij = 1 + Σ_{k ≠ j} p_ik h_kj` for `i ≠ j`, and the return time is
 //! `h_jj = 1 + Σ_{k ≠ j} p_jk h_kj`.
+//!
+//! Two solvers: a dense direct solve ([`hitting_times`], the oracle
+//! for small `n`) and sparse Gauss–Seidel
+//! ([`sparse_hitting_times`]) — the reduced system matrix
+//! `I − P_{−j}` is an M-matrix, for which Gauss–Seidel sweeps converge
+//! monotonically from zero, in `O(nnz)` per sweep.
 
 use std::hash::Hash;
+use std::time::Instant;
+
+use pwf_obs::Metrics;
 
 use crate::chain::MarkovChain;
 use crate::linalg::{self, Matrix};
+use crate::solve::{record_solve, GaussSeidelOptions, SolveStats};
+use crate::sparse::SparseChain;
 use crate::stationary::StationaryError;
 use crate::structure;
 
@@ -62,6 +73,100 @@ pub fn hitting_times<S: Clone + Eq + Hash>(
     }
     h[target] = ret;
     Ok(h)
+}
+
+/// Expected hitting times to `target` on a sparse chain by
+/// Gauss–Seidel sweeps over the reduced system, with optional solver
+/// metrics (`markov.hitting.*`).
+///
+/// Index `target` of the result holds the expected *return* time, as
+/// in [`hitting_times`].
+///
+/// # Errors
+///
+/// Returns [`StationaryError::NotIrreducible`] for reducible chains,
+/// or [`StationaryError::NotConverged`] if the largest in-sweep update
+/// stays above `opts.tol` for `opts.max_sweeps` sweeps.
+///
+/// # Panics
+///
+/// Panics if `target >= chain.len()`.
+pub fn sparse_hitting_times<S: Clone + Eq + Hash>(
+    chain: &SparseChain<S>,
+    target: usize,
+    opts: &GaussSeidelOptions,
+    metrics: Option<&Metrics>,
+) -> Result<Vec<f64>, StationaryError> {
+    let n = chain.len();
+    assert!(target < n, "target state {target} out of bounds ({n})");
+    if !structure::is_irreducible_sparse(chain) {
+        return Err(StationaryError::NotIrreducible);
+    }
+
+    let start = Instant::now();
+    let mut h = vec![0.0; n]; // h[target] pinned to 0 during sweeps
+    let mut change = f64::INFINITY;
+    for sweep in 1..=opts.max_sweeps {
+        change = 0.0;
+        for i in 0..n {
+            if i == target {
+                continue;
+            }
+            // h_i = (1 + Σ_{k ∉ {target, i}} p_ik h_k) / (1 − p_ii).
+            let mut acc = 1.0;
+            let mut self_p = 0.0;
+            for (j, p) in chain.row(i) {
+                let j = j as usize;
+                if j == target {
+                    continue;
+                }
+                if j == i {
+                    self_p += p;
+                } else {
+                    acc += p * h[j];
+                }
+            }
+            // 1 − p_ii > 0: irreducibility (n ≥ 2 here) rules out an
+            // absorbing non-target state.
+            let v = acc / (1.0 - self_p);
+            change = change.max((v - h[i]).abs());
+            h[i] = v;
+        }
+        if change < opts.tol {
+            // Return time of the target from the converged vector.
+            let mut ret = 1.0;
+            for (j, p) in chain.row(target) {
+                let j = j as usize;
+                if j != target {
+                    ret += p * h[j];
+                }
+            }
+            h[target] = ret;
+            record_solve(
+                metrics,
+                "hitting",
+                &SolveStats {
+                    iterations: sweep,
+                    residual: change,
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                },
+            );
+            return Ok(h);
+        }
+    }
+    record_solve(
+        metrics,
+        "hitting",
+        &SolveStats {
+            iterations: opts.max_sweeps,
+            residual: change,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+    );
+    Err(StationaryError::NotConverged {
+        iterations: opts.max_sweeps,
+        delta: change,
+    })
 }
 
 /// Expected return time `h_jj` of a single state, as a convenience.
@@ -153,6 +258,76 @@ mod tests {
             hitting_times(&c, 0),
             Err(StationaryError::NotIrreducible)
         ));
+    }
+
+    #[test]
+    fn gauss_seidel_matches_direct_solve() {
+        // Asymmetric ergodic chain with self-loops; compare every
+        // target against the dense oracle.
+        let c = ChainBuilder::new()
+            .transition(0, 1, 0.9)
+            .transition(0, 0, 0.1)
+            .transition(1, 2, 0.5)
+            .transition(1, 0, 0.5)
+            .transition(2, 0, 0.8)
+            .transition(2, 2, 0.2)
+            .build()
+            .unwrap();
+        let sparse = c.to_sparse();
+        let opts = GaussSeidelOptions {
+            max_sweeps: 100_000,
+            tol: 1e-13,
+        };
+        for target in 0..3 {
+            let dense = hitting_times(&c, target).unwrap();
+            let gs = sparse_hitting_times(&sparse, target, &opts, None).unwrap();
+            for (i, (a, b)) in dense.iter().zip(&gs).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "target {target}, state {i}: dense {a} vs GS {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_on_cycle_is_exact() {
+        let n = 50;
+        let mut b = crate::sparse::SparseChainBuilder::new();
+        for i in 0..n {
+            b.transition(i, (i + 1) % n, 1.0);
+        }
+        let c = b.build().unwrap();
+        let h = sparse_hitting_times(&c, 0, &GaussSeidelOptions::default(), None).unwrap();
+        #[allow(clippy::needless_range_loop)] // index loop is clearer here
+        for i in 1..n {
+            assert!((h[i] - (n - i) as f64).abs() < 1e-8);
+        }
+        assert!((h[0] - n as f64).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gauss_seidel_rejects_reducible_and_records_metrics() {
+        let mut b = crate::sparse::SparseChainBuilder::new();
+        b.transition(0, 0, 1.0).transition(1, 1, 1.0);
+        let c = b.build().unwrap();
+        assert!(matches!(
+            sparse_hitting_times(&c, 0, &GaussSeidelOptions::default(), None),
+            Err(StationaryError::NotIrreducible)
+        ));
+
+        let m = pwf_obs::Metrics::new();
+        let mut b = crate::sparse::SparseChainBuilder::new();
+        b.transition(0, 1, 1.0)
+            .transition(1, 0, 0.5)
+            .transition(1, 1, 0.5);
+        let c = b.build().unwrap();
+        sparse_hitting_times(&c, 0, &GaussSeidelOptions::default(), Some(&m)).unwrap();
+        assert!(m
+            .snapshot()
+            .counters
+            .iter()
+            .any(|(n, v)| n == "markov.hitting.solves" && *v == 1));
     }
 
     #[test]

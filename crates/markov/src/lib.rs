@@ -15,9 +15,21 @@
 //! * chain **liftings** and numerical verification of the flow
 //!   homomorphism and Lemma 1's stationary collapse ([`lifting`]).
 //!
-//! Chains here are exact constructions from algorithm state spaces, so
-//! everything is dense and double precision; see [`linalg`] for the
-//! small solver.
+//! Chains here are exact constructions from algorithm state spaces.
+//! The substrate is **sparse-first**: the paper's chains have `Θ(n²)`
+//! states with `O(1)` transitions each, so the primary representation
+//! is the CSR-backed [`sparse::SparseChain`] with iterative solvers —
+//! lazy power iteration with adaptive stopping for stationary
+//! distributions ([`sparse`], [`solve`]), Gauss–Seidel for
+//! hitting-time systems ([`hitting::sparse_hitting_times`]), sparse
+//! total-variation mixing bounds ([`mixing::sparse_lazy_mixing_time`])
+//! and row-by-row lifting verification
+//! ([`lifting::verify_lifting_sparse`],
+//! [`lifting::kernel_residual_sparse`]). The dense
+//! [`chain::MarkovChain`] with direct `O(n³)` solves ([`linalg`]) is
+//! retained as the cross-check oracle for small `n`; the two convert
+//! via [`sparse::SparseChain::to_dense`] and
+//! [`chain::MarkovChain::to_sparse`].
 //!
 //! # Examples
 //!
@@ -46,16 +58,20 @@ pub mod hitting;
 pub mod lifting;
 pub mod linalg;
 pub mod mixing;
+pub mod solve;
 pub mod sparse;
 pub mod stationary;
 pub mod structure;
 
 pub use chain::{ChainBuilder, ChainError, MarkovChain};
-pub use flow::ErgodicFlow;
-pub use hitting::{hitting_times, return_time};
-pub use lifting::{verify_lifting, LiftingError, LiftingReport};
+pub use flow::{sparse_conservation_residual, ErgodicFlow};
+pub use hitting::{hitting_times, return_time, sparse_hitting_times};
+pub use lifting::{
+    kernel_residual_sparse, verify_lifting, verify_lifting_sparse, LiftingError, LiftingReport,
+};
 pub use linalg::{LinalgError, Matrix};
-pub use mixing::{lazy_mixing_time, total_variation, MixingReport};
-pub use sparse::{SparseChain, SparseChainBuilder};
+pub use mixing::{lazy_mixing_time, sparse_lazy_mixing_time, total_variation, MixingReport};
+pub use solve::{GaussSeidelOptions, PowerOptions, SolveStats};
+pub use sparse::{SparseChain, SparseChainBuilder, StationarySolve};
 pub use stationary::{return_times, stationary_distribution, StationaryError};
-pub use structure::{analyze, is_ergodic, StructureReport};
+pub use structure::{analyze, analyze_sparse, is_ergodic, Adjacency, StructureReport};

@@ -19,8 +19,12 @@
 use std::fmt;
 use std::hash::Hash;
 
+use pwf_obs::Metrics;
+
 use crate::chain::MarkovChain;
 use crate::flow::ErgodicFlow;
+use crate::solve::PowerOptions;
+use crate::sparse::SparseChain;
 use crate::stationary::StationaryError;
 
 /// Outcome of a successful lifting verification.
@@ -126,22 +130,8 @@ where
     S2: Clone + Eq + Hash,
     S1: Clone + Eq + Hash,
 {
-    // Map every lifted state to a base index.
-    let mut image = Vec::with_capacity(lifted.len());
-    for (x, label) in lifted.states().iter().enumerate() {
-        match base.state_index(&f(label)) {
-            Some(i) => image.push(i),
-            None => return Err(LiftingError::UnmappedState { lifted_index: x }),
-        }
-    }
-    // Surjectivity.
-    let mut covered = vec![false; base.len()];
-    for &i in &image {
-        covered[i] = true;
-    }
-    if let Some(base_index) = covered.iter().position(|&c| !c) {
-        return Err(LiftingError::EmptyPreimage { base_index });
-    }
+    // Map every lifted state to a base index, checking surjectivity.
+    let image = image_map(lifted.states(), |s| base.state_index(s), base.len(), f)?;
 
     let lifted_flow = ErgodicFlow::compute(lifted)?;
     let base_flow = ErgodicFlow::compute(base)?;
@@ -192,6 +182,171 @@ where
         lifted_states: lifted.len(),
         base_states: base.len(),
     })
+}
+
+fn image_map<S2, S1>(
+    lifted_states: &[S2],
+    base_index: impl Fn(&S1) -> Option<usize>,
+    base_len: usize,
+    f: impl Fn(&S2) -> S1,
+) -> Result<Vec<usize>, LiftingError> {
+    let mut image = Vec::with_capacity(lifted_states.len());
+    for (x, label) in lifted_states.iter().enumerate() {
+        match base_index(&f(label)) {
+            Some(i) => image.push(i),
+            None => return Err(LiftingError::UnmappedState { lifted_index: x }),
+        }
+    }
+    let mut covered = vec![false; base_len];
+    for &i in &image {
+        covered[i] = true;
+    }
+    if let Some(base_index) = covered.iter().position(|&c| !c) {
+        return Err(LiftingError::EmptyPreimage { base_index });
+    }
+    Ok(image)
+}
+
+/// Verifies the lifting on sparse chains, row by row: stationary
+/// distributions come from the lazy power-iteration solver (under
+/// `opts`, publishing `markov.stationary.*` metrics when given), and
+/// the lifted ergodic flow is aggregated one CSR row at a time into a
+/// base-sized accumulator — `O(nnz)` flow work and `O(base²)` memory,
+/// never `O(lifted²)`.
+///
+/// # Errors
+///
+/// Same failure cases as [`verify_lifting`], plus solver
+/// non-convergence surfaced as [`LiftingError::Stationary`].
+pub fn verify_lifting_sparse<S2, S1>(
+    lifted: &SparseChain<S2>,
+    base: &SparseChain<S1>,
+    f: impl Fn(&S2) -> S1,
+    tol: f64,
+    opts: &PowerOptions,
+    metrics: Option<&Metrics>,
+) -> Result<LiftingReport, LiftingError>
+where
+    S2: Clone + Eq + Hash,
+    S1: Clone + Eq + Hash,
+{
+    let nb = base.len();
+    let image = image_map(lifted.states(), |s| base.state_index(s), nb, f)?;
+
+    let pi_lifted = lifted.stationary_with(opts, metrics)?.pi;
+    let pi_base = base.stationary_with(opts, metrics)?.pi;
+
+    // Aggregate the lifted flow through f, one sparse row at a time.
+    let mut agg = vec![0.0; nb * nb];
+    for (x, &ix) in image.iter().enumerate() {
+        let pi_x = pi_lifted[x];
+        if pi_x == 0.0 {
+            continue;
+        }
+        for (y, p) in lifted.row(x) {
+            agg[ix * nb + image[y as usize]] += pi_x * p;
+        }
+    }
+    // Base flow, densified into the same shape (base is small).
+    let mut base_q = vec![0.0; nb * nb];
+    for (i, &pi_i) in pi_base.iter().enumerate() {
+        for (j, p) in base.row(i) {
+            base_q[i * nb + j as usize] += pi_i * p;
+        }
+    }
+
+    let mut worst_flow: f64 = 0.0;
+    for i in 0..nb {
+        for j in 0..nb {
+            let lifted_q = agg[i * nb + j];
+            let bq = base_q[i * nb + j];
+            let diff = (lifted_q - bq).abs();
+            if diff > tol {
+                return Err(LiftingError::FlowMismatch {
+                    from: i,
+                    to: j,
+                    base_flow: bq,
+                    lifted_flow: lifted_q,
+                });
+            }
+            worst_flow = worst_flow.max(diff);
+        }
+    }
+
+    // Lemma 1: stationary collapse.
+    let mut collapsed = vec![0.0; nb];
+    for (x, &i) in image.iter().enumerate() {
+        collapsed[i] += pi_lifted[x];
+    }
+    let worst_pi = collapsed
+        .iter()
+        .zip(&pi_base)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+
+    Ok(LiftingReport {
+        flow_residual: worst_flow,
+        stationary_residual: worst_pi,
+        lifted_states: lifted.len(),
+        base_states: nb,
+    })
+}
+
+/// Maximum violation of *strong lumpability* (the kernel-level lifting
+/// condition): for every lifted state `x` and base state `j`,
+///
+/// ```text
+/// Σ_{y : f(y) = j} P'(x, y)  =  P(f(x), j).
+/// ```
+///
+/// This is strictly stronger than the flow homomorphism — it implies
+/// it for *any* stationary distribution (`Q_ij = Σ_{x ∈ f⁻¹(i)} π'_x ·
+/// P(i, j) = π_i P(i, j)`), so checking it needs no solves at all:
+/// pure `O(nnz)` row arithmetic. The paper's SCU/FAI/parallel liftings
+/// all satisfy it.
+///
+/// # Errors
+///
+/// [`LiftingError::UnmappedState`] / [`LiftingError::EmptyPreimage`]
+/// as in [`verify_lifting`].
+pub fn kernel_residual_sparse<S2, S1>(
+    lifted: &SparseChain<S2>,
+    base: &SparseChain<S1>,
+    f: impl Fn(&S2) -> S1,
+) -> Result<f64, LiftingError>
+where
+    S2: Clone + Eq + Hash,
+    S1: Clone + Eq + Hash,
+{
+    let nb = base.len();
+    let image = image_map(lifted.states(), |s| base.state_index(s), nb, f)?;
+
+    let mut collapsed = vec![0.0; nb];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut worst: f64 = 0.0;
+    for (x, &ix) in image.iter().enumerate() {
+        for (y, p) in lifted.row(x) {
+            let j = image[y as usize];
+            if collapsed[j] == 0.0 {
+                touched.push(j);
+            }
+            collapsed[j] += p;
+        }
+        // Compare the collapsed row against base row f(x), then reset.
+        for (j, p) in base.row(ix) {
+            let j = j as usize;
+            if collapsed[j] == 0.0 {
+                touched.push(j);
+            }
+            collapsed[j] -= p;
+        }
+        for &j in &touched {
+            worst = worst.max(collapsed[j].abs());
+            collapsed[j] = 0.0;
+        }
+        touched.clear();
+    }
+    Ok(worst)
 }
 
 /// Collapses a distribution on the lifted chain's states through `f`
@@ -314,6 +469,86 @@ mod tests {
         let (lifted, base) = lifted_pair();
         assert!(matches!(
             verify_lifting(&lifted, &base, |_| 0u8, 1e-9),
+            Err(LiftingError::EmptyPreimage { base_index: 1 })
+        ));
+    }
+
+    #[test]
+    fn sparse_verification_matches_dense() {
+        let (lifted, base) = lifted_pair();
+        let dense_report = verify_lifting(&lifted, &base, |&s| s % 2, 1e-9).unwrap();
+        let report = verify_lifting_sparse(
+            &lifted.to_sparse(),
+            &base.to_sparse(),
+            |&s| s % 2,
+            1e-9,
+            &PowerOptions::new(200_000, 1e-12),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.lifted_states, dense_report.lifted_states);
+        assert_eq!(report.base_states, dense_report.base_states);
+        assert!(report.flow_residual < 1e-9);
+        assert!(report.stationary_residual < 1e-9);
+    }
+
+    #[test]
+    fn sparse_verification_rejects_wrong_base() {
+        let (lifted, _) = lifted_pair();
+        let wrong = ChainBuilder::new()
+            .transition(0u8, 1, 0.9)
+            .transition(0, 0, 0.1)
+            .transition(1, 0, 0.9)
+            .transition(1, 1, 0.1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            verify_lifting_sparse(
+                &lifted.to_sparse(),
+                &wrong.to_sparse(),
+                |&s| s % 2,
+                1e-9,
+                &PowerOptions::default(),
+                None,
+            ),
+            Err(LiftingError::FlowMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_residual_is_zero_for_lumpable_lifting() {
+        let (lifted, base) = lifted_pair();
+        let r = kernel_residual_sparse(&lifted.to_sparse(), &base.to_sparse(), |&s| s % 2).unwrap();
+        assert!(r < 1e-15, "kernel residual {r}");
+    }
+
+    #[test]
+    fn kernel_residual_detects_non_lumpable_map() {
+        // Identity-ish chain where collapsing rows through parity does
+        // NOT reproduce a 2-state chain with the wrong probabilities.
+        let (lifted, _) = lifted_pair();
+        let wrong = ChainBuilder::new()
+            .transition(0u8, 1, 0.9)
+            .transition(0, 0, 0.1)
+            .transition(1, 0, 0.9)
+            .transition(1, 1, 0.1)
+            .build()
+            .unwrap();
+        let r =
+            kernel_residual_sparse(&lifted.to_sparse(), &wrong.to_sparse(), |&s| s % 2).unwrap();
+        assert!(r > 0.1, "kernel residual {r}");
+    }
+
+    #[test]
+    fn sparse_errors_match_dense_errors() {
+        let (lifted, base) = lifted_pair();
+        let (sl, sb) = (lifted.to_sparse(), base.to_sparse());
+        assert!(matches!(
+            kernel_residual_sparse(&sl, &sb, |&s| s + 10),
+            Err(LiftingError::UnmappedState { .. })
+        ));
+        assert!(matches!(
+            kernel_residual_sparse(&sl, &sb, |_| 0u8),
             Err(LiftingError::EmptyPreimage { base_index: 1 })
         ));
     }

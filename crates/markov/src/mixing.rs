@@ -9,6 +9,7 @@
 use std::hash::Hash;
 
 use crate::chain::MarkovChain;
+use crate::sparse::SparseChain;
 use crate::stationary::{stationary_distribution, StationaryError};
 
 /// Total-variation distance `½‖p − q‖₁` between two distributions.
@@ -96,10 +97,72 @@ pub fn lazy_mixing_time<S: Clone + Eq + Hash>(
     })
 }
 
+/// Measures the ε-mixing time of the lazy version of a sparse chain
+/// from the worst of the provided start states, against a
+/// caller-supplied stationary distribution `pi` (so one solve can be
+/// shared across calls). Each step is `O(nnz)`.
+///
+/// # Panics
+///
+/// Panics if `starts` is empty, any start is out of bounds,
+/// `epsilon <= 0`, or `pi.len() != chain.len()`.
+pub fn sparse_lazy_mixing_time<S: Clone + Eq + Hash>(
+    chain: &SparseChain<S>,
+    pi: &[f64],
+    starts: &[usize],
+    epsilon: f64,
+    max_steps: usize,
+) -> MixingReport {
+    assert!(!starts.is_empty(), "need at least one start state");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let n = chain.len();
+    assert_eq!(pi.len(), n, "stationary distribution length mismatch");
+    assert!(starts.iter().all(|&s| s < n), "start state out of bounds");
+
+    let mut worst_mixing: Option<usize> = Some(0);
+    let mut worst_final: f64 = 0.0;
+    let mut stepped = vec![0.0; n];
+
+    for &start in starts {
+        let mut dist = vec![0.0; n];
+        dist[start] = 1.0;
+        let mut mixed_at = None;
+        let mut d = total_variation(&dist, pi);
+        if d <= epsilon {
+            mixed_at = Some(0);
+        }
+        for t in 1..=max_steps {
+            if mixed_at.is_some() {
+                break;
+            }
+            chain.step_into(&dist, &mut stepped);
+            for (a, b) in dist.iter_mut().zip(&stepped) {
+                *a = 0.5 * *a + 0.5 * b;
+            }
+            d = total_variation(&dist, pi);
+            if d <= epsilon {
+                mixed_at = Some(t);
+            }
+        }
+        worst_final = worst_final.max(d);
+        worst_mixing = match (worst_mixing, mixed_at) {
+            (Some(w), Some(m)) => Some(w.max(m)),
+            _ => None,
+        };
+    }
+
+    MixingReport {
+        mixing_time: worst_mixing,
+        final_distance: worst_final,
+        epsilon,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::chain::ChainBuilder;
+    use crate::solve::PowerOptions;
 
     #[test]
     fn tv_distance_basics() {
@@ -148,6 +211,27 @@ mod tests {
             .unwrap();
         let r = lazy_mixing_time(&c, &[0, 1], 1e-6, 1000).unwrap();
         assert!(r.mixing_time.is_some());
+    }
+
+    #[test]
+    fn sparse_mixing_matches_dense() {
+        // Sticky two-state chain in both representations.
+        let dense = ChainBuilder::new()
+            .transition(0, 0, 0.9)
+            .transition(0, 1, 0.1)
+            .transition(1, 1, 0.9)
+            .transition(1, 0, 0.1)
+            .build()
+            .unwrap();
+        let sparse = dense.to_sparse();
+        let d = lazy_mixing_time(&dense, &[0, 1], 0.01, 10_000).unwrap();
+        let pi = sparse
+            .stationary_with(&PowerOptions::new(200_000, 1e-13), None)
+            .unwrap()
+            .pi;
+        let s = sparse_lazy_mixing_time(&sparse, &pi, &[0, 1], 0.01, 10_000);
+        assert_eq!(d.mixing_time, s.mixing_time);
+        assert!((d.final_distance - s.final_distance).abs() < 1e-9);
     }
 
     #[test]

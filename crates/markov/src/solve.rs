@@ -1,0 +1,174 @@
+//! Iterative-solver knobs and statistics shared by the sparse solvers
+//! ([`crate::sparse`], [`crate::hitting`], [`crate::mixing`]).
+//!
+//! Every sparse solve reports how hard it worked ([`SolveStats`]) and,
+//! when handed a [`pwf_obs::Metrics`] registry, publishes iteration
+//! counts, final residuals, and wall time so `pwf run --metrics` and
+//! the `BENCH_markov.json` trajectory can track solver cost across
+//! sizes and PRs.
+
+/// Re-export of the metrics registry the solvers publish into, so
+/// downstream crates can thread a handle through without a direct
+/// `pwf-obs` dependency.
+pub use pwf_obs::Metrics;
+
+/// Options for the lazy power-iteration stationary solver.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerOptions {
+    /// Iteration budget.
+    pub max_iters: usize,
+    /// Target accuracy (see [`adaptive`](Self::adaptive) for what is
+    /// measured against it).
+    pub tol: f64,
+    /// With `adaptive` set, the stopping rule extrapolates the distance
+    /// to the fixpoint from the geometric decay of successive L1
+    /// deltas (`delta · r / (1 − r)` for observed rate `r`) and stops
+    /// when that estimate drops below `tol` — a truer criterion than
+    /// the raw per-step delta, which underestimates the remaining
+    /// error on slowly-mixing chains. When unset, the raw delta is
+    /// compared against `tol` (the historical behaviour).
+    pub adaptive: bool,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        PowerOptions {
+            max_iters: 500_000,
+            tol: 1e-10,
+            adaptive: true,
+        }
+    }
+}
+
+impl PowerOptions {
+    /// Options with the given budget and tolerance, adaptive stopping.
+    pub fn new(max_iters: usize, tol: f64) -> Self {
+        PowerOptions {
+            max_iters,
+            tol,
+            adaptive: true,
+        }
+    }
+
+    /// Same options with adaptive stopping disabled (raw-delta rule).
+    #[must_use]
+    pub fn raw(mut self) -> Self {
+        self.adaptive = false;
+        self
+    }
+}
+
+/// Options for the Gauss–Seidel hitting-time solver.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussSeidelOptions {
+    /// Sweep budget (one sweep updates every unknown once, in place).
+    pub max_sweeps: usize,
+    /// Stop when the largest absolute update in a sweep drops below
+    /// this.
+    pub tol: f64,
+}
+
+impl Default for GaussSeidelOptions {
+    fn default() -> Self {
+        GaussSeidelOptions {
+            max_sweeps: 500_000,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// How hard an iterative solve worked, returned alongside its result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations (power steps or Gauss–Seidel sweeps) performed.
+    pub iterations: usize,
+    /// Final convergence measure: last L1 delta (power iteration) or
+    /// last max absolute update (Gauss–Seidel).
+    pub residual: f64,
+    /// Wall time of the solve in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Publishes one solve's statistics under `markov.<solver>.*`:
+/// a running `solves`/`iterations` counter pair plus last-value
+/// `residual` and `wall_ms` gauges.
+pub(crate) fn record_solve(metrics: Option<&Metrics>, solver: &str, stats: &SolveStats) {
+    let Some(m) = metrics else { return };
+    m.counter_add(&format!("markov.{solver}.solves"), 1);
+    m.counter_add(
+        &format!("markov.{solver}.iterations"),
+        stats.iterations as u64,
+    );
+    m.gauge_set(&format!("markov.{solver}.residual"), stats.residual);
+    m.gauge_set(&format!("markov.{solver}.wall_ms"), stats.wall_ms);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let p = PowerOptions::default();
+        assert!(p.adaptive);
+        assert!(p.max_iters > 0 && p.tol > 0.0);
+        let g = GaussSeidelOptions::default();
+        assert!(g.max_sweeps > 0 && g.tol > 0.0);
+    }
+
+    #[test]
+    fn raw_disables_adaptivity() {
+        let p = PowerOptions::new(100, 1e-6).raw();
+        assert!(!p.adaptive);
+        assert_eq!(p.max_iters, 100);
+    }
+
+    #[test]
+    fn record_solve_publishes_metrics() {
+        let m = Metrics::new();
+        record_solve(
+            Some(&m),
+            "stationary",
+            &SolveStats {
+                iterations: 42,
+                residual: 1e-12,
+                wall_ms: 0.5,
+            },
+        );
+        record_solve(
+            Some(&m),
+            "stationary",
+            &SolveStats {
+                iterations: 8,
+                residual: 1e-13,
+                wall_ms: 0.1,
+            },
+        );
+        let snap = m.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "markov.stationary.solves" && *v == 2));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "markov.stationary.iterations" && *v == 50));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "markov.stationary.residual" && *v == 1e-13));
+    }
+
+    #[test]
+    fn record_solve_without_registry_is_a_noop() {
+        record_solve(
+            None,
+            "hitting",
+            &SolveStats {
+                iterations: 1,
+                residual: 0.0,
+                wall_ms: 0.0,
+            },
+        );
+    }
+}

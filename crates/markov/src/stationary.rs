@@ -123,7 +123,8 @@ pub fn stationary_by_power_iteration<S: Clone + Eq + Hash>(
 ) -> Result<Vec<f64>, StationaryError> {
     let n = chain.len();
     let mut dist = vec![1.0 / n as f64; n];
-    for it in 0..max_iters {
+    let mut delta = f64::INFINITY;
+    for _ in 0..max_iters {
         let stepped = chain.step_distribution(&dist);
         // Lazy averaging: converges for ergodic chains and damps
         // oscillation on nearly-periodic ones.
@@ -132,21 +133,17 @@ pub fn stationary_by_power_iteration<S: Clone + Eq + Hash>(
             .zip(&stepped)
             .map(|(a, b)| 0.5 * a + 0.5 * b)
             .collect();
-        let delta: f64 = next.iter().zip(&dist).map(|(a, b)| (a - b).abs()).sum();
+        delta = next.iter().zip(&dist).map(|(a, b)| (a - b).abs()).sum();
         dist = next;
         if delta < tol {
             return Ok(dist);
         }
-        if it == max_iters - 1 {
-            return Err(StationaryError::NotConverged {
-                iterations: max_iters,
-                delta,
-            });
-        }
     }
+    // `delta` is the last observed change (infinite only if
+    // `max_iters == 0`).
     Err(StationaryError::NotConverged {
         iterations: max_iters,
-        delta: f64::INFINITY,
+        delta,
     })
 }
 
@@ -266,6 +263,28 @@ mod tests {
             .unwrap();
         let pi = stationary_by_power_iteration(&c, 10_000, 1e-12).unwrap();
         assert!((pi[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_last_delta() {
+        // Sticky chain far from uniform start: cannot converge to
+        // 1e-15 in 3 steps, and the error must carry the finite delta
+        // actually observed on the last iteration.
+        let c = ChainBuilder::new()
+            .transition(0, 0, 0.999)
+            .transition(0, 1, 0.001)
+            .transition(1, 1, 0.5)
+            .transition(1, 0, 0.5)
+            .build()
+            .unwrap();
+        let err = stationary_by_power_iteration(&c, 3, 1e-15).unwrap_err();
+        match err {
+            StationaryError::NotConverged { iterations, delta } => {
+                assert_eq!(iterations, 3);
+                assert!(delta.is_finite() && delta > 0.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

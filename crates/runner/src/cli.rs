@@ -30,7 +30,9 @@ USAGE:
 
     pwf run (--all | NAME...) [OPTIONS]
         Run experiments in parallel and record results.
-        --jobs N        worker threads (default 1)
+        --jobs N        worker threads (default: available cores);
+                        also budgets each experiment's internal
+                        size-sweep fan-out
         --seed S        master seed (default the golden-results seed)
         --fast          reduced-iteration smoke profile
         --timeout SECS  per-experiment budget (default 300)
@@ -56,6 +58,15 @@ USAGE:
         See `pwf vet --help`.
 ";
 
+/// The default `--jobs`: every available core. Experiments fan their
+/// size sweeps out through [`crate::par::parallel_map`], so idle cores
+/// are wasted latency, not safety margin.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 struct Args {
     command: String,
     names: Vec<String>,
@@ -80,7 +91,7 @@ fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
         command,
         names: Vec::new(),
         all: false,
-        jobs: 1,
+        jobs: default_jobs(),
         seed: DEFAULT_MASTER_SEED,
         fast: false,
         timeout_secs: 300,
@@ -197,10 +208,16 @@ fn cmd_list(registry: &Registry) -> i32 {
             Some(ms) => format!("{}s", fmt(ms / 1e3)),
             None => "-".to_string(),
         };
+        let sizes = if exp.sizes().is_empty() {
+            "-"
+        } else {
+            exp.sizes()
+        };
         println!(
-            "{:<24} {:<14} {:>9}  {}",
+            "{:<24} {:<14} {:<16} {:>9}  {}",
             exp.name(),
             kind,
+            sizes,
             wall,
             exp.description()
         );
@@ -541,6 +558,13 @@ mod tests {
         let args = parse_args(argv(&["trace", "exp_a"])).unwrap();
         assert_eq!(args.command, "trace");
         assert_eq!(args.names, vec!["exp_a"]);
+    }
+
+    #[test]
+    fn jobs_defaults_to_available_parallelism() {
+        let args = parse_args(argv(&["run", "--all"])).unwrap();
+        assert_eq!(args.jobs, default_jobs());
+        assert!(args.jobs >= 1);
     }
 
     #[test]

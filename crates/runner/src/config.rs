@@ -45,6 +45,10 @@ pub struct ExpConfig {
     /// may record metrics into it and attach it to the measurements
     /// they drive; the orchestrator harvests it after the run.
     pub obs: ObsHandle,
+    /// Thread budget for intra-experiment fan-out (size sweeps run
+    /// through [`crate::par::parallel_map`] with this). The
+    /// orchestrator forwards its `--jobs` value; 1 means sequential.
+    pub jobs: usize,
 }
 
 impl Default for ExpConfig {
@@ -53,6 +57,7 @@ impl Default for ExpConfig {
             seed: DEFAULT_MASTER_SEED,
             fast: false,
             obs: ObsHandle::disabled(),
+            jobs: 1,
         }
     }
 }
@@ -65,6 +70,7 @@ impl ExpConfig {
             seed: derive_seed(master, name),
             fast,
             obs: ObsHandle::disabled(),
+            jobs: 1,
         }
     }
 
@@ -72,6 +78,13 @@ impl ExpConfig {
     #[must_use]
     pub fn with_obs(mut self, obs: ObsHandle) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Sets the intra-experiment thread budget (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 

@@ -14,6 +14,9 @@
 //! * [`orchestrator`] — a `std::thread` worker pool (`--jobs N`) with
 //!   per-experiment timeouts and panic isolation, so one failing
 //!   experiment degrades the run instead of killing it;
+//! * [`par`] — [`par::parallel_map`], the scoped-thread fan-out that
+//!   experiment bodies use to sweep chain sizes in parallel (budgeted
+//!   by [`config::ExpConfig::jobs`], input-order results);
 //! * [`text`] — the aligned-column renderer (byte-compatible with the
 //!   historical `results/*.txt` stdout format) and the shared
 //!   `note`/`fmt`/`row`/`header` helpers the binaries use;
@@ -35,6 +38,7 @@ pub mod cli;
 pub mod config;
 pub mod json;
 pub mod orchestrator;
+pub mod par;
 pub mod registry;
 pub mod report;
 pub mod text;
@@ -42,6 +46,7 @@ pub mod text;
 pub use check::{check_report, check_text, Drift};
 pub use config::{derive_seed, ExpConfig, DEFAULT_MASTER_SEED};
 pub use orchestrator::{run_experiments, ExpOutcome, ExpRun, ObsData, RunOptions, RunSummary};
+pub use par::parallel_map;
 pub use registry::{Experiment, FnExperiment, Registry, RegistryError};
 pub use report::{Block, Report, ReportBuilder};
 pub use text::{fmt, header, note, render, row};

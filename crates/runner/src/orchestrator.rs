@@ -221,7 +221,9 @@ fn run_one(
     } else {
         ObsHandle::disabled()
     };
-    let cfg = ExpConfig::for_experiment(opts.master_seed, name, opts.fast).with_obs(obs.clone());
+    let cfg = ExpConfig::for_experiment(opts.master_seed, name, opts.fast)
+        .with_obs(obs.clone())
+        .with_jobs(opts.jobs);
     let (tx, rx) = mpsc::channel();
     let registry = Arc::clone(registry);
     let thread_name = name.to_string();
@@ -285,6 +287,7 @@ mod tests {
         reg.register(Box::new(FnExperiment {
             name: "ok_a",
             description: "succeeds",
+            sizes: "",
             deterministic: true,
             body: |cfg, out| {
                 out.note(&format!("seed {}", cfg.seed));
@@ -295,6 +298,7 @@ mod tests {
         reg.register(Box::new(FnExperiment {
             name: "ok_b",
             description: "succeeds too",
+            sizes: "",
             deterministic: true,
             body: |_, out| {
                 out.header(&["x"]);
@@ -305,6 +309,7 @@ mod tests {
         reg.register(Box::new(FnExperiment {
             name: "panics",
             description: "dies",
+            sizes: "",
             deterministic: true,
             body: |_, _| panic!("intentional test panic"),
         }))
@@ -312,6 +317,7 @@ mod tests {
         reg.register(Box::new(FnExperiment {
             name: "fails",
             description: "errors",
+            sizes: "",
             deterministic: true,
             body: |_, _| Err(ExpError::from("synthetic failure")),
         }))
@@ -319,6 +325,7 @@ mod tests {
         reg.register(Box::new(FnExperiment {
             name: "observed",
             description: "records into the obs session",
+            sizes: "",
             deterministic: true,
             body: |cfg, out| {
                 if let Some(m) = cfg.obs.metrics() {
@@ -332,6 +339,7 @@ mod tests {
         reg.register(Box::new(FnExperiment {
             name: "hangs",
             description: "sleeps past any test timeout",
+            sizes: "",
             deterministic: true,
             body: |_, _| {
                 std::thread::sleep(Duration::from_secs(3600));

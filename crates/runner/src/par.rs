@@ -1,0 +1,116 @@
+//! Minimal data-parallel helper for intra-experiment fan-out.
+//!
+//! Experiments sweep a list of chain sizes where each point is an
+//! independent solve; [`parallel_map`] runs those points on a scoped
+//! thread pool sized by [`crate::config::ExpConfig::jobs`]. It is the
+//! same work-stealing-free pattern the orchestrator uses for whole
+//! experiments — an atomic next-index counter over a shared slice —
+//! kept dependency-free on purpose (no rayon in this workspace).
+//!
+//! Results come back in **input order** regardless of which worker
+//! finished first, so deterministic experiments stay deterministic:
+//! parallelism changes wall time, never output. With `jobs <= 1` the
+//! closure runs on the caller's thread with no pool at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item of `items`, using up to `jobs` worker
+/// threads, and returns the results in input order.
+///
+/// `f` must be `Sync` because multiple workers call it concurrently;
+/// per-item state should come from the item itself (e.g. a sub-seed
+/// derived from the index).
+///
+/// # Panics
+///
+/// Propagates a panic from `f`: if any worker panics, the scope
+/// unwinds and a panic resurfaces on the caller's thread (carrying
+/// `std::thread::scope`'s "a scoped thread panicked" message).
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(items.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(8, &items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches_parallel_path() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = parallel_map(1, &items, |&x| x.wrapping_mul(0x9E37_79B9));
+        let par = parallel_map(4, &items, |&x| x.wrapping_mul(0x9E37_79B9));
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<i32> = vec![];
+        assert!(parallel_map(4, &empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(4, &[5], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_asked() {
+        use std::collections::HashSet;
+        use std::sync::Barrier;
+        // Two items rendezvous on a barrier — only possible if they run
+        // on distinct threads simultaneously.
+        let barrier = Barrier::new(2);
+        let ids = parallel_map(2, &[0, 1], |_| {
+            barrier.wait();
+            std::thread::current().id()
+        });
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert_eq!(distinct.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parallel_map(4, &items, |&x| {
+            if x == 3 {
+                panic!("worker panic propagates");
+            }
+            x
+        });
+    }
+}

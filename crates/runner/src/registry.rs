@@ -23,6 +23,13 @@ pub trait Experiment: Send + Sync {
     /// One-line description (shown by `pwf list`).
     fn description(&self) -> &str;
 
+    /// Human-readable chain/system size range the experiment sweeps
+    /// (shown by `pwf list`; e.g. `"n=2..256"`). Empty when sizes are
+    /// not the experiment's axis.
+    fn sizes(&self) -> &str {
+        ""
+    }
+
     /// Whether the output is a pure function of the seed. Experiments
     /// that measure real hardware (timing, thread interleavings) are
     /// not, and golden-file checking skips them.
@@ -58,6 +65,8 @@ pub struct FnExperiment {
     pub name: &'static str,
     /// One-line description.
     pub description: &'static str,
+    /// Size range swept, for `pwf list` (see [`Experiment::sizes`]).
+    pub sizes: &'static str,
     /// See [`Experiment::deterministic`].
     pub deterministic: bool,
     /// The experiment body.
@@ -71,6 +80,10 @@ impl Experiment for FnExperiment {
 
     fn description(&self) -> &str {
         self.description
+    }
+
+    fn sizes(&self) -> &str {
+        self.sizes
     }
 
     fn deterministic(&self) -> bool {
@@ -164,6 +177,7 @@ mod tests {
         Box::new(FnExperiment {
             name,
             description: "demo",
+            sizes: "",
             deterministic: true,
             body: |cfg, out| {
                 out.note(&format!("seed {}", cfg.seed));

@@ -33,18 +33,21 @@ fn fail(_cfg: &ExpConfig, _out: &mut ReportBuilder) -> ExpResult {
 const TABLE: FnExperiment = FnExperiment {
     name: "it_table",
     description: "integration: deterministic table",
+    sizes: "",
     deterministic: true,
     body: table,
 };
 const BOOM: FnExperiment = FnExperiment {
     name: "it_boom",
     description: "integration: panics",
+    sizes: "",
     deterministic: true,
     body: boom,
 };
 const FAIL: FnExperiment = FnExperiment {
     name: "it_fail",
     description: "integration: returns Err",
+    sizes: "",
     deterministic: true,
     body: fail,
 };

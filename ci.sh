@@ -45,7 +45,24 @@ echo "==> markov perf smoke: sparse must beat dense above the crossover"
 ./target/release/pwf run exp_markov_bench --fast
 grep -q '"speedup"' BENCH_markov.json
 
+echo "==> sim perf smoke: alias sampling must beat the linear scan"
+# exp_sim_bench times the linear-scan weighted pick against the O(1)
+# alias sampler (and dyn vs monomorphized stepping) and returns
+# nonzero if the alias path is not strictly faster at the largest
+# size; it also refreshes BENCH_sim.json.
+./target/release/pwf run exp_sim_bench --fast
+grep -q '"speedup"' BENCH_sim.json
+
+echo "==> checker still drives the retained dyn-dispatch path"
+# The model checker replays heterogeneous Box<dyn Process> fleets
+# through the same monomorphized core; rerun the smoke after the
+# perf-path exercise to confirm both instantiations stay healthy.
+./target/release/pwf vet --fast
+
 echo "==> sparse-vs-dense solver property tests (vendored proptest)"
 cargo test -q --offline --features heavy-deps --test sparse_markov_properties
+
+echo "==> sampler property tests (vendored proptest)"
+cargo test -q --offline -p pwf-sim --features heavy-deps --test sampler_properties
 
 echo "ci.sh: all green"

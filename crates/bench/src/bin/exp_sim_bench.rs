@@ -1,0 +1,9 @@
+//! E22 — simulator fast-path perf gate: O(1) alias sampling vs the
+//! linear-scan oracle, monomorphized vs dyn stepping, BENCH_sim.json.
+//!
+//! Thin wrapper: the body lives in `pwf_bench::experiments` and is
+//! normally orchestrated by the `pwf` binary (`pwf run exp_sim_bench`).
+
+fn main() {
+    pwf_bench::experiments::run_single("exp_sim_bench");
+}

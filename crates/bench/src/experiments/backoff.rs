@@ -4,7 +4,7 @@
 
 use pwf_algorithms::backoff::BackoffFaiProcess;
 use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 use pwf_sim::executor::{run, RunConfig};
 use pwf_sim::memory::SharedMemory;
 use pwf_sim::process::Process;
@@ -58,8 +58,13 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         "0/8".into(),
     ]);
 
-    for cap in [1u32, 4, 16, 64, 256] {
-        let (w, share, starved) = measure(n, cap, steps, cfg.sub_seed(u64::from(cap)));
+    // Independent replications, one per cap, seeded by the cap value
+    // as before — fan them out across the job budget.
+    let caps = [1u32, 4, 16, 64, 256];
+    let rows = parallel_map(cfg.jobs, &caps, |&cap| {
+        measure(n, cap, steps, cfg.sub_seed(u64::from(cap)))
+    });
+    for (&cap, &(w, share, starved)) in caps.iter().zip(&rows) {
         out.row(&[
             cap.to_string(),
             fmt(w),

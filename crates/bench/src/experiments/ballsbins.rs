@@ -5,7 +5,7 @@
 use pwf_algorithms::chains::scu;
 use pwf_ballsbins::game::mean_phase_length;
 use pwf_ballsbins::ranges::measure;
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment.
 pub const EXP: FnExperiment = FnExperiment {
@@ -16,13 +16,23 @@ pub const EXP: FnExperiment = FnExperiment {
     body: fill,
 };
 
-fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
-    let mut rng = cfg.rng();
+/// Tag offset separating the Lemma 9 range cells from the Lemma 8
+/// phase-length cells (whose tags are the `n` values themselves).
+const RANGE_TAG: u64 = 1 << 32;
 
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    // Every table cell is an independent replication with its own
+    // tagged RNG stream (rather than threading one generator through
+    // the cells in order), so the cells can fan out across the job
+    // budget with byte-identical output at any --jobs.
     out.note("E8 / Lemma 8: phase length (= system latency) vs the exact chain.");
     out.header(&["n", "game W", "chain W", "rel err", "W/sqrt(n)"]);
-    for n in [4usize, 16, 64, 128] {
-        let game = mean_phase_length(n, 500, cfg.scaled_usize(30_000), &mut rng);
+    let small = [4usize, 16, 64, 128];
+    let small_games = parallel_map(cfg.jobs, &small, |&n| {
+        let mut rng = cfg.sub_rng(n as u64);
+        mean_phase_length(n, 500, cfg.scaled_usize(30_000), &mut rng)
+    });
+    for (&n, &game) in small.iter().zip(&small_games) {
         let chain = scu::exact_system_latency(n)?;
         out.row(&[
             n.to_string(),
@@ -36,8 +46,12 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("");
     out.note("large n (game only, chain infeasible):");
     out.header(&["n", "game W", "W/sqrt(n)"]);
-    for n in [512usize, 2048, 8192, 32768] {
-        let game = mean_phase_length(n, 100, cfg.scaled_usize(5_000), &mut rng);
+    let large = [512usize, 2048, 8192, 32768];
+    let large_games = parallel_map(cfg.jobs, &large, |&n| {
+        let mut rng = cfg.sub_rng(n as u64);
+        mean_phase_length(n, 100, cfg.scaled_usize(5_000), &mut rng)
+    });
+    for (&n, &game) in large.iter().zip(&large_games) {
         out.row(&[n.to_string(), fmt(game), fmt(game / (n as f64).sqrt())]);
     }
 
@@ -53,8 +67,12 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         "3rd frac",
         "max 3rd streak",
     ]);
-    for n in [16usize, 64, 256] {
-        let stats = measure(n, cfg.scaled_usize(50_000), &mut rng);
+    let range_ns = [16usize, 64, 256];
+    let range_stats = parallel_map(cfg.jobs, &range_ns, |&n| {
+        let mut rng = cfg.sub_rng(RANGE_TAG | n as u64);
+        measure(n, cfg.scaled_usize(50_000), &mut rng)
+    });
+    for (&n, stats) in range_ns.iter().zip(&range_stats) {
         out.row(&[
             n.to_string(),
             stats.phases.to_string(),

@@ -3,7 +3,7 @@
 //! only influenced by processes that keep taking steps.
 
 use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpError, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment.
 pub const EXP: FnExperiment = FnExperiment {
@@ -19,12 +19,18 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("crash-free k-process latency. SCU(0,1), 600k steps, crashes at t=1000.");
     out.header(&["n", "k", "W (crashes)", "W (k alone)", "rel err"]);
 
-    for (tag, (n, k)) in [(8usize, 4usize), (16, 4), (16, 8), (32, 8)]
+    // Each (n, k) pair is two independent runs (crashed + baseline)
+    // tagged by its table position; fan the pairs out across the job
+    // budget. Tags match the serial version, so rows are byte-identical
+    // at any --jobs.
+    let pairs: Vec<(u64, usize, usize)> = [(8usize, 4usize), (16, 4), (16, 8), (32, 8)]
         .into_iter()
         .enumerate()
-    {
+        .map(|(tag, (n, k))| (tag as u64, n, k))
+        .collect();
+    let latencies: Vec<(f64, f64)> = parallel_map(cfg.jobs, &pairs, |&(tag, n, k)| {
         let steps = cfg.scaled(600_000);
-        let seed = cfg.sub_seed(tag as u64);
+        let seed = cfg.sub_seed(tag);
         let mut exp = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, steps).seed(seed);
         for p in k..n {
             exp = exp.crash(1_000, p);
@@ -35,8 +41,14 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         let baseline = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, k, steps)
             .seed(seed)
             .run()?;
-        let w_c = crashed_run.system_latency.unwrap();
-        let w_k = baseline.system_latency.unwrap();
+        Ok::<_, ExpError>((
+            crashed_run.system_latency.unwrap(),
+            baseline.system_latency.unwrap(),
+        ))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    for (&(_, n, k), &(w_c, w_k)) in pairs.iter().zip(&latencies) {
         out.row(&[
             n.to_string(),
             k.to_string(),

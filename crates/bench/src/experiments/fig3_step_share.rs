@@ -6,7 +6,7 @@
 use pwf_core::{AlgorithmSpec, SimExperiment};
 use pwf_hardware::recorder::record_with_tickets;
 use pwf_hardware::schedule_stats::{longest_solo_run, step_share, uniformity_deviation};
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, replicate, ExpConfig, ExpError, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment. Records real thread schedules:
 /// hardware-dependent output.
@@ -57,18 +57,36 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     }
 
     out.note("");
-    out.note("simulated uniform stochastic scheduler for comparison (n = 8, 200k steps):");
+    out.note(&format!(
+        "simulated uniform stochastic scheduler for comparison (n = 8, {reps} \
+         replications x 200k steps, aggregated):"
+    ));
     if let Some(m) = cfg.obs.metrics() {
         m.gauge_set("fig3.max_uniformity_dev", max_dev);
         m.gauge_set("fig3.longest_solo_run", max_solo as f64);
     }
-    let sim = SimExperiment::new(AlgorithmSpec::FetchAndInc, 8, cfg.scaled(200_000))
-        .seed(cfg.sub_seed(0))
-        .obs(cfg.obs.clone())
-        .run()?;
-    let total: u64 = sim.process_completions.iter().sum();
+    // Monte Carlo replications mirroring the hardware repetitions:
+    // each gets its own derived seed and they fan out across the job
+    // budget — `replicate` keeps the aggregate identical at any --jobs.
+    let sim_completions: Vec<Vec<u64>> = replicate(cfg.jobs, reps, |rep| {
+        SimExperiment::new(AlgorithmSpec::FetchAndInc, 8, cfg.scaled(200_000))
+            .seed(cfg.sub_seed(rep as u64))
+            .obs(cfg.obs.clone())
+            .run()
+            .map(|r| r.process_completions)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()
+    .map_err(ExpError::from)?;
+    let mut per_process = [0u64; 8];
+    for rep in &sim_completions {
+        for (acc, c) in per_process.iter_mut().zip(rep) {
+            *acc += c;
+        }
+    }
+    let total: u64 = per_process.iter().sum();
     out.header(&["process", "ops share"]);
-    for (i, c) in sim.process_completions.iter().enumerate() {
+    for (i, c) in per_process.iter().enumerate() {
         out.row(&[i.to_string(), fmt(*c as f64 / total as f64)]);
     }
     out.note("both sides are flat: the 'fair in the long run' premise of the model.");

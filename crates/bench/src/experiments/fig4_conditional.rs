@@ -11,7 +11,7 @@
 
 use pwf_hardware::recorder::{record_with_tickets, record_with_timestamps, ScheduleTrace};
 use pwf_hardware::schedule_stats::conditional_next_step;
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, replicate, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 use pwf_sim::executor::{run, RunConfig};
 use pwf_sim::memory::SharedMemory;
 use pwf_sim::process::{Process, ProcessId, TickingProcess};
@@ -87,23 +87,44 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     }
 
     out.note("");
-    out.note("simulated uniform stochastic scheduler (the model the paper fits):");
+    let sim_reps = 4;
+    out.note(&format!(
+        "simulated uniform stochastic scheduler (the model the paper fits;
+{sim_reps} replications averaged):"
+    ));
     let n = threads;
-    let mut mem = SharedMemory::new();
-    let r = mem.alloc(0);
-    let mut ps: Vec<Box<dyn Process>> = (0..n)
-        .map(|_| Box::new(TickingProcess::new(r, 2)) as Box<dyn Process>)
-        .collect();
-    let exec = run(
-        &mut ps,
-        &mut UniformScheduler::new(),
-        &mut mem,
-        &RunConfig::new(cfg.scaled(400_000))
-            .seed(cfg.sub_seed(0))
-            .record_trace(true),
-    );
+    // Independent traced replications, fanned out across the job
+    // budget and averaged — same estimator at any --jobs.
+    let matrices: Vec<Vec<Option<Vec<f64>>>> = replicate(cfg.jobs, sim_reps, |rep| {
+        let mut mem = SharedMemory::new();
+        let r = mem.alloc(0);
+        let mut ps: Vec<Box<dyn Process>> = (0..n)
+            .map(|_| Box::new(TickingProcess::new(r, 2)) as Box<dyn Process>)
+            .collect();
+        let exec = run(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(cfg.scaled(400_000))
+                .seed(cfg.sub_seed(rep as u64))
+                .record_trace(true),
+        );
+        (0..n)
+            .map(|t| stats::conditional_next_step(&exec, ProcessId::new(t)))
+            .collect()
+    });
     print_matrix(out, n, |t| {
-        stats::conditional_next_step(&exec, ProcessId::new(t))
+        let rows: Vec<&Vec<f64>> = matrices.iter().filter_map(|m| m[t].as_ref()).collect();
+        if rows.is_empty() {
+            return None;
+        }
+        let mut mean = vec![0.0; n];
+        for row in &rows {
+            for (a, p) in mean.iter_mut().zip(row.iter()) {
+                *a += p / rows.len() as f64;
+            }
+        }
+        Some(mean)
     });
     out.note("every row is flat at 1/n: the model Figure 4 asserts the hardware");
     out.note("approximates in the long run.");

@@ -4,10 +4,10 @@
 //! on the simulator *and* on this machine's real atomics.
 
 use crate::{log_log_chart, Series};
-use pwf_core::completion_model::{completion_rate_series, prediction_error};
-use pwf_core::AlgorithmSpec;
+use pwf_core::completion_model::{completion_rate_series_from, prediction_error};
+use pwf_core::{AlgorithmSpec, SimExperiment};
 use pwf_hardware::fai_counter::FaiCounter;
-use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpError, ExpResult, FnExperiment, ReportBuilder};
 
 /// The registered experiment. The second half measures real atomics:
 /// hardware-dependent output.
@@ -24,12 +24,19 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
 
     out.note("simulator (uniform stochastic scheduler), SCU-style FAI counter:");
     let ns = [1usize, 2, 4, 8, 16, 32, 64];
-    let series = completion_rate_series(
-        AlgorithmSpec::FetchAndInc,
-        &ns,
-        cfg.scaled(300_000),
-        cfg.sub_seed(0),
-    )?;
+    // Each n is an independent replication: measure them across the
+    // job budget, then shape the series exactly as the serial
+    // pipeline would.
+    let measured: Vec<f64> = parallel_map(cfg.jobs, &ns, |&n| {
+        SimExperiment::new(AlgorithmSpec::FetchAndInc, n, cfg.scaled(300_000))
+            .seed(cfg.sub_seed(0))
+            .run()
+            .map(|r| r.completion_rate)
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()
+    .map_err(ExpError::from)?;
+    let series = completion_rate_series_from(&ns, &measured);
     out.header(&["n", "measured", "pred 1/sqrt(n)", "worst 1/n"]);
     for p in &series {
         out.row(&[

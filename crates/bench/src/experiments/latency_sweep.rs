@@ -3,7 +3,7 @@
 
 use crate::{log_log_chart, Series};
 use pwf_core::{AlgorithmSpec, SimExperiment};
-use pwf_runner::{fmt, ExpConfig, ExpError, ExpResult, FnExperiment, ReportBuilder};
+use pwf_runner::{fmt, parallel_map, ExpConfig, ExpError, ExpResult, FnExperiment, ReportBuilder};
 use pwf_theory::bounds::ScuPrediction;
 
 /// The registered experiment.
@@ -35,14 +35,31 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("E4 / Theorem 4: W = O(q + s*sqrt(n)), W_i = n*W, simulated SCU(q,s).");
     out.note("prediction alpha calibrated on the (q=0, s=1, n=4) cell.");
 
+    let ns = [2usize, 4, 8, 16, 32, 64];
+
+    // Every sweep cell is an independent replication with its own
+    // tagged sub-seed; fan them out across the job budget. Tags are
+    // unchanged from the serial version, so the table values are
+    // byte-identical at any --jobs.
+    let sweep = |cells: &[(u64, usize, usize, usize, u64)]| -> Result<Vec<(f64, f64)>, ExpError> {
+        parallel_map(cfg.jobs, cells, |&(tag, q, s, n, steps)| {
+            run_cell(cfg, tag, q, s, n, steps)
+        })
+        .into_iter()
+        .collect()
+    };
+
     let (w_cal, _) = run_cell(cfg, 0, 0, 1, 4, 400_000)?;
     let alpha = w_cal / 2.0; // √4 = 2
 
     out.note("");
     out.note("sweep n (q = 0, s = 1):");
     out.header(&["n", "W sim", "W pred", "W_i sim", "n*W", "Wi/(nW)"]);
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        let (w, wi) = run_cell(cfg, 100 + n as u64, 0, 1, n, 400_000)?;
+    let n_cells: Vec<_> = ns
+        .iter()
+        .map(|&n| (100 + n as u64, 0, 1, n, 400_000))
+        .collect();
+    for (&n, &(w, wi)) in ns.iter().zip(&sweep(&n_cells)?) {
         let pred = ScuPrediction::with_alpha(0, 1, n, alpha).system_latency();
         out.row(&[
             n.to_string(),
@@ -56,11 +73,15 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
 
     out.note("");
     out.note("Theorem 5 (log-log): W vs n, measured vs alpha*sqrt(n) vs worst-case n");
-    let mut measured = Vec::new();
-    for n in [2usize, 4, 8, 16, 32, 64] {
-        let (w, _) = run_cell(cfg, 200 + n as u64, 0, 1, n, 200_000)?;
-        measured.push((n as f64, w));
-    }
+    let chart_cells: Vec<_> = ns
+        .iter()
+        .map(|&n| (200 + n as u64, 0, 1, n, 200_000))
+        .collect();
+    let measured: Vec<(f64, f64)> = ns
+        .iter()
+        .zip(&sweep(&chart_cells)?)
+        .map(|(&n, &(w, _))| (n as f64, w))
+        .collect();
     let sqrt_pred: Vec<(f64, f64)> = measured
         .iter()
         .map(|&(n, _)| (n, alpha * n.sqrt()))
@@ -79,8 +100,12 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("");
     out.note("sweep q (s = 1, n = 16): W grows additively in q");
     out.header(&["q", "W sim", "W pred"]);
-    for q in [0usize, 2, 4, 8, 16, 32] {
-        let (w, _) = run_cell(cfg, 300 + q as u64, q, 1, 16, 400_000)?;
+    let qs = [0usize, 2, 4, 8, 16, 32];
+    let q_cells: Vec<_> = qs
+        .iter()
+        .map(|&q| (300 + q as u64, q, 1, 16, 400_000))
+        .collect();
+    for (&q, &(w, _)) in qs.iter().zip(&sweep(&q_cells)?) {
         let pred = ScuPrediction::with_alpha(q, 1, 16, alpha).system_latency();
         out.row(&[q.to_string(), fmt(w), fmt(pred)]);
     }
@@ -88,8 +113,12 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("");
     out.note("sweep s (q = 0, n = 16): W grows multiplicatively in s (Corollary 1)");
     out.header(&["s", "W sim", "W pred"]);
-    for s in [1usize, 2, 4, 8] {
-        let (w, _) = run_cell(cfg, 400 + s as u64, 0, s, 16, 400_000)?;
+    let ss = [1usize, 2, 4, 8];
+    let s_cells: Vec<_> = ss
+        .iter()
+        .map(|&s| (400 + s as u64, 0, s, 16, 400_000))
+        .collect();
+    for (&s, &(w, _)) in ss.iter().zip(&sweep(&s_cells)?) {
         let pred = ScuPrediction::with_alpha(0, s, 16, alpha).system_latency();
         out.row(&[s.to_string(), fmt(w), fmt(pred)]);
     }

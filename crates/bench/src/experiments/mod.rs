@@ -37,11 +37,12 @@ pub mod obs_overhead;
 pub mod parallel;
 pub mod quantum;
 pub mod scan_chain;
+pub mod sim_bench;
 pub mod unbounded;
 pub mod universal;
 
 /// All registered experiments.
-const ALL: [FnExperiment; 22] = [
+const ALL: [FnExperiment; 23] = [
     backoff::EXP,
     ballsbins::EXP,
     crashes::EXP,
@@ -62,6 +63,7 @@ const ALL: [FnExperiment; 22] = [
     parallel::EXP,
     quantum::EXP,
     scan_chain::EXP,
+    sim_bench::EXP,
     unbounded::EXP,
     universal::EXP,
 ];
@@ -103,17 +105,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_holds_all_twenty_two_unique_experiments() {
+    fn registry_holds_all_twenty_three_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 22);
+        assert_eq!(reg.len(), 23);
         assert!(reg.get("exp_ballsbins").is_some());
         assert!(reg.get("fig5_completion_rate").is_some());
         assert!(reg.get("obs_overhead").is_some());
         assert!(reg.get("exp_markov_bench").is_some());
+        assert!(reg.get("exp_sim_bench").is_some());
     }
 
     #[test]
-    fn seven_hardware_experiments_are_nondeterministic() {
+    fn eight_hardware_experiments_are_nondeterministic() {
         let reg = registry();
         let hardware: Vec<&str> = reg
             .iter()
@@ -126,6 +129,7 @@ mod tests {
                 "exp_latency_hist",
                 "exp_lock_baseline",
                 "exp_markov_bench",
+                "exp_sim_bench",
                 "fig3_step_share",
                 "fig4_conditional",
                 "fig5_completion_rate",

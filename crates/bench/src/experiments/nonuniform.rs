@@ -15,10 +15,17 @@ pub const EXP: FnExperiment = FnExperiment {
     body: fill,
 };
 
-fn run(spec: SchedulerSpec, n: usize, steps: u64, seed: u64) -> Result<(f64, f64), ExpError> {
+fn run(
+    cfg: &ExpConfig,
+    spec: SchedulerSpec,
+    n: usize,
+    steps: u64,
+    seed: u64,
+) -> Result<(f64, f64), ExpError> {
     let r = SimExperiment::new(AlgorithmSpec::Scu { q: 0, s: 1 }, n, steps)
         .scheduler(spec)
         .seed(seed)
+        .obs(cfg.obs.clone())
         .run()?;
     Ok((r.system_latency.unwrap(), r.fairness_ratio()))
 }
@@ -34,7 +41,7 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         let tickets: Vec<u64> = (0..n).map(|i| if i == 0 { w } else { 1 }).collect();
         let spec = SchedulerSpec::Lottery(tickets);
         let theta = spec.theta(n);
-        let (lat, fair) = run(spec, n, steps, cfg.sub_seed(w))?;
+        let (lat, fair) = run(cfg, spec, n, steps, cfg.sub_seed(w))?;
         out.row(&[w.to_string(), fmt(theta), fmt(lat), fmt(fair)]);
     }
 
@@ -44,7 +51,7 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     for (tag, p) in [0.0, 0.25, 0.5, 0.75, 0.9].into_iter().enumerate() {
         let spec = SchedulerSpec::Sticky(p);
         let theta = spec.theta(n);
-        let (lat, fair) = run(spec, n, steps, cfg.sub_seed(100 + tag as u64))?;
+        let (lat, fair) = run(cfg, spec, n, steps, cfg.sub_seed(100 + tag as u64))?;
         out.row(&[fmt(p), fmt(theta), fmt(lat), fmt(fair)]);
     }
 

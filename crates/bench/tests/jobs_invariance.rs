@@ -1,0 +1,68 @@
+//! Parallel Monte Carlo replications must not change results: every
+//! deterministic experiment that fans its cells out through
+//! `parallel_map`/`replicate` renders byte-identical reports at any
+//! `--jobs` value.
+
+use pwf_ballsbins::game::mean_phase_length;
+use pwf_bench::experiments::registry;
+use pwf_runner::{parallel_map, render, replicate, ExpConfig, DEFAULT_MASTER_SEED};
+
+/// Renders `name` under the fast profile with the given job budget.
+fn render_with_jobs(name: &str, jobs: usize) -> String {
+    let reg = registry();
+    let exp = reg.get(name).expect("registered experiment");
+    let cfg = ExpConfig::for_experiment(DEFAULT_MASTER_SEED, name, true).with_jobs(jobs);
+    let report = exp.run(&cfg).expect("experiment body succeeds");
+    render(&report)
+}
+
+#[test]
+fn parallelized_experiments_are_jobs_invariant() {
+    // The deterministic experiments whose cells fan out across the
+    // job budget; each must produce the same bytes at 1, 2, and 8
+    // jobs. (exp_ballsbins uses the identical per-cell-seed pattern
+    // but its large-n cells are too slow for an unoptimized test
+    // build — the scaled-down check below covers its code path.)
+    for name in ["exp_latency_sweep", "exp_crashes", "exp_backoff"] {
+        let serial = render_with_jobs(name, 1);
+        for jobs in [2, 8] {
+            let par = render_with_jobs(name, jobs);
+            assert_eq!(
+                serial, par,
+                "{name} report drifted between --jobs 1 and --jobs {jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_cell_seeded_cells_are_jobs_invariant() {
+    // exp_ballsbins' fan-out pattern at toy sizes: every cell draws
+    // from its own tagged sub-stream, so the vector of results is
+    // bit-identical however the cells are scheduled onto workers.
+    let cfg = ExpConfig::for_experiment(DEFAULT_MASTER_SEED, "exp_ballsbins", true);
+    let ns = [4usize, 8, 16, 32];
+    let run = |jobs: usize| -> Vec<f64> {
+        parallel_map(jobs, &ns, |&n| {
+            let mut rng = cfg.sub_rng(n as u64);
+            mean_phase_length(n, 20, 200, &mut rng)
+        })
+    };
+    let serial = run(1);
+    for jobs in [2, 8] {
+        assert_eq!(serial, run(jobs), "cells drifted at jobs {jobs}");
+    }
+}
+
+#[test]
+fn replications_are_jobs_invariant() {
+    // The `replicate` helper used by the fig3/fig4 sim sides: indexed
+    // sub-seeded replications come back in replication order at any
+    // job count.
+    let cfg = ExpConfig::for_experiment(DEFAULT_MASTER_SEED, "fig3_step_share", true);
+    let run = |jobs: usize| -> Vec<u64> { replicate(jobs, 12, |rep| cfg.sub_seed(rep as u64)) };
+    let serial = run(1);
+    for jobs in [2, 8] {
+        assert_eq!(serial, run(jobs), "replications drifted at jobs {jobs}");
+    }
+}

@@ -52,11 +52,25 @@ pub fn completion_rate_series(
         measured.push(report.completion_rate);
     }
 
+    Ok(completion_rate_series_from(ns, &measured))
+}
+
+/// Shapes already-collected measurements into the Figure 5 series —
+/// the pure second half of [`completion_rate_series`], split out so
+/// callers can gather the per-`n` measurements however they like
+/// (e.g. fanned out across threads) and still get the same scaling.
+///
+/// # Panics
+///
+/// Panics if `ns` is empty or the slices' lengths differ.
+pub fn completion_rate_series_from(ns: &[usize], measured: &[f64]) -> Vec<CompletionRatePoint> {
+    assert!(!ns.is_empty(), "need at least one process count");
+    assert_eq!(ns.len(), measured.len(), "one measurement per n");
+
     let n0 = ns[0] as f64;
     let m0 = measured[0];
-    Ok(ns
-        .iter()
-        .zip(&measured)
+    ns.iter()
+        .zip(measured)
         .map(|(&n, &m)| {
             let nf = n as f64;
             CompletionRatePoint {
@@ -66,7 +80,7 @@ pub fn completion_rate_series(
                 worst_case: m0 * (n0 / nf),
             }
         })
-        .collect())
+        .collect()
 }
 
 /// Mean relative error of the prediction against the measurements —
@@ -119,6 +133,14 @@ mod tests {
         // predicted(16) = measured(4) · √(4/16) = measured(4)/2.
         assert!((series[1].predicted - series[0].measured / 2.0).abs() < 1e-12);
         assert!((series[1].worst_case - series[0].measured / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_from_matches_the_measuring_wrapper() {
+        let ns = [4usize, 8, 16];
+        let series = completion_rate_series(AlgorithmSpec::FetchAndInc, &ns, 60_000, 24).unwrap();
+        let measured: Vec<f64> = series.iter().map(|p| p.measured).collect();
+        assert_eq!(completion_rate_series_from(&ns, &measured), series);
     }
 
     #[test]

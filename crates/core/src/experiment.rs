@@ -114,6 +114,9 @@ impl SimExperiment {
         if let Some(metrics) = self.obs.metrics() {
             metrics.counter_add("sim.completions", exec.total_completions());
             metrics.counter_add("sim.steps", exec.steps);
+            // Alias-table epoch churn: how often the weighted/lottery
+            // samplers paid an O(m) rebuild (0 for other schedulers).
+            metrics.counter_add("sim.sampler_rebuilds", scheduler.sampler_rebuilds());
             if let Some(h) = stats::system_latency_histogram(&exec) {
                 metrics.merge_histogram("sim.system_gap_steps", h.histogram());
             }
@@ -273,6 +276,28 @@ mod tests {
         if !events.is_empty() {
             assert_eq!(events.len() as u64, 2_000 + report.total_completions);
         }
+    }
+
+    #[test]
+    fn weighted_run_reports_sampler_rebuild_metric() {
+        let obs = ObsHandle::collecting(None);
+        // A crash partway through forces at least the initial build;
+        // the counter must surface through the obs session.
+        SimExperiment::new(AlgorithmSpec::FetchAndInc, 4, 5_000)
+            .scheduler(SchedulerSpec::Weighted(vec![1.0, 2.0, 3.0, 4.0]))
+            .crash(1_000, 0)
+            .seed(11)
+            .obs(obs.clone())
+            .run()
+            .unwrap();
+        let snap = obs.metrics().unwrap().snapshot();
+        let rebuilds = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "sim.sampler_rebuilds")
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert!(rebuilds >= 1, "alias sampler should have built a table");
     }
 
     #[test]

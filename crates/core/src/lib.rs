@@ -39,7 +39,9 @@ pub mod scan_analysis;
 pub mod spec;
 
 pub use chain_analysis::{analyze, analyze_scu_large, ChainFamily, ChainReport, LargeScuReport};
-pub use completion_model::{completion_rate_series, CompletionRatePoint};
+pub use completion_model::{
+    completion_rate_series, completion_rate_series_from, CompletionRatePoint,
+};
 pub use experiment::{SimExperiment, SimReport};
 pub use progress_audit::{audit, ProgressAuditReport};
 pub use scan_analysis::{analyze_scan, ScanReport};

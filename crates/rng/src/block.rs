@@ -1,0 +1,114 @@
+//! Batched draws: a [`BlockRng`] pre-fills a fixed block of `u64`s
+//! from an inner generator and hands them out one at a time.
+//!
+//! The output stream is **bit-identical** to the inner generator's —
+//! buffering only changes *when* the inner generator runs, not *what*
+//! it produces — so wrapping a seeded generator in a `BlockRng` never
+//! changes recorded experiment results. The win is in the hot loop:
+//! the refill loop is a straight-line batch the compiler can unroll
+//! and keep in registers, and the common-case `next_u64` is a load,
+//! an increment, and a bounds check.
+
+use crate::{RngCore, SeedableRng};
+
+/// Number of `u64`s buffered per refill. One cache line of indices
+/// plus a small multiple: big enough to amortize the refill call,
+/// small enough to stay hot in L1.
+const BLOCK: usize = 64;
+
+/// A buffering adapter over any [`RngCore`], producing the identical
+/// stream in batches of [`BLOCK`] draws.
+#[derive(Debug, Clone)]
+pub struct BlockRng<R: RngCore> {
+    inner: R,
+    buf: [u64; BLOCK],
+    /// Next unread index into `buf`; `BLOCK` means "empty, refill".
+    pos: usize,
+}
+
+impl<R: RngCore> BlockRng<R> {
+    /// Wraps `inner`. No draws happen until the first `next_u64`.
+    pub fn new(inner: R) -> Self {
+        BlockRng {
+            inner,
+            buf: [0; BLOCK],
+            pos: BLOCK,
+        }
+    }
+
+    /// Consumes the adapter, returning the inner generator.
+    ///
+    /// Buffered-but-unread draws are discarded, so the inner
+    /// generator's position is "ahead" of the adapter's by up to
+    /// [`BLOCK`] values; use this only when the stream position no
+    /// longer matters.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    #[cold]
+    fn refill(&mut self) {
+        for slot in &mut self.buf {
+            *slot = self.inner.next_u64();
+        }
+        self.pos = 0;
+    }
+}
+
+impl<R: RngCore> RngCore for BlockRng<R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        if self.pos == BLOCK {
+            self.refill();
+        }
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+}
+
+impl<R: RngCore + SeedableRng> SeedableRng for BlockRng<R> {
+    type Seed = R::Seed;
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        BlockRng::new(R::from_seed(seed))
+    }
+
+    fn seed_from_u64(seed: u64) -> Self {
+        BlockRng::new(R::seed_from_u64(seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn stream_is_bit_identical_to_inner() {
+        let mut direct = StdRng::seed_from_u64(7);
+        let mut buffered = BlockRng::new(StdRng::seed_from_u64(7));
+        for _ in 0..(3 * BLOCK + 5) {
+            assert_eq!(direct.next_u64(), buffered.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeding_through_the_adapter_matches_wrapping() {
+        let mut a = BlockRng::<StdRng>::seed_from_u64(99);
+        let mut b = BlockRng::new(StdRng::seed_from_u64(99));
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn into_inner_returns_the_wrapped_generator() {
+        let mut rng = BlockRng::new(StdRng::seed_from_u64(1));
+        let _ = rng.next_u64();
+        let mut inner = rng.into_inner();
+        // The inner generator is ahead by the buffered block, but
+        // still the same deterministic generator.
+        let _ = inner.next_u64();
+    }
+}

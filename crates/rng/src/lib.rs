@@ -27,11 +27,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod chacha;
 pub mod dist;
 pub mod splitmix;
 pub mod xoshiro;
 
+pub use block::BlockRng;
 pub use chacha::ChaChaRng;
 pub use dist::{Bernoulli, Zipf};
 pub use splitmix::{mix64, SplitMix64};

@@ -46,7 +46,7 @@ pub mod text;
 pub use check::{check_report, check_text, Drift};
 pub use config::{derive_seed, ExpConfig, DEFAULT_MASTER_SEED};
 pub use orchestrator::{run_experiments, ExpOutcome, ExpRun, ObsData, RunOptions, RunSummary};
-pub use par::parallel_map;
+pub use par::{parallel_map, replicate};
 pub use registry::{Experiment, FnExperiment, Registry, RegistryError};
 pub use report::{Block, Report, ReportBuilder};
 pub use text::{fmt, header, note, render, row};

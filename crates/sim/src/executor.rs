@@ -6,7 +6,7 @@
 
 use pwf_obs::{EventKind, ThreadRecorder};
 use pwf_rng::rngs::StdRng;
-use pwf_rng::SeedableRng;
+use pwf_rng::{BlockRng, SeedableRng};
 
 use crate::crash::CrashSchedule;
 use crate::memory::SharedMemory;
@@ -39,6 +39,20 @@ pub struct Execution {
 }
 
 impl Execution {
+    /// An empty execution shell whose buffers [`run_into`] fills and
+    /// re-fills. Reusing one `Execution` across Monte Carlo
+    /// replications keeps the hot loop allocation-free after the first
+    /// run (vector capacity persists across `run_into` calls).
+    pub fn empty() -> Self {
+        Execution {
+            steps: 0,
+            completions: Vec::new(),
+            process_steps: Vec::new(),
+            process_completions: Vec::new(),
+            trace: None,
+        }
+    }
+
     /// Number of processes in the execution.
     pub fn process_count(&self) -> usize {
         self.process_steps.len()
@@ -50,12 +64,21 @@ impl Execution {
     }
 
     /// Completion times of a single process, in order.
+    ///
+    /// Allocates a fresh vector per call; the call-heavy statistics
+    /// paths use the allocation-free
+    /// [`completion_times_iter`](Self::completion_times_iter) instead.
     pub fn completion_times(&self, p: ProcessId) -> Vec<u64> {
+        self.completion_times_iter(p).collect()
+    }
+
+    /// Completion times of a single process, in order, without
+    /// allocating.
+    pub fn completion_times_iter(&self, p: ProcessId) -> impl Iterator<Item = u64> + '_ {
         self.completions
             .iter()
-            .filter(|c| c.process == p)
+            .filter(move |c| c.process == p)
             .map(|c| c.time)
-            .collect()
     }
 }
 
@@ -202,24 +225,73 @@ pub fn run_hooked<H: StepHook>(
     config: &RunConfig,
     hook: &mut H,
 ) -> Execution {
+    let mut out = Execution::empty();
+    run_into(processes, scheduler, memory, config, hook, &mut out);
+    out
+}
+
+/// The stepping core: generic over the process type, the scheduler,
+/// and the hook, so homogeneous fleets compile to a fully
+/// monomorphized loop with no virtual dispatch (`&mut [Box<dyn
+/// Process>]` still works — `Box<dyn Process>` is itself a
+/// [`Process`] — which is the path the heterogeneous fleets and the
+/// checker's replay keep using).
+///
+/// Results land in `out`, whose buffers are cleared and refilled:
+/// reusing one [`Execution`] across replications makes the loop
+/// allocation-free after warm-up. RNG draws are batched through
+/// [`BlockRng`] (bit-identical stream, amortized refills).
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_into<P, S, H>(
+    processes: &mut [P],
+    scheduler: &mut S,
+    memory: &mut SharedMemory,
+    config: &RunConfig,
+    hook: &mut H,
+    out: &mut Execution,
+) where
+    P: Process,
+    S: Scheduler + ?Sized,
+    H: StepHook,
+{
     let n = processes.len();
     assert!(n > 0, "need at least one process");
     let mut active = ActiveSet::all(n);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = BlockRng::new(StdRng::seed_from_u64(config.seed));
 
-    let mut completions = Vec::new();
-    let mut process_steps = vec![0u64; n];
-    let mut process_completions = vec![0u64; n];
-    let mut trace = if config.record_trace {
-        Some(Vec::with_capacity(config.steps as usize))
+    // Reset the output shell in place: lengths change, capacity stays.
+    out.steps = config.steps;
+    out.completions.clear();
+    out.process_steps.clear();
+    out.process_steps.resize(n, 0);
+    out.process_completions.clear();
+    out.process_completions.resize(n, 0);
+    if config.record_trace {
+        let trace = out.trace.get_or_insert_with(Vec::new);
+        trace.clear();
+        trace.reserve(config.steps as usize);
     } else {
-        None
-    };
+        out.trace = None;
+    }
+
+    // Crash dispatch by cursor over the time-sorted schedule instead
+    // of an O(#crashes) filter scan per step. Events timed before the
+    // first step (τ < 1) never fire, matching `crashes_at`.
+    let crash_events = config.crashes.events();
+    let mut crash_idx = 0;
 
     for tau in 1..=config.steps {
-        for p in config.crashes.crashes_at(tau) {
+        while crash_idx < crash_events.len() && crash_events[crash_idx].0 < tau {
+            crash_idx += 1;
+        }
+        while crash_idx < crash_events.len() && crash_events[crash_idx].0 == tau {
+            let p = crash_events[crash_idx].1;
             active.crash(p);
             hook.on_crash(tau, p);
+            crash_idx += 1;
         }
         let p = scheduler.schedule(tau, &active, &mut rng);
         debug_assert!(active.is_active(p), "scheduler returned crashed process");
@@ -231,26 +303,18 @@ pub fn run_hooked<H: StepHook>(
             before + 1,
             "process {p} must issue exactly one shared-memory step"
         );
-        process_steps[p.index()] += 1;
+        out.process_steps[p.index()] += 1;
         if outcome == StepOutcome::Completed {
-            completions.push(Completion {
+            out.completions.push(Completion {
                 time: tau,
                 process: p,
             });
-            process_completions[p.index()] += 1;
+            out.process_completions[p.index()] += 1;
             hook.on_complete(tau, p);
         }
-        if let Some(t) = trace.as_mut() {
+        if let Some(t) = out.trace.as_mut() {
             t.push(p);
         }
-    }
-
-    Execution {
-        steps: config.steps,
-        completions,
-        process_steps,
-        process_completions,
-        trace,
     }
 }
 

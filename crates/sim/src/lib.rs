@@ -46,16 +46,18 @@ pub mod process;
 pub mod progress;
 pub mod quantum;
 pub mod replay;
+pub mod sampler;
 pub mod scheduler;
 pub mod stats;
 
 pub use crash::{CrashSchedule, CrashScheduleError};
-pub use executor::{run, Completion, Execution, RunConfig};
+pub use executor::{run, run_into, Completion, Execution, RunConfig};
 pub use history::{Event, History};
 pub use memory::{Access, AccessKind, RegisterId, SharedMemory};
 pub use process::{Process, ProcessId, StepOutcome};
 pub use quantum::{PriorityScheduler, QuantumScheduler};
 pub use replay::ReplayScheduler;
+pub use sampler::{ActiveAliasSampler, AliasTable};
 pub use scheduler::{
     ActiveSet, AdversarialScheduler, LotteryScheduler, MarkovScheduler, Scheduler,
     UniformScheduler, WeightedScheduler,

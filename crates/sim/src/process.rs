@@ -82,6 +82,21 @@ impl fmt::Debug for dyn Process + '_ {
     }
 }
 
+/// Boxed processes are processes, so the monomorphized executor core
+/// ([`crate::executor::run_into`]) serves both the generic fast path
+/// (`&mut [ScuProcess]`) and the heterogeneous/dyn-dispatch fleets
+/// (`&mut [Box<dyn Process>]`) with one implementation.
+impl<P: Process + ?Sized> Process for Box<P> {
+    #[inline]
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome {
+        (**self).step(mem)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// A trivial process that spins reading a register and completes an
 /// operation every `period` steps. Useful as a test fixture and as the
 /// simplest instance of bounded maximal progress.

@@ -65,7 +65,7 @@ impl Scheduler for QuantumScheduler {
         };
         if must_switch {
             let k = rng.gen_range(0..active.active_count());
-            self.current = Some(active.iter().nth(k).expect("non-empty active set"));
+            self.current = Some(active.select(k));
         }
         self.current.expect("just set")
     }
@@ -108,7 +108,7 @@ impl Scheduler for PriorityScheduler {
     ) -> ProcessId {
         if self.epsilon > 0.0 && rng.gen_bool(self.epsilon) {
             let k = rng.gen_range(0..active.active_count());
-            return active.iter().nth(k).expect("non-empty active set");
+            return active.select(k);
         }
         active.iter().next().expect("non-empty active set")
     }

@@ -26,13 +26,26 @@
 use pwf_rng::Rng;
 
 use crate::process::ProcessId;
+use crate::sampler::ActiveAliasSampler;
 
 /// The set `A_τ` of possibly-active processes. Supports only removal,
 /// enforcing the paper's crash-containment condition `A_{τ+1} ⊆ A_τ`.
+///
+/// Alongside the membership bitmap it maintains a **dense, sorted**
+/// list of active ids, so the k-th active process is one array read
+/// ([`select`](Self::select)) instead of an `O(n)` scan — the uniform
+/// scheduler's per-step cost. A generation counter increments on every
+/// effective crash, letting samplers cache epoch-scoped derived state
+/// (alias tables) and detect staleness in O(1).
 #[derive(Debug, Clone)]
 pub struct ActiveSet {
     active: Vec<bool>,
-    count: usize,
+    /// Active ids in ascending order (the same order `iter` has always
+    /// produced, so selection-by-rank is unchanged from the historical
+    /// scan).
+    ids: Vec<ProcessId>,
+    /// Bumped on every effective crash.
+    generation: u64,
 }
 
 impl ActiveSet {
@@ -45,7 +58,8 @@ impl ActiveSet {
         assert!(n > 0, "need at least one process");
         ActiveSet {
             active: vec![true; n],
-            count: n,
+            ids: (0..n).map(ProcessId::new).collect(),
+            generation: 0,
         }
     }
 
@@ -62,7 +76,7 @@ impl ActiveSet {
 
     /// Number of currently active processes `|A_τ|`.
     pub fn active_count(&self) -> usize {
-        self.count
+        self.ids.len()
     }
 
     /// Whether `p` is active.
@@ -74,6 +88,23 @@ impl ActiveSet {
         self.active[p.index()]
     }
 
+    /// The `k`-th active process in ascending id order, in O(1) —
+    /// equivalent to `iter().nth(k)` without the scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= active_count()`.
+    #[inline]
+    pub fn select(&self, k: usize) -> ProcessId {
+        self.ids[k]
+    }
+
+    /// Epoch counter: incremented on every effective crash. Samplers
+    /// cache it to detect active-set change without diffing.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Crashes process `p` (idempotent). At least one process must
     /// remain active — the paper allows at most `n − 1` crashes.
     ///
@@ -83,19 +114,23 @@ impl ActiveSet {
     /// active set.
     pub fn crash(&mut self, p: ProcessId) {
         if self.active[p.index()] {
-            assert!(self.count > 1, "cannot crash the last active process");
+            assert!(self.ids.len() > 1, "cannot crash the last active process");
             self.active[p.index()] = false;
-            self.count -= 1;
+            // Crashes are rare (at most n − 1 per run); an ordered
+            // remove keeps `select` rank-stable with the historical
+            // scan order.
+            let pos = self
+                .ids
+                .binary_search(&p)
+                .expect("bitmap and id list agree");
+            self.ids.remove(pos);
+            self.generation += 1;
         }
     }
 
-    /// Iterates over the active process ids.
+    /// Iterates over the active process ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.active
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a)
-            .map(|(i, _)| ProcessId::new(i))
+        self.ids.iter().copied()
     }
 }
 
@@ -125,6 +160,14 @@ pub trait Scheduler {
     fn name(&self) -> &'static str {
         "scheduler"
     }
+
+    /// Number of sampling-table (re)builds this scheduler has
+    /// performed, for schedulers that maintain epoch-cached sampling
+    /// state. `0` for everyone else. Exposed as the
+    /// `sim.sampler_rebuilds` metric.
+    fn sampler_rebuilds(&self) -> u64 {
+        0
+    }
 }
 
 /// The uniform stochastic scheduler: `γ_i = 1/|A_τ|` for active `i`.
@@ -146,10 +189,7 @@ impl Scheduler for UniformScheduler {
         rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
         let k = rng.gen_range(0..active.active_count());
-        active
-            .iter()
-            .nth(k)
-            .expect("active_count is consistent with iter")
+        active.select(k)
     }
 
     fn theta(&self, n: usize) -> f64 {
@@ -163,28 +203,69 @@ impl Scheduler for UniformScheduler {
 
 /// A scheduler with fixed positive weights; the probability of an
 /// active process is its weight renormalized over the active set.
+///
+/// Sampling is O(1) via a Walker alias table maintained across
+/// active-set epochs ([`crate::sampler`]); the historical O(n) linear
+/// scan is retained as a cross-check oracle
+/// ([`with_linear_sampling`](Self::with_linear_sampling)), the same
+/// way the Markov engine keeps its dense direct solver next to the
+/// sparse pipeline.
 #[derive(Debug, Clone)]
 pub struct WeightedScheduler {
     weights: Vec<f64>,
+    /// `Some` = alias sampling (the fast path); `None` = the linear
+    /// scan oracle.
+    sampler: Option<ActiveAliasSampler>,
 }
 
 impl WeightedScheduler {
-    /// Creates a weighted scheduler.
+    /// Creates a weighted scheduler with O(1) alias sampling.
     ///
     /// # Panics
     ///
     /// Panics if `weights` is empty or any weight is non-positive or
     /// non-finite (θ > 0 requires strictly positive mass everywhere).
     pub fn new(weights: Vec<f64>) -> Self {
+        Self::validate(&weights);
+        WeightedScheduler {
+            weights,
+            sampler: Some(ActiveAliasSampler::new()),
+        }
+    }
+
+    /// Creates a weighted scheduler that samples by the historical
+    /// O(n) linear scan — the pre-alias reference implementation, kept
+    /// as an oracle for distribution cross-checks and old-vs-new
+    /// benchmarking (`exp_sim_bench`).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_linear_sampling(weights: Vec<f64>) -> Self {
+        Self::validate(&weights);
+        WeightedScheduler {
+            weights,
+            sampler: None,
+        }
+    }
+
+    fn validate(weights: &[f64]) {
         assert!(!weights.is_empty(), "need at least one weight");
         assert!(
             weights.iter().all(|w| w.is_finite() && *w > 0.0),
             "all weights must be positive and finite"
         );
-        WeightedScheduler { weights }
     }
 
-    fn pick(&self, active: &ActiveSet, rng: &mut dyn pwf_rng::RngCore) -> ProcessId {
+    /// The linear-scan oracle: walk the active set subtracting weights
+    /// from a uniform draw in `[0, total)`.
+    ///
+    /// Floating-point accumulation can make the draw overshoot the
+    /// running sum (`x` never drops below the final weight even though
+    /// `x < total`, e.g. under many `1e-300` weights and one `1.0`);
+    /// the explicit last-active fallback makes that rounding case land
+    /// on the final active process instead of falling off the loop.
+    pub fn pick_linear(&self, active: &ActiveSet, rng: &mut dyn pwf_rng::RngCore) -> ProcessId {
         let total: f64 = active.iter().map(|p| self.weights[p.index()]).sum();
         let mut x = rng.gen_range(0.0..total);
         let mut last = None;
@@ -207,7 +288,10 @@ impl Scheduler for WeightedScheduler {
         active: &ActiveSet,
         rng: &mut dyn pwf_rng::RngCore,
     ) -> ProcessId {
-        self.pick(active, rng)
+        match &mut self.sampler {
+            Some(s) => s.sample(&self.weights, active, rng),
+            None => self.pick_linear(active, rng),
+        }
     }
 
     fn theta(&self, n: usize) -> f64 {
@@ -222,6 +306,12 @@ impl Scheduler for WeightedScheduler {
     fn name(&self) -> &'static str {
         "weighted"
     }
+
+    fn sampler_rebuilds(&self) -> u64 {
+        self.sampler
+            .as_ref()
+            .map_or(0, ActiveAliasSampler::rebuilds)
+    }
 }
 
 /// Ticket-proportional lottery scheduling (reference \[19\] in the
@@ -233,7 +323,7 @@ pub struct LotteryScheduler {
 }
 
 impl LotteryScheduler {
-    /// Creates a lottery scheduler.
+    /// Creates a lottery scheduler (O(1) alias sampling).
     ///
     /// # Panics
     ///
@@ -245,6 +335,24 @@ impl LotteryScheduler {
         );
         LotteryScheduler {
             inner: WeightedScheduler::new(tickets.iter().map(|&t| t as f64).collect()),
+        }
+    }
+
+    /// The linear-scan oracle variant, for cross-checks and
+    /// old-vs-new benchmarking.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_linear_sampling(tickets: Vec<u64>) -> Self {
+        assert!(
+            tickets.iter().all(|&t| t > 0),
+            "every process needs at least one ticket"
+        );
+        LotteryScheduler {
+            inner: WeightedScheduler::with_linear_sampling(
+                tickets.iter().map(|&t| t as f64).collect(),
+            ),
         }
     }
 }
@@ -265,6 +373,10 @@ impl Scheduler for LotteryScheduler {
 
     fn name(&self) -> &'static str {
         "lottery"
+    }
+
+    fn sampler_rebuilds(&self) -> u64 {
+        self.inner.sampler_rebuilds()
     }
 }
 
@@ -312,7 +424,7 @@ impl Scheduler for MarkovScheduler {
             }
         }
         let k = rng.gen_range(0..active.active_count());
-        let p = active.iter().nth(k).expect("non-empty active set");
+        let p = active.select(k);
         self.last = Some(p);
         p
     }
@@ -408,12 +520,26 @@ mod tests {
     fn active_set_crash_containment() {
         let mut a = ActiveSet::all(3);
         assert_eq!(a.active_count(), 3);
+        assert_eq!(a.generation(), 0);
         a.crash(ProcessId::new(1));
         a.crash(ProcessId::new(1)); // idempotent
         assert_eq!(a.active_count(), 2);
+        assert_eq!(a.generation(), 1, "idempotent crash bumps the epoch once");
         assert!(!a.is_active(ProcessId::new(1)));
         let ids: Vec<usize> = a.iter().map(ProcessId::index).collect();
         assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn select_matches_iter_rank_order() {
+        let mut a = ActiveSet::all(5);
+        a.crash(ProcessId::new(2));
+        a.crash(ProcessId::new(0));
+        for (k, p) in a.iter().enumerate() {
+            assert_eq!(a.select(k), p);
+        }
+        assert_eq!(a.select(0).index(), 1);
+        assert_eq!(a.select(2).index(), 4);
     }
 
     #[test]
@@ -472,6 +598,94 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn weighted_scheduler_rejects_zero_weight() {
         let _ = WeightedScheduler::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_oracle_matches_alias_distribution() {
+        let weights = vec![1.0, 2.0, 5.0, 0.5];
+        let active = ActiveSet::all(4);
+        let total = 120_000u32;
+        let sample_counts = |s: &mut WeightedScheduler| {
+            let mut r = rng();
+            let mut counts = [0u32; 4];
+            for tau in 0..total {
+                counts[s.schedule(u64::from(tau), &active, &mut r).index()] += 1;
+            }
+            counts
+        };
+        let alias = sample_counts(&mut WeightedScheduler::new(weights.clone()));
+        let linear = sample_counts(&mut WeightedScheduler::with_linear_sampling(weights));
+        for (a, l) in alias.iter().zip(&linear) {
+            let (fa, fl) = (
+                f64::from(*a) / f64::from(total),
+                f64::from(*l) / f64::from(total),
+            );
+            assert!(
+                (fa - fl).abs() < 0.01,
+                "alias {alias:?} vs linear {linear:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_weights_never_fall_off_the_linear_scan() {
+        // Regression: float accumulation can overshoot the running sum
+        // when the draw lands beyond the representable prefix sums —
+        // many subnormal-adjacent weights plus one dominant weight is
+        // the adversarial case. The scan must always return an active
+        // process (via the explicit last-active fallback) and, here,
+        // essentially always the dominant one.
+        let mut weights = vec![1e-300; 255];
+        weights.push(1.0);
+        let s = WeightedScheduler::with_linear_sampling(weights.clone());
+        let active = ActiveSet::all(256);
+        let mut r = rng();
+        for _ in 0..50_000 {
+            let p = s.pick_linear(&active, &mut r);
+            assert!(active.is_active(p));
+            assert_eq!(p.index(), 255, "1e-300 weights cannot win vs 1.0");
+        }
+        // The alias path handles the same weights.
+        let mut alias = WeightedScheduler::new(weights);
+        for tau in 0..50_000 {
+            assert_eq!(alias.schedule(tau, &active, &mut r).index(), 255);
+        }
+    }
+
+    #[test]
+    fn weighted_scheduler_counts_rebuilds_across_crashes() {
+        let mut s = WeightedScheduler::new(vec![1.0; 8]);
+        let mut active = ActiveSet::all(8);
+        let mut r = rng();
+        assert_eq!(s.sampler_rebuilds(), 0);
+        s.schedule(0, &active, &mut r);
+        assert_eq!(s.sampler_rebuilds(), 1);
+        // A lone crash is absorbed by rejection sampling.
+        active.crash(ProcessId::new(3));
+        for tau in 0..50 {
+            assert_ne!(s.schedule(tau, &active, &mut r).index(), 3);
+        }
+        assert_eq!(s.sampler_rebuilds(), 1);
+        // The oracle mode never builds tables.
+        let mut oracle = WeightedScheduler::with_linear_sampling(vec![1.0; 8]);
+        oracle.schedule(0, &active, &mut r);
+        assert_eq!(oracle.sampler_rebuilds(), 0);
+    }
+
+    #[test]
+    fn weighted_scheduler_respects_crashes_in_both_modes() {
+        let weights = vec![4.0, 1.0, 1.0, 1.0];
+        for mut s in [
+            WeightedScheduler::new(weights.clone()),
+            WeightedScheduler::with_linear_sampling(weights),
+        ] {
+            let mut active = ActiveSet::all(4);
+            active.crash(ProcessId::new(0));
+            let mut r = rng();
+            for tau in 0..2_000 {
+                assert_ne!(s.schedule(tau, &active, &mut r).index(), 0);
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,27 @@ use crate::process::ProcessId;
 
 use pwf_obs::Histogram;
 
+/// Records the gaps between consecutive values of `times` into a
+/// fresh histogram without materializing the sequence — the
+/// allocation-free core behind the latency summaries. `None` if fewer
+/// than two times arrive. Non-monotonic pairs saturate to a zero gap,
+/// matching [`LatencySummary::from_times`].
+fn gap_histogram_of(times: impl Iterator<Item = u64>) -> Option<Histogram> {
+    let mut hist = Histogram::new();
+    let mut prev: Option<u64> = None;
+    for t in times {
+        if let Some(p) = prev {
+            hist.record(t.saturating_sub(p));
+        }
+        prev = Some(t);
+    }
+    if hist.is_empty() {
+        None
+    } else {
+        Some(hist)
+    }
+}
+
 /// Summary statistics of a sequence of gaps (latencies): exact
 /// `count/mean/min/max` plus bucketed `p50/p90/p99/p999` quantile
 /// upper bounds. Shared with the hardware measurements via `pwf-obs`.
@@ -22,15 +43,22 @@ pub use pwf_obs::LatencySummary;
 /// System latency: gaps between consecutive completions by any
 /// process. `None` if fewer than two operations completed.
 pub fn system_latency(execution: &Execution) -> Option<LatencySummary> {
-    let times: Vec<u64> = execution.completions.iter().map(|c| c.time).collect();
-    LatencySummary::from_times(&times)
+    gap_histogram_of(execution.completions.iter().map(|c| c.time))
+        .as_ref()
+        .and_then(LatencySummary::from_histogram)
 }
 
 /// Individual latency of process `p`: gaps between its consecutive
 /// completions, measured in *system* steps. `None` if it completed
 /// fewer than two operations.
+///
+/// Called once per process per run by the experiment layer; works off
+/// [`Execution::completion_times_iter`] so the per-call completion
+/// vector the historical version built is gone.
 pub fn individual_latency(execution: &Execution, p: ProcessId) -> Option<LatencySummary> {
-    LatencySummary::from_times(&execution.completion_times(p))
+    gap_histogram_of(execution.completion_times_iter(p))
+        .as_ref()
+        .and_then(LatencySummary::from_histogram)
 }
 
 /// Mean individual latency averaged over all processes that completed
@@ -172,15 +200,19 @@ impl GapHistogram {
 /// `p` (its operation latencies, in system steps). `None` if it
 /// completed fewer than two operations.
 pub fn individual_latency_histogram(execution: &Execution, p: ProcessId) -> Option<GapHistogram> {
-    let times = execution.completion_times(p);
-    if times.len() < 2 {
-        return None;
-    }
     let mut h = GapHistogram::new();
-    for w in times.windows(2) {
-        h.record(w[1] - w[0]);
+    let mut prev: Option<u64> = None;
+    for t in execution.completion_times_iter(p) {
+        if let Some(q) = prev {
+            h.record(t - q);
+        }
+        prev = Some(t);
     }
-    Some(h)
+    if h.count() == 0 {
+        None
+    } else {
+        Some(h)
+    }
 }
 
 /// Histogram of the gaps between consecutive completions by *any*
@@ -215,10 +247,9 @@ pub fn operation_spans(execution: &Execution, p: ProcessId) -> Vec<(u64, u64)> {
         .trace
         .as_ref()
         .expect("operation_spans requires record_trace(true)");
-    let completion_times = execution.completion_times(p);
-    let mut spans = Vec::with_capacity(completion_times.len());
+    let mut spans = Vec::with_capacity(execution.process_completions[p.index()] as usize);
     let mut op_start: Option<u64> = None;
-    let mut next_completion = completion_times.iter().copied().peekable();
+    let mut next_completion = execution.completion_times_iter(p).peekable();
     for (idx, &who) in trace.iter().enumerate() {
         let tau = idx as u64 + 1; // 1-based system time
         if who != p {

@@ -53,6 +53,21 @@ echo "==> sim perf smoke: alias sampling must beat the linear scan"
 ./target/release/pwf run exp_sim_bench --fast
 grep -q '"speedup"' BENCH_sim.json
 
+echo "==> serve smoke: self-loadgen through a live HTTP server"
+# exp_serve_bench boots pwf serve on an ephemeral loopback port and
+# drives the built-in loadgen through it: concurrent Zipf-skewed
+# /predict requests across the theory/chain/sim layers plus one
+# barrier round on a slow key. It returns nonzero on any response
+# drift vs direct computation, zero cache hits, zero coalescer joins,
+# any transport error, or a p999 blowup vs the previous run; it also
+# refreshes BENCH_serve.json.
+./target/release/pwf run exp_serve_bench --fast
+grep -q '"drift": 0' BENCH_serve.json
+grep -q '"coalesced"' BENCH_serve.json
+
+echo "==> serve property tests: LRU vs reference model (vendored proptest)"
+cargo test -q --offline -p pwf-serve --features heavy-deps --test lru_properties
+
 echo "==> checker still drives the retained dyn-dispatch path"
 # The model checker replays heterogeneous Box<dyn Process> fleets
 # through the same monomorphized core; rerun the smoke after the

@@ -37,12 +37,13 @@ pub mod obs_overhead;
 pub mod parallel;
 pub mod quantum;
 pub mod scan_chain;
+pub mod serve_bench;
 pub mod sim_bench;
 pub mod unbounded;
 pub mod universal;
 
 /// All registered experiments.
-const ALL: [FnExperiment; 23] = [
+const ALL: [FnExperiment; 24] = [
     backoff::EXP,
     ballsbins::EXP,
     crashes::EXP,
@@ -63,6 +64,7 @@ const ALL: [FnExperiment; 23] = [
     parallel::EXP,
     quantum::EXP,
     scan_chain::EXP,
+    serve_bench::EXP,
     sim_bench::EXP,
     unbounded::EXP,
     universal::EXP,
@@ -105,18 +107,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_holds_all_twenty_three_unique_experiments() {
+    fn registry_holds_all_twenty_four_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 23);
+        assert_eq!(reg.len(), 24);
         assert!(reg.get("exp_ballsbins").is_some());
         assert!(reg.get("fig5_completion_rate").is_some());
         assert!(reg.get("obs_overhead").is_some());
         assert!(reg.get("exp_markov_bench").is_some());
         assert!(reg.get("exp_sim_bench").is_some());
+        assert!(reg.get("exp_serve_bench").is_some());
     }
 
     #[test]
-    fn eight_hardware_experiments_are_nondeterministic() {
+    fn nine_hardware_experiments_are_nondeterministic() {
         let reg = registry();
         let hardware: Vec<&str> = reg
             .iter()
@@ -129,6 +132,7 @@ mod tests {
                 "exp_latency_hist",
                 "exp_lock_baseline",
                 "exp_markov_bench",
+                "exp_serve_bench",
                 "exp_sim_bench",
                 "fig3_step_share",
                 "fig4_conditional",

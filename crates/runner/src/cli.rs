@@ -56,6 +56,13 @@ USAGE:
         Systematic concurrency checking: DPOR schedule exploration,
         linearizability, lock-freedom, and the atomics-ordering lint.
         See `pwf vet --help`.
+
+    pwf serve [OPTIONS]
+        The latency-prediction service: GET /predict answers from the
+        theory, chain, or sim layer through request coalescing, an LRU
+        result cache, and load shedding; /metrics and /trace expose
+        the pwf-obs counters and request spans. `pwf serve --selftest`
+        drives the built-in loadgen. See `pwf serve --help`.
 ";
 
 /// The default `--jobs`: every available core. Experiments fan their

@@ -1,0 +1,288 @@
+//! The `pwf serve` subcommand: run the service, or drive the built-in
+//! loadgen (`--selftest`).
+
+use std::time::Duration;
+
+use pwf_obs::{ObsHandle, DEFAULT_RING_CAPACITY};
+
+use crate::selftest::{bench_json, run as run_selftest, SelftestConfig};
+use crate::server::{start, ServerConfig};
+
+/// Usage text for `pwf serve --help`.
+pub const USAGE: &str = "\
+pwf serve — the latency-prediction service
+
+USAGE:
+    pwf serve [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      bind address          [default: 127.0.0.1:7878]
+    --cache-capacity N    LRU result-cache entries       [default: 1024]
+    --cache-ttl-ms N      result TTL in ms (0 disables caching;
+                          omit for never-expires)
+    --max-active N        concurrent requests past the shaper [default: 64]
+    --max-queue N         requests allowed to queue          [default: 256]
+    --max-wait-ms N       queue admission deadline in ms   [default: 10000]
+    --no-trace            disable the request-span trace ring
+    --selftest            run the built-in loadgen instead of serving
+    --requests N          (selftest) successful requests    [default: 30000]
+    --clients N           (selftest) client threads            [default: 64]
+    --seed N              (selftest) loadgen seed
+    --fast                (selftest) reduced profile (10000 requests)
+    --no-write            (selftest) skip writing BENCH_serve.json
+    -h, --help            show this text
+
+ENDPOINTS:
+    GET /predict?alg=scu&q=2&s=1&n=64&layer=theory|chain|sim[&steps=..][&seed=..]
+    GET /metrics          serve.* counters, gauges, latency histograms
+    GET /trace            request spans as Perfetto JSON
+    GET /healthz          liveness
+";
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+struct Args {
+    server: ServerConfig,
+    trace: bool,
+    selftest: bool,
+    selftest_config: SelftestConfig,
+    write_bench: bool,
+}
+
+fn parse(argv: &[String]) -> Result<Option<Args>, String> {
+    let mut args = Args {
+        server: ServerConfig::default(),
+        trace: true,
+        selftest: false,
+        selftest_config: SelftestConfig::default(),
+        write_bench: true,
+    };
+    let mut fast = false;
+    let mut requests: Option<u64> = None;
+    let mut clients: Option<usize> = None;
+    let mut iter = argv.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(None),
+            "--addr" => args.server.addr = value("--addr")?,
+            "--cache-capacity" => {
+                args.server.engine.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--cache-ttl-ms" => {
+                let ms: u64 = value("--cache-ttl-ms")?
+                    .parse()
+                    .map_err(|e| format!("--cache-ttl-ms: {e}"))?;
+                args.server.engine.cache_ttl_us = Some(ms * 1000);
+            }
+            "--max-active" => {
+                args.server.engine.max_active = value("--max-active")?
+                    .parse()
+                    .map_err(|e| format!("--max-active: {e}"))?;
+            }
+            "--max-queue" => {
+                args.server.engine.max_queue = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?;
+            }
+            "--max-wait-ms" => {
+                let ms: u64 = value("--max-wait-ms")?
+                    .parse()
+                    .map_err(|e| format!("--max-wait-ms: {e}"))?;
+                args.server.engine.max_wait = Duration::from_millis(ms);
+            }
+            "--no-trace" => args.trace = false,
+            "--selftest" => args.selftest = true,
+            "--requests" => {
+                requests = Some(
+                    value("--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                );
+            }
+            "--clients" => {
+                clients = Some(
+                    value("--clients")?
+                        .parse()
+                        .map_err(|e| format!("--clients: {e}"))?,
+                );
+            }
+            "--seed" => {
+                args.selftest_config.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--fast" => fast = true,
+            "--no-write" => args.write_bench = false,
+            other => return Err(format!("unknown flag {other:?} (see pwf serve --help)")),
+        }
+    }
+    if fast {
+        let seed = args.selftest_config.seed;
+        args.selftest_config = SelftestConfig {
+            seed,
+            ..SelftestConfig::fast()
+        };
+    }
+    if let Some(requests) = requests {
+        args.selftest_config.requests = requests;
+    }
+    if let Some(clients) = clients {
+        if clients == 0 {
+            return Err("--clients must be at least 1".into());
+        }
+        args.selftest_config.clients = clients;
+    }
+    args.selftest_config.write_bench = args.write_bench;
+    Ok(Some(args))
+}
+
+/// Entry point for the `serve` subcommand (dispatched from the `pwf`
+/// binary). Returns the process exit code.
+pub fn main(argv: Vec<String>) -> i32 {
+    let args = match parse(&argv) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return 0;
+        }
+        Err(message) => {
+            eprintln!("pwf serve: {message}");
+            return 2;
+        }
+    };
+    let obs = ObsHandle::collecting(args.trace.then_some(DEFAULT_RING_CAPACITY));
+
+    if args.selftest {
+        return selftest_main(&args, obs);
+    }
+
+    match start(&args.server, obs) {
+        Ok(server) => {
+            println!(
+                "pwf-serve listening on http://{} (cache {} entries, {} active / {} queued)",
+                server.addr(),
+                args.server.engine.cache_capacity,
+                args.server.engine.max_active,
+                args.server.engine.max_queue,
+            );
+            println!("endpoints: /predict /metrics /trace /healthz  — ctrl-c to stop");
+            // Serve until killed: the acceptor owns the listener; this
+            // thread just parks.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("pwf serve: bind {}: {e}", args.server.addr);
+            1
+        }
+    }
+}
+
+fn selftest_main(args: &Args, obs: ObsHandle) -> i32 {
+    let config = &args.selftest_config;
+    eprintln!(
+        "pwf serve --selftest: driving {} requests from {} clients (seed {:#x})",
+        config.requests, config.clients, config.seed
+    );
+    let report = match run_selftest(config, obs) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("pwf serve --selftest: FAIL: {message}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "  {} completed in {:.2}s ({:.0} rps): {} cached ({:.1}%), {} coalesced, {} computed, {} retries",
+        report.completed,
+        report.wall.as_secs_f64(),
+        report.throughput_rps(),
+        report.from_cache,
+        100.0 * report.cache_hit_rate(),
+        report.coalesced,
+        report.computed,
+        report.rejected_retries,
+    );
+    eprintln!(
+        "  latency µs: p50={} p90={} p99={} p999={} max={}  drift={}",
+        report.latency.p50,
+        report.latency.p90,
+        report.latency.p99,
+        report.latency.p999,
+        report.latency.max,
+        report.drift,
+    );
+    let doc = bench_json(&report, config);
+    if config.write_bench {
+        if let Err(e) = std::fs::write("BENCH_serve.json", doc.render()) {
+            eprintln!("pwf serve --selftest: writing BENCH_serve.json: {e}");
+            return 1;
+        }
+        eprintln!("  wrote BENCH_serve.json");
+    } else {
+        println!("{}", doc.render());
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(spec: &[&str]) -> Result<Option<Args>, String> {
+        parse(&spec.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_overrides_parse() {
+        let parsed = args(&[]).unwrap().unwrap();
+        assert_eq!(parsed.server.addr, "127.0.0.1:7878");
+        assert!(!parsed.selftest);
+        let parsed = args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--cache-capacity",
+            "16",
+            "--cache-ttl-ms",
+            "250",
+            "--max-active",
+            "8",
+            "--selftest",
+            "--requests",
+            "5000",
+            "--clients",
+            "10",
+            "--no-write",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(parsed.server.engine.cache_capacity, 16);
+        assert_eq!(parsed.server.engine.cache_ttl_us, Some(250_000));
+        assert_eq!(parsed.server.engine.max_active, 8);
+        assert!(parsed.selftest);
+        assert_eq!(parsed.selftest_config.requests, 5000);
+        assert_eq!(parsed.selftest_config.clients, 10);
+        assert!(!parsed.selftest_config.write_bench);
+    }
+
+    #[test]
+    fn fast_profile_keeps_the_acceptance_floor() {
+        let parsed = args(&["--selftest", "--fast"]).unwrap().unwrap();
+        assert!(parsed.selftest_config.requests >= 10_000);
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(args(&["--help"]).unwrap().is_none());
+        assert!(args(&["--bogus"]).is_err());
+        assert!(args(&["--requests"]).is_err());
+        assert!(args(&["--clients", "0"]).is_err());
+    }
+}

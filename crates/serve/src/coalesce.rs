@@ -1,0 +1,249 @@
+//! In-flight request deduplication (coalescing): identical concurrent
+//! requests join one execution and all wake with its result.
+//!
+//! This is the query-deduplication pattern from apollo-router's
+//! decision record (SNIPPETS.md Snippet 1 carries its TLA+ spec),
+//! whose whole reason to exist is the *lost wakeup*: a waiter that
+//! registers after the leader has broadcast sleeps forever. The
+//! design here makes that impossible by construction:
+//!
+//! * membership in the in-flight map and the per-flight result cell
+//!   are the only coordination state;
+//! * a follower that finds a flight in the map waits on the flight's
+//!   condvar **checking the result cell under the same mutex the
+//!   leader sets it under** — the classic monitor pattern, so the
+//!   wake cannot slip between check and sleep;
+//! * the leader publishes in the order *result cell → deregister →
+//!   broadcast is irrelevant* — in fact it sets the cell and
+//!   broadcasts while deregistering afterwards would also be correct;
+//!   a follower that joins after publication finds the cell already
+//!   full and never sleeps.
+//!
+//! Per-flight join counts are lock-free fetch-and-increment on an
+//! atomic — the same primitive (Algorithm 5) whose completion rate
+//! the paper analyzes — so the dedup layer itself is one of the
+//! repo's algorithms running under live load.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a caller's request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This caller executed the computation.
+    Leader,
+    /// This caller joined an in-flight execution and was woken with
+    /// its result.
+    Joiner,
+}
+
+/// One in-flight execution: the result cell all joiners wait on.
+#[derive(Debug)]
+struct Flight<V> {
+    /// `None` until the leader publishes; checked and set under this
+    /// mutex, which is what rules the lost wakeup out.
+    result: Mutex<Option<Result<V, String>>>,
+    woken: Condvar,
+    /// Joiners that attached to this flight (lock-free FAI).
+    joiners: AtomicU64,
+}
+
+/// Aggregate dedup counters for the metrics endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Executions led (cache-miss computations actually run).
+    pub leaders: u64,
+    /// Requests that joined an in-flight execution instead of
+    /// recomputing.
+    pub joins: u64,
+}
+
+/// The dedup map: key → in-flight execution.
+#[derive(Debug)]
+pub struct Coalescer<V> {
+    inflight: Mutex<HashMap<String, Arc<Flight<V>>>>,
+    leaders: AtomicU64,
+    joins: AtomicU64,
+}
+
+impl<V: Clone> Default for Coalescer<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> Coalescer<V> {
+    /// Creates an empty coalescer.
+    pub fn new() -> Self {
+        Coalescer {
+            inflight: Mutex::new(HashMap::new()),
+            leaders: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `compute` for `key`, deduplicating against concurrent
+    /// callers: exactly one caller (the leader) executes it, everyone
+    /// else blocks until the leader's result is published and gets a
+    /// clone of it.
+    ///
+    /// `publish` runs on the leader after `compute` but **before** the
+    /// flight is deregistered — the caller hooks its result cache in
+    /// here, so at no instant is a finished result neither in the
+    /// cache nor joinable in flight (a request arriving in between
+    /// would otherwise recompute).
+    ///
+    /// # Errors
+    ///
+    /// Returns the computation's own error (joiners receive a clone
+    /// of the leader's error string).
+    pub fn run(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<V, String>,
+        publish: impl FnOnce(&Result<V, String>),
+    ) -> (Result<V, String>, Role) {
+        // Register or join, under the map lock only briefly.
+        let (flight, role) = {
+            let mut inflight = self.inflight.lock().expect("coalescer map poisoned");
+            match inflight.get(key) {
+                Some(flight) => (Arc::clone(flight), Role::Joiner),
+                None => {
+                    let flight = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        woken: Condvar::new(),
+                        joiners: AtomicU64::new(0),
+                    });
+                    inflight.insert(key.to_string(), Arc::clone(&flight));
+                    (flight, Role::Leader)
+                }
+            }
+        };
+
+        match role {
+            Role::Leader => {
+                self.leaders.fetch_add(1, Ordering::Relaxed);
+                let result = compute();
+                publish(&result);
+                // Publish to joiners: set the cell under the flight
+                // mutex, then broadcast. A joiner is either already
+                // waiting (woken by the broadcast) or yet to check the
+                // cell (finds it full) — no third state.
+                {
+                    let mut cell = flight.result.lock().expect("flight cell poisoned");
+                    *cell = Some(result.clone());
+                }
+                flight.woken.notify_all();
+                // Deregister last: between `publish` and here the key
+                // is findable both in the cache and in flight, never
+                // in neither.
+                self.inflight
+                    .lock()
+                    .expect("coalescer map poisoned")
+                    .remove(key);
+                (result, Role::Leader)
+            }
+            Role::Joiner => {
+                flight.joiners.fetch_add(1, Ordering::Relaxed);
+                self.joins.fetch_add(1, Ordering::Relaxed);
+                let mut cell = flight.result.lock().expect("flight cell poisoned");
+                while cell.is_none() {
+                    cell = flight.woken.wait(cell).expect("flight cell poisoned");
+                }
+                (
+                    cell.clone().expect("loop exits only when set"),
+                    Role::Joiner,
+                )
+            }
+        }
+    }
+
+    /// Executions currently in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("coalescer map poisoned").len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CoalesceStats {
+        CoalesceStats {
+            leaders: self.leaders.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn sequential_runs_each_lead() {
+        let c: Coalescer<u32> = Coalescer::new();
+        let (r1, role1) = c.run("k", || Ok(1), |_| {});
+        let (r2, role2) = c.run("k", || Ok(2), |_| {});
+        assert_eq!((r1.unwrap(), role1), (1, Role::Leader));
+        assert_eq!((r2.unwrap(), role2), (2, Role::Leader));
+        assert_eq!(c.stats().leaders, 2);
+        assert_eq!(c.stats().joins, 0);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn errors_propagate_to_all_joiners() {
+        let c: Arc<Coalescer<u32>> = Arc::new(Coalescer::new());
+        let gate = Arc::new(Barrier::new(4));
+        let executions = Arc::new(AtomicUsize::new(0));
+        let results: Vec<_> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    let gate = Arc::clone(&gate);
+                    let executions = Arc::clone(&executions);
+                    scope.spawn(move || {
+                        gate.wait();
+                        c.run(
+                            "boom",
+                            || {
+                                executions.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(std::time::Duration::from_millis(30));
+                                Err("synthetic".to_string())
+                            },
+                            |_| {},
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (result, _) in &results {
+            assert_eq!(result.as_ref().unwrap_err(), "synthetic");
+        }
+        // At least one execution deduplicated away (30 ms of overlap
+        // across four synchronized threads).
+        assert!(executions.load(Ordering::Relaxed) < 4);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn publish_runs_before_deregistration() {
+        let c: Coalescer<u32> = Coalescer::new();
+        let mut seen_inflight = 0;
+        let (result, _) = c.run(
+            "k",
+            || Ok(7),
+            |_| {
+                // The flight must still be registered while the cache
+                // hook runs.
+                seen_inflight = c.inflight_len();
+            },
+        );
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(seen_inflight, 1);
+        assert_eq!(c.inflight_len(), 0);
+    }
+}

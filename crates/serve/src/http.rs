@@ -1,0 +1,355 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams: request parsing
+//! and response writing, nothing more.
+//!
+//! The server only ever needs `GET` with a query string, keep-alive,
+//! and a handful of status codes, so the implementation is a small
+//! hand-rolled parser with hard limits on line and header sizes (a
+//! malformed or hostile peer costs one bounded read, never unbounded
+//! memory).
+
+use std::io::{BufRead, Write};
+
+/// Longest accepted request line or header line, in bytes.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request: method, decoded path, and decoded query pairs in
+/// arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, uppercased (`GET`, `HEAD`, …).
+    pub method: String,
+    /// The path component, percent-decoded (`/predict`).
+    pub path: String,
+    /// Query parameters, percent-decoded, in arrival order.
+    pub query: Vec<(String, String)>,
+    /// Whether the peer asked to keep the connection open after the
+    /// response (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of the named query parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line —
+    /// the normal end of a keep-alive connection, not an error to log.
+    ConnectionClosed,
+    /// The request was malformed or exceeded a size limit.
+    Malformed(String),
+    /// Reading from the socket failed (timeout, reset, …).
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ParseError::Io(m) => write!(f, "read error: {m}"),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line with a size cap.
+fn read_line(reader: &mut impl BufRead) -> Result<String, ParseError> {
+    let mut buf = Vec::new();
+    loop {
+        let chunk = reader
+            .fill_buf()
+            .map_err(|e| ParseError::Io(e.to_string()))?;
+        if chunk.is_empty() {
+            if buf.is_empty() {
+                return Err(ParseError::ConnectionClosed);
+            }
+            return Err(ParseError::Malformed("truncated line".into()));
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map_err(|_| ParseError::Malformed("non-UTF-8 line".into()));
+        }
+        buf.extend_from_slice(chunk);
+        let n = chunk.len();
+        reader.consume(n);
+        if buf.len() > MAX_LINE {
+            return Err(ParseError::Malformed("line exceeds limit".into()));
+        }
+    }
+}
+
+/// Percent-decodes a URL component (`%41` → `A`, `+` → space in query
+/// values). Invalid escapes pass through literally rather than
+/// failing the whole request.
+pub fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a query string into decoded `(key, value)` pairs.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(part), String::new()),
+        })
+        .collect()
+}
+
+/// Parses one request off the stream (request line + headers; GET has
+/// no body). Blocks until a full head arrives or the peer closes.
+///
+/// # Errors
+///
+/// [`ParseError::ConnectionClosed`] at clean EOF before a request
+/// line; [`ParseError::Malformed`] on grammar or limit violations;
+/// [`ParseError::Io`] on socket errors.
+pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let line = read_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t, v),
+        _ => return Err(ParseError::Malformed(format!("bad request line {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!("bad version {version:?}")));
+    }
+
+    // Headers: only Connection matters to this server; the rest are
+    // consumed and dropped (bounded in count and size).
+    let mut keep_alive = true;
+    for _ in 0..MAX_HEADERS {
+        let header = read_line(reader).map_err(|e| match e {
+            ParseError::ConnectionClosed => ParseError::Malformed("truncated headers".into()),
+            other => other,
+        })?;
+        if header.is_empty() {
+            let (path, query) = match target.split_once('?') {
+                Some((p, q)) => (percent_decode(p), parse_query(q)),
+                None => (percent_decode(target), Vec::new()),
+            };
+            return Ok(Request {
+                method,
+                path,
+                query,
+                keep_alive,
+            });
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") && value.trim().eq_ignore_ascii_case("close")
+            {
+                keep_alive = false;
+            }
+        }
+    }
+    Err(ParseError::Malformed("too many headers".into()))
+}
+
+/// A response ready to serialize: status, content type, extra headers,
+/// body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Additional headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status codes this server
+    /// emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes head and body onto the stream (one write-visible
+    /// flush; `keep_alive` selects the advertised connection policy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(self.body.as_bytes())?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> Result<Request, ParseError> {
+        parse_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /predict?alg=scu&q=2&s=1&n=64 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.param("alg"), Some("scu"));
+        assert_eq!(req.param("n"), Some("64"));
+        assert_eq!(req.param("missing"), None);
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_query() {
+        let req = parse("GET /pre%64ict?a+b=c%20d HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.query, vec![("a b".to_string(), "c d".to_string())]);
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(percent_decode("%zz%4"), "%zz%4");
+        assert_eq!(percent_decode("100%"), "100%");
+    }
+
+    #[test]
+    fn eof_before_request_is_connection_closed() {
+        assert_eq!(parse("").unwrap_err(), ParseError::ConnectionClosed);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_malformed() {
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nHost: y"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("nonsense\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_policy() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".into())
+            .header("x-pwf-source", "cache")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-pwf-source: cache\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,44 @@
+//! pwf-serve: the latency-prediction service.
+//!
+//! A zero-dependency HTTP/1.1 server over `std::net` that answers
+//! `GET /predict` by invoking the repo's own analysis layers —
+//! closed-form theory, Markov-chain analysis, and the seeded
+//! simulator — behind three production layers:
+//!
+//! 1. **traffic shaping** ([`shaper`]): a concurrency limit with
+//!    bounded queueing and 429 shedding;
+//! 2. **result caching** ([`lru`]): a fixed-capacity LRU keyed on the
+//!    canonical query, with optional TTL;
+//! 3. **in-flight deduplication** ([`coalesce`]): identical concurrent
+//!    requests join one execution (no lost wakeups by construction).
+//!
+//! The service is itself an instance of the system the paper studies:
+//! request tickets are drawn from the lock-free fetch-and-increment
+//! counter of `pwf-hardware` (Algorithm 5), and its CAS retry counts
+//! feed a `serve.ticket_steps` histogram — a live sample of the
+//! step distribution whose tail the paper's Markov analysis predicts.
+//!
+//! [`selftest`] is the built-in loadgen (`pwf serve --selftest`):
+//! tens of thousands of concurrent requests through dedup + cache,
+//! gated on zero drift against direct computation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod coalesce;
+pub mod engine;
+pub mod http;
+pub mod lru;
+pub mod predict;
+pub mod selftest;
+pub mod server;
+pub mod shaper;
+
+pub use coalesce::{CoalesceStats, Coalescer, Role};
+pub use engine::{Engine, EngineConfig, ServeError, Served, Source};
+pub use lru::{CacheStats, LruCache};
+pub use predict::{compute, parse_key, PredictKey};
+pub use selftest::{SelftestConfig, SelftestReport};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use shaper::{Rejection, Shaper, ShaperStats};

@@ -1,0 +1,355 @@
+//! The result cache: a fixed-capacity LRU map with optional TTL
+//! expiry, O(1) on every operation.
+//!
+//! Recency is an intrusive doubly-linked list threaded through a slab
+//! of slots (indices, not pointers — no `unsafe`), the same shape
+//! production caches use (apollo-router's `cache/` keeps an LRU of
+//! deduplicated query plans the same way). The clock is injected so
+//! TTL behaviour is testable without sleeping: production uses a
+//! monotonic `Instant`-based microsecond clock, tests drive a manual
+//! tick.
+//!
+//! TTL semantics: an entry is expired once `age >= ttl`, so a zero
+//! TTL means "never serve from cache" (the knob degrades the cache to
+//! a pass-through instead of dividing by zero somewhere), and
+//! `ttl: None` means entries never expire.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Absent-link sentinel for the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// A microsecond clock the cache samples on every put/get.
+pub type Clock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// A monotonic microsecond clock starting at construction time.
+pub fn monotonic_clock() -> Clock {
+    let start = Instant::now();
+    Arc::new(move || start.elapsed().as_micros() as u64)
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    key: String,
+    value: V,
+    stored_at_us: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Counters the cache exposes to the metrics endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Gets served from a live entry.
+    pub hits: u64,
+    /// Gets that found nothing (or only an expired entry).
+    pub misses: u64,
+    /// Entries pushed out by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because their TTL had passed.
+    pub expirations: u64,
+}
+
+/// A fixed-capacity LRU cache with optional TTL.
+pub struct LruCache<V> {
+    capacity: usize,
+    /// TTL in microseconds; `None` = entries never expire.
+    ttl_us: Option<u64>,
+    clock: Clock,
+    map: HashMap<String, usize>,
+    slots: Vec<Slot<V>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot index, or [`NIL`].
+    head: usize,
+    /// Least-recently-used slot index, or [`NIL`].
+    tail: usize,
+    stats: CacheStats,
+}
+
+impl<V> std::fmt::Debug for LruCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("capacity", &self.capacity)
+            .field("ttl_us", &self.ttl_us)
+            .field("len", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<V: Clone> LruCache<V> {
+    /// Creates a cache holding at most `capacity` entries whose age is
+    /// measured by the monotonic wall clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (use a zero TTL for "cache nothing").
+    pub fn new(capacity: usize, ttl_us: Option<u64>) -> Self {
+        Self::with_clock(capacity, ttl_us, monotonic_clock())
+    }
+
+    /// [`new`](Self::new) with an injected clock (tests drive a manual
+    /// tick through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_clock(capacity: usize, ttl_us: Option<u64>, clock: Clock) -> Self {
+        assert!(
+            capacity > 0,
+            "capacity must be positive; use ttl 0 to disable"
+        );
+        LruCache {
+            capacity,
+            ttl_us,
+            clock,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Live entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Unlinks `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    /// Links `idx` in at the MRU head.
+    fn link_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Removes `idx` entirely, returning its slot to the free list.
+    fn remove_slot(&mut self, idx: usize) {
+        self.unlink(idx);
+        self.map.remove(&self.slots[idx].key);
+        self.free.push(idx);
+    }
+
+    fn expired(&self, idx: usize, now: u64) -> bool {
+        match self.ttl_us {
+            Some(ttl) => now.saturating_sub(self.slots[idx].stored_at_us) >= ttl,
+            None => false,
+        }
+    }
+
+    /// Looks up `key`, promoting a live entry to most-recently-used.
+    /// An expired entry counts as a miss and is dropped on the spot.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        let now = (self.clock)();
+        match self.map.get(key).copied() {
+            Some(idx) if self.expired(idx, now) => {
+                self.remove_slot(idx);
+                self.stats.expirations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            Some(idx) => {
+                self.unlink(idx);
+                self.link_front(idx);
+                self.stats.hits += 1;
+                Some(self.slots[idx].value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: &str, value: V) {
+        let now = (self.clock)();
+        if let Some(idx) = self.map.get(key).copied() {
+            self.slots[idx].value = value;
+            self.slots[idx].stored_at_us = now;
+            self.unlink(idx);
+            self.link_front(idx);
+            return;
+        }
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "full cache has a tail");
+            // An entry that was already dead counts as expiry, not
+            // capacity pressure.
+            if self.expired(victim, now) {
+                self.stats.expirations += 1;
+            } else {
+                self.stats.evictions += 1;
+            }
+            self.remove_slot(victim);
+        }
+        let slot = Slot {
+            key: key.to_string(),
+            value,
+            stored_at_us: now,
+            prev: NIL,
+            next: NIL,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx] = slot;
+                idx
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key.to_string(), idx);
+        self.link_front(idx);
+    }
+
+    /// Keys in recency order, most-recently-used first (test hook; the
+    /// property suite checks eviction order through this).
+    pub fn keys_by_recency(&self) -> Vec<String> {
+        let mut keys = Vec::with_capacity(self.map.len());
+        let mut idx = self.head;
+        while idx != NIL {
+            keys.push(self.slots[idx].key.clone());
+            idx = self.slots[idx].next;
+        }
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A manually-advanced clock for TTL tests.
+    fn manual_clock() -> (Arc<AtomicU64>, Clock) {
+        let tick = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&tick);
+        (tick, Arc::new(move || t.load(Ordering::Relaxed)))
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut c: LruCache<u32> = LruCache::new(2, None);
+        assert_eq!(c.get("a"), None);
+        c.put("a", 1);
+        assert_eq!(c.get("a"), Some(1));
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let mut c: LruCache<u32> = LruCache::new(2, None);
+        c.put("a", 1);
+        c.put("b", 2);
+        // Touch "a" so "b" is the LRU when "c" arrives.
+        assert_eq!(c.get("a"), Some(1));
+        c.put("c", 3);
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.keys_by_recency(), vec!["c", "a"]);
+    }
+
+    #[test]
+    fn put_refreshes_value_and_recency_without_eviction() {
+        let mut c: LruCache<u32> = LruCache::new(2, None);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.keys_by_recency(), vec!["a", "b"]);
+        assert_eq!(c.get("a"), Some(10));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_one_cache_holds_exactly_the_last_key() {
+        let mut c: LruCache<u32> = LruCache::new(1, None);
+        for (i, key) in ["a", "b", "c"].iter().enumerate() {
+            c.put(key, i as u32);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.keys_by_recency(), vec![key.to_string()]);
+        }
+        assert_eq!(c.get("c"), Some(2));
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let (tick, clock) = manual_clock();
+        let mut c: LruCache<u32> = LruCache::with_clock(4, Some(100), clock);
+        c.put("a", 1);
+        tick.store(99, Ordering::Relaxed);
+        assert_eq!(c.get("a"), Some(1));
+        tick.store(100, Ordering::Relaxed);
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.stats().expirations, 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn zero_ttl_caches_nothing() {
+        let (_tick, clock) = manual_clock();
+        let mut c: LruCache<u32> = LruCache::with_clock(4, Some(0), clock);
+        c.put("a", 1);
+        // Same instant: age 0 >= ttl 0, already expired.
+        assert_eq!(c.get("a"), None);
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn refresh_resets_ttl() {
+        let (tick, clock) = manual_clock();
+        let mut c: LruCache<u32> = LruCache::with_clock(4, Some(100), clock);
+        c.put("a", 1);
+        tick.store(80, Ordering::Relaxed);
+        c.put("a", 2);
+        tick.store(150, Ordering::Relaxed);
+        assert_eq!(c.get("a"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u32>::new(0, None);
+    }
+}

@@ -1,0 +1,225 @@
+//! Traffic shaping: a concurrency limit with bounded queueing and
+//! load shedding.
+//!
+//! At most `max_active` requests execute at once; up to `max_queue`
+//! more may wait (FIFO-fair in aggregate — wakeups race, but the
+//! waiting count is strictly bounded); anything beyond that is shed
+//! immediately with HTTP 429, and a waiter that outlasts
+//! `max_wait` gives up with 503 rather than camping on a wedged
+//! upstream. Shedding at the door instead of queueing without bound
+//! is what keeps p999 meaningful under overload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why admission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// Active and queue limits were both full: shed (HTTP 429).
+    Shed,
+    /// Queued longer than the configured maximum wait (HTTP 503).
+    TimedOut,
+}
+
+#[derive(Debug, Default)]
+struct Gate {
+    active: usize,
+    waiting: usize,
+}
+
+/// The shaper: shared admission state plus counters.
+#[derive(Debug)]
+pub struct Shaper {
+    gate: Mutex<Gate>,
+    freed: Condvar,
+    max_active: usize,
+    max_queue: usize,
+    max_wait: Duration,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    queued: AtomicU64,
+}
+
+/// Aggregate shaper counters for the metrics endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShaperStats {
+    /// Requests shed at the door (queue full).
+    pub shed: u64,
+    /// Requests that timed out while queued.
+    pub timeouts: u64,
+    /// Requests that had to queue before admission.
+    pub queued: u64,
+    /// Requests currently executing.
+    pub active: usize,
+    /// Requests currently waiting.
+    pub waiting: usize,
+}
+
+/// An admission token; releasing it (drop) frees one slot and wakes a
+/// waiter.
+#[derive(Debug)]
+pub struct Permit {
+    shaper: Arc<Shaper>,
+    /// Time spent queued before admission (zero on the fast path).
+    pub queue_wait: Duration,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut gate = self.shaper.gate.lock().expect("shaper gate poisoned");
+        gate.active -= 1;
+        drop(gate);
+        self.shaper.freed.notify_one();
+    }
+}
+
+impl Shaper {
+    /// Creates a shaper admitting `max_active` concurrent requests
+    /// with a queue of `max_queue` and a per-request queue budget of
+    /// `max_wait`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_active == 0`.
+    pub fn new(max_active: usize, max_queue: usize, max_wait: Duration) -> Arc<Self> {
+        assert!(max_active > 0, "need at least one active slot");
+        Arc::new(Shaper {
+            gate: Mutex::new(Gate::default()),
+            freed: Condvar::new(),
+            max_active,
+            max_queue,
+            max_wait,
+            shed: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+        })
+    }
+
+    /// Requests admission: immediate when a slot is free, queued up to
+    /// the limits otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejection::Shed`] when both the active and queue limits are
+    /// full, [`Rejection::TimedOut`] when queued past `max_wait`.
+    pub fn admit(self: &Arc<Self>) -> Result<Permit, Rejection> {
+        let mut gate = self.gate.lock().expect("shaper gate poisoned");
+        if gate.active < self.max_active {
+            gate.active += 1;
+            return Ok(Permit {
+                shaper: Arc::clone(self),
+                queue_wait: Duration::ZERO,
+            });
+        }
+        if gate.waiting >= self.max_queue {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejection::Shed);
+        }
+        gate.waiting += 1;
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let deadline = self.max_wait;
+        loop {
+            let remaining = match deadline.checked_sub(started.elapsed()) {
+                Some(r) if !r.is_zero() => r,
+                _ => {
+                    gate.waiting -= 1;
+                    self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejection::TimedOut);
+                }
+            };
+            let (g, timeout) = self
+                .freed
+                .wait_timeout(gate, remaining)
+                .expect("shaper gate poisoned");
+            gate = g;
+            if gate.active < self.max_active {
+                gate.waiting -= 1;
+                gate.active += 1;
+                return Ok(Permit {
+                    shaper: Arc::clone(self),
+                    queue_wait: started.elapsed(),
+                });
+            }
+            if timeout.timed_out() {
+                gate.waiting -= 1;
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(Rejection::TimedOut);
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ShaperStats {
+        let gate = self.gate.lock().expect("shaper gate poisoned");
+        ShaperStats {
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            active: gate.active,
+            waiting: gate.waiting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn admits_up_to_the_limit_then_sheds() {
+        let shaper = Shaper::new(2, 0, Duration::from_secs(1));
+        let a = shaper.admit().unwrap();
+        let b = shaper.admit().unwrap();
+        assert_eq!(shaper.admit().unwrap_err(), Rejection::Shed);
+        drop(a);
+        let c = shaper.admit().unwrap();
+        drop(b);
+        drop(c);
+        let stats = shaper.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.active, 0);
+    }
+
+    #[test]
+    fn queued_requests_are_admitted_when_slots_free() {
+        let shaper = Shaper::new(1, 8, Duration::from_secs(10));
+        let first = shaper.admit().unwrap();
+        let gate = Arc::new(Barrier::new(5));
+        let admitted: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let shaper = Arc::clone(&shaper);
+                    let gate = Arc::clone(&gate);
+                    scope.spawn(move || {
+                        gate.wait();
+                        shaper.admit().map(drop).is_ok()
+                    })
+                })
+                .collect();
+            gate.wait();
+            // Let the waiters park, then open the slot.
+            std::thread::sleep(Duration::from_millis(50));
+            drop(first);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(admitted.iter().all(|&ok| ok));
+        let stats = shaper.stats();
+        assert!(stats.queued >= 1, "at least one request had to queue");
+        assert_eq!(stats.active, 0);
+        assert_eq!(stats.waiting, 0);
+    }
+
+    #[test]
+    fn queue_wait_times_out() {
+        let shaper = Shaper::new(1, 4, Duration::from_millis(50));
+        let held = shaper.admit().unwrap();
+        let started = Instant::now();
+        assert_eq!(shaper.admit().unwrap_err(), Rejection::TimedOut);
+        assert!(started.elapsed() >= Duration::from_millis(50));
+        drop(held);
+        assert_eq!(shaper.stats().timeouts, 1);
+    }
+}

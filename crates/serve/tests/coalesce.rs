@@ -1,0 +1,193 @@
+//! Integration tests for in-flight request coalescing: the
+//! lost-wakeup guarantee under real concurrency, at the coalescer
+//! layer, at the engine layer, and over HTTP against a live server.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use pwf_obs::ObsHandle;
+use pwf_serve::coalesce::{Coalescer, Role};
+use pwf_serve::engine::{Engine, EngineConfig, Source};
+use pwf_serve::predict::parse_key;
+
+fn key(spec: &[(&str, &str)]) -> pwf_serve::predict::PredictKey {
+    let pairs: Vec<(String, String)> = spec
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    parse_key(&pairs).unwrap()
+}
+
+/// The headline property: N concurrent identical requests execute the
+/// computation exactly once, and every waiter receives the result —
+/// no lost wakeups, no stragglers recomputing.
+#[test]
+fn n_concurrent_identical_requests_execute_exactly_once() {
+    const N: usize = 32;
+    let coalescer: Coalescer<u64> = Coalescer::new();
+    let executions = AtomicUsize::new(0);
+    let gate = Barrier::new(N);
+
+    let results: Vec<(Result<u64, String>, Role)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let coalescer = &coalescer;
+                let executions = &executions;
+                let gate = &gate;
+                scope.spawn(move || {
+                    gate.wait();
+                    coalescer.run(
+                        "the-key",
+                        || {
+                            executions.fetch_add(1, Ordering::SeqCst);
+                            // Long enough that every barrier-released
+                            // thread arrives while the flight is open.
+                            std::thread::sleep(Duration::from_millis(100));
+                            Ok(42)
+                        },
+                        |_| {},
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        executions.load(Ordering::SeqCst),
+        1,
+        "exactly one execution across {N} identical concurrent requests"
+    );
+    let leaders = results.iter().filter(|(_, r)| *r == Role::Leader).count();
+    assert_eq!(leaders, 1, "exactly one leader");
+    for (result, _) in &results {
+        assert_eq!(result.as_ref().unwrap(), &42, "every waiter got the result");
+    }
+    let stats = coalescer.stats();
+    assert_eq!(stats.leaders, 1);
+    assert_eq!(stats.joins as usize, N - 1);
+    assert_eq!(coalescer.inflight_len(), 0, "flight deregistered");
+}
+
+/// Back-to-back waves: coalescing within a wave, fresh execution per
+/// wave (the map is fully cleaned up in between).
+#[test]
+fn sequential_waves_each_execute_once() {
+    const N: usize = 8;
+    const WAVES: usize = 5;
+    let coalescer: Arc<Coalescer<usize>> = Arc::new(Coalescer::new());
+    for wave in 0..WAVES {
+        let executions = AtomicUsize::new(0);
+        let gate = Barrier::new(N);
+        let results: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..N)
+                .map(|_| {
+                    let coalescer = Arc::clone(&coalescer);
+                    let executions = &executions;
+                    let gate = &gate;
+                    scope.spawn(move || {
+                        gate.wait();
+                        let (result, _) = coalescer.run(
+                            "wave-key",
+                            || {
+                                executions.fetch_add(1, Ordering::SeqCst);
+                                std::thread::sleep(Duration::from_millis(20));
+                                Ok(wave)
+                            },
+                            |_| {},
+                        );
+                        result.unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "wave {wave}");
+        assert!(results.iter().all(|&r| r == wave), "wave {wave} results");
+    }
+    assert_eq!(coalescer.stats().leaders, WAVES as u64);
+}
+
+/// The same property through the full engine: concurrent identical
+/// /predict computations dedup to one execution, later requests hit
+/// the cache, and all bodies are byte-identical.
+#[test]
+fn engine_coalesces_concurrent_identical_predictions() {
+    const N: usize = 16;
+    let engine = Engine::new(&EngineConfig::default(), ObsHandle::collecting(None));
+    // Slow enough to hold the flight open: a 2M-step simulation.
+    let slow = key(&[
+        ("alg", "scu"),
+        ("n", "32"),
+        ("layer", "sim"),
+        ("steps", "2000000"),
+    ]);
+    let gate = Barrier::new(N);
+
+    let served: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let engine = &engine;
+                let slow = &slow;
+                let gate = &gate;
+                scope.spawn(move || {
+                    gate.wait();
+                    engine.serve(slow).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let computed = served
+        .iter()
+        .filter(|s| s.source == Source::Computed)
+        .count();
+    let coalesced = served
+        .iter()
+        .filter(|s| s.source == Source::Coalesced)
+        .count();
+    assert_eq!(computed, 1, "one leader computed");
+    assert_eq!(coalesced, N - 1, "everyone else joined in flight");
+    let reference = &served[0].body;
+    assert!(
+        served.iter().all(|s| s.body == *reference),
+        "all bodies byte-identical"
+    );
+    // Afterwards the key is in the cache — no recomputation.
+    assert_eq!(engine.serve(&slow).unwrap().source, Source::Cache);
+    let stats = engine.stats();
+    assert_eq!(stats.dedup.leaders, 1);
+    assert_eq!(stats.dedup.joins as usize, N - 1);
+}
+
+/// Distinct keys do not coalesce: concurrency across different
+/// requests is preserved.
+#[test]
+fn distinct_keys_do_not_coalesce() {
+    let coalescer: Coalescer<u64> = Coalescer::new();
+    let gate = Barrier::new(4);
+    std::thread::scope(|scope| {
+        for i in 0..4u64 {
+            let coalescer = &coalescer;
+            let gate = &gate;
+            scope.spawn(move || {
+                gate.wait();
+                let (result, role) = coalescer.run(
+                    &format!("key-{i}"),
+                    || {
+                        std::thread::sleep(Duration::from_millis(20));
+                        Ok(i)
+                    },
+                    |_| {},
+                );
+                assert_eq!(result.unwrap(), i);
+                assert_eq!(role, Role::Leader);
+            });
+        }
+    });
+    let stats = coalescer.stats();
+    assert_eq!(stats.leaders, 4);
+    assert_eq!(stats.joins, 0);
+}

@@ -33,9 +33,27 @@ obs_trace_dir="$(mktemp -d)"
 test -s "$obs_trace_dir/exp_latency_hist.trace.json"
 rm -rf "$obs_trace_dir"
 
-echo "==> pwf vet: systematic checker smoke + orderings lint"
+echo "==> pwf vet: systematic checker smoke"
 ./target/release/pwf vet --fast
+
+echo "==> pwf lint: workspace-wide concurrency static analysis"
+# Deny-by-default over every crate: any finding without a
+# fingerprint-valid lint.allow entry, any stale entry, and any edit to
+# an allowed site that was not re-justified fails the build.
+./target/release/pwf lint
+# The compatibility alias must keep working against the same allow
+# file (orderings pass only, pass-aware staleness).
 ./target/release/pwf vet --orderings
+# The JSON surface stays machine-readable and reports a clean tree.
+./target/release/pwf lint --json | grep -q '"clean":true}}'
+
+echo "==> pwf lint: mutant corpus + fingerprint + schema gates"
+# Both directions: every seeded mutant fixture is flagged with exactly
+# its expected rules, clean fixtures and the shipped tree stay
+# finding-free, edited-without-re-justify is a hard error, and the
+# --json schema pin holds.
+cargo test -q --offline -p pwf-lint
+cargo test -q --offline -p pwf-runner --test lint_schema
 
 echo "==> markov perf smoke: sparse must beat dense above the crossover"
 # exp_markov_bench times the dense direct-solve SCU analysis against

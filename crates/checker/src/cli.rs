@@ -1,19 +1,19 @@
 //! The `pwf vet` subcommand: systematic checking of the built-in
-//! targets, schedule replay, and the atomics-ordering lint.
+//! targets and schedule replay. `--orderings` survives as a
+//! compatibility alias for the orderings pass of `pwf lint`.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use crate::explore::{explore, run_schedule, ExploreOptions, ViolationKind};
 use crate::lin;
-use crate::lint::{apply_allowlist, lint_dir, parse_allowlist};
 use crate::shrink::{parse_schedule, serialize_schedule, shrink};
 use crate::target::CheckTarget;
 use crate::targets::{fast_registry, find, registry};
 
 const USAGE: &str = "\
 pwf vet — systematic concurrency checking (DPOR exploration,
-linearizability, lock-freedom, atomics-ordering lint)
+linearizability, lock-freedom)
 
 USAGE:
     pwf vet [TARGET...] [OPTIONS]
@@ -30,10 +30,12 @@ USAGE:
         outcome. The target comes from the file header unless named.
 
     pwf vet --orderings [OPTIONS]
-        Statically lint atomic call sites for memory-ordering issues.
+        Compatibility alias for the orderings pass of `pwf lint`:
+        statically lint atomic call sites for memory-ordering issues.
         --root DIR       sources to scan (default crates/hardware/src)
-        --allowlist FILE audited-OK sites (default
-                         crates/hardware/orderings.allow)
+        --allowlist FILE fingerprinted allow file (default
+                         crates/hardware/lint.allow)
+        Prefer `pwf lint`, which runs every pass over every crate.
 ";
 
 /// Cap on naive-enumeration executions when measuring the reduction
@@ -62,7 +64,7 @@ fn parse_vet_args(argv: Vec<String>) -> Result<VetArgs, String> {
         list: false,
         orderings: false,
         root: PathBuf::from("crates/hardware/src"),
-        allowlist: PathBuf::from("crates/hardware/orderings.allow"),
+        allowlist: PathBuf::from("crates/hardware/lint.allow"),
         replay: None,
         emit: None,
     };
@@ -316,32 +318,37 @@ fn cmd_replay(args: &VetArgs) -> i32 {
     0
 }
 
+/// `pwf vet --orderings`: thin alias over the orderings pass of
+/// `pwf lint`, kept so existing scripts and muscle memory survive the
+/// lint's move into its own crate. Pass-aware staleness in pwf-lint
+/// means progress/condvar/unsafe entries in the allow file are not
+/// reported stale by this orderings-only run.
 fn cmd_orderings(args: &VetArgs) -> i32 {
-    let findings = match lint_dir(&args.root) {
-        Ok(f) => f,
+    let name = args.root.parent().and_then(Path::file_name).map_or_else(
+        || args.root.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    let report = match pwf_lint::lint_tree(
+        Path::new("."),
+        &args.root,
+        Some(&args.allowlist),
+        &name,
+        &[pwf_lint::Pass::Orderings],
+    ) {
+        Ok(r) => r,
         Err(err) => {
             eprintln!("error: scanning {}: {err}", args.root.display());
             return 1;
         }
     };
-    let allow = fs::read_to_string(&args.allowlist)
-        .map(|t| parse_allowlist(&t))
-        .unwrap_or_default();
-    let verdict = apply_allowlist(findings, &allow);
-    for f in &verdict.violations {
-        println!("VIOLATION {f}");
-    }
-    for key in &verdict.stale {
-        println!("STALE allowlist entry matches nothing: {key}");
-    }
-    println!(
-        "orderings lint: {} violations, {} allowlisted sites, {} stale entries ({})",
-        verdict.violations.len(),
-        verdict.allowed.len(),
-        verdict.stale.len(),
-        args.root.display()
-    );
-    i32::from(!verdict.violations.is_empty() || !verdict.stale.is_empty())
+    let clean = report.clean();
+    let ws = pwf_lint::WorkspaceReport {
+        root: ".".to_string(),
+        passes: vec!["orderings"],
+        crates: vec![report],
+    };
+    print!("{}", ws.render_text(true));
+    i32::from(!clean)
 }
 
 #[cfg(test)]

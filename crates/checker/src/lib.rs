@@ -18,19 +18,21 @@
 //!   state cycle, plus the workspace's stochastic Theorem 3 audit;
 //! * [`shrink`] — delta-debugging counterexample schedules down to
 //!   minimal, replayable witnesses;
-//! * [`lint`] — a static memory-ordering lint for the real atomics in
-//!   `pwf-hardware`;
 //! * [`targets`] — small configurations of the paper's algorithms
 //!   (fetch-and-inc, Treiber stack, `SCU(q,s)`, parallel code) and
 //!   seeded mutants (ABA, lost update, livelock) the checker must
 //!   catch;
 //! * [`cli`] — the `pwf vet` front end.
+//!
+//! The static atomics-ordering lint that used to live here has grown
+//! into the standalone `pwf-lint` crate (`pwf lint`), which scans the
+//! whole workspace; `pwf vet --orderings` remains as a compatibility
+//! alias for its orderings pass.
 
 pub mod audit;
 pub mod cli;
 pub mod explore;
 pub mod lin;
-pub mod lint;
 pub mod op;
 pub mod shrink;
 pub mod spec;

@@ -1,0 +1,211 @@
+//! Allowlist v2: fingerprinted, justified, per-crate `lint.allow`
+//! files.
+//!
+//! An entry has the form
+//!
+//! ```text
+//! file.rs:function:rule @a1b2c3d4e5f60718  justification text
+//! ```
+//!
+//! The fingerprint after `@` is an FNV-1a 64-bit hash of the
+//! *whitespace-normalized masked text of the enclosing function*
+//! (header through closing brace), so:
+//!
+//! * editing any code in the allowed site's function invalidates the
+//!   entry — the justification was written about code that no longer
+//!   exists, and the lint fails hard with the new expected value;
+//! * comment and formatting edits do *not* invalidate (the hash is
+//!   over masked, whitespace-collapsed text);
+//! * moving the site to another file changes the key itself.
+//!
+//! Entries that match no finding are stale and fail the lint, with
+//! the 1-based line number of the entry so the finding is clickable.
+//! Entries without a fingerprint or justification are format errors.
+
+use crate::model::SourceModel;
+
+/// FNV-1a 64-bit over a byte stream.
+pub fn fnv1a64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Fingerprint of the site at `offset`: the normalized masked text of
+/// its innermost enclosing function, or of its own line for
+/// top-level sites (consts, statics).
+pub fn site_fingerprint(model: &SourceModel, offset: usize) -> u64 {
+    let masked = &model.masked;
+    let span = match model.enclosing_fn(offset) {
+        Some(f) => {
+            let (_, close) = f.body.expect("enclosing_fn only returns bodied fns");
+            &masked[f.start..=close]
+        }
+        None => {
+            let start = masked[..offset].rfind('\n').map_or(0, |p| p + 1);
+            let end = masked[offset..]
+                .find('\n')
+                .map_or(masked.len(), |p| offset + p);
+            &masked[start..end]
+        }
+    };
+    fnv1a64(normalized(span).bytes())
+}
+
+/// Normalizes to a whitespace-insensitive token stream: a separating
+/// space survives only where dropping it would merge two word tokens
+/// (`let mut` stays two tokens; `draw(` + newline + `ticket` hashes
+/// the same as `draw(ticket`). Reformatting — including rustfmt
+/// inserting line breaks around punctuation — cannot shift the hash,
+/// while any token change does.
+fn normalized(text: &str) -> String {
+    fn word(ch: char) -> bool {
+        ch.is_alphanumeric() || ch == '_'
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut pending = false;
+    for ch in text.chars() {
+        if ch.is_whitespace() {
+            pending = true;
+        } else {
+            if pending && out.chars().next_back().is_some_and(word) && word(ch) {
+                out.push(' ');
+            }
+            pending = false;
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// `file.rs:function:rule`.
+    pub key: String,
+    /// Required content fingerprint of the allowed site.
+    pub fingerprint: u64,
+    /// Required human justification.
+    pub justification: String,
+    /// 1-based line number of the entry in its allow file.
+    pub line: usize,
+}
+
+impl AllowEntry {
+    /// The rule component of the key (after the last `:`).
+    pub fn rule(&self) -> &str {
+        self.key.rsplit(':').next().unwrap_or("")
+    }
+}
+
+/// Parses an allow file. Blank lines and `#` comments are skipped;
+/// anything else must be a complete v2 entry.
+///
+/// # Errors
+///
+/// Returns `line number, message` for entries missing the key, the
+/// `@fingerprint`, or the justification (deny-by-default: an
+/// unjustified or unfingerprinted entry is a hard error, not a
+/// warning).
+pub fn parse_allow(text: &str) -> Result<Vec<AllowEntry>, (usize, String)> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line
+            .splitn(3, char::is_whitespace)
+            .filter(|p| !p.is_empty());
+        let key = parts.next().unwrap_or_default().to_string();
+        let Some(fp_tok) = parts.next() else {
+            return Err((
+                line_no,
+                format!(
+                    "entry {key:?} has no @fingerprint (v2 format: `key @hex16 justification`)"
+                ),
+            ));
+        };
+        let rest = parts.next().unwrap_or("").trim();
+        if key.split(':').count() != 3 {
+            return Err((line_no, format!("key {key:?} is not file.rs:function:rule")));
+        }
+        let Some(hex) = fp_tok.strip_prefix('@') else {
+            return Err((
+                line_no,
+                format!("expected @fingerprint after {key:?}, found {fp_tok:?}"),
+            ));
+        };
+        let Ok(fingerprint) = u64::from_str_radix(hex, 16) else {
+            return Err((line_no, format!("fingerprint {hex:?} is not 64-bit hex")));
+        };
+        if rest.is_empty() {
+            return Err((line_no, format!("entry {key:?} has no justification")));
+        }
+        entries.push(AllowEntry {
+            key,
+            fingerprint,
+            justification: rest.to_string(),
+            line: line_no,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64("".bytes()), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64("a".bytes()), fnv1a64("b".bytes()));
+    }
+
+    #[test]
+    fn fingerprint_ignores_comments_and_formatting_but_not_code() {
+        let a = SourceModel::build("fn f(a: &A) { a.load(Ordering::SeqCst); }");
+        let b =
+            SourceModel::build("fn f(a: &A) {\n    // comment\n    a.load(Ordering::SeqCst);\n}");
+        let c = SourceModel::build("fn f(a: &A) { a.load(Ordering::Acquire); }");
+        let off_a = a.masked.find(".load").unwrap();
+        let off_b = b.masked.find(".load").unwrap();
+        let off_c = c.masked.find(".load").unwrap();
+        assert_eq!(site_fingerprint(&a, off_a), site_fingerprint(&b, off_b));
+        assert_ne!(site_fingerprint(&a, off_a), site_fingerprint(&c, off_c));
+    }
+
+    #[test]
+    fn toplevel_sites_fingerprint_their_line() {
+        let m = SourceModel::build("static X: u8 = 0;\nstatic Y: u8 = 1;\n");
+        let x = site_fingerprint(&m, 2);
+        let y = site_fingerprint(&m, m.masked.find('Y').unwrap());
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn parse_accepts_v2_and_rejects_v1_and_fragments() {
+        let ok = parse_allow("# header\n\nt.rs:f:seqcst @00000000deadbeef  reason here\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].key, "t.rs:f:seqcst");
+        assert_eq!(ok[0].fingerprint, 0xdead_beef);
+        assert_eq!(ok[0].justification, "reason here");
+        assert_eq!(ok[0].line, 3);
+        assert_eq!(ok[0].rule(), "seqcst");
+
+        // v1 (no fingerprint) is a hard error, with the line number.
+        let err = parse_allow("t.rs:f:seqcst  legacy justification\n").unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(err.1.contains("fingerprint"), "{}", err.1);
+        // Missing justification is a hard error.
+        assert!(parse_allow("t.rs:f:seqcst @12ab").is_err());
+        // Malformed key.
+        assert!(parse_allow("t.rs:seqcst @12ab  x").is_err());
+        // Malformed hex.
+        assert!(parse_allow("t.rs:f:seqcst @zz  x").is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! The lightweight site model every pass consumes.
+//!
+//! Built once per file from the masked source ([`crate::scan::mask`]):
+//! function spans (name + brace-matched body) for attribution and
+//! fingerprinting, loop spans (`loop`/`while`/`for`, condition and
+//! body) for the progress and condvar passes, and the full brace-pair
+//! table for guard-scope queries. Brace matching on the masked text is
+//! reliable because no brace inside a comment, string, or char literal
+//! survives masking.
+
+use crate::scan::mask;
+
+/// A `fn` item (or nested fn) with its brace-matched body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub start: usize,
+    /// Byte range of the body `{ … }` (inclusive of both braces);
+    /// `None` for bodyless declarations (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+}
+
+/// The loop keyword that opened a [`LoopSpan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `loop { … }` — unconditionally unbounded.
+    Loop,
+    /// `while cond { … }` / `while let … { … }`.
+    While,
+    /// `for pat in iter { … }` — bounded by its iterator.
+    For,
+}
+
+/// One loop construct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSpan {
+    /// Which keyword opened the loop.
+    pub kind: LoopKind,
+    /// Byte offset of the keyword.
+    pub start: usize,
+    /// Byte range of the body braces (inclusive).
+    pub body: (usize, usize),
+}
+
+impl LoopSpan {
+    /// Whether `offset` falls anywhere in the loop — header
+    /// (condition) or body.
+    pub fn contains(&self, offset: usize) -> bool {
+        offset >= self.start && offset <= self.body.1
+    }
+}
+
+/// Masked source plus the structural facts passes need.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// The masked source (same length as the input).
+    pub masked: String,
+    /// All `fn` spans, in source order.
+    pub fns: Vec<FnSpan>,
+    /// All loop spans, in source order.
+    pub loops: Vec<LoopSpan>,
+    /// All matched `{ … }` pairs (open, close), in open order.
+    pub braces: Vec<(usize, usize)>,
+}
+
+/// Whether `bytes[i..]` starts the word `word` with identifier
+/// boundaries on both sides.
+fn word_at(bytes: &[u8], i: usize, word: &str) -> bool {
+    let w = word.as_bytes();
+    if i + w.len() > bytes.len() || &bytes[i..i + w.len()] != w {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+    let after_ok = i + w.len() == bytes.len() || !is_ident(bytes[i + w.len()]);
+    before_ok && after_ok
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds the `}` matching the `{` at `open`; `None` if unbalanced.
+fn match_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+impl SourceModel {
+    /// Masks `source` and extracts the structural model.
+    pub fn build(source: &str) -> SourceModel {
+        let masked = mask(source);
+        let bytes = masked.as_bytes();
+        let n = bytes.len();
+
+        let mut fns = Vec::new();
+        let mut loops = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            if word_at(bytes, i, "fn") {
+                if let Some(span) = parse_fn(bytes, i) {
+                    i += 2;
+                    fns.push(span);
+                    continue;
+                }
+            }
+            for (word, kind) in [
+                ("loop", LoopKind::Loop),
+                ("while", LoopKind::While),
+                ("for", LoopKind::For),
+            ] {
+                if word_at(bytes, i, word) {
+                    if let Some(span) = parse_loop(bytes, i, kind) {
+                        loops.push(span);
+                    }
+                    break;
+                }
+            }
+            i += 1;
+        }
+
+        let mut braces = Vec::new();
+        let mut stack = Vec::new();
+        for (off, &b) in bytes.iter().enumerate() {
+            match b {
+                b'{' => stack.push(off),
+                b'}' => {
+                    if let Some(open) = stack.pop() {
+                        braces.push((open, off));
+                    }
+                }
+                _ => {}
+            }
+        }
+        braces.sort_unstable();
+
+        SourceModel {
+            masked,
+            fns,
+            loops,
+            braces,
+        }
+    }
+
+    /// The innermost named function whose body contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| {
+                f.body
+                    .is_some_and(|(open, close)| offset >= open && offset <= close)
+            })
+            .max_by_key(|f| f.start)
+    }
+
+    /// Name of the enclosing function, `<toplevel>` outside any body.
+    pub fn enclosing_fn_name(&self, offset: usize) -> String {
+        self.enclosing_fn(offset)
+            .map_or_else(|| "<toplevel>".to_string(), |f| f.name.clone())
+    }
+
+    /// The innermost `{ … }` pair containing `offset`.
+    pub fn enclosing_block(&self, offset: usize) -> Option<(usize, usize)> {
+        self.braces
+            .iter()
+            .copied()
+            .filter(|&(open, close)| offset > open && offset < close)
+            .max_by_key(|&(open, _)| open)
+    }
+
+    /// Whether `offset` sits inside any `loop`/`while` construct
+    /// (condition or body) — `for` loops are bounded and excluded.
+    pub fn in_retry_loop(&self, offset: usize) -> bool {
+        self.loops
+            .iter()
+            .any(|l| l.kind != LoopKind::For && l.contains(offset))
+    }
+
+    /// 1-based line number of `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.masked[..offset.min(self.masked.len())]
+            .matches('\n')
+            .count()
+            + 1
+    }
+}
+
+/// Parses the fn whose `fn` keyword starts at `i`.
+fn parse_fn(bytes: &[u8], i: usize) -> Option<FnSpan> {
+    let n = bytes.len();
+    let mut j = i + 2;
+    while j < n && bytes[j].is_ascii_whitespace() {
+        j += 1;
+    }
+    let name_start = j;
+    while j < n && is_ident(bytes[j]) {
+        j += 1;
+    }
+    if j == name_start {
+        return None; // `fn(` pointer type, not an item
+    }
+    let name = String::from_utf8_lossy(&bytes[name_start..j]).into_owned();
+    // Body opens at the first `{` before any top-level `;` (a `;`
+    // first means a bodyless declaration).
+    let mut body = None;
+    let mut k = j;
+    while k < n {
+        match bytes[k] {
+            b'{' => {
+                body = match_brace(bytes, k).map(|close| (k, close));
+                break;
+            }
+            b';' => break,
+            _ => k += 1,
+        }
+    }
+    Some(FnSpan {
+        name,
+        start: i,
+        body,
+    })
+}
+
+/// Parses the loop whose keyword starts at `i`.
+fn parse_loop(bytes: &[u8], i: usize, kind: LoopKind) -> Option<LoopSpan> {
+    let n = bytes.len();
+    // The body `{` is the first brace at zero paren/bracket depth
+    // after the keyword (loop headers contain no top-level braces in
+    // this workspace's style; closures in conditions sit in parens).
+    let mut depth = 0usize;
+    let mut k = i + match kind {
+        LoopKind::Loop => 4,
+        LoopKind::While => 5,
+        LoopKind::For => 3,
+    };
+    while k < n {
+        match bytes[k] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b'{' if depth == 0 => {
+                let close = match_brace(bytes, k)?;
+                return Some(LoopSpan {
+                    kind,
+                    start: i,
+                    body: (k, close),
+                });
+            }
+            b';' if depth == 0 => return None, // `loop` as an identifier fragment
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_spans_cover_bodies_and_names() {
+        let src = "fn outer(a: u32) -> u32 {\n    fn inner() {}\n    a\n}\nfn second() {}";
+        let m = SourceModel::build(src);
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "second"]);
+        let inner_body = src.find("inner() {}").unwrap() + "inner() {".len() - 1;
+        assert_eq!(m.enclosing_fn_name(src.find("    a").unwrap()), "outer");
+        assert_eq!(m.enclosing_fn_name(inner_body), "inner");
+    }
+
+    #[test]
+    fn generic_fns_and_bodyless_decls_parse() {
+        let src = "trait T { fn decl(&self); }\nfn gen<F: Fn(u32) -> u32>(f: F) { f(1); }";
+        let m = SourceModel::build(src);
+        assert_eq!(m.fns[0].name, "decl");
+        assert!(m.fns[0].body.is_none());
+        assert_eq!(m.fns[1].name, "gen");
+        assert!(m.fns[1].body.is_some());
+        assert_eq!(m.enclosing_fn_name(src.find("f(1)").unwrap()), "gen");
+    }
+
+    #[test]
+    fn loops_are_classified_and_span_their_headers() {
+        let src = "fn f() { loop { g(); } while x < 3 { h(); } for i in 0..2 { k(); } }";
+        let m = SourceModel::build(src);
+        let kinds: Vec<_> = m.loops.iter().map(|l| l.kind).collect();
+        assert_eq!(kinds, vec![LoopKind::Loop, LoopKind::While, LoopKind::For]);
+        let cond = src.find("x < 3").unwrap();
+        assert!(m.in_retry_loop(cond));
+        let for_body = src.find("k()").unwrap();
+        assert!(!m.in_retry_loop(for_body));
+    }
+
+    #[test]
+    fn fn_in_comment_or_string_is_not_an_item() {
+        let src = "// fn ghost() {}\nlet s = \"fn ghost2() {}\";\nfn real() {}";
+        let m = SourceModel::build(src);
+        let names: Vec<_> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn enclosing_block_is_innermost() {
+        let src = "fn f() { a; { b; { c; } } }";
+        let m = SourceModel::build(src);
+        let c = src.find('c').unwrap();
+        let (open, close) = m.enclosing_block(c).unwrap();
+        assert!(open > src.find("{ b").unwrap());
+        assert!(close < src.len() - 1);
+    }
+
+    #[test]
+    fn line_of_is_one_based() {
+        let m = SourceModel::build("a\nb\nc");
+        assert_eq!(m.line_of(0), 1);
+        assert_eq!(m.line_of(2), 2);
+        assert_eq!(m.line_of(4), 3);
+    }
+}

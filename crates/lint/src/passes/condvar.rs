@@ -1,0 +1,194 @@
+//! The condvar-discipline pass — the lost-wakeup bug class the serve
+//! coalescer was designed against (and the ROADMAP's checker item
+//! names as the target bug class).
+//!
+//! Two rules:
+//!
+//! * `condvar-wait-no-loop` — a `Condvar::wait(guard)` /
+//!   `wait_timeout(guard, …)` call that is not inside a `loop`/`while`
+//!   that re-checks its predicate. Spurious wakeups and notify races
+//!   make a single un-looped wait a lost-wakeup (or lost-predicate)
+//!   bug. Condvar waits are recognised by their guard argument;
+//!   `Barrier::wait()` takes none and is exempt.
+//! * `condvar-lock-blocking` — a `let`-bound mutex guard that is still
+//!   live (same block, not `drop`ped) when a blocking call runs
+//!   (`thread::sleep`, `join()`, `recv()`, `accept()`). Blocking with
+//!   a lock held starves every waiter of that lock — the coalescer
+//!   publishes compute results *before* taking the flight lock for
+//!   exactly this reason.
+
+use super::{paren_span, split_args, FileContext, PassOutput};
+
+/// Blocking-call patterns a live guard must not cross. `.join()` and
+/// `.recv()` match only with empty argument lists (thread join /
+/// channel recv — `Path::join(p)` and `Vec::join(sep)` take
+/// arguments).
+const BLOCKING: [&str; 6] = [
+    "thread::sleep(",
+    "::sleep(",
+    ".join()",
+    ".recv()",
+    ".recv_timeout(",
+    ".accept()",
+];
+
+/// Runs the pass over one file.
+pub fn run(ctx: &FileContext<'_>) -> PassOutput {
+    let mut out = PassOutput::default();
+    wait_sites(ctx, &mut out);
+    guard_sites(ctx, &mut out);
+    out.findings.sort_by_key(|f| f.line);
+    out
+}
+
+/// `condvar-wait-no-loop`: every guard-carrying wait must sit inside
+/// a predicate loop.
+fn wait_sites(ctx: &FileContext<'_>, out: &mut PassOutput) {
+    let masked = &ctx.model.masked;
+    for pat in [".wait(", ".wait_timeout("] {
+        let mut from = 0usize;
+        while let Some(pos) = masked[from..].find(pat) {
+            let at = from + pos;
+            from = at + pat.len();
+            let open = at + pat.len() - 1;
+            let Some(args) = paren_span(masked, open) else {
+                continue;
+            };
+            if split_args(args).is_empty() {
+                continue; // Barrier::wait() style — not a condvar
+            }
+            out.sites += 1;
+            if !ctx.model.in_retry_loop(at) {
+                out.findings.push(ctx.finding(
+                    at,
+                    "condvar-wait-no-loop",
+                    format!(
+                        "{} outside a predicate re-check loop loses wakeups",
+                        pat.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `condvar-lock-blocking`: a live `let`-bound guard crossing a
+/// blocking call.
+fn guard_sites(ctx: &FileContext<'_>, out: &mut PassOutput) {
+    let masked = &ctx.model.masked;
+    let mut from = 0usize;
+    while let Some(pos) = masked[from..].find(".lock(") {
+        let at = from + pos;
+        from = at + ".lock(".len();
+        // Start of the statement: after the previous `;`, `{`, or `}`.
+        let stmt_start = masked[..at].rfind([';', '{', '}']).map_or(0, |p| p + 1);
+        let stmt = masked[stmt_start..at].trim_start();
+        let Some(binding) = let_binding(stmt) else {
+            continue; // temporary guard: dies at the statement's `;`
+        };
+        out.sites += 1;
+        // The guard lives to the end of its enclosing block, unless
+        // dropped explicitly.
+        let Some((_, block_close)) = ctx.model.enclosing_block(at) else {
+            continue;
+        };
+        let stmt_end = match masked[at..].find(';') {
+            Some(p) => at + p,
+            None => continue,
+        };
+        let scope = &masked[stmt_end..block_close];
+        let live_until = scope
+            .find(&format!("drop({binding})"))
+            .unwrap_or(scope.len());
+        let live = &scope[..live_until];
+        for b in BLOCKING {
+            if let Some(hit) = live.find(b) {
+                out.findings.push(ctx.finding(
+                    stmt_end + hit,
+                    "condvar-lock-blocking",
+                    format!(
+                        "mutex guard `{binding}` held across blocking `{}`",
+                        b.trim_start_matches('.').trim_end_matches('(')
+                    ),
+                ));
+                break; // one finding per guard
+            }
+        }
+    }
+}
+
+/// The bound name of `let [mut] NAME = … .lock(`, if this statement
+/// is such a binding.
+fn let_binding(stmt: &str) -> Option<String> {
+    let rest = stmt.strip_prefix("let ")?.trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceModel;
+    use crate::passes::{FileContext, Pass};
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let model = SourceModel::build(src);
+        let ctx = FileContext {
+            path: "t.rs",
+            file: "t.rs",
+            model: &model,
+        };
+        Pass::Condvar
+            .run(&ctx)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn wait_outside_loop_is_flagged() {
+        let src = "fn join_flight(f: &Flight) {\n    let mut cell = f.result.lock().unwrap();\n    cell = f.woken.wait(cell).unwrap();\n    drop(cell);\n}";
+        assert_eq!(rules_of(src), vec!["condvar-wait-no-loop"]);
+    }
+
+    #[test]
+    fn wait_in_predicate_loop_is_clean() {
+        // The serve coalescer's joiner shape.
+        let src = "fn join_flight(f: &Flight) {\n    let mut cell = f.result.lock().unwrap();\n    while cell.is_none() {\n        cell = f.woken.wait(cell).unwrap();\n    }\n}";
+        assert!(rules_of(src).is_empty());
+        // The shaper's wait_timeout-in-loop shape.
+        let timed = "fn admit(s: &S) {\n    let mut gate = s.gate.lock().unwrap();\n    loop {\n        let (g, t) = s.freed.wait_timeout(gate, d).unwrap();\n        gate = g;\n        if done(&gate) || t.timed_out() { return; }\n    }\n}";
+        assert!(rules_of(timed).is_empty());
+    }
+
+    #[test]
+    fn barrier_wait_is_not_a_condvar() {
+        assert!(rules_of("fn sync(b: &Barrier) { b.wait(); }").is_empty());
+    }
+
+    #[test]
+    fn guard_across_sleep_is_flagged_and_drop_clears_it() {
+        let bad = "fn f(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    std::thread::sleep(d);\n    drop(g);\n}";
+        assert_eq!(rules_of(bad), vec!["condvar-lock-blocking"]);
+        let dropped = "fn f(m: &Mutex<u32>) {\n    let g = m.lock().unwrap();\n    drop(g);\n    std::thread::sleep(d);\n}";
+        assert!(rules_of(dropped).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_blocks_and_temporaries_are_clean() {
+        // Guard scoped to an inner block; the join happens outside it.
+        let scoped = "fn f(m: &Mutex<u32>, h: J) {\n    {\n        let g = m.lock().unwrap();\n        *g += 1;\n    }\n    h.join();\n}";
+        assert!(rules_of(scoped).is_empty());
+        // Temporary guard dies at the semicolon.
+        let temp =
+            "fn f(m: &Mutex<u32>, h: J) {\n    m.lock().unwrap().insert(1);\n    h.join();\n}";
+        assert!(rules_of(temp).is_empty());
+        // Path joins take arguments and are not blocking.
+        let path = "fn f(m: &Mutex<u32>, p: &Path) {\n    let g = m.lock().unwrap();\n    let q = p.join(\"x\");\n    drop((g, q));\n}";
+        assert!(rules_of(path).is_empty());
+    }
+}

@@ -1,0 +1,385 @@
+//! The analysis passes and their shared site machinery.
+//!
+//! Each pass scans one file's [`SourceModel`] and returns
+//! [`Finding`]s plus a count of the candidate sites it examined (for
+//! the `lint.sites_scanned` summary counter). Rules are deny-by-
+//! default: every finding must be fixed or carry a fingerprinted
+//! allow entry.
+
+pub mod condvar;
+pub mod orderings;
+pub mod progress;
+pub mod unsafety;
+
+use std::fmt;
+
+use crate::allow::site_fingerprint;
+use crate::model::SourceModel;
+
+/// The four analysis passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Memory-ordering rules over atomic call sites.
+    Orderings,
+    /// Unbounded spin/retry loops — the paper's bounded-step
+    /// assumption made checkable.
+    Progress,
+    /// Condvar discipline — the lost-wakeup bug class.
+    Condvar,
+    /// Unsafe inventory — every `unsafe` needs a justification.
+    Unsafety,
+}
+
+impl Pass {
+    /// All passes, in canonical order.
+    pub const ALL: [Pass; 4] = [
+        Pass::Orderings,
+        Pass::Progress,
+        Pass::Condvar,
+        Pass::Unsafety,
+    ];
+
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Orderings => "orderings",
+            Pass::Progress => "progress",
+            Pass::Condvar => "condvar",
+            Pass::Unsafety => "unsafe",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The rule identifiers this pass can emit.
+    pub fn rules(self) -> &'static [&'static str] {
+        match self {
+            Pass::Orderings => &[
+                "seqcst",
+                "cas-failure-order",
+                "cas-no-release",
+                "relaxed-store",
+                "relaxed-rmw",
+                "relaxed-load",
+            ],
+            Pass::Progress => &["spin-unbounded"],
+            Pass::Condvar => &["condvar-wait-no-loop", "condvar-lock-blocking"],
+            Pass::Unsafety => &["unsafe-block", "unsafe-impl", "unsafe-fn", "unsafe-trait"],
+        }
+    }
+
+    /// Runs this pass over one file.
+    pub fn run(self, ctx: &FileContext<'_>) -> PassOutput {
+        match self {
+            Pass::Orderings => orderings::run(ctx),
+            Pass::Progress => progress::run(ctx),
+            Pass::Condvar => condvar::run(ctx),
+            Pass::Unsafety => unsafety::run(ctx),
+        }
+    }
+}
+
+/// `(rule, pass, what it catches)` for `pwf lint --list-rules` and
+/// the DESIGN.md table.
+pub const RULE_TABLE: [(&str, &str, &str); 13] = [
+    (
+        "seqcst",
+        "orderings",
+        "SeqCst ordering: almost always stronger than needed",
+    ),
+    (
+        "cas-failure-order",
+        "orderings",
+        "CAS failure ordering stronger than success",
+    ),
+    (
+        "cas-no-release",
+        "orderings",
+        "CAS success ordering lacks release semantics",
+    ),
+    (
+        "relaxed-store",
+        "orderings",
+        "Relaxed store publishes nothing",
+    ),
+    ("relaxed-rmw", "orderings", "Relaxed read-modify-write"),
+    (
+        "relaxed-load",
+        "orderings",
+        "Relaxed load sees no release edges",
+    ),
+    (
+        "spin-unbounded",
+        "progress",
+        "atomic retry loop with no spin_loop()/backoff/bound",
+    ),
+    (
+        "condvar-wait-no-loop",
+        "condvar",
+        "Condvar::wait outside a predicate re-check loop",
+    ),
+    (
+        "condvar-lock-blocking",
+        "condvar",
+        "mutex guard held across a blocking call",
+    ),
+    (
+        "unsafe-block",
+        "unsafe",
+        "unsafe block without a justified allow entry",
+    ),
+    (
+        "unsafe-impl",
+        "unsafe",
+        "unsafe impl (Send/Sync!) without a justified allow entry",
+    ),
+    (
+        "unsafe-fn",
+        "unsafe",
+        "unsafe fn without a justified allow entry",
+    ),
+    (
+        "unsafe-trait",
+        "unsafe",
+        "unsafe trait without a justified allow entry",
+    ),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, for clickable diagnostics.
+    pub path: String,
+    /// File base name, used in allowlist keys.
+    pub file: String,
+    /// 1-based line number of the site.
+    pub line: usize,
+    /// Innermost enclosing function (`<toplevel>` outside fns).
+    pub function: String,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+    /// Content fingerprint of the site (enclosing function).
+    pub fingerprint: u64,
+}
+
+impl Finding {
+    /// The allowlist key for this finding.
+    pub fn key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.function, self.rule)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: ({}) [{}] {}",
+            self.path, self.line, self.function, self.rule, self.message
+        )
+    }
+}
+
+/// What one pass produced over one file.
+#[derive(Debug, Default)]
+pub struct PassOutput {
+    /// The findings, in source order.
+    pub findings: Vec<Finding>,
+    /// Candidate sites examined (flagged or not).
+    pub sites: usize,
+}
+
+/// Per-file context handed to each pass.
+pub struct FileContext<'a> {
+    /// Workspace-relative display path.
+    pub path: &'a str,
+    /// Base file name (key component).
+    pub file: &'a str,
+    /// The structural model.
+    pub model: &'a SourceModel,
+}
+
+impl FileContext<'_> {
+    /// Builds a [`Finding`] for the site at `offset`.
+    pub fn finding(&self, offset: usize, rule: &'static str, message: String) -> Finding {
+        Finding {
+            path: self.path.to_string(),
+            file: self.file.to_string(),
+            line: self.model.line_of(offset),
+            function: self.model.enclosing_fn_name(offset),
+            rule,
+            message,
+            fingerprint: site_fingerprint(self.model, offset),
+        }
+    }
+}
+
+/// The memory orderings, strongest first, with comparable ranks.
+pub const ORDERINGS: [(&str, u8); 5] = [
+    ("SeqCst", 3),
+    ("AcqRel", 2),
+    ("Acquire", 1),
+    ("Release", 1),
+    ("Relaxed", 0),
+];
+
+/// The ordering named in an argument, if any.
+pub fn ordering_of(arg: &str) -> Option<(&'static str, u8)> {
+    ORDERINGS
+        .iter()
+        .find(|(name, _)| arg.contains(name))
+        .map(|&(name, rank)| (name, rank))
+}
+
+/// One atomic method call site (a method call with at least one
+/// `Ordering` argument).
+#[derive(Debug, Clone)]
+pub struct AtomicSite {
+    /// Byte offset of the method token (`.load` etc.).
+    pub offset: usize,
+    /// The method family matched.
+    pub method: &'static str,
+    /// Orderings among the arguments, in argument order.
+    pub orderings: Vec<(&'static str, u8)>,
+    /// Last identifier of the receiver chain (for role inference).
+    pub receiver: String,
+}
+
+/// The atomic method families the lint recognises. `.fetch_` covers
+/// the whole `fetch_add`/`fetch_or`/… family.
+const METHODS: [&str; 5] = [
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".compare_exchange",
+    ".fetch_",
+];
+
+/// Finds every atomic call site in masked text. Calls without an
+/// `Ordering` argument (e.g. `Vec::swap`) are not sites.
+pub fn atomic_sites(masked: &str) -> Vec<AtomicSite> {
+    let mut sites = Vec::new();
+    for method in METHODS {
+        let mut from = 0usize;
+        while let Some(pos) = masked[from..].find(method) {
+            let at = from + pos;
+            from = at + method.len();
+            let open = if method.ends_with('(') {
+                at + method.len() - 1
+            } else {
+                // `.compare_exchange[_weak]` / `.fetch_*`
+                match masked[at..].find('(') {
+                    Some(off) => at + off,
+                    None => continue,
+                }
+            };
+            let Some(args_text) = paren_span(masked, open) else {
+                continue;
+            };
+            let orderings: Vec<(&'static str, u8)> = split_args(args_text)
+                .iter()
+                .filter_map(|a| ordering_of(a))
+                .collect();
+            if orderings.is_empty() {
+                continue;
+            }
+            sites.push(AtomicSite {
+                offset: at,
+                method,
+                orderings,
+                receiver: receiver_of(masked, at),
+            });
+        }
+    }
+    sites.sort_by_key(|s| s.offset);
+    sites
+}
+
+/// Splits an argument list at top-level commas.
+pub fn split_args(args: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(args[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = args[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// Contents of the balanced paren group opening at `open`.
+pub fn paren_span(text: &str, open: usize) -> Option<&str> {
+    debug_assert_eq!(&text[open..=open], "(");
+    let mut depth = 0usize;
+    for (off, c) in text[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&text[open + 1..open + off]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Last identifier of the receiver chain ending at the `.` at `dot`
+/// (e.g. `self.queue.head` → `head`).
+fn receiver_of(masked: &str, dot: usize) -> String {
+    let bytes = masked.as_bytes();
+    let mut end = dot;
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    masked[start..end].to_string()
+}
+
+/// The inferred role of an atomic variable, from its name — advisory
+/// context for writing orderings justifications, not a rule input.
+pub fn infer_role(receiver: &str) -> Option<&'static str> {
+    let lower = receiver.to_ascii_lowercase();
+    const TAG: [&str; 4] = ["tag", "ticket", "epoch", "gen"];
+    const COUNTER: [&str; 7] = ["count", "cnt", "stat", "total", "seq", "hits", "drops"];
+    const PUBLISH: [&str; 9] = [
+        "head", "tail", "next", "top", "lock", "ptr", "slot", "state", "ready",
+    ];
+    if TAG.iter().any(|t| lower.contains(t)) {
+        Some("tag")
+    } else if COUNTER.iter().any(|t| lower.contains(t)) {
+        Some("counter")
+    } else if PUBLISH.iter().any(|t| lower.contains(t)) {
+        Some("publish")
+    } else {
+        None
+    }
+}
+
+/// Appends the inferred-role suffix to a message.
+pub fn with_role(message: String, receiver: &str) -> String {
+    match infer_role(receiver) {
+        Some(role) => format!("{message} (inferred role: {role})"),
+        None => message,
+    }
+}

@@ -1,0 +1,182 @@
+//! The atomics-ordering pass — the paper's "correctly-ordered atomic
+//! steps" precondition, checked statically.
+//!
+//! Six rules over every atomic call site (see [`super::Pass::rules`]):
+//! SeqCst anywhere, CAS failure ordering stronger than success, CAS
+//! success without release semantics, and the three Relaxed families
+//! (load/store/rmw). Each finding carries the receiver's inferred
+//! role (publish pointer vs counter vs tag) as advisory context for
+//! the allowlist justification.
+
+use super::{atomic_sites, with_role, FileContext, PassOutput};
+
+/// Runs the pass over one file.
+pub fn run(ctx: &FileContext<'_>) -> PassOutput {
+    let mut out = PassOutput::default();
+    for site in atomic_sites(&ctx.model.masked) {
+        out.sites += 1;
+        let at = site.offset;
+        let method_name = site.method.trim_start_matches('.').trim_end_matches('(');
+        for &(name, _) in &site.orderings {
+            if name == "SeqCst" {
+                out.findings.push(ctx.finding(
+                    at,
+                    "seqcst",
+                    with_role(format!("{method_name} uses SeqCst"), &site.receiver),
+                ));
+            }
+        }
+        if site.method == ".compare_exchange" {
+            if let [.., success, failure] = site.orderings.as_slice() {
+                if failure.1 > success.1 {
+                    out.findings.push(ctx.finding(
+                        at,
+                        "cas-failure-order",
+                        with_role(
+                            format!(
+                                "failure ordering {} stronger than success ordering {}",
+                                failure.0, success.0
+                            ),
+                            &site.receiver,
+                        ),
+                    ));
+                }
+                if success.0 == "Relaxed" || success.0 == "Acquire" {
+                    out.findings.push(ctx.finding(
+                        at,
+                        "cas-no-release",
+                        with_role(
+                            format!("success ordering {} lacks release semantics", success.0),
+                            &site.receiver,
+                        ),
+                    ));
+                }
+            }
+        } else if let Some(&(name, _)) = site.orderings.first() {
+            if name == "Relaxed" {
+                let rule = match site.method {
+                    ".load(" => "relaxed-load",
+                    ".store(" => "relaxed-store",
+                    _ => "relaxed-rmw",
+                };
+                out.findings.push(ctx.finding(
+                    at,
+                    rule,
+                    with_role(format!("Relaxed {method_name}(…)"), &site.receiver),
+                ));
+            }
+        }
+    }
+    out.findings.sort_by_key(|f| f.line);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceModel;
+    use crate::passes::{FileContext, Pass};
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let model = SourceModel::build(src);
+        let ctx = FileContext {
+            path: "t.rs",
+            file: "t.rs",
+            model: &model,
+        };
+        Pass::Orderings
+            .run(&ctx)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn seqcst_is_flagged_everywhere() {
+        assert_eq!(
+            rules_of("fn f(a: &AtomicU64) { a.load(Ordering::SeqCst); }"),
+            vec!["seqcst"]
+        );
+    }
+
+    #[test]
+    fn relaxed_rules_distinguish_load_store_rmw() {
+        let mut got = rules_of(
+            "fn g(a: &AtomicU64) {\n    a.load(Ordering::Relaxed);\n    a.store(1, Ordering::Relaxed);\n    a.fetch_add(1, Ordering::Relaxed);\n    a.swap(2, Ordering::Relaxed);\n}",
+        );
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![
+                "relaxed-load",
+                "relaxed-rmw",
+                "relaxed-rmw",
+                "relaxed-store"
+            ]
+        );
+    }
+
+    #[test]
+    fn cas_rules_fire_and_clean_cas_passes() {
+        let got = rules_of(
+            "fn h(a: &AtomicU64) { a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire); }",
+        );
+        assert!(got.contains(&"cas-failure-order"));
+        assert!(got.contains(&"cas-no-release"));
+        assert!(rules_of(
+            "fn h(a: &AtomicU64) { a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }"
+        )
+        .is_empty());
+        assert_eq!(
+            rules_of(
+                "fn f(a: &AtomicU64) { a.compare_exchange_weak(0, 1, Ordering::Acquire, Ordering::Relaxed); }"
+            ),
+            vec!["cas-no-release"]
+        );
+    }
+
+    #[test]
+    fn acquire_release_pairs_and_non_atomics_are_clean() {
+        assert!(rules_of(
+            "fn f(a: &AtomicU64) {\n    a.load(Ordering::Acquire);\n    a.store(1, Ordering::Release);\n    a.fetch_add(1, Ordering::AcqRel);\n}"
+        )
+        .is_empty());
+        assert!(rules_of("fn f(v: &mut Vec<u64>) { v.swap(0, 1); }").is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_doc_attrs_are_not_sites() {
+        // The adversarial fixtures from the original scanner's
+        // false-attribution bug class.
+        assert!(rules_of("fn f() {\n    // a.load(Ordering::SeqCst);\n}").is_empty());
+        assert!(rules_of("fn f() { let s = \"a.load(Ordering::SeqCst)\"; s.len(); }").is_empty());
+        assert!(rules_of("#[doc = \"x.swap(1, Ordering::SeqCst)\"]\nfn f() {}").is_empty());
+        assert!(rules_of("/* a.fetch_add(1, Ordering::SeqCst) */ fn f() {}").is_empty());
+        assert!(
+            rules_of("fn f() { let s = r#\"a.store(0, Ordering::SeqCst)\"#; s.len(); }").is_empty()
+        );
+    }
+
+    #[test]
+    fn role_inference_annotates_messages() {
+        let model = SourceModel::build(
+            "fn f(s: &S) { s.tag_counter.fetch_add(1, Ordering::Relaxed); s.head.store(0, Ordering::Relaxed); }",
+        );
+        let ctx = FileContext {
+            path: "t.rs",
+            file: "t.rs",
+            model: &model,
+        };
+        let found = Pass::Orderings.run(&ctx).findings;
+        assert!(
+            found[0].message.contains("(inferred role: tag)"),
+            "{}",
+            found[0].message
+        );
+        assert!(
+            found[1].message.contains("(inferred role: publish)"),
+            "{}",
+            found[1].message
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! The progress pass — the paper's bounded-step assumption made
+//! checkable.
+//!
+//! The paper models each lock-free operation as a bounded sequence of
+//! atomic steps, and Atalar et al.'s conflict model assumes
+//! identifiable retry loops with bounded per-attempt work. This pass
+//! finds `loop`/`while` constructs that perform atomic operations
+//! (a call site with an `Ordering` argument in the header or body)
+//! yet show none of the recognised progress disciplines:
+//!
+//! * `std::hint::spin_loop()` (busy-wait politeness),
+//! * backoff (`backoff`, `yield_now`, `sleep`, `park`),
+//! * blocking handoff (`.wait` — condvar discipline is the condvar
+//!   pass's job),
+//! * a bounded-attempt counter (`attempt`/`tries`/`retries`/
+//!   `budget`/`deadline`/`timeout` in the loop).
+//!
+//! `for` loops are bounded by their iterator and never flagged. A
+//! flagged loop is not necessarily a bug — the paper's own
+//! augmented-CAS retry loop is one — but every one must carry a
+//! justified, fingerprinted allow entry, which is exactly the
+//! inventory the stochastic-scheduler argument needs.
+
+use super::{atomic_sites, FileContext, PassOutput};
+use crate::model::LoopKind;
+
+/// Substrings accepted as evidence of a progress discipline.
+const MITIGATIONS: [&str; 12] = [
+    "spin_loop",
+    "backoff",
+    "yield_now",
+    ".wait",
+    "park",
+    "sleep",
+    "attempt",
+    "tries",
+    "retries",
+    "budget",
+    "deadline",
+    "timeout",
+];
+
+/// Runs the pass over one file.
+pub fn run(ctx: &FileContext<'_>) -> PassOutput {
+    let mut out = PassOutput::default();
+    let masked = &ctx.model.masked;
+    let sites = atomic_sites(masked);
+    for l in &ctx.model.loops {
+        if l.kind == LoopKind::For {
+            continue;
+        }
+        // Atomic stepping anywhere in the loop (header or body,
+        // including nested loops — each loop is judged on the whole
+        // region it can spin over).
+        if !sites.iter().any(|s| l.contains(s.offset)) {
+            continue;
+        }
+        out.sites += 1;
+        let region = &masked[l.start..=l.body.1];
+        if MITIGATIONS.iter().any(|m| region.contains(m)) {
+            continue;
+        }
+        let kw = if l.kind == LoopKind::Loop {
+            "loop"
+        } else {
+            "while"
+        };
+        out.findings.push(ctx.finding(
+            l.start,
+            "spin-unbounded",
+            format!("{kw} retries atomic operations with no spin_loop()/backoff/attempt bound"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceModel;
+    use crate::passes::{FileContext, Pass};
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let model = SourceModel::build(src);
+        let ctx = FileContext {
+            path: "t.rs",
+            file: "t.rs",
+            model: &model,
+        };
+        Pass::Progress
+            .run(&ctx)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn bare_cas_retry_loop_is_flagged() {
+        let src = "fn inc(a: &AtomicU64) {\n    let mut v = a.load(Ordering::Acquire);\n    loop {\n        match a.compare_exchange(v, v + 1, Ordering::AcqRel, Ordering::Acquire) {\n            Ok(_) => return,\n            Err(c) => v = c,\n        }\n    }\n}";
+        assert_eq!(rules_of(src), vec!["spin-unbounded"]);
+    }
+
+    #[test]
+    fn spin_loop_hint_and_backoff_are_disciplines() {
+        let hinted = "fn lock(l: &AtomicBool) {\n    while l.swap(true, Ordering::Acquire) {\n        std::hint::spin_loop();\n    }\n}";
+        assert!(rules_of(hinted).is_empty());
+        let backoff = "fn lock(l: &AtomicBool) {\n    loop {\n        if !l.swap(true, Ordering::Acquire) { return; }\n        backoff.snooze();\n    }\n}";
+        assert!(rules_of(backoff).is_empty());
+    }
+
+    #[test]
+    fn bounded_attempts_and_for_loops_are_clean() {
+        let bounded = "fn try_lock(l: &AtomicBool) -> bool {\n    let mut attempts = 0;\n    while l.swap(true, Ordering::Acquire) {\n        attempts += 1;\n        if attempts > 64 { return false; }\n    }\n    true\n}";
+        assert!(rules_of(bounded).is_empty());
+        let for_loop =
+            "fn drain(a: &AtomicU64) {\n    for _ in 0..8 {\n        a.fetch_add(1, Ordering::AcqRel);\n    }\n}";
+        assert!(rules_of(for_loop).is_empty());
+    }
+
+    #[test]
+    fn loops_without_atomics_are_not_candidates() {
+        assert!(
+            rules_of("fn f(v: &mut Vec<u32>) { while let Some(x) = v.pop() { drop(x); } }")
+                .is_empty()
+        );
+        assert!(rules_of("fn f() { loop { break; } }").is_empty());
+    }
+
+    #[test]
+    fn while_condition_atomics_count() {
+        let src = "fn wait_flag(f: &AtomicBool) {\n    while !f.load(Ordering::Acquire) {}\n}";
+        assert_eq!(rules_of(src), vec!["spin-unbounded"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! The unsafe-inventory pass.
+//!
+//! The workspace is `#![forbid(unsafe_code)]` in every crate — its
+//! lock-free structures use indices and tags, not raw pointers — so
+//! the shipped tree has zero findings here. The pass exists to keep
+//! it that way: any future `unsafe` block, `unsafe fn`, `unsafe
+//! trait`, or `unsafe impl` (`Send`/`Sync` especially — that is how
+//! data races get smuggled past the compiler) must carry a justified,
+//! fingerprinted allow entry or the lint fails.
+
+use super::{FileContext, PassOutput};
+
+/// Runs the pass over one file.
+pub fn run(ctx: &FileContext<'_>) -> PassOutput {
+    let mut out = PassOutput::default();
+    let masked = &ctx.model.masked;
+    let bytes = masked.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = masked[from..].find("unsafe") {
+        let at = from + pos;
+        from = at + "unsafe".len();
+        // Identifier boundaries: `unsafe_code` in a lint attribute is
+        // not the keyword.
+        let before_ok =
+            at == 0 || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        let end = at + "unsafe".len();
+        let after_ok =
+            end == bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if !before_ok || !after_ok {
+            continue;
+        }
+        out.sites += 1;
+        let rest = masked[end..].trim_start();
+        let (rule, what): (&'static str, String) = if rest.starts_with('{') {
+            ("unsafe-block", "unsafe block".to_string())
+        } else if rest.starts_with("impl") {
+            let header: String = rest
+                .chars()
+                .take_while(|&c| c != '{' && c != '\n')
+                .collect();
+            ("unsafe-impl", format!("unsafe {}", header.trim()))
+        } else if rest.starts_with("fn") || rest.starts_with("extern") {
+            ("unsafe-fn", "unsafe fn".to_string())
+        } else if rest.starts_with("trait") {
+            ("unsafe-trait", "unsafe trait".to_string())
+        } else {
+            ("unsafe-block", "unsafe code".to_string())
+        };
+        out.findings.push(ctx.finding(
+            at,
+            rule,
+            format!("{what} requires a justified allow entry"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::SourceModel;
+    use crate::passes::{FileContext, Pass};
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        let model = SourceModel::build(src);
+        let ctx = FileContext {
+            path: "t.rs",
+            file: "t.rs",
+            model: &model,
+        };
+        Pass::Unsafety
+            .run(&ctx)
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn blocks_fns_traits_and_impls_are_inventoried() {
+        assert_eq!(
+            rules_of("fn f(p: *mut u8) { unsafe { *p = 0; } }"),
+            vec!["unsafe-block"]
+        );
+        assert_eq!(rules_of("unsafe fn poke(p: *mut u8) {}"), vec!["unsafe-fn"]);
+        assert_eq!(rules_of("unsafe trait Zeroable {}"), vec!["unsafe-trait"]);
+        let impls = rules_of("unsafe impl Send for Ring {}\nunsafe impl Sync for Ring {}");
+        assert_eq!(impls, vec!["unsafe-impl", "unsafe-impl"]);
+    }
+
+    #[test]
+    fn forbid_attributes_comments_and_strings_are_exempt() {
+        assert!(rules_of("#![forbid(unsafe_code)]\nfn f() {}").is_empty());
+        assert!(rules_of("// unsafe { boom() }\nfn f() {}").is_empty());
+        assert!(rules_of("fn f() { let s = \"unsafe impl Send\"; s.len(); }").is_empty());
+    }
+
+    #[test]
+    fn impl_message_names_the_trait() {
+        let model = SourceModel::build("unsafe impl Send for Ring {}");
+        let ctx = FileContext {
+            path: "t.rs",
+            file: "t.rs",
+            model: &model,
+        };
+        let found = Pass::Unsafety.run(&ctx).findings;
+        assert!(
+            found[0].message.contains("impl Send for Ring"),
+            "{}",
+            found[0].message
+        );
+        assert_eq!(found[0].function, "<toplevel>");
+    }
+}

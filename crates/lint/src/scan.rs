@@ -1,0 +1,266 @@
+//! Comment- and string-aware source masking.
+//!
+//! Every pass in this crate works on a *masked* copy of the source in
+//! which the contents of comments (`//`, `///`, `//!`, nested
+//! `/* … */`), string literals (plain, byte, and raw with any number
+//! of `#`s), and character/byte-character literals are replaced by
+//! spaces. The mask is byte-for-byte the same length as the input and
+//! keeps every newline, so byte offsets and 1-based line numbers
+//! computed on the mask are valid for the original file.
+//!
+//! This is what fixes the false-attribution bug class of the original
+//! line-textual scanner: `.load(Ordering::SeqCst)` inside a `//`
+//! comment, a `"string"`, a raw string, or a `#[doc = "…"]` attribute
+//! no longer counts as a call site, because after masking those bytes
+//! are blank.
+//!
+//! The only genuinely context-sensitive token is `'`: it opens a
+//! character literal (`'x'`, `'\n'`, `'\u{1F600}'`) or names a
+//! lifetime (`'a`, `'static`, `'_`). The disambiguation used here is
+//! the standard one: a backslash after the quote always means a
+//! literal; otherwise it is a literal only if the very next character
+//! is followed by a closing quote.
+
+/// Returns `source` with comment, string, and char-literal *contents*
+/// blanked to spaces (delimiters are kept; newlines inside multiline
+/// comments/strings survive so line numbers stay aligned).
+pub fn mask(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let n = bytes.len();
+    let mut i = 0usize;
+    while i < n {
+        match bytes[i] {
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                let end = source[i..].find('\n').map_or(n, |o| i + o);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let end = block_comment_end(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(bytes, i);
+                blank(&mut out, i + 1, end.saturating_sub(1));
+                i = end;
+            }
+            b'r' if !ident_before(bytes, i) => match raw_string_end(bytes, i) {
+                Some(end) => {
+                    blank(&mut out, i, end);
+                    i = end;
+                }
+                None => i += 1,
+            },
+            b'b' if !ident_before(bytes, i) && i + 1 < n => match bytes[i + 1] {
+                b'"' => {
+                    let end = string_end(bytes, i + 1);
+                    blank(&mut out, i + 2, end.saturating_sub(1));
+                    i = end;
+                }
+                b'\'' => {
+                    let end = char_literal_end(bytes, i + 1).unwrap_or(i + 2);
+                    blank(&mut out, i + 2, end.saturating_sub(1));
+                    i = end;
+                }
+                b'r' => match raw_string_end(bytes, i + 1) {
+                    Some(end) => {
+                        blank(&mut out, i, end);
+                        i = end;
+                    }
+                    None => i += 1,
+                },
+                _ => i += 1,
+            },
+            b'\'' => match char_literal_end(bytes, i) {
+                Some(end) => {
+                    blank(&mut out, i + 1, end.saturating_sub(1));
+                    i = end;
+                }
+                None => i += 1, // lifetime: leave as-is
+            },
+            _ => i += 1,
+        }
+    }
+    String::from_utf8(out).expect("masking only writes ASCII spaces over non-newline bytes")
+}
+
+/// Blanks `out[from..to]` to spaces, preserving newlines.
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    let (from, to) = (from.min(out.len()), to.min(out.len()));
+    for b in &mut out[from..to] {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Whether the byte before `i` continues an identifier (so `r`/`b`
+/// at `i` is part of a name like `var`, not a literal prefix).
+fn ident_before(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// End offset (exclusive) of a nested block comment opening at `i`.
+fn block_comment_end(bytes: &[u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut depth = 1usize;
+    let mut j = i + 2;
+    while j < n && depth > 0 {
+        if j + 1 < n && bytes[j] == b'/' && bytes[j + 1] == b'*' {
+            depth += 1;
+            j += 2;
+        } else if j + 1 < n && bytes[j] == b'*' && bytes[j + 1] == b'/' {
+            depth -= 1;
+            j += 2;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// End offset (exclusive, past the closing quote) of an escaped
+/// string literal whose opening `"` is at `i`.
+fn string_end(bytes: &[u8], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// End offset (exclusive) of a raw string `r"…"`/`r#"…"#`/… opening
+/// at `i` (which must index the `r`). `None` if this is not actually
+/// a raw string (e.g. the `r` of `r < s`).
+fn raw_string_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let n = bytes.len();
+    let mut hashes = 0usize;
+    let mut j = i + 1;
+    while j < n && bytes[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != b'"' {
+        return None;
+    }
+    j += 1;
+    while j < n {
+        if bytes[j] == b'"'
+            && bytes[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        }
+        j += 1;
+    }
+    Some(n)
+}
+
+/// End offset (exclusive) of a character literal opening at `i`, or
+/// `None` when the quote starts a lifetime instead.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let n = bytes.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if bytes[i + 1] == b'\\' {
+        // Escaped literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(n);
+    }
+    if i + 2 < n && bytes[i + 2] == b'\'' && bytes[i + 1] != b'\'' {
+        return Some(i + 3); // 'x'
+    }
+    None // lifetime ('a, 'static, '_) or stray quote
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_preserves_length_and_newlines() {
+        let src = "let a = 1; // .load(Ordering::SeqCst)\nlet b = \"x\ny\";\n";
+        let m = mask(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(
+            m.match_indices('\n').count(),
+            src.match_indices('\n').count()
+        );
+        assert!(!m.contains("SeqCst"));
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let m = mask("x(); // a.load(Ordering::SeqCst)");
+        assert!(m.starts_with("x(); "));
+        assert!(!m.contains("load"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let m = mask("a /* outer /* inner */ .load( */ b");
+        assert!(!m.contains("load"));
+        assert!(m.contains('a') && m.contains('b'));
+    }
+
+    #[test]
+    fn strings_and_doc_attrs_are_blanked() {
+        let m = mask("#[doc = \"call .load(Ordering::SeqCst) here\"] fn f() {}");
+        assert!(!m.contains("load"));
+        assert!(m.contains("fn f()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let m = mask("let s = r#\"quoted \" .swap(x, Ordering::SeqCst)\"#; g()");
+        assert!(!m.contains("swap"));
+        assert!(m.contains("g()"));
+        // The `r` of an ordinary identifier is untouched.
+        assert_eq!(mask("for r in 0..3 { r; }"), "for r in 0..3 { r; }");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_blanked() {
+        let m = mask("let s = b\".store(\"; let c = b'('; h()");
+        assert!(!m.contains("store"));
+        assert!(!m.contains("b'('"));
+        assert!(m.contains("h()"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked_but_lifetimes_survive() {
+        let m = mask("fn f<'a>(x: &'a str) -> char { '(' }");
+        assert!(m.contains("<'a>"));
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'('"));
+        let m = mask("let c = '\\u{1F600}'; t::<'static>()");
+        assert!(m.contains("'static"));
+        assert!(!m.contains("1F600"));
+    }
+
+    #[test]
+    fn escaped_quotes_inside_strings_do_not_terminate_early() {
+        let m = mask(r#"let s = "a\".fetch_add(1, Ordering::SeqCst)"; k()"#);
+        assert!(!m.contains("fetch_add"));
+        assert!(m.contains("k()"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Allowlist v2 end-to-end: editing an allowed site without updating
+//! its entry is a hard error, and diagnostics carry 1-based allow-file
+//! line numbers.
+//!
+//! Builds a throwaway mini-crate in a temp directory, lints it clean
+//! under a fingerprinted entry, then edits the allowed function and
+//! asserts the verdict flips to exactly one MISMATCH violation citing
+//! the stale fingerprint and the entry's line.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pwf_lint::{lint_tree, site_fingerprint, Pass, SourceModel};
+
+const CLEAN_SRC: &str = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn draw(ticket: &AtomicU64) -> u64 {
+    ticket.fetch_add(1, Ordering::Relaxed)
+}
+";
+
+/// Same function, same key — but the step width changed, so the old
+/// justification no longer describes the code.
+const EDITED_SRC: &str = "\
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn draw(ticket: &AtomicU64) -> u64 {
+    ticket.fetch_add(2, Ordering::Relaxed)
+}
+";
+
+struct TempCrate {
+    dir: PathBuf,
+}
+
+impl TempCrate {
+    fn new(name: &str) -> TempCrate {
+        let dir =
+            std::env::temp_dir().join(format!("pwf-lint-fpinv-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).expect("temp crate dir");
+        TempCrate { dir }
+    }
+
+    fn write(&self, rel: &str, text: &str) {
+        fs::write(self.dir.join(rel), text).expect("write temp file");
+    }
+
+    fn lint(&self) -> pwf_lint::CrateReport {
+        let allow = self.dir.join("lint.allow");
+        lint_tree(
+            &self.dir,
+            &self.dir.join("src"),
+            Some(allow.as_path()),
+            "mini",
+            &Pass::ALL,
+        )
+        .expect("temp crate lints")
+    }
+}
+
+impl Drop for TempCrate {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn fingerprint_of(src: &str, needle: &str) -> u64 {
+    let model = SourceModel::build(src);
+    site_fingerprint(&model, src.find(needle).expect("needle present"))
+}
+
+#[test]
+fn editing_an_allowed_site_without_updating_the_entry_is_a_hard_error() {
+    let krate = TempCrate::new("edit");
+    krate.write("src/lib.rs", CLEAN_SRC);
+    let fp = fingerprint_of(CLEAN_SRC, ".fetch_add");
+    krate.write(
+        "lint.allow",
+        &format!(
+            "# temp crate allowlist\nlib.rs:draw:relaxed-rmw @{fp:016x}  ticket counter, atomicity only\n"
+        ),
+    );
+
+    // Baseline: the entry covers the finding and nothing is stale.
+    let report = krate.lint();
+    assert!(report.clean(), "baseline should be clean");
+    assert_eq!(report.allowed, 1);
+
+    // Edit the allowed function, leave the entry untouched.
+    krate.write("src/lib.rs", EDITED_SRC);
+    let report = krate.lint();
+    assert!(!report.clean(), "edit must invalidate the justification");
+    assert_eq!(report.violations.len(), 1, "exactly one mismatch violation");
+    let v = &report.violations[0];
+    let (old_fp, entry_line) = v.mismatch.expect("mismatch, not a plain violation");
+    assert_eq!(old_fp, fp, "diagnostic cites the stale fingerprint");
+    assert_eq!(entry_line, 2, "diagnostic cites the entry's 1-based line");
+    assert_eq!(v.finding.key(), "lib.rs:draw:relaxed-rmw");
+    assert_ne!(v.finding.fingerprint, fp, "site fingerprint moved");
+    // The consumed entry must NOT also be reported stale.
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn comment_and_formatting_edits_do_not_invalidate() {
+    let reformatted = CLEAN_SRC.replace(
+        "pub fn draw(ticket: &AtomicU64) -> u64 {",
+        "// counters only need atomicity\npub fn draw(\n    ticket: &AtomicU64\n) -> u64 {",
+    );
+    assert_eq!(
+        fingerprint_of(CLEAN_SRC, ".fetch_add"),
+        fingerprint_of(&reformatted, ".fetch_add"),
+        "comments and whitespace must not shift the fingerprint"
+    );
+    assert_ne!(
+        fingerprint_of(CLEAN_SRC, ".fetch_add"),
+        fingerprint_of(EDITED_SRC, ".fetch_add"),
+        "token edits must shift the fingerprint"
+    );
+}
+
+#[test]
+fn stale_and_unparsable_entries_report_one_based_lines() {
+    let krate = TempCrate::new("stale");
+    krate.write("src/lib.rs", CLEAN_SRC);
+    let fp = fingerprint_of(CLEAN_SRC, ".fetch_add");
+    // Line 1 comment, line 2 live entry, line 3 stale entry.
+    krate.write(
+        "lint.allow",
+        &format!(
+            "# temp crate allowlist\nlib.rs:draw:relaxed-rmw @{fp:016x}  ticket counter\nlib.rs:gone:relaxed-rmw @{fp:016x}  deleted long ago\n"
+        ),
+    );
+    let report = krate.lint();
+    assert!(!report.clean());
+    assert_eq!(report.stale.len(), 1);
+    assert_eq!(report.stale[0].key, "lib.rs:gone:relaxed-rmw");
+    assert_eq!(report.stale[0].line, 3, "stale diagnostics are 1-based");
+
+    // v1-format entries (no fingerprint) are a parse-time hard error
+    // carrying the offending line.
+    krate.write(
+        "lint.allow",
+        "# migrated?\nlib.rs:draw:relaxed-rmw  ticket counter, atomicity only\n",
+    );
+    let report = krate.lint();
+    assert!(!report.clean());
+    let (line, msg) = report.allow_error.expect("v1 entry is a parse error");
+    assert_eq!(line, 2);
+    assert!(
+        msg.contains('@'),
+        "error explains the missing fingerprint: {msg}"
+    );
+}
+
+#[test]
+fn moving_a_site_across_files_changes_its_key_not_silently_its_meaning() {
+    // A cross-file move keeps the fn text (same fingerprint) but the
+    // key's file segment changes, so the old entry goes stale and the
+    // new location needs its own justification.
+    let krate = TempCrate::new("move");
+    krate.write("src/lib.rs", "pub mod ticket;\n");
+    krate.write("src/ticket.rs", CLEAN_SRC);
+    let fp = fingerprint_of(CLEAN_SRC, ".fetch_add");
+    krate.write(
+        "lint.allow",
+        &format!("lib.rs:draw:relaxed-rmw @{fp:016x}  ticket counter, atomicity only\n"),
+    );
+    let report = krate.lint();
+    assert!(!report.clean());
+    assert_eq!(report.violations.len(), 1, "moved site needs a fresh entry");
+    assert!(report.violations[0].mismatch.is_none());
+    assert_eq!(
+        report.violations[0].finding.key(),
+        "ticket.rs:draw:relaxed-rmw"
+    );
+    assert_eq!(report.stale.len(), 1, "old location's entry is stale");
+}
+
+#[test]
+fn missing_allow_file_means_deny_everything() {
+    let krate = TempCrate::new("deny");
+    krate.write("src/lib.rs", CLEAN_SRC);
+    let report = krate.lint();
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].mismatch.is_none());
+}

@@ -1,0 +1,23 @@
+// A clean file whose comments, strings, and doc attributes are
+// saturated with text the passes must NOT attribute as call sites —
+// the original line-textual scanner's false-attribution bug class.
+
+// head.load(Ordering::SeqCst) in a line comment.
+/* tail.store(1, Ordering::Relaxed) in a block comment,
+   /* nested: next.fetch_add(1, Ordering::SeqCst) */
+   still inside the outer comment. */
+
+/// Doc comment: `state.swap(0, Ordering::Relaxed)` and an unsafe
+/// block description: unsafe { *p = 1 }.
+#[doc = "attr form: flag.compare_exchange(0, 1, Ordering::Relaxed, Ordering::SeqCst)"]
+pub fn documentation_only() -> &'static str {
+    "string form: counter.fetch_add(1, Ordering::SeqCst); loop {}"
+}
+
+pub fn raw_and_byte_strings() -> usize {
+    let raw = r#"raw: head.load(Ordering::SeqCst) and "quoted" text"#;
+    let bytes = b".store(0, Ordering::Relaxed)";
+    let ch = '(';
+    let escaped = "escaped quote \" then x.swap(1, Ordering::SeqCst)";
+    raw.len() + bytes.len() + escaped.len() + ch as usize
+}

@@ -1,0 +1,42 @@
+// Condvar use the condvar pass must accept: predicate re-check loops
+// (plain and timed, the coalescer/shaper shapes), a Barrier::wait
+// (empty argument list — not a Condvar), and a temporary guard
+// dropped before any blocking call.
+
+use std::sync::{Barrier, Condvar, Mutex};
+use std::time::Duration;
+
+pub fn join_flight(cell_lock: &Mutex<Option<u64>>, woken: &Condvar) -> u64 {
+    let mut cell = cell_lock.lock().expect("poisoned");
+    while cell.is_none() {
+        cell = woken.wait(cell).expect("poisoned");
+    }
+    cell.expect("checked above")
+}
+
+pub fn timed_drain(gate: &Mutex<usize>, freed: &Condvar, max: Duration) -> usize {
+    let mut guard = gate.lock().expect("poisoned");
+    loop {
+        if *guard > 0 {
+            return *guard;
+        }
+        let (g, timeout) = freed.wait_timeout(guard, max).expect("poisoned");
+        guard = g;
+        if timeout.timed_out() {
+            return 0;
+        }
+    }
+}
+
+pub fn rendezvous(barrier: &Barrier, shared: &Mutex<u64>) -> u64 {
+    barrier.wait();
+    *shared.lock().expect("poisoned")
+}
+
+pub fn release_then_block(shared: &Mutex<u64>) -> u64 {
+    let guard = shared.lock().expect("poisoned");
+    let count = *guard;
+    drop(guard);
+    std::thread::sleep(Duration::from_millis(1));
+    count
+}

@@ -1,0 +1,17 @@
+// Correctly-ordered atomics: acquire/release pairs and an AcqRel CAS
+// — nothing to report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn publish(head: &AtomicUsize, node: usize) {
+    head.store(node, Ordering::Release);
+}
+
+pub fn consume(head: &AtomicUsize) -> usize {
+    head.load(Ordering::Acquire)
+}
+
+pub fn swing(head: &AtomicUsize, old: usize, new: usize) -> bool {
+    head.compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+}

@@ -1,0 +1,19 @@
+// Lifetime-heavy generic code: every apostrophe here is a lifetime,
+// and the tokenizer must not eat the rest of the file as a char
+// literal.
+
+pub struct Held<'a, T: 'a>(&'a T);
+
+pub fn first<'s>(items: &'s [u64]) -> Option<&'s u64> {
+    items.first()
+}
+
+pub fn reborrow<'long: 'short, 'short>(x: &'long u64) -> &'short u64 {
+    x
+}
+
+pub fn static_str() -> &'static str {
+    let marker = '\'';
+    let newline = '\n';
+    if marker == newline { "same" } else { "differ" }
+}

@@ -1,0 +1,45 @@
+// Retry loops the progress pass must accept: spin hint, bounded
+// attempts, a bounded for sweep, and exponential backoff.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub fn spin_hinted(lock: &AtomicUsize) {
+    while lock.load(Ordering::Acquire) != 0 {
+        std::hint::spin_loop();
+    }
+}
+
+pub fn bounded(value: &AtomicU64) -> Option<u64> {
+    let mut attempts = 0;
+    loop {
+        let cur = value.load(Ordering::Acquire);
+        if value
+            .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return Some(cur);
+        }
+        attempts += 1;
+        if attempts > 64 {
+            return None;
+        }
+    }
+}
+
+pub fn swept(cells: &[AtomicU64]) -> u64 {
+    let mut sum = 0;
+    for cell in cells {
+        sum += cell.load(Ordering::Acquire);
+    }
+    sum
+}
+
+pub fn backing_off(value: &AtomicU64, backoff_limit: u32) {
+    let mut backoff = 1u32;
+    while value.fetch_add(1, Ordering::AcqRel) == 0 {
+        for _ in 0..backoff {
+            std::hint::spin_loop();
+        }
+        backoff = (backoff * 2).min(backoff_limit);
+    }
+}

@@ -1,0 +1,8 @@
+// EXPECT: cas-no-release
+// Mutant: a publishing CAS whose success ordering is only Acquire —
+// the linked node is never released to other threads.
+
+pub fn publish(head: &std::sync::atomic::AtomicUsize, node: usize) -> bool {
+    head.compare_exchange(0, node, std::sync::atomic::Ordering::Acquire, std::sync::atomic::Ordering::Acquire)
+        .is_ok()
+}

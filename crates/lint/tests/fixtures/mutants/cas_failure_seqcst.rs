@@ -1,0 +1,7 @@
+// EXPECT: cas-failure-order,seqcst
+// Mutant: SeqCst failure ordering outranks the AcqRel success path.
+
+pub fn link(next: &std::sync::atomic::AtomicUsize, node: usize) -> bool {
+    next.compare_exchange(0, node, std::sync::atomic::Ordering::AcqRel, std::sync::atomic::Ordering::SeqCst)
+        .is_ok()
+}

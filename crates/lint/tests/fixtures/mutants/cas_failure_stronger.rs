@@ -1,0 +1,8 @@
+// EXPECT: cas-failure-order,cas-no-release
+// Mutant: the failure ordering (Acquire) is stronger than the success
+// ordering (Relaxed), which also lacks release semantics.
+
+pub fn claim(slot: &std::sync::atomic::AtomicUsize) -> bool {
+    slot.compare_exchange(0, 1, std::sync::atomic::Ordering::Relaxed, std::sync::atomic::Ordering::Acquire)
+        .is_ok()
+}

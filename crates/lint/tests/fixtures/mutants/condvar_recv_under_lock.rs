@@ -1,0 +1,14 @@
+// EXPECT: condvar-lock-blocking
+// Mutant: blocks on a channel receive while holding the registry
+// lock.
+
+pub fn collect(
+    registry: &std::sync::Mutex<Vec<u64>>,
+    rx: &std::sync::mpsc::Receiver<u64>,
+) -> usize {
+    let mut guard = registry.lock().expect("poisoned");
+    if let Ok(item) = rx.recv() {
+        guard.push(item);
+    }
+    guard.len()
+}

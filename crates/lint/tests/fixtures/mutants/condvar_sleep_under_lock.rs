@@ -1,0 +1,9 @@
+// EXPECT: condvar-lock-blocking
+// Mutant: sleeps while holding the mutex, stalling every other
+// thread that needs it.
+
+pub fn throttle(shared: &std::sync::Mutex<u64>) -> u64 {
+    let guard = shared.lock().expect("poisoned");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    *guard
+}

@@ -1,0 +1,11 @@
+// EXPECT: condvar-wait-no-loop
+// Mutant: the predicate is checked with `if`, not re-checked in a
+// loop after the wakeup.
+
+pub fn drain(pair: &(std::sync::Mutex<usize>, std::sync::Condvar)) -> usize {
+    let mut guard = pair.0.lock().expect("poisoned");
+    if *guard == 0 {
+        guard = pair.1.wait(guard).expect("poisoned");
+    }
+    *guard
+}

@@ -1,0 +1,9 @@
+// EXPECT: condvar-wait-no-loop
+// Mutant: single un-looped Condvar::wait — a spurious wakeup or a
+// missed notify returns with the predicate still false.
+
+pub fn take(pair: &(std::sync::Mutex<Option<u64>>, std::sync::Condvar)) -> Option<u64> {
+    let guard = pair.0.lock().ok()?;
+    let mut guard = pair.1.wait(guard).ok()?;
+    guard.take()
+}

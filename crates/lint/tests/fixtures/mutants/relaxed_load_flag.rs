@@ -1,0 +1,6 @@
+// EXPECT: relaxed-load
+// Mutant: consumer load weakened to Relaxed (should be Acquire).
+
+pub fn current(state: &std::sync::atomic::AtomicUsize) -> usize {
+    state.load(std::sync::atomic::Ordering::Relaxed)
+}

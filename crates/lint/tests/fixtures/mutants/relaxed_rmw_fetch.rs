@@ -1,0 +1,7 @@
+// EXPECT: relaxed-rmw
+// Mutant: the unlock decrement weakened to Relaxed — the critical
+// section can leak past the release point.
+
+pub fn unlock(holders: &std::sync::atomic::AtomicUsize) {
+    holders.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,7 @@
+// EXPECT: relaxed-rmw
+// Mutant: lock acquisition swap weakened to Relaxed (should be
+// Acquire at minimum).
+
+pub fn try_lock(lock: &std::sync::atomic::AtomicBool) -> bool {
+    !lock.swap(true, std::sync::atomic::Ordering::Relaxed)
+}

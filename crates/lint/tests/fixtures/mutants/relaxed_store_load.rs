@@ -1,0 +1,11 @@
+// EXPECT: relaxed-store,relaxed-load
+// Mutant: a Relaxed flag store paired with a Relaxed flag load — no
+// happens-before edge between producer and consumer.
+
+pub fn set_ready(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+pub fn is_ready(flag: &std::sync::atomic::AtomicBool) -> bool {
+    flag.load(std::sync::atomic::Ordering::Relaxed)
+}

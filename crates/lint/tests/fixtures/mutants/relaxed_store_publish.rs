@@ -1,0 +1,6 @@
+// EXPECT: relaxed-store
+// Mutant: publishing store weakened to Relaxed (should be Release).
+
+pub fn expose(ptr: &std::sync::atomic::AtomicUsize, node: usize) {
+    ptr.store(node, std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+// EXPECT: seqcst
+// Mutant: hot-path load strengthened to SeqCst (should be Acquire).
+
+pub fn peek(head: &std::sync::atomic::AtomicUsize) -> usize {
+    head.load(std::sync::atomic::Ordering::SeqCst)
+}

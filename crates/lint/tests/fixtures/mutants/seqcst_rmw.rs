@@ -1,0 +1,7 @@
+// EXPECT: seqcst
+// Mutant: statistics counter bumped with a full fence (should be
+// Relaxed or AcqRel at most).
+
+pub fn bump(total: &std::sync::atomic::AtomicU64) -> u64 {
+    total.fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+}

@@ -1,0 +1,15 @@
+// EXPECT: spin-unbounded
+// Mutant: bare CAS retry loop — no spin_loop hint, no bound, no
+// mitigation of any kind.
+
+pub fn increment(value: &std::sync::atomic::AtomicU64) -> u64 {
+    loop {
+        let cur = value.load(std::sync::atomic::Ordering::Acquire);
+        if value
+            .compare_exchange(cur, cur + 1, std::sync::atomic::Ordering::AcqRel, std::sync::atomic::Ordering::Acquire)
+            .is_ok()
+        {
+            return cur;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// EXPECT: spin-unbounded
+// Mutant: busy-polls a flag with an empty body — burns a core until
+// the producer arrives.
+
+pub fn block_until_ready(ready: &std::sync::atomic::AtomicUsize) {
+    while ready.load(std::sync::atomic::Ordering::Acquire) == 0 {}
+}

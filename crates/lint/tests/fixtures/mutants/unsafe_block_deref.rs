@@ -1,0 +1,9 @@
+// EXPECT: unsafe-block
+// Mutant: raw-pointer write in an unsafe block with no allow entry
+// justifying it.
+
+pub fn poke(slot: *mut u64, value: u64) {
+    unsafe {
+        *slot = value;
+    }
+}

@@ -1,0 +1,6 @@
+// EXPECT: unsafe-fn
+// Mutant: FFI surface introduced without an inventory entry.
+
+unsafe extern "C" {
+    pub fn memneq(a: *const u8, b: *const u8, n: usize) -> i32;
+}

@@ -1,0 +1,6 @@
+// EXPECT: unsafe-fn
+// Mutant: an unsafe fn whose contract is documented nowhere.
+
+pub unsafe fn read_at(base: *const u64, index: usize) -> u64 {
+    *base.add(index)
+}

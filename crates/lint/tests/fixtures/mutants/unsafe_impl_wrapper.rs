@@ -1,0 +1,6 @@
+// EXPECT: unsafe-impl
+// Mutant: Send promise smuggled onto a non-Send interior.
+
+pub struct Cellbox(std::cell::Cell<u64>);
+
+unsafe impl Send for Cellbox {}

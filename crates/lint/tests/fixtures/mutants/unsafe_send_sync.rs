@@ -1,0 +1,7 @@
+// EXPECT: unsafe-impl
+// Mutant: hand-written Send/Sync promises for a raw-pointer wrapper.
+
+pub struct Shared(*mut u64);
+
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}

@@ -1,0 +1,11 @@
+// EXPECT: unsafe-block
+// Mutant: mutable-static access hidden in an unsafe block.
+
+static mut HITS: u64 = 0;
+
+pub fn hit() -> u64 {
+    unsafe {
+        HITS += 1;
+        HITS
+    }
+}

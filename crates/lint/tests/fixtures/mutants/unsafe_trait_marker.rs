@@ -1,0 +1,7 @@
+// EXPECT: unsafe-trait
+// Mutant: a marker trait whose invariant lives only in the author's
+// head.
+
+pub unsafe trait Zeroable {
+    fn zeroed() -> Self;
+}

@@ -1,0 +1,4 @@
+// EXPECT: unsafe-trait
+// Mutant: plain-old-data promise with no justification recorded.
+
+pub unsafe trait Pod {}

@@ -1,0 +1,124 @@
+//! The seeded-mutant fixture corpus gate.
+//!
+//! Every file under `tests/fixtures/mutants/` opens with an
+//! `// EXPECT: rule[,rule…]` header naming the exact set of rules the
+//! passes must report for it; every file under `tests/fixtures/clean/`
+//! must produce zero findings. Together the two directions pin the
+//! rules' sensitivity AND specificity: a rule that stops firing on its
+//! mutants fails here, and a rule that starts firing on idiomatic
+//! clean code fails here too.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pwf_lint::passes::{FileContext, Pass, RULE_TABLE};
+use pwf_lint::SourceModel;
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+}
+
+fn fixtures(kind: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = fs::read_dir(fixture_dir(kind))
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("fixture has a name")
+                .to_string_lossy()
+                .into_owned();
+            let text = fs::read_to_string(&p).expect("readable fixture");
+            (name, text)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn rules_found(source: &str) -> BTreeSet<&'static str> {
+    let model = SourceModel::build(source);
+    let ctx = FileContext {
+        path: "fixture.rs",
+        file: "fixture.rs",
+        model: &model,
+    };
+    Pass::ALL
+        .iter()
+        .flat_map(|p| p.run(&ctx).findings)
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn expected_rules(name: &str, text: &str) -> BTreeSet<String> {
+    let header = text
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .strip_prefix("// EXPECT:")
+        .unwrap_or_else(|| panic!("{name}: first line must be `// EXPECT: rule[,rule…]`"))
+        .trim()
+        .to_string();
+    let rules: BTreeSet<String> = header.split(',').map(|r| r.trim().to_string()).collect();
+    assert!(!rules.is_empty(), "{name}: empty EXPECT header");
+    for rule in &rules {
+        assert!(
+            RULE_TABLE.iter().any(|(r, _, _)| r == rule),
+            "{name}: EXPECT names unknown rule {rule:?}"
+        );
+    }
+    rules
+}
+
+#[test]
+fn every_mutant_is_caught_exactly() {
+    let mutants = fixtures("mutants");
+    assert!(
+        mutants.len() >= 10,
+        "mutant corpus shrank below 10 fixtures ({})",
+        mutants.len()
+    );
+    for (name, text) in &mutants {
+        let expected = expected_rules(name, text);
+        let found: BTreeSet<String> = rules_found(text).into_iter().map(str::to_string).collect();
+        assert_eq!(
+            found, expected,
+            "{name}: passes reported {found:?}, fixture expects exactly {expected:?}"
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_rule_at_least_twice() {
+    let mut coverage: BTreeMap<&str, usize> =
+        RULE_TABLE.iter().map(|(rule, _, _)| (*rule, 0)).collect();
+    for (name, text) in fixtures("mutants") {
+        for rule in expected_rules(&name, &text) {
+            *coverage
+                .get_mut(rule.as_str())
+                .expect("validated against RULE_TABLE") += 1;
+        }
+    }
+    let uncovered: Vec<_> = coverage.iter().filter(|(_, &n)| n < 2).collect();
+    assert!(
+        uncovered.is_empty(),
+        "rules with fewer than two mutants: {uncovered:?}"
+    );
+}
+
+#[test]
+fn clean_fixtures_produce_no_findings() {
+    let clean = fixtures("clean");
+    assert!(clean.len() >= 4, "clean corpus shrank ({})", clean.len());
+    for (name, text) in &clean {
+        let found = rules_found(text);
+        assert!(
+            found.is_empty(),
+            "{name}: clean fixture tripped rules {found:?}"
+        );
+    }
+}

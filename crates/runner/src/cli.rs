@@ -54,8 +54,15 @@ USAGE:
 
     pwf vet [TARGET...] [OPTIONS]
         Systematic concurrency checking: DPOR schedule exploration,
-        linearizability, lock-freedom, and the atomics-ordering lint.
+        linearizability, lock-freedom. `pwf vet --orderings` is a
+        compatibility alias for the orderings pass of `pwf lint`.
         See `pwf vet --help`.
+
+    pwf lint [OPTIONS]
+        Workspace-wide concurrency static analysis: atomics-ordering,
+        progress (unbounded spin/retry), condvar-discipline, and
+        unsafe-inventory passes over every crate, gated by per-crate
+        fingerprinted lint.allow files. See `pwf lint --help`.
 
     pwf serve [OPTIONS]
         The latency-prediction service: GET /predict answers from the
@@ -150,10 +157,13 @@ fn parse_args(mut argv: Vec<String>) -> Result<Args, String> {
 /// Entry point. Returns the process exit code: 0 success, 1 failures
 /// or drift, 2 usage errors.
 pub fn main(registry: Registry, argv: Vec<String>) -> i32 {
-    // `vet` owns its own flag grammar; hand it the raw argv before the
-    // experiment-runner flags are parsed.
+    // `vet` and `lint` own their own flag grammars; hand them the raw
+    // argv before the experiment-runner flags are parsed.
     if argv.first().map(String::as_str) == Some("vet") {
         return pwf_checker::cli::main(argv[1..].to_vec());
+    }
+    if argv.first().map(String::as_str) == Some("lint") {
+        return pwf_lint::cli::main(argv[1..].to_vec());
     }
     let args = match parse_args(argv) {
         Ok(args) => args,

@@ -69,8 +69,10 @@ fn run_one(reg: &Arc<Registry>, name: &str, opts: &RunOptions) -> ExpOutcome {
 fn same_seed_same_report_across_job_counts() {
     let reg = registry();
     let names = vec!["it_table".to_string()];
-    let mut opts = RunOptions::default();
-    opts.master_seed = 42;
+    let mut opts = RunOptions {
+        master_seed: 42,
+        ..RunOptions::default()
+    };
 
     let mut renders = Vec::new();
     for jobs in [1, 4] {
@@ -100,8 +102,10 @@ fn panic_and_error_are_isolated_from_healthy_experiments() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let mut opts = RunOptions::default();
-    opts.jobs = 3;
+    let opts = RunOptions {
+        jobs: 3,
+        ..RunOptions::default()
+    };
     let summary = run_experiments(&reg, &names, &opts);
 
     assert_eq!(summary.passed(), 1);

@@ -6,6 +6,19 @@ set -eu
 
 cd "$(dirname "$0")"
 
+# If anything below fails, archive any flight-recorder dumps (written
+# under flight/ when a watchdog trips) so the evidence survives the
+# run as a single artifact.
+archive_flight() {
+    status=$?
+    if [ "$status" -ne 0 ] && ls flight/*.json >/dev/null 2>&1; then
+        tar -czf flight-dumps.tgz flight/*.json
+        echo "ci.sh: FAILED (exit $status) — flight dumps archived in flight-dumps.tgz" >&2
+    fi
+    exit "$status"
+}
+trap archive_flight EXIT
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -21,6 +34,16 @@ cargo test -q --offline --workspace
 echo "==> obs zero-cost gate: workspace must build and test with obs off"
 cargo build --offline --no-default-features -p pwf-obs -p pwf-sim -p pwf-hardware
 cargo test -q --offline --no-default-features -p pwf-obs -p pwf-sim -p pwf-hardware
+
+echo "==> pwf report: perf trend gate over the committed BENCH files"
+# Gates the committed BENCH_*.json against the last entry recorded in
+# results/bench_history.jsonl: a PR committing regressed perf numbers
+# without re-recording the history fails here. This runs BEFORE the
+# --fast smokes below, which refresh the BENCH files with scaled-down
+# workloads whose absolute numbers are not comparable to the recorded
+# full-profile baseline. (Developers update the ledger after a full
+# regeneration with `pwf run --all && pwf report --check --record`.)
+./target/release/pwf report --check
 
 echo "==> pwf smoke: run --all --jobs 2 --fast"
 # --fast without --out is guaranteed not to overwrite results/.
@@ -83,6 +106,14 @@ echo "==> serve smoke: self-loadgen through a live HTTP server"
 grep -q '"drift": 0' BENCH_serve.json
 grep -q '"coalesced"' BENCH_serve.json
 
+echo "==> watchdog gate: clean fleets silent, crashed lock holder trips"
+# exp_obs_watchdog arms the online tail watchdog from the theory
+# envelope: the SCU and crash-free lock fleets must stay inside it,
+# the crashed-holder fleet must trip it, and the resulting flight
+# dump (under flight/) must name the offending gaps.
+./target/release/pwf run exp_obs_watchdog --fast
+ls flight/tail-exceedance-*.json >/dev/null
+
 echo "==> serve property tests: LRU vs reference model (vendored proptest)"
 cargo test -q --offline -p pwf-serve --features heavy-deps --test lru_properties
 
@@ -97,5 +128,8 @@ cargo test -q --offline --features heavy-deps --test sparse_markov_properties
 
 echo "==> sampler property tests (vendored proptest)"
 cargo test -q --offline -p pwf-sim --features heavy-deps --test sampler_properties
+
+echo "==> obs property tests: histogram monoid + flight round-trip (vendored proptest)"
+cargo test -q --offline --features heavy-deps --test obs_properties
 
 echo "ci.sh: all green"

@@ -34,6 +34,7 @@ pub mod min_to_max;
 pub mod mixing;
 pub mod nonuniform;
 pub mod obs_overhead;
+pub mod obs_watchdog;
 pub mod parallel;
 pub mod quantum;
 pub mod scan_chain;
@@ -43,7 +44,7 @@ pub mod unbounded;
 pub mod universal;
 
 /// All registered experiments.
-const ALL: [FnExperiment; 24] = [
+const ALL: [FnExperiment; 25] = [
     backoff::EXP,
     ballsbins::EXP,
     crashes::EXP,
@@ -61,6 +62,7 @@ const ALL: [FnExperiment; 24] = [
     mixing::EXP,
     nonuniform::EXP,
     obs_overhead::EXP,
+    obs_watchdog::EXP,
     parallel::EXP,
     quantum::EXP,
     scan_chain::EXP,
@@ -107,9 +109,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_holds_all_twenty_four_unique_experiments() {
+    fn registry_holds_all_twenty_five_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 24);
+        assert_eq!(reg.len(), 25);
+        assert!(reg.get("exp_obs_watchdog").is_some());
         assert!(reg.get("exp_ballsbins").is_some());
         assert!(reg.get("fig5_completion_rate").is_some());
         assert!(reg.get("obs_overhead").is_some());

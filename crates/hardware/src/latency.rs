@@ -5,12 +5,12 @@
 
 use std::time::Instant;
 
-use pwf_obs::{EventKind, Histogram, LatencySummary, ObsHandle};
+use pwf_obs::{EnvelopeVerdict, EventKind, Histogram, LatencySummary, ObsHandle, TailEnvelope};
 
 use crate::treiber::TreiberStack;
 
-/// A base-2 logarithmic histogram of durations in nanoseconds — a
-/// thin wrapper over the shared [`pwf_obs::Histogram`] keeping the
+/// A log-linear histogram of durations in nanoseconds — a thin
+/// wrapper over the shared [`pwf_obs::Histogram`] keeping the
 /// historical nanosecond-named API.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
@@ -68,6 +68,32 @@ impl LatencyHistogram {
     /// registry).
     pub fn histogram(&self) -> &Histogram {
         &self.inner
+    }
+
+    /// Checks the recorded tail against a theory envelope at quantile
+    /// `p` (the hardware side of the obs watchdog): the envelope's `W`
+    /// must be in nanoseconds — scale the step-count prediction by a
+    /// measured per-step cost, or fold it into the envelope's slack.
+    /// When `obs` carries a metrics registry the verdict is counted
+    /// into `watchdog.checks` / `watchdog.exceedances`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn check_tail_envelope(
+        &self,
+        envelope: &TailEnvelope,
+        p: f64,
+        obs: &ObsHandle,
+    ) -> EnvelopeVerdict {
+        let verdict = envelope.verdict(&self.inner, p);
+        if let Some(metrics) = obs.metrics() {
+            metrics.counter_add("watchdog.checks", 1);
+            if !verdict.ok {
+                metrics.counter_add("watchdog.exceedances", 1);
+            }
+        }
+        verdict
     }
 }
 
@@ -209,7 +235,8 @@ mod tests {
         assert_eq!(h.count(), 4);
         let buckets = h.non_empty_buckets();
         assert!(buckets.contains(&(1, 1)));
-        assert!(buckets.contains(&(2, 2)));
+        assert!(buckets.contains(&(2, 1)));
+        assert!(buckets.contains(&(3, 1)));
         assert!(buckets.contains(&(1024, 1)));
         assert_eq!(h.max_ns(), 1024);
     }
@@ -218,7 +245,7 @@ mod tests {
     fn zero_duration_goes_to_first_bucket() {
         let mut h = LatencyHistogram::new();
         h.record(0);
-        assert_eq!(h.non_empty_buckets(), vec![(1, 1)]);
+        assert_eq!(h.non_empty_buckets(), vec![(0, 1)]);
     }
 
     #[test]
@@ -262,6 +289,32 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_histogram_panics() {
         let _ = LatencyHistogram::new().quantile_upper_bound(0.5);
+    }
+
+    #[test]
+    fn tail_envelope_check_counts_verdicts_into_metrics() {
+        let obs = ObsHandle::collecting(None);
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        // Generous envelope (mean 1µs): the 100ns tail passes.
+        let ok = h.check_tail_envelope(&TailEnvelope::from_latency(1000.0, 1.0), 0.999, &obs);
+        assert!(ok.ok);
+        // Tight envelope (mean 1ns): it cannot.
+        let bad = h.check_tail_envelope(&TailEnvelope::from_latency(1.0, 1.0), 0.999, &obs);
+        assert!(!bad.ok);
+        assert!(bad.observed > bad.bound);
+        let snap = obs.metrics().unwrap().snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert_eq!(counter("watchdog.checks"), 2);
+        assert_eq!(counter("watchdog.exceedances"), 1);
     }
 
     #[cfg(feature = "obs")]

@@ -1,18 +1,75 @@
-//! The shared base-2 logarithmic histogram.
+//! The shared log-linear histogram.
 //!
 //! One binning scheme serves every latency/gap distribution in the
-//! workspace: `buckets[k]` counts samples in `[2ᵏ, 2ᵏ⁺¹)`, in whatever
-//! unit the caller records (nanoseconds on hardware, system steps in
-//! the simulator). The state is mergeable — per-thread histograms are
-//! recorded independently and combined after the run, the same
-//! perturbation-minimizing shape as the ring recorders — and exact
-//! `count/sum/min/max` ride along so summaries lose nothing to the
-//! bucketing.
+//! workspace, in whatever unit the caller records (nanoseconds on
+//! hardware, system steps in the simulator). Values below
+//! [`SUB_BUCKETS`] get one exact bucket each; every octave above that
+//! is split into [`SUB_BUCKETS`] equal-width sub-buckets, so the
+//! relative quantization error is bounded by `1/SUB_BUCKETS` (6.25%
+//! at the default 16) across the whole `u64` range. The pure log2
+//! predecessor collapsed entire octaves into one bucket, which is why
+//! `BENCH_serve.json` used to report `p99 == p999`: both quantiles
+//! landed in the same `[2¹⁷, 2¹⁸)` bin.
+//!
+//! The state is mergeable — per-thread histograms are recorded
+//! independently and combined after the run, the same
+//! perturbation-minimizing shape as the ring recorders; the bucket
+//! layout is a compile-time constant, so merge stays a commutative,
+//! associative monoid — and exact `count/sum/min/max` ride along so
+//! summaries lose nothing to the bucketing.
 
-/// A base-2 logarithmic histogram of `u64` samples.
+/// Sub-buckets per octave. A power of two; 16 bounds the relative
+/// quantization error at 1/16 = 6.25%.
+pub const SUB_BUCKETS: usize = 16;
+
+/// `log2(SUB_BUCKETS)`: values below `2^SUB_SHIFT` are binned exactly.
+const SUB_SHIFT: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count: one exact bucket per value in
+/// `[0, SUB_BUCKETS)`, then `SUB_BUCKETS` per octave for the
+/// remaining `64 - SUB_SHIFT` octaves.
+const BUCKETS: usize = (64 - SUB_SHIFT as usize + 1) * SUB_BUCKETS;
+
+/// Bucket index for a value (log-linear: exact below `SUB_BUCKETS`,
+/// `SUB_BUCKETS` sub-buckets per octave above).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros();
+        let group = (exp - SUB_SHIFT + 1) as usize;
+        let sub = (value >> (exp - SUB_SHIFT)) as usize - SUB_BUCKETS;
+        group * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+fn bucket_lower(index: usize) -> u64 {
+    let group = index / SUB_BUCKETS;
+    let sub = (index % SUB_BUCKETS) as u64;
+    if group == 0 {
+        sub
+    } else {
+        (SUB_BUCKETS as u64 + sub) << (group - 1)
+    }
+}
+
+/// Exclusive upper bound of a bucket, saturating at `u64::MAX` for
+/// the top bucket (whose true bound `2⁶⁴` is not representable).
+#[inline]
+fn bucket_upper(index: usize) -> u64 {
+    let group = index / SUB_BUCKETS;
+    let width = if group == 0 { 1 } else { 1u64 << (group - 1) };
+    bucket_lower(index).saturating_add(width)
+}
+
+/// A log-linear histogram of `u64` samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
-    /// `buckets[k]` counts samples in `[2ᵏ, 2ᵏ⁺¹)`.
+    /// `buckets[k]` counts samples in
+    /// `[bucket_lower(k), bucket_upper(k))`.
     buckets: Vec<u64>,
     count: u64,
     /// Exact sum of all samples (u128: 2⁶⁴ samples of 2⁶⁴ cannot
@@ -26,7 +83,7 @@ impl Histogram {
     /// Creates an empty histogram covering the full `u64` range.
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 64],
+            buckets: vec![0; BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -34,18 +91,18 @@ impl Histogram {
         }
     }
 
-    /// Records one sample. Zero is binned with 1 (the first bucket).
+    /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let bucket = 63 - value.max(1).leading_zeros() as usize;
-        self.buckets[bucket] += 1;
+        self.buckets[bucket_index(value)] += 1;
         self.count += 1;
         self.sum += value as u128;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
 
-    /// Merges another histogram into this one. Merge is commutative
-    /// and associative, so per-thread histograms combine in any order.
+    /// Merges another histogram into this one. The layout is a
+    /// compile-time constant, so merge is commutative and associative
+    /// and per-thread histograms combine in any order.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
@@ -101,13 +158,15 @@ impl Histogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
-            .map(|(k, &c)| (1u64 << k, c))
+            .map(|(k, &c)| (bucket_lower(k), c))
             .collect()
     }
 
     /// Smallest bucket upper bound covering at least `quantile` of the
     /// samples (`u64::MAX` when the covering bucket is the top one,
-    /// whose true upper bound `2⁶⁴` is not representable).
+    /// whose true upper bound `2⁶⁴` is not representable). With
+    /// [`SUB_BUCKETS`] sub-buckets per octave the bound overshoots the
+    /// true quantile by at most `1/SUB_BUCKETS` relative.
     ///
     /// # Panics
     ///
@@ -121,7 +180,7 @@ impl Histogram {
         for (k, &c) in self.buckets.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return if k >= 63 { u64::MAX } else { 1u64 << (k + 1) };
+                return bucket_upper(k);
             }
         }
         u64::MAX
@@ -149,28 +208,108 @@ mod tests {
     use super::*;
 
     #[test]
-    fn record_places_samples_in_log_buckets() {
-        let mut h = Histogram::new();
-        for v in [1u64, 2, 3, 1024] {
-            h.record(v);
+    fn layout_is_continuous_and_monotone() {
+        // Every value maps into a bucket whose bounds contain it, and
+        // bucket boundaries tile the range without gaps or overlaps.
+        let probes = [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            1023,
+            1024,
+            131_071,
+            131_072,
+            140_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let k = bucket_index(v);
+            assert!(bucket_lower(k) <= v, "lower({k}) > {v}");
+            assert!(
+                v < bucket_upper(k) || bucket_upper(k) == u64::MAX,
+                "upper({k}) <= {v}"
+            );
         }
-        assert_eq!(h.count(), 4);
-        let buckets = h.non_empty_buckets();
-        assert!(buckets.contains(&(1, 1)));
-        assert!(buckets.contains(&(2, 2)));
-        assert!(buckets.contains(&(1024, 1)));
-        assert_eq!(h.max_value(), 1024);
-        assert_eq!(h.min_value(), Some(1));
-        assert_eq!(h.sum(), 1030);
+        for k in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper(k),
+                bucket_lower(k + 1),
+                "gap between buckets {k} and {}",
+                k + 1
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
     }
 
     #[test]
-    fn zero_goes_to_first_bucket_but_sum_is_exact() {
+    fn small_values_are_binned_exactly() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let buckets = h.non_empty_buckets();
+        assert_eq!(buckets.len(), 16);
+        for (i, &(lower, count)) in buckets.iter().enumerate() {
+            assert_eq!(lower, i as u64);
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn record_places_samples_in_sub_octave_buckets() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1024, 1088] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        let buckets = h.non_empty_buckets();
+        assert!(buckets.contains(&(1, 1)));
+        assert!(buckets.contains(&(2, 1)));
+        assert!(buckets.contains(&(3, 1)));
+        // 1024 and 1088 fall in distinct 64-wide sub-buckets of the
+        // [1024, 2048) octave — the log2 scheme merged them.
+        assert!(buckets.contains(&(1024, 1)));
+        assert!(buckets.contains(&(1088, 1)));
+        assert_eq!(h.max_value(), 1088);
+        assert_eq!(h.min_value(), Some(1));
+        assert_eq!(h.sum(), 2118);
+    }
+
+    #[test]
+    fn zero_has_its_own_bucket_and_sum_is_exact() {
         let mut h = Histogram::new();
         h.record(0);
-        assert_eq!(h.non_empty_buckets(), vec![(1, 1)]);
+        assert_eq!(h.non_empty_buckets(), vec![(0, 1)]);
         assert_eq!(h.sum(), 0);
         assert_eq!(h.min_value(), Some(0));
+    }
+
+    #[test]
+    fn quantile_resolution_is_sub_octave() {
+        // 99% of samples at 100 000, the rest at 131 000: both live in
+        // the [2¹⁶, 2¹⁷) octave, but the quantile bounds must now tell
+        // them apart (this is the p99 == p999 serve bug).
+        let mut h = Histogram::new();
+        for _ in 0..990 {
+            h.record(100_000);
+        }
+        for _ in 0..10 {
+            h.record(131_000);
+        }
+        let p50 = h.quantile_upper_bound(0.5);
+        let p999 = h.quantile_upper_bound(0.999);
+        assert!(p50 < p999, "sub-octave buckets must separate the tail");
+        assert!(p50 > 100_000 && p50 <= 104_096);
+        assert!(p999 > 131_000 && p999 <= 135_168);
+        // Relative error of the bound is within one sub-bucket width.
+        assert!((p999 as f64) < 131_000.0 * (1.0 + 2.0 / SUB_BUCKETS as f64));
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Minimal JSON formatting helpers shared by the hand-rolled
+//! exporters ([`crate::perfetto`], [`crate::flight`]). Formatting
+//! only — parsing lives in the runner's `json` module, which sits
+//! above this crate in the workspace graph.
+
+/// Formats an f64 as a JSON number (never NaN/Inf for our inputs;
+/// trims to integer form when exact to keep output compact).
+pub(crate) fn json_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string per JSON.
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_trim_to_integers_when_exact() {
+        assert_eq!(json_number(2.0), "2");
+        assert_eq!(json_number(2.5), "2.5");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -13,6 +13,10 @@
 //!   aggregation points.
 //! - [`perfetto`]: Chrome trace-event JSON export, loadable in
 //!   Perfetto or `chrome://tracing`.
+//! - [`watchdog`] / [`flight`]: the verdict layer — a streaming tail
+//!   watchdog armed with the theory's quantile envelope, and a flight
+//!   recorder that snapshots rings + metrics into a replayable dump
+//!   when it trips.
 //!
 //! [`ObsHandle`] bundles an optional metrics registry and trace
 //! collector into one cheap cloneable session handle that threads
@@ -22,18 +26,26 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod flight;
 pub mod hist;
+mod jsonfmt;
 pub mod metrics;
 pub mod perfetto;
 pub mod ring;
 pub mod summary;
+pub mod watchdog;
 
 pub use event::{Event, EventKind};
+pub use flight::{FlightDump, DEFAULT_KEEP_PER_THREAD};
 pub use hist::Histogram;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use perfetto::trace_json;
 pub use ring::{ThreadRecorder, TraceCollector, DEFAULT_RING_CAPACITY};
 pub use summary::LatencySummary;
+pub use watchdog::{
+    EnvelopeVerdict, Offender, TailEnvelope, Watchdog, WatchdogReport, DEFAULT_BUDGET,
+    DEFAULT_MAX_OFFENDERS,
+};
 
 use std::sync::Arc;
 

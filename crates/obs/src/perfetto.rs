@@ -14,6 +14,7 @@
 use std::collections::BTreeMap;
 
 use crate::event::{Event, EventKind};
+use crate::jsonfmt::{json_number, json_string};
 
 /// Serializes events as Chrome trace-event JSON.
 ///
@@ -96,35 +97,6 @@ fn instant_event(e: &Event, scale: f64) -> String {
         json_number(ts(e.tick, scale)),
         e.arg
     )
-}
-
-/// Formats an f64 as a JSON number (never NaN/Inf for our inputs;
-/// trims to integer form when exact to keep traces compact).
-fn json_number(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 9e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
-}
-
-/// Escapes a string per JSON.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]

@@ -1,0 +1,400 @@
+//! The online tail watchdog: telemetry → verdicts.
+//!
+//! The paper's claim is a statement about *tails* — under a stochastic
+//! scheduler, per-operation step counts concentrate around
+//! `W = q + α·s·√n` (Theorem 4) with an exponentially decaying tail
+//! from the chain's geometric mixing. The watchdog turns that into a
+//! live check: [`TailEnvelope`] computes the theory-predicted quantile
+//! bound from [`pwf_theory::bounds::ScuPrediction`], and [`Watchdog`]
+//! streams per-operation observations (simulator completion gaps,
+//! hardware op latencies, serve request latencies) against it.
+//!
+//! Tripping is statistical, not single-sample: at quantile `p` the
+//! model itself expects a `1 − p` fraction of operations beyond the
+//! bound, so the watchdog tolerates `budget + ⌈(1 − p)·observed⌉`
+//! exceedances and trips only past that. The hot path is one compare
+//! plus relaxed counter increments — the same perturbation-minimizing
+//! discipline as the ring recorders; the offender list is only locked
+//! on the (rare) exceedance path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use pwf_theory::bounds::ScuPrediction;
+
+use crate::hist::Histogram;
+
+/// The theory-predicted quantile envelope for an algorithm's
+/// per-operation latency/step distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailEnvelope {
+    /// Predicted mean system latency `W` (steps, or whatever unit the
+    /// caller scales it to).
+    w: f64,
+    /// Multiplier on the bound absorbing unit conversion and model
+    /// slack (`α` uncertainty, measurement overhead).
+    slack: f64,
+}
+
+impl TailEnvelope {
+    /// Builds the envelope from a theory prediction with a slack
+    /// multiplier (use 1.0 for the raw bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack <= 0`.
+    pub fn from_prediction(prediction: &ScuPrediction, slack: f64) -> Self {
+        Self::from_latency(prediction.system_latency(), slack)
+    }
+
+    /// Convenience: the envelope for `SCU(q, s)` on `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `s == 0`, or `slack <= 0`.
+    pub fn scu(q: usize, s: usize, n: usize, slack: f64) -> Self {
+        Self::from_prediction(&ScuPrediction::new(q, s, n), slack)
+    }
+
+    /// Builds the envelope from an already-computed mean latency `w`
+    /// in the caller's unit (e.g. microseconds for wall-clock SLOs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w <= 0` or `slack <= 0`.
+    pub fn from_latency(w: f64, slack: f64) -> Self {
+        assert!(w > 0.0, "predicted latency must be positive");
+        assert!(slack > 0.0, "slack must be positive");
+        TailEnvelope { w, slack }
+    }
+
+    /// The predicted mean latency `W` underlying the envelope.
+    pub fn predicted_latency(&self) -> f64 {
+        self.w
+    }
+
+    /// The envelope at quantile `p`: `⌈slack·W·ln(1/(1−p))⌉`, at
+    /// least 1 (an exponential tail with mean `W`, per the chain's
+    /// geometric mixing).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn bound(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        let raw = self.slack * self.w * (1.0 / (1.0 - p)).ln();
+        (raw.ceil() as u64).max(1)
+    }
+
+    /// Offline verdict for an already-recorded histogram: compares the
+    /// observed quantile upper bound against the envelope at `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`; returns a vacuously-ok verdict for
+    /// an empty histogram.
+    pub fn verdict(&self, hist: &Histogram, p: f64) -> EnvelopeVerdict {
+        let bound = self.bound(p);
+        let observed = hist.quantile(p).unwrap_or(0);
+        EnvelopeVerdict {
+            quantile: p,
+            observed,
+            bound,
+            ok: observed <= bound,
+        }
+    }
+}
+
+/// The outcome of checking one histogram quantile against the
+/// envelope.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeVerdict {
+    /// The quantile checked.
+    pub quantile: f64,
+    /// Observed quantile upper bound (0 for an empty histogram).
+    pub observed: u64,
+    /// The envelope bound at that quantile.
+    pub bound: u64,
+    /// Whether the observation is within the envelope.
+    pub ok: bool,
+}
+
+/// One operation that exceeded the armed threshold, kept for the
+/// flight dump so a trip names the offending ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Offender {
+    /// Producing thread / process index.
+    pub thread: u32,
+    /// Caller-assigned operation id (ticket, completion index, …).
+    pub op: u64,
+    /// The observed value that breached the threshold.
+    pub value: u64,
+}
+
+/// Default absolute exceedances tolerated before the statistical term
+/// takes over.
+pub const DEFAULT_BUDGET: u64 = 3;
+
+/// Default number of worst offenders kept for the flight dump.
+pub const DEFAULT_MAX_OFFENDERS: usize = 16;
+
+/// The streaming watchdog: feeds per-operation observations against an
+/// armed threshold and trips when exceedances outrun the statistical
+/// tolerance.
+#[derive(Debug)]
+pub struct Watchdog {
+    threshold: u64,
+    /// Fraction of observations the model itself allows beyond the
+    /// threshold (`1 − p` for an envelope armed at quantile `p`; 0 for
+    /// an absolute arm).
+    allowed_fraction: f64,
+    budget: u64,
+    max_offenders: usize,
+    observed: AtomicU64,
+    exceeded: AtomicU64,
+    tripped: AtomicBool,
+    offenders: Mutex<Vec<Offender>>,
+}
+
+impl Watchdog {
+    /// Arms the watchdog at the envelope's bound for quantile `p`,
+    /// tolerating the model's own `1 − p` exceedance fraction plus
+    /// [`DEFAULT_BUDGET`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn from_envelope(envelope: &TailEnvelope, p: f64) -> Self {
+        Watchdog {
+            threshold: envelope.bound(p),
+            allowed_fraction: 1.0 - p,
+            budget: DEFAULT_BUDGET,
+            max_offenders: DEFAULT_MAX_OFFENDERS,
+            observed: AtomicU64::new(0),
+            exceeded: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+            offenders: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Arms the watchdog at an explicit absolute threshold (the
+    /// `--arm` knob): *any* exceedance beyond `budget` trips it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`.
+    pub fn armed(threshold: u64, budget: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        Watchdog {
+            threshold,
+            allowed_fraction: 0.0,
+            budget,
+            max_offenders: DEFAULT_MAX_OFFENDERS,
+            observed: AtomicU64::new(0),
+            exceeded: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+            offenders: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Overrides the absolute exceedance budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The armed threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Feeds one observation. Returns `true` exactly once: on the
+    /// observation that trips the watchdog.
+    pub fn observe(&self, thread: u32, op: u64, value: u64) -> bool {
+        let seen = self.observed.fetch_add(1, Ordering::Relaxed) + 1;
+        if value <= self.threshold {
+            return false;
+        }
+        // Exceedance path: rare by construction, so a mutex is fine.
+        let over = self.exceeded.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut offenders = self.offenders.lock().expect("watchdog poisoned");
+            offenders.push(Offender { thread, op, value });
+            if offenders.len() > self.max_offenders {
+                // Keep the worst ones.
+                offenders.sort_unstable_by_key(|o| std::cmp::Reverse(o.value));
+                offenders.truncate(self.max_offenders);
+            }
+        }
+        if over > self.tolerated(seen) && !self.tripped.swap(true, Ordering::Relaxed) {
+            return true;
+        }
+        false
+    }
+
+    /// Exceedances tolerated after `observed` observations.
+    fn tolerated(&self, observed: u64) -> u64 {
+        self.budget + (self.allowed_fraction * observed as f64).ceil() as u64
+    }
+
+    /// Whether the watchdog has tripped.
+    pub fn is_tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time report of the watchdog state.
+    pub fn report(&self) -> WatchdogReport {
+        let observed = self.observed.load(Ordering::Relaxed);
+        let mut offenders = self.offenders.lock().expect("watchdog poisoned").clone();
+        offenders.sort_unstable_by_key(|o| std::cmp::Reverse(o.value));
+        WatchdogReport {
+            observed,
+            exceeded: self.exceeded.load(Ordering::Relaxed),
+            threshold: self.threshold,
+            tolerated: self.tolerated(observed),
+            tripped: self.is_tripped(),
+            offenders,
+        }
+    }
+}
+
+/// A snapshot of the watchdog's verdict state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Observations fed so far.
+    pub observed: u64,
+    /// Observations beyond the threshold.
+    pub exceeded: u64,
+    /// The armed threshold.
+    pub threshold: u64,
+    /// Exceedances currently tolerated before tripping.
+    pub tolerated: u64,
+    /// Whether the watchdog tripped.
+    pub tripped: bool,
+    /// Worst offending operations, worst first.
+    pub offenders: Vec<Offender>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_bound_scales_with_quantile_and_slack() {
+        let e = TailEnvelope::scu(0, 1, 16, 1.0);
+        assert!((e.predicted_latency() - 4.0).abs() < 1e-12);
+        assert!(e.bound(0.999) > e.bound(0.99));
+        let slacked = TailEnvelope::scu(0, 1, 16, 4.0);
+        assert!(slacked.bound(0.99) >= 4 * e.bound(0.99) - 4);
+    }
+
+    #[test]
+    fn envelope_verdict_checks_histograms() {
+        let e = TailEnvelope::from_latency(100.0, 1.0);
+        let mut ok_hist = Histogram::new();
+        for _ in 0..1000 {
+            ok_hist.record(50);
+        }
+        assert!(e.verdict(&ok_hist, 0.999).ok);
+        let mut bad_hist = Histogram::new();
+        for _ in 0..1000 {
+            bad_hist.record(100_000);
+        }
+        let v = e.verdict(&bad_hist, 0.999);
+        assert!(!v.ok);
+        assert!(v.observed > v.bound);
+        // Empty histogram: vacuously within the envelope.
+        assert!(e.verdict(&Histogram::new(), 0.999).ok);
+    }
+
+    #[test]
+    fn watchdog_tolerates_the_models_own_tail() {
+        // Armed at p99 the model allows 1% beyond the bound: 1000
+        // observations with 9 exceedances stay under budget+10.
+        let e = TailEnvelope::from_latency(10.0, 1.0);
+        let w = Watchdog::from_envelope(&e, 0.99);
+        for i in 0..1000u64 {
+            let value = if i % 120 == 0 { w.threshold() + 1 } else { 5 };
+            assert!(!w.observe(0, i, value), "tripped at op {i}");
+        }
+        let r = w.report();
+        assert!(!r.tripped);
+        assert_eq!(r.observed, 1000);
+        assert!(r.exceeded > 0 && r.exceeded <= r.tolerated);
+    }
+
+    #[test]
+    fn watchdog_trips_on_a_heavy_tail_and_names_offenders() {
+        let e = TailEnvelope::from_latency(10.0, 1.0);
+        let w = Watchdog::from_envelope(&e, 0.99);
+        let mut tripping_op = None;
+        for i in 0..100u64 {
+            // Half the ops breach the bound: far beyond 1% tolerance.
+            let value = if i % 2 == 0 { 10_000 + i } else { 5 };
+            if w.observe(7, i, value) {
+                tripping_op = Some(i);
+                break;
+            }
+        }
+        let trip = tripping_op.expect("watchdog never tripped");
+        let r = w.report();
+        assert!(r.tripped);
+        assert!(w.is_tripped());
+        assert!(r.exceeded > r.tolerated.saturating_sub(1));
+        assert!(!r.offenders.is_empty());
+        assert!(r.offenders.len() <= DEFAULT_MAX_OFFENDERS);
+        // Offenders are real breaches, worst first, naming the thread.
+        assert!(r.offenders.windows(2).all(|w| w[0].value >= w[1].value));
+        for o in &r.offenders {
+            assert_eq!(o.thread, 7);
+            assert!(o.value > r.threshold);
+            assert!(o.op <= trip);
+        }
+    }
+
+    #[test]
+    fn trip_fires_exactly_once() {
+        let w = Watchdog::armed(10, 0);
+        let mut trips = 0;
+        for i in 0..50u64 {
+            if w.observe(0, i, 1000) {
+                trips += 1;
+            }
+        }
+        assert_eq!(trips, 1);
+        assert!(w.is_tripped());
+    }
+
+    #[test]
+    fn armed_watchdog_respects_budget() {
+        let w = Watchdog::armed(100, 2);
+        assert!(!w.observe(0, 0, 101));
+        assert!(!w.observe(0, 1, 102));
+        assert!(w.observe(0, 2, 103));
+        let r = w.report();
+        assert_eq!(r.exceeded, 3);
+        assert_eq!(r.threshold, 100);
+    }
+
+    #[test]
+    fn offender_list_keeps_the_worst() {
+        let w = Watchdog::armed(10, u64::MAX);
+        for i in 0..100u64 {
+            w.observe(0, i, 100 + i);
+        }
+        let r = w.report();
+        assert_eq!(r.offenders.len(), DEFAULT_MAX_OFFENDERS);
+        // The largest values survive truncation.
+        assert_eq!(r.offenders[0].value, 199);
+        assert!(r
+            .offenders
+            .iter()
+            .all(|o| o.value > 199 - 2 * DEFAULT_MAX_OFFENDERS as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn envelope_bound_rejects_p_one() {
+        let _ = TailEnvelope::from_latency(1.0, 1.0).bound(1.0);
+    }
+}

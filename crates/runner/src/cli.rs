@@ -70,6 +70,14 @@ USAGE:
         result cache, and load shedding; /metrics and /trace expose
         the pwf-obs counters and request spans. `pwf serve --selftest`
         drives the built-in loadgen. See `pwf serve --help`.
+
+    pwf report [OPTIONS]
+        Aggregate BENCH_*.json plus the append-only
+        results/bench_history.jsonl into a per-metric trend report
+        (delta vs last run and vs best-ever, with tolerance bands).
+        `pwf report --check` fails on regression beyond tolerance —
+        the CI perf gate; `--record` appends the current metrics as
+        the next baseline. See `pwf report --help`.
 ";
 
 /// The default `--jobs`: every available core. Experiments fan their
@@ -164,6 +172,9 @@ pub fn main(registry: Registry, argv: Vec<String>) -> i32 {
     }
     if argv.first().map(String::as_str) == Some("lint") {
         return pwf_lint::cli::main(argv[1..].to_vec());
+    }
+    if argv.first().map(String::as_str) == Some("report") {
+        return crate::trend::cli_main(argv[1..].to_vec());
     }
     let args = match parse_args(argv) {
         Ok(args) => args,

@@ -42,6 +42,7 @@ pub mod par;
 pub mod registry;
 pub mod report;
 pub mod text;
+pub mod trend;
 
 pub use check::{check_report, check_text, Drift};
 pub use config::{derive_seed, ExpConfig, DEFAULT_MASTER_SEED};

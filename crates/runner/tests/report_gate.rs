@@ -1,0 +1,104 @@
+//! End-to-end test of the `pwf report --check` perf gate: a fresh
+//! history passes vacuously, `--record` seeds the baseline, an equal
+//! re-run stays green, and a synthetic regression (or a synthetically
+//! better recorded baseline) turns the exit code red.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pwf_runner::trend;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("pwf-report-gate-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn report(dir: &TempDir, extra: &[&str]) -> i32 {
+    let history = dir.0.join("bench_history.jsonl");
+    let mut argv = vec![
+        "--dir".to_string(),
+        dir.0.display().to_string(),
+        "--history".to_string(),
+        history.display().to_string(),
+    ];
+    argv.extend(extra.iter().map(|s| s.to_string()));
+    trend::cli_main(argv)
+}
+
+fn write_bench(dir: &TempDir, wall_ms: f64, throughput: f64) {
+    fs::write(
+        dir.0.join("BENCH_gate.json"),
+        format!("{{\"experiment\":\"gate\",\"wall_ms\":{wall_ms},\"throughput\":{throughput}}}"),
+    )
+    .unwrap();
+}
+
+#[test]
+fn check_gates_against_recorded_history() {
+    let dir = TempDir::new("gate");
+    write_bench(&dir, 100.0, 50.0);
+
+    // No history yet: nothing to gate against, and --check passes.
+    assert_eq!(report(&dir, &["--check"]), 0);
+
+    // Record the baseline, then an identical run stays green.
+    assert_eq!(report(&dir, &["--record"]), 0);
+    assert_eq!(report(&dir, &["--check"]), 0);
+
+    // Within the default 35% tolerance band: wobble passes.
+    write_bench(&dir, 110.0, 45.0);
+    assert_eq!(report(&dir, &["--check"]), 0);
+
+    // A lower-is-better metric doubling is a regression.
+    write_bench(&dir, 200.0, 50.0);
+    assert_eq!(report(&dir, &["--check"]), 1);
+
+    // A higher-is-better metric halving is one too.
+    write_bench(&dir, 100.0, 20.0);
+    assert_eq!(report(&dir, &["--check"]), 1);
+
+    // Back to the baseline: green again, and a tighter tolerance
+    // flips the verdict for the same wobble.
+    write_bench(&dir, 110.0, 50.0);
+    assert_eq!(report(&dir, &["--check"]), 0);
+    assert_eq!(report(&dir, &["--check", "--tolerance", "5"]), 1);
+}
+
+#[test]
+fn record_appends_monotonic_sequence_numbers() {
+    let dir = TempDir::new("seq");
+    write_bench(&dir, 100.0, 50.0);
+    assert_eq!(report(&dir, &["--record"]), 0);
+    write_bench(&dir, 90.0, 60.0);
+    assert_eq!(report(&dir, &["--record"]), 0);
+
+    let history = trend::load_history(&dir.0.join("bench_history.jsonl")).unwrap();
+    assert_eq!(history.len(), 2);
+    assert_eq!(history[0].seq, 0);
+    assert_eq!(history[1].seq, 1);
+    assert_eq!(history[1].metrics["gate.wall_ms"], 90.0);
+
+    // Improvements recorded into history become the new baseline: the
+    // old (worse) numbers now regress against it.
+    write_bench(&dir, 100.0, 50.0);
+    assert_eq!(report(&dir, &["--check", "--tolerance", "5"]), 1);
+}
+
+#[test]
+fn missing_bench_files_are_an_error() {
+    let dir = TempDir::new("empty");
+    assert_eq!(report(&dir, &["--check"]), 1);
+}

@@ -23,6 +23,11 @@ OPTIONS:
     --max-active N        concurrent requests past the shaper [default: 64]
     --max-queue N         requests allowed to queue          [default: 256]
     --max-wait-ms N       queue admission deadline in ms   [default: 10000]
+    --slo-us N            per-request latency SLO in µs; breaches bump
+                          serve.slo_violations and arm the tail watchdog
+    --slo-5xx             answer 504 on SLO breach (requires --slo-us)
+    --arm-us N            strict watchdog threshold in µs: any exceedance
+                          trips it and captures a flight dump (GET /flight)
     --no-trace            disable the request-span trace ring
     --selftest            run the built-in loadgen instead of serving
     --requests N          (selftest) successful requests    [default: 30000]
@@ -36,6 +41,7 @@ ENDPOINTS:
     GET /predict?alg=scu&q=2&s=1&n=64&layer=theory|chain|sim[&steps=..][&seed=..]
     GET /metrics          serve.* counters, gauges, latency histograms
     GET /trace            request spans as Perfetto JSON
+    GET /flight           most recent flight dump (404 until a trip)
     GET /healthz          liveness
 ";
 
@@ -97,6 +103,25 @@ fn parse(argv: &[String]) -> Result<Option<Args>, String> {
                     .map_err(|e| format!("--max-wait-ms: {e}"))?;
                 args.server.engine.max_wait = Duration::from_millis(ms);
             }
+            "--slo-us" => {
+                let us: u64 = value("--slo-us")?
+                    .parse()
+                    .map_err(|e| format!("--slo-us: {e}"))?;
+                if us == 0 {
+                    return Err("--slo-us must be at least 1".into());
+                }
+                args.server.engine.slo_us = Some(us);
+            }
+            "--slo-5xx" => args.server.engine.slo_fail = true,
+            "--arm-us" => {
+                let us: u64 = value("--arm-us")?
+                    .parse()
+                    .map_err(|e| format!("--arm-us: {e}"))?;
+                if us == 0 {
+                    return Err("--arm-us must be at least 1".into());
+                }
+                args.server.engine.arm_us = Some(us);
+            }
             "--no-trace" => args.trace = false,
             "--selftest" => args.selftest = true,
             "--requests" => {
@@ -139,6 +164,9 @@ fn parse(argv: &[String]) -> Result<Option<Args>, String> {
         }
         args.selftest_config.clients = clients;
     }
+    if args.server.engine.slo_fail && args.server.engine.slo_us.is_none() {
+        return Err("--slo-5xx requires --slo-us".into());
+    }
     args.selftest_config.write_bench = args.write_bench;
     Ok(Some(args))
 }
@@ -172,7 +200,7 @@ pub fn main(argv: Vec<String>) -> i32 {
                 args.server.engine.max_active,
                 args.server.engine.max_queue,
             );
-            println!("endpoints: /predict /metrics /trace /healthz  — ctrl-c to stop");
+            println!("endpoints: /predict /metrics /trace /flight /healthz  — ctrl-c to stop");
             // Serve until killed: the acceptor owns the listener; this
             // thread just parks.
             loop {
@@ -284,5 +312,18 @@ mod tests {
         assert!(args(&["--bogus"]).is_err());
         assert!(args(&["--requests"]).is_err());
         assert!(args(&["--clients", "0"]).is_err());
+    }
+
+    #[test]
+    fn slo_and_arm_flags_parse_and_validate() {
+        let parsed = args(&["--slo-us", "5000", "--slo-5xx", "--arm-us", "20000"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.server.engine.slo_us, Some(5000));
+        assert!(parsed.server.engine.slo_fail);
+        assert_eq!(parsed.server.engine.arm_us, Some(20_000));
+        assert!(args(&["--slo-us", "0"]).is_err());
+        assert!(args(&["--arm-us", "0"]).is_err());
+        assert!(args(&["--slo-5xx"]).is_err(), "--slo-5xx needs --slo-us");
     }
 }

@@ -12,7 +12,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use pwf_hardware::FaiCounter;
-use pwf_obs::ObsHandle;
+use pwf_obs::{
+    FlightDump, ObsHandle, Watchdog, WatchdogReport, DEFAULT_BUDGET, DEFAULT_KEEP_PER_THREAD,
+};
 
 use crate::coalesce::{CoalesceStats, Coalescer, Role};
 use crate::lru::{CacheStats, LruCache};
@@ -62,6 +64,14 @@ pub enum ServeError {
     QueueTimeout,
     /// The underlying analysis failed (HTTP 500).
     Failed(String),
+    /// Served, but past the configured SLO with `--slo-5xx` set
+    /// (HTTP 504).
+    SloBreach {
+        /// How long the request actually took.
+        latency_us: u64,
+        /// The SLO it breached.
+        slo_us: u64,
+    },
 }
 
 /// Engine construction knobs.
@@ -77,6 +87,16 @@ pub struct EngineConfig {
     pub max_queue: usize,
     /// Longest a request may wait in the queue.
     pub max_wait: Duration,
+    /// Per-request latency SLO in microseconds; breaches bump
+    /// `serve.slo_violations` and arm the tail watchdog.
+    pub slo_us: Option<u64>,
+    /// When set, a request that breaches the SLO is answered 504 even
+    /// though its body was computed (the `--slo-5xx` knob).
+    pub slo_fail: bool,
+    /// Explicit watchdog threshold in microseconds (the `--arm` knob):
+    /// strict — any exceedance trips the watchdog and captures a
+    /// flight dump. Overrides the SLO-derived threshold.
+    pub arm_us: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -87,6 +107,9 @@ impl Default for EngineConfig {
             max_active: 64,
             max_queue: 256,
             max_wait: Duration::from_secs(10),
+            slo_us: None,
+            slo_fail: false,
+            arm_us: None,
         }
     }
 }
@@ -102,6 +125,8 @@ pub struct EngineStats {
     pub shaper: ShaperStats,
     /// Live cache entries.
     pub cache_len: usize,
+    /// Coalescer executions currently in flight.
+    pub inflight: usize,
 }
 
 /// The serving engine. Shared across connection threads behind an
@@ -112,6 +137,13 @@ pub struct Engine {
     coalescer: Coalescer<Arc<String>>,
     ticket: FaiCounter,
     obs: ObsHandle,
+    slo_us: Option<u64>,
+    slo_fail: bool,
+    /// Armed when `arm_us` or `slo_us` is configured; offender `op` is
+    /// the request's FAI ticket.
+    watchdog: Option<Watchdog>,
+    /// Most recent flight dump, captured when the watchdog trips.
+    flight: Mutex<Option<Arc<FlightDump>>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -125,12 +157,23 @@ impl std::fmt::Debug for Engine {
 impl Engine {
     /// Builds an engine with the given knobs, reporting into `obs`.
     pub fn new(config: &EngineConfig, obs: ObsHandle) -> Arc<Self> {
+        // `--arm` is strict (any exceedance trips); an SLO-derived
+        // threshold keeps the default budget for transient spikes.
+        let watchdog = match (config.arm_us, config.slo_us) {
+            (Some(arm), _) => Some(Watchdog::armed(arm, 0)),
+            (None, Some(slo)) => Some(Watchdog::armed(slo, DEFAULT_BUDGET)),
+            (None, None) => None,
+        };
         Arc::new(Engine {
             shaper: Shaper::new(config.max_active, config.max_queue, config.max_wait),
             cache: Mutex::new(LruCache::new(config.cache_capacity, config.cache_ttl_us)),
             coalescer: Coalescer::new(),
             ticket: FaiCounter::new(),
             obs,
+            slo_us: config.slo_us,
+            slo_fail: config.slo_fail,
+            watchdog,
+            flight: Mutex::new(None),
         })
     }
 
@@ -177,7 +220,8 @@ impl Engine {
         let outcome = self.serve_admitted(key, &canonical, ticket);
         drop(permit);
 
-        self.record("serve.latency_us", started.elapsed().as_micros() as u64);
+        let latency_us = started.elapsed().as_micros() as u64;
+        self.record("serve.latency_us", latency_us);
         match &outcome {
             Ok(served) => self.count(match served.source {
                 Source::Cache => "serve.cache_hits",
@@ -187,7 +231,71 @@ impl Engine {
             Err(ServeError::Failed(_)) => self.count("serve.errors"),
             Err(_) => {}
         }
-        outcome
+        self.verdict(ticket, latency_us, outcome)
+    }
+
+    /// Post-serve telemetry verdict: counts SLO violations, feeds the
+    /// tail watchdog (capturing a flight dump on trip), and — with
+    /// `slo_fail` — converts a breached success into
+    /// [`ServeError::SloBreach`].
+    fn verdict(
+        &self,
+        ticket: u64,
+        latency_us: u64,
+        outcome: Result<Served, ServeError>,
+    ) -> Result<Served, ServeError> {
+        let breached = self.slo_us.is_some_and(|slo| latency_us > slo);
+        if breached {
+            self.count("serve.slo_violations");
+        }
+        if let Some(watchdog) = &self.watchdog {
+            if watchdog.observe(0, ticket, latency_us) {
+                self.capture_flight("tail exceedance");
+            }
+        }
+        match (breached && self.slo_fail, outcome) {
+            (true, Ok(_)) => Err(ServeError::SloBreach {
+                latency_us,
+                slo_us: self.slo_us.unwrap_or(0),
+            }),
+            (_, outcome) => outcome,
+        }
+    }
+
+    /// Snapshots rings + metrics + watchdog report into the flight
+    /// slot (rare: runs once, when the watchdog trips).
+    fn capture_flight(&self, reason: &str) {
+        let Some(watchdog) = &self.watchdog else {
+            return;
+        };
+        let report = watchdog.report();
+        let (events, ticks_per_us) = match self.obs.trace() {
+            Some(collector) => (collector.events(), collector.ticks_per_us()),
+            None => (Vec::new(), 1.0),
+        };
+        let metrics = self.obs.metrics().map(|m| m.snapshot());
+        let dump = FlightDump::capture(
+            reason,
+            &report,
+            &events,
+            DEFAULT_KEEP_PER_THREAD,
+            metrics,
+            ticks_per_us,
+        );
+        *self.flight.lock().expect("flight poisoned") = Some(Arc::new(dump));
+        self.count("serve.flight_dumps");
+    }
+
+    /// The most recent flight dump, if the watchdog has tripped
+    /// (served on `GET /flight`).
+    pub fn flight(&self) -> Option<Arc<FlightDump>> {
+        self.flight.lock().expect("flight poisoned").clone()
+    }
+
+    /// The live watchdog report, when the engine is armed
+    /// (`slo_us`/`arm_us`).
+    pub fn watchdog_report(&self) -> Option<WatchdogReport> {
+        self.watchdog.as_ref().map(Watchdog::report)
     }
 
     fn serve_admitted(
@@ -238,6 +346,7 @@ impl Engine {
             dedup: self.coalescer.stats(),
             shaper: self.shaper.stats(),
             cache_len: cache.len(),
+            inflight: self.coalescer.inflight_len(),
         }
     }
 
@@ -321,5 +430,74 @@ mod tests {
         });
         assert_eq!(engine.stats().shaper.shed, 1);
         assert_eq!(engine.serve(&quick).unwrap().source, Source::Computed);
+    }
+
+    /// A key slow enough (a real multi-millisecond simulation) that a
+    /// 1 µs SLO is always breached.
+    fn slow_key() -> PredictKey {
+        key(&[
+            ("alg", "scu"),
+            ("n", "16"),
+            ("layer", "sim"),
+            ("steps", "200000"),
+        ])
+    }
+
+    #[test]
+    fn slo_breach_counts_violations_and_fails_with_slo_5xx() {
+        let config = EngineConfig {
+            slo_us: Some(1),
+            slo_fail: true,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(&config, ObsHandle::collecting(None));
+        match engine.serve(&slow_key()) {
+            Err(ServeError::SloBreach { latency_us, slo_us }) => {
+                assert_eq!(slo_us, 1);
+                assert!(latency_us > slo_us);
+            }
+            other => panic!("expected SloBreach, got {other:?}"),
+        }
+        let metrics = engine.obs().metrics().unwrap().snapshot();
+        let violations = metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == "serve.slo_violations")
+            .map(|(_, v)| *v);
+        assert_eq!(violations, Some(1));
+    }
+
+    #[test]
+    fn generous_slo_does_not_fail_fast_requests() {
+        let config = EngineConfig {
+            slo_us: Some(60_000_000),
+            slo_fail: true,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(&config, ObsHandle::disabled());
+        let k = key(&[("alg", "scu"), ("q", "2"), ("s", "1"), ("n", "64")]);
+        assert!(engine.serve(&k).is_ok());
+        assert!(!engine.watchdog_report().unwrap().tripped);
+        assert!(engine.flight().is_none());
+    }
+
+    #[test]
+    fn armed_watchdog_trips_and_captures_a_flight_dump() {
+        let config = EngineConfig {
+            arm_us: Some(1),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(&config, ObsHandle::collecting(None));
+        assert!(engine.flight().is_none());
+        let served = engine.serve(&slow_key()).unwrap();
+        let report = engine.watchdog_report().unwrap();
+        assert!(report.tripped, "1 µs arm must trip on a slow sim");
+        let dump = engine.flight().expect("trip captures a flight dump");
+        assert_eq!(dump.reason, "tail exceedance");
+        assert_eq!(dump.threshold, 1);
+        // The offender op is the breaching request's FAI ticket.
+        assert!(dump.offenders.iter().any(|o| o.op == served.ticket));
+        let metrics = dump.metrics.as_ref().expect("metrics snapshot rides along");
+        assert!(metrics.counters.iter().any(|(n, _)| n == "serve.requests"));
     }
 }

@@ -246,6 +246,7 @@ impl Response {
             429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Unknown",
         }
     }

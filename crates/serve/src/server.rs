@@ -9,6 +9,8 @@
 //!   histograms in a pinned plain-text format;
 //! * `GET /trace` — the request-span ring as Perfetto JSON (when
 //!   tracing is enabled);
+//! * `GET /flight` — the most recent flight dump (404 until the tail
+//!   watchdog trips);
 //! * `GET /healthz` — liveness.
 //!
 //! Every connection carries its own pwf-obs [`ThreadRecorder`]: each
@@ -176,6 +178,7 @@ const TAG_PREDICT: u64 = 1;
 const TAG_METRICS: u64 = 2;
 const TAG_TRACE: u64 = 3;
 const TAG_HEALTHZ: u64 = 4;
+const TAG_FLIGHT: u64 = 5;
 const TAG_OTHER: u64 = 0;
 
 fn route_tag(path: &str) -> u64 {
@@ -184,6 +187,7 @@ fn route_tag(path: &str) -> u64 {
         "/metrics" => TAG_METRICS,
         "/trace" => TAG_TRACE,
         "/healthz" => TAG_HEALTHZ,
+        "/flight" => TAG_FLIGHT,
         _ => TAG_OTHER,
     }
 }
@@ -261,6 +265,7 @@ fn route(request: &Request, engine: &Arc<Engine>, started: Instant) -> Response 
         "/predict" => predict_route(request, engine),
         "/metrics" => Response::text(200, render_metrics(engine)),
         "/trace" => trace_route(engine, started),
+        "/flight" => flight_route(engine),
         "/healthz" => Response::text(200, "ok\n"),
         other => error_response(404, &format!("no route {other:?}")),
     }
@@ -282,6 +287,18 @@ fn predict_route(request: &Request, engine: &Arc<Engine>) -> Response {
         Err(ServeError::Overloaded) => error_response(429, "overloaded: request shed"),
         Err(ServeError::QueueTimeout) => error_response(503, "queue admission timed out"),
         Err(ServeError::Failed(message)) => error_response(500, &message),
+        Err(ServeError::SloBreach { latency_us, slo_us }) => error_response(
+            504,
+            &format!("slo breach: served in {latency_us}us against an slo of {slo_us}us"),
+        ),
+    }
+}
+
+/// The most recent flight dump (404 until the watchdog trips).
+fn flight_route(engine: &Arc<Engine>) -> Response {
+    match engine.flight() {
+        Some(dump) => Response::json(200, dump.to_json()),
+        None => error_response(404, "no flight dump captured (watchdog has not tripped)"),
     }
 }
 
@@ -317,6 +334,8 @@ pub fn render_metrics(engine: &Arc<Engine>) -> String {
         ("serve.cache.entries".into(), stats.cache_len as f64),
         ("serve.shaper.active".into(), stats.shaper.active as f64),
         ("serve.shaper.waiting".into(), stats.shaper.waiting as f64),
+        ("serve.queue_depth".into(), stats.shaper.waiting as f64),
+        ("serve.dedup.inflight".into(), stats.inflight as f64),
     ];
     let mut hists: Vec<(String, pwf_obs::LatencySummary)> = Vec::new();
     if let Some(metrics) = engine.obs().metrics() {
@@ -335,6 +354,7 @@ pub fn render_metrics(engine: &Arc<Engine>) -> String {
         ("serve.dedup.leaders", stats.dedup.leaders),
         ("serve.dedup.joins", stats.dedup.joins),
         ("serve.shaper.shed_total", stats.shaper.shed),
+        ("serve.shed_total", stats.shaper.shed),
         ("serve.shaper.timeouts", stats.shaper.timeouts),
         ("serve.shaper.queued_total", stats.shaper.queued),
     ] {
@@ -458,6 +478,52 @@ mod tests {
         let doc = Json::parse(&trace).unwrap();
         let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
         assert!(!events.is_empty(), "request spans must appear in the trace");
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_route_serves_the_dump_after_a_trip() {
+        let mut config = ephemeral();
+        config.engine.arm_us = Some(1);
+        let server = start(&config, ObsHandle::collecting(Some(1 << 12))).unwrap();
+        let addr = server.addr();
+
+        let (status, _, _) = get(addr, "/flight");
+        assert_eq!(status, 404, "no dump before the watchdog trips");
+
+        // A real multi-millisecond simulation against a 1 µs arm.
+        let (status, _, _) = get(addr, "/predict?alg=scu&n=16&layer=sim&steps=200000");
+        assert_eq!(status, 200);
+
+        let (status, _, body) = get(addr, "/flight");
+        assert_eq!(status, 200);
+        let doc = Json::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("tail exceedance")
+        );
+        assert!(doc.get("offenders").and_then(Json::as_array).is_some());
+        assert!(
+            doc.get("trace")
+                .and_then(|t| t.get("traceEvents"))
+                .is_some(),
+            "embedded Perfetto trace rides along"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn slo_5xx_turns_breaches_into_504() {
+        let mut config = ephemeral();
+        config.engine.slo_us = Some(1);
+        config.engine.slo_fail = true;
+        let server = start(&config, ObsHandle::disabled()).unwrap();
+        let (status, _, body) = get(
+            server.addr(),
+            "/predict?alg=scu&n=16&layer=sim&steps=200000",
+        );
+        assert_eq!(status, 504);
+        assert!(Json::parse(&body).unwrap().get("error").is_some());
         server.shutdown();
     }
 

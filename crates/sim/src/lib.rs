@@ -49,6 +49,7 @@ pub mod replay;
 pub mod sampler;
 pub mod scheduler;
 pub mod stats;
+pub mod watchdog;
 
 pub use crash::{CrashSchedule, CrashScheduleError};
 pub use executor::{run, run_into, Completion, Execution, RunConfig};
@@ -63,3 +64,4 @@ pub use scheduler::{
     UniformScheduler, WeightedScheduler,
 };
 pub use stats::{completion_rate, individual_latency, system_latency, LatencySummary};
+pub use watchdog::WatchdogHook;

@@ -413,8 +413,8 @@ mod tests {
         assert_eq!(h.max_gap(), 16);
         assert_eq!(h.non_empty_buckets(), vec![(1, 1), (2, 1), (16, 1)]);
         assert_eq!(h.quantile_upper_bound(0.33), 2);
-        assert_eq!(h.quantile_upper_bound(0.66), 4);
-        assert_eq!(h.quantile_upper_bound(1.0), 32);
+        assert_eq!(h.quantile_upper_bound(0.66), 3);
+        assert_eq!(h.quantile_upper_bound(1.0), 17);
     }
 
     #[test]

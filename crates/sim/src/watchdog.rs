@@ -1,0 +1,225 @@
+//! Executor wiring for the obs tail watchdog: a [`StepHook`] that
+//! streams completion gaps into a [`pwf_obs::Watchdog`] as the
+//! simulation runs.
+//!
+//! The watchdog's unit here is *system steps between completions* —
+//! the quantity Theorem 4 bounds by `W = q + α·s·√n` — so an envelope
+//! built from [`pwf_theory::bounds::ScuPrediction`]'s system latency
+//! arms it directly.
+//!
+//! Two observation paths feed the watchdog:
+//!
+//! - **Completed gaps** (`on_complete`): the gap since the previous
+//!   completion, attributed to the completing process.
+//! - **Stalls** (`on_pick`): a blocked system never completes again —
+//!   the paper's own pathology for a crashed lock holder — so waiting
+//!   for the next completion would wait forever. Instead, every time
+//!   the *open* gap crosses another multiple of the armed threshold,
+//!   the hook feeds the open gap as an observation (a stall of length
+//!   `m·threshold` counts as `m` exceedances, attributed to whichever
+//!   process was spinning when the crossing happened). A completion
+//!   resets the stall clock.
+//!
+//! The hook wraps any inner [`StepHook`] (e.g. a
+//! [`ThreadRecorder`](pwf_obs::ThreadRecorder)), so tracing and
+//! watchdogging compose in one monomorphized executor loop.
+
+use pwf_obs::Watchdog;
+
+use crate::executor::{NoHook, StepHook};
+use crate::process::ProcessId;
+
+/// A [`StepHook`] feeding completion gaps (and stall crossings) into a
+/// shared [`Watchdog`].
+#[derive(Debug)]
+pub struct WatchdogHook<'a, H: StepHook = NoHook> {
+    watchdog: &'a Watchdog,
+    inner: H,
+    last_completion: u64,
+    /// Next time `τ` at which an open gap counts as a stall crossing.
+    next_stall_check: u64,
+    ops: u64,
+    trips: u64,
+}
+
+impl<'a> WatchdogHook<'a> {
+    /// A hook observing into `watchdog` with no inner hook.
+    pub fn new(watchdog: &'a Watchdog) -> Self {
+        Self::with_inner(watchdog, NoHook)
+    }
+}
+
+impl<'a, H: StepHook> WatchdogHook<'a, H> {
+    /// A hook observing into `watchdog` and forwarding every callback
+    /// to `inner`.
+    pub fn with_inner(watchdog: &'a Watchdog, inner: H) -> Self {
+        WatchdogHook {
+            watchdog,
+            inner,
+            last_completion: 0,
+            next_stall_check: watchdog.threshold() + 1,
+            ops: 0,
+            trips: 0,
+        }
+    }
+
+    /// Number of observations fed so far (completions + stall
+    /// crossings).
+    pub fn observations(&self) -> u64 {
+        self.ops
+    }
+
+    /// Number of times an observation tripped the watchdog (0 or 1 —
+    /// the watchdog trips once).
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Recovers the inner hook.
+    pub fn into_inner(self) -> H {
+        self.inner
+    }
+}
+
+impl<H: StepHook> StepHook for WatchdogHook<'_, H> {
+    #[inline]
+    fn on_pick(&mut self, tau: u64, p: ProcessId) {
+        // Stall detection: cold unless the system has stopped
+        // completing, so the hot path is one compare.
+        while tau >= self.next_stall_check {
+            self.ops += 1;
+            if self
+                .watchdog
+                .observe(p.index() as u32, self.ops, tau - self.last_completion)
+            {
+                self.trips += 1;
+            }
+            self.next_stall_check += self.watchdog.threshold();
+        }
+        self.inner.on_pick(tau, p);
+    }
+
+    #[inline]
+    fn on_complete(&mut self, tau: u64, p: ProcessId) {
+        let gap = tau - self.last_completion;
+        self.last_completion = tau;
+        self.next_stall_check = tau + self.watchdog.threshold() + 1;
+        self.ops += 1;
+        if self.watchdog.observe(p.index() as u32, self.ops, gap) {
+            self.trips += 1;
+        }
+        self.inner.on_complete(tau, p);
+    }
+
+    #[inline]
+    fn on_crash(&mut self, tau: u64, p: ProcessId) {
+        self.inner.on_crash(tau, p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run_hooked, RunConfig};
+    use crate::memory::SharedMemory;
+    use crate::process::{Process, TickingProcess};
+    use crate::scheduler::UniformScheduler;
+    use pwf_obs::TailEnvelope;
+
+    fn ticking_fleet(mem: &mut SharedMemory, n: usize, period: u64) -> Vec<Box<dyn Process>> {
+        let r = mem.alloc(0);
+        (0..n)
+            .map(|_| Box::new(TickingProcess::new(r, period)) as Box<dyn Process>)
+            .collect()
+    }
+
+    #[test]
+    fn healthy_run_never_trips() {
+        // 4 ticking processes with period 2: a completion roughly
+        // every other step, mean system gap ≈ 2. Envelope at that
+        // scale leaves the p999 tail far above the observed gaps.
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 4, 2);
+        let watchdog = Watchdog::from_envelope(&TailEnvelope::from_latency(2.0, 4.0), 0.999);
+        let mut hook = WatchdogHook::new(&watchdog);
+        run_hooked(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(20_000).seed(7),
+            &mut hook,
+        );
+        assert_eq!(hook.trips(), 0);
+        let r = watchdog.report();
+        assert!(!r.tripped, "healthy run tripped: {r:?}");
+        assert!(r.observed > 5_000);
+    }
+
+    #[test]
+    fn stalled_system_trips_via_open_gap_crossings() {
+        // Period far beyond the horizon: nothing ever completes, so
+        // only the stall path can observe — and must trip.
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 2, 1_000_000);
+        let watchdog = Watchdog::armed(50, 2);
+        let mut hook = WatchdogHook::new(&watchdog);
+        run_hooked(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(1_000).seed(7),
+            &mut hook,
+        );
+        assert_eq!(hook.trips(), 1);
+        let r = watchdog.report();
+        assert!(r.tripped);
+        // Crossings at τ = 51, 101, 151, …: one per threshold width.
+        assert!(r.exceeded >= 3);
+        assert!(!r.offenders.is_empty());
+        // Offender values are genuine open gaps beyond the threshold.
+        assert!(r.offenders.iter().all(|o| o.value > 50));
+    }
+
+    #[test]
+    fn completions_reset_the_stall_clock() {
+        // Period 10 with one process: completions every 10 steps keep
+        // the open gap below an armed threshold of 50 forever.
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 1, 10);
+        let watchdog = Watchdog::armed(50, 0);
+        let mut hook = WatchdogHook::new(&watchdog);
+        run_hooked(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(5_000).seed(7),
+            &mut hook,
+        );
+        assert_eq!(hook.trips(), 0);
+        assert!(!watchdog.is_tripped());
+        assert_eq!(watchdog.report().exceeded, 0);
+    }
+
+    #[test]
+    fn hook_composes_with_an_inner_hook() {
+        struct Counter(u64);
+        impl StepHook for Counter {
+            fn on_complete(&mut self, _tau: u64, _p: ProcessId) {
+                self.0 += 1;
+            }
+        }
+        let mut mem = SharedMemory::new();
+        let mut ps = ticking_fleet(&mut mem, 2, 2);
+        let watchdog = Watchdog::armed(1_000, 0);
+        let mut hook = WatchdogHook::with_inner(&watchdog, Counter(0));
+        let exec = run_hooked(
+            &mut ps,
+            &mut UniformScheduler::new(),
+            &mut mem,
+            &RunConfig::new(1_000).seed(7),
+            &mut hook,
+        );
+        assert_eq!(hook.observations(), exec.total_completions());
+        assert_eq!(hook.into_inner().0, exec.total_completions());
+    }
+}

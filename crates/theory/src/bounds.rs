@@ -85,6 +85,20 @@ impl ScuPrediction {
             alpha: self.alpha,
         }
     }
+
+    /// Quantile bound on the per-operation system latency: the chain's
+    /// geometric mixing (the mechanism behind Theorem 3's `(1/θ)^T`
+    /// tail) gives an exponentially decaying tail with mean `W`, so
+    /// the `p`-quantile is bounded by `W·ln(1/(1−p))`. This is what an
+    /// online watchdog compares observed gap distributions against.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn quantile_bound(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        self.system_latency() * (1.0 / (1.0 - p)).ln()
+    }
 }
 
 /// Theorem 3's bound: an algorithm with bounded minimal progress `T`
@@ -180,5 +194,23 @@ mod tests {
     #[should_panic(expected = "1 ≤ k ≤ n")]
     fn invalid_crash_count_panics() {
         let _ = ScuPrediction::new(0, 1, 4).with_correct_processes(5);
+    }
+
+    #[test]
+    fn quantile_bound_grows_with_p_and_scales_with_w() {
+        let p = ScuPrediction::new(0, 1, 16);
+        // Median bound below mean-scale, deep tail above it.
+        assert!(p.quantile_bound(0.5) < p.system_latency());
+        assert!(p.quantile_bound(0.999) > p.system_latency());
+        assert!(p.quantile_bound(0.999) > p.quantile_bound(0.99));
+        // ln(1000) ≈ 6.9 mean-multiples at p999.
+        let ratio = p.quantile_bound(0.999) / p.system_latency();
+        assert!((ratio - 1000.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1)")]
+    fn quantile_bound_rejects_p_one() {
+        let _ = ScuPrediction::new(0, 1, 4).quantile_bound(1.0);
     }
 }

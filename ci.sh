@@ -78,13 +78,19 @@ echo "==> pwf lint: mutant corpus + fingerprint + schema gates"
 cargo test -q --offline -p pwf-lint
 cargo test -q --offline -p pwf-runner --test lint_schema
 
-echo "==> markov perf smoke: sparse must beat dense above the crossover"
+echo "==> markov perf smoke: matrix-free engine vs dense, lifting at n=100"
 # exp_markov_bench times the dense direct-solve SCU analysis against
-# the sparse iterative pipeline and returns nonzero if sparse is not
-# strictly faster at the dense wall; it also refreshes
-# BENCH_markov.json. (--fast keeps the dense side at n <= 6.)
+# the matrix-free operator pipeline and returns nonzero if the
+# operator path is not strictly faster at the dense wall, if the
+# symmetry-reduced lifting check at n >= 100 exceeds a 1e-12 kernel
+# residual, if solver throughput is not positive, or if the
+# out-of-core spill solve is not bit-identical; it also refreshes
+# BENCH_markov.json. (--fast keeps the dense side at n <= 6 but still
+# runs the n = 100 matrix-free sweep.)
 ./target/release/pwf run exp_markov_bench --fast
 grep -q '"speedup"' BENCH_markov.json
+grep -q '"lifting_verified_n": 100' BENCH_markov.json
+grep -q '"states_per_sec"' BENCH_markov.json
 
 echo "==> sim perf smoke: alias sampling must beat the linear scan"
 # exp_sim_bench times the linear-scan weighted pick against the O(1)
@@ -125,6 +131,9 @@ echo "==> checker still drives the retained dyn-dispatch path"
 
 echo "==> sparse-vs-dense solver property tests (vendored proptest)"
 cargo test -q --offline --features heavy-deps --test sparse_markov_properties
+
+echo "==> operator property tests: implicit vs CSR, spill, dense blocks (vendored proptest)"
+cargo test -q --offline -p pwf-markov --features heavy-deps --test operator_properties
 
 echo "==> sampler property tests (vendored proptest)"
 cargo test -q --offline -p pwf-sim --features heavy-deps --test sampler_properties

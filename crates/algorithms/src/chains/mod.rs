@@ -13,13 +13,21 @@
 //! parallel code), so constructions enforce small-`n` limits; the
 //! system chains scale comfortably to hundreds of processes.
 //!
-//! All chains are built **sparse-native** (CSR, via
-//! [`pwf_markov::sparse::SparseChainBuilder`]); the dense variants are
-//! [`pwf_markov::sparse::SparseChain::to_dense`] conversions kept as
-//! direct-solve oracles for small `n`. Past the enumeration wall, the
-//! SCU lifting is verified by the symmetry-reduced kernel check
-//! ([`scu::verify_lifting_by_symmetry`]) and latencies come from the
-//! adaptive iterative solvers.
+//! The system chains are **operator-first**: each family exposes a
+//! matrix-free [`pwf_markov::operator::TransitionOperator`]
+//! ([`scu::ScuSystemOperator`], [`fai::FaiGlobalOperator`],
+//! [`lock::LockSystemOperator`], [`scan::ScanSystemOperator`]) whose
+//! rows are generated on demand from the state encoding in the exact
+//! float schedule of the CSR construction, so operator solves are
+//! bit-identical to solving the stored chain. The CSR builders (via
+//! [`pwf_markov::sparse::SparseChainBuilder`]) are retained as the
+//! small-`n` oracles, and the dense variants are
+//! [`pwf_markov::sparse::SparseChain::to_dense`] conversions of those.
+//! Past the enumeration wall, the SCU lifting is verified by the
+//! symmetry-reduced, matrix-free kernel check
+//! ([`scu::verify_lifting_by_symmetry`], chunked for parallel fan-out
+//! by [`scu::orbit_chunks`]) and latencies come from the adaptive
+//! iterative solvers.
 //!
 //! ## A note on the paper's printed transition probabilities
 //!

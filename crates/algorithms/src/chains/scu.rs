@@ -1,17 +1,22 @@
 //! Exact chains for the scan-validate component `SCU(0, 1)`
 //! (paper, Section 6.1.1, Lemmas 3–7).
 //!
-//! Chains are built **sparse-first**: the CSR constructions
-//! ([`sparse_individual_chain`], [`sparse_system_chain`]) are the
-//! primary representation, and the dense variants are thin
-//! [`SparseChain::to_dense`] conversions kept for the small-`n`
-//! direct-solve oracle. Beyond the exhaustive range, the lifting of
-//! Lemma 5 is verified by the symmetry-reduced kernel check
-//! ([`verify_lifting_by_symmetry`]), which needs only the `Θ(n²)`
-//! system chain and `O(n)` work per symmetry class — no `3ⁿ − 1`
-//! enumeration.
+//! The system chain is **operator-first**: [`ScuSystemOperator`]
+//! generates rows on the fly from the closed-form `(a, b)` dynamics in
+//! the exact float schedule of the CSR construction, so the scalable
+//! paths ([`large_system_latency_with`], [`verify_lifting_chunk`])
+//! never materialize a matrix yet stay bit-identical to solving
+//! [`sparse_system_chain`] — which is retained, along with the dense
+//! [`SparseChain::to_dense`] conversions, as the small-`n` oracle.
+//! Beyond the exhaustive range, the lifting of Lemma 5 is verified by
+//! the symmetry-reduced kernel check ([`verify_lifting_by_symmetry`]),
+//! `O(n)` work per symmetry class with no `3ⁿ − 1` enumeration; the
+//! `Θ(n²)` classes split into [`orbit_chunks`] for parallel fan-out
+//! with byte-identical merged reports.
 
 use pwf_markov::chain::{ChainError, MarkovChain};
+use pwf_markov::lifting::RowResidualScratch;
+use pwf_markov::operator::{stationary_operator, TransitionOperator};
 use pwf_markov::solve::{Metrics, PowerOptions, SolveStats};
 use pwf_markov::sparse::{SparseChain, SparseChainBuilder};
 use pwf_markov::stationary::{stationary_distribution, StationaryError};
@@ -239,15 +244,142 @@ pub fn sparse_system_chain(n: usize) -> Result<SparseChain<SystemState>, ChainEr
     b.build()
 }
 
-/// System latency for large `n` via the sparse chain and adaptive lazy
-/// power iteration — the scalable counterpart of
+/// The matrix-free transition operator of the `SCU(0, 1)` system
+/// chain: rows are generated on the fly from the closed-form dynamics,
+/// in the exact interning order and float schedule of
+/// [`sparse_system_chain`], so operator solves are bit-identical to
+/// CSR solves while keeping **zero** transition rows in memory.
+///
+/// State `(a, b)` (with `(0, n)` unreachable and excluded) has index
+/// `b` when `a = 0`, and `n + (a−1)(n+1) − a(a−1)/2 + b` otherwise —
+/// the position the builder's `a`-major, `b`-minor enumeration assigns
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScuSystemOperator {
+    n: usize,
+    states: usize,
+}
+
+impl ScuSystemOperator {
+    /// Operator for `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one process");
+        ScuSystemOperator {
+            n,
+            states: (n + 1) * (n + 2) / 2 - 1,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Closed-form state index of `(a, b)` — the interning order of
+    /// [`sparse_system_chain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `(a, b)` is not a valid system
+    /// state.
+    pub fn index(&self, a: usize, b: usize) -> usize {
+        let n = self.n;
+        debug_assert!(
+            a <= n && b <= n - a && (a, b) != (0, n),
+            "({a}, {b}) is not a system state for n = {n}"
+        );
+        if a == 0 {
+            b
+        } else {
+            // Block `a = 0` holds n states (b = 0..n, (0, n) skipped);
+            // block a ≥ 1 holds n − a + 1 states.
+            n + (a - 1) * (n + 1) - a * (a - 1) / 2 + b
+        }
+    }
+
+    /// Inverse of [`index`](Self::index): the state `(a, b)` at a given
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn state_of(&self, idx: usize) -> SystemState {
+        assert!(idx < self.states, "index {idx} out of bounds");
+        let n = self.n;
+        if idx < n {
+            return (0, idx);
+        }
+        let offset = |a: usize| n + (a - 1) * (n + 1) - a * (a - 1) / 2;
+        // Largest a ≥ 1 whose block starts at or before idx.
+        let mut lo = 1usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if offset(mid) <= idx {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        (lo, idx - offset(lo))
+    }
+
+    /// All system states in index order.
+    pub fn states(&self) -> impl Iterator<Item = SystemState> + '_ {
+        let n = self.n;
+        (0..=n).flat_map(move |a| {
+            (0..=(n - a))
+                .map(move |b| (a, b))
+                .filter(move |&s| s != (0, n))
+        })
+    }
+}
+
+impl TransitionOperator for ScuSystemOperator {
+    fn len(&self) -> usize {
+        self.states
+    }
+
+    fn row_into(&self, i: usize, row: &mut Vec<(u32, f64)>) {
+        row.clear();
+        let (a, b) = self.state_of(i);
+        let n = self.n;
+        let nf = n as f64;
+        let c = n - a - b;
+        // Targets are emitted in ascending index order: the a−1 block
+        // precedes the a+1 block, and within a+1, b−1 < n−a−1 whenever
+        // both transitions exist (b < n − a exactly when c > 0).
+        if a > 0 {
+            row.push((self.index(a - 1, b) as u32, a as f64 / nf));
+        }
+        if b > 0 {
+            row.push((self.index(a + 1, b - 1) as u32, b as f64 / nf));
+        }
+        if c > 0 {
+            row.push((self.index(a + 1, n - a - 1) as u32, c as f64 / nf));
+        }
+    }
+
+    fn resident_rows(&self) -> usize {
+        1
+    }
+}
+
+/// System latency for large `n` via the matrix-free operator and
+/// adaptive lazy power iteration — the scalable counterpart of
 /// [`exact_system_latency`]. Returns the latency together with the
 /// solver's work statistics; an optional metrics registry receives the
-/// solver's counters and gauges.
+/// solver's counters and gauges. Bit-identical to solving the CSR
+/// chain ([`ScuSystemOperator`] reproduces its rows exactly), without
+/// materializing it.
 ///
 /// # Errors
 ///
-/// Propagates sparse-solver convergence failures.
+/// Propagates solver convergence failures.
 ///
 /// # Panics
 ///
@@ -257,14 +389,11 @@ pub fn large_system_latency_with(
     opts: &PowerOptions,
     metrics: Option<&Metrics>,
 ) -> Result<(f64, SolveStats), LatencyError> {
-    let chain = sparse_system_chain(n)?;
-    let solve = chain
-        .stationary_with(opts, metrics)
-        .map_err(LatencyError::Stationary)?;
-    let succ: Vec<f64> = chain
+    let op = ScuSystemOperator::new(n);
+    let solve = stationary_operator(&op, opts, metrics).map_err(LatencyError::Stationary)?;
+    let succ: Vec<f64> = op
         .states()
-        .iter()
-        .map(|&(a, b)| (n - a - b) as f64 / n as f64)
+        .map(|(a, b)| (n - a - b) as f64 / n as f64)
         .collect();
     Ok((
         latency_from_success_probabilities(&solve.pi, &succ),
@@ -303,44 +432,101 @@ pub struct SymmetryLiftingReport {
     pub kernel_residual: f64,
 }
 
-/// Verifies Lemma 5's lifting for `SCU(0, 1)` at sizes where the
-/// `3ⁿ − 1`-state individual chain cannot be enumerated, via *strong
-/// lumpability*: the kernel condition
-/// `Σ_{y : f(y) = j} P'(x, y) = P(f(x), j)` for every individual state
-/// `x` implies the ergodic-flow homomorphism of Definition 2 for
-/// whatever stationary distribution the chains have, so checking it
-/// row-by-row needs no solves and no full enumeration.
-///
-/// The check is symmetry-reduced: the lifting map and the dynamics are
-/// invariant under permuting process indices, so the kernel condition
-/// holds for every `x` in a permutation orbit iff it holds for one
-/// member. Each system state `(a, b)` is one orbit; the check visits
-/// its canonical representative (`a`×`Read`, `b`×`OldCas`, rest
-/// `CCas`) and, to guard the symmetry argument itself, an extra
-/// `samples_per_class` seeded random permutations of it. Total work is
-/// `O(n³ · samples)` for the `Θ(n²)` classes — at `n = 20` that is 230
-/// classes against 3²⁰ − 1 ≈ 3.5 · 10⁹ individual states.
-///
-/// # Errors
-///
-/// Propagates system-chain construction errors.
+impl SymmetryLiftingReport {
+    /// Folds another chunk's report into this one: classes and
+    /// checked-state counts add, the kernel residual takes the max.
+    /// Because [`verify_lifting_chunk`] seeds its RNG per class, any
+    /// chunking of the same class range merges to the identical report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports are for different `n`.
+    #[must_use]
+    pub fn merge(mut self, other: &SymmetryLiftingReport) -> SymmetryLiftingReport {
+        assert_eq!(self.n, other.n, "cannot merge reports across n");
+        self.classes += other.classes;
+        self.states_checked += other.states_checked;
+        self.kernel_residual = self.kernel_residual.max(other.kernel_residual);
+        self
+    }
+}
+
+/// A contiguous run of symmetry classes (system states, in
+/// [`ScuSystemOperator`] index order) for one unit of lifting-check
+/// work — the fan-out granule for `pwf_runner::parallel_map`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrbitChunk {
+    /// Number of processes.
+    pub n: usize,
+    /// Index of the first class in this chunk.
+    pub first_class: usize,
+    /// Number of classes in this chunk.
+    pub classes: usize,
+}
+
+/// Splits the `(n+1)(n+2)/2 − 1` symmetry classes of `SCU(0, 1)` into
+/// chunks of at most `classes_per_chunk` classes. The partition is a
+/// pure function of `(n, classes_per_chunk)` — independent of worker
+/// count — so chunked runs merge to byte-identical reports at any
+/// `--jobs`.
 ///
 /// # Panics
 ///
-/// Panics if `n == 0`.
-pub fn verify_lifting_by_symmetry(
-    n: usize,
+/// Panics if `n == 0` or `classes_per_chunk == 0`.
+pub fn orbit_chunks(n: usize, classes_per_chunk: usize) -> Vec<OrbitChunk> {
+    assert!(classes_per_chunk >= 1, "chunks must be non-empty");
+    let total = ScuSystemOperator::new(n).len();
+    let mut chunks = Vec::with_capacity(total.div_ceil(classes_per_chunk));
+    let mut first = 0;
+    while first < total {
+        let classes = classes_per_chunk.min(total - first);
+        chunks.push(OrbitChunk {
+            n,
+            first_class: first,
+            classes,
+        });
+        first += classes;
+    }
+    chunks
+}
+
+/// The matrix-free kernel check over one [`OrbitChunk`]: for each
+/// class `(a, b)` in the chunk, collapses the rows of the canonical
+/// representative (`a`×`Read`, `b`×`OldCas`, rest `CCas`) and
+/// `samples_per_class` seeded random permutations of it through the
+/// lifting map, and compares them against the implicit system row —
+/// no chain is materialized on either side.
+///
+/// Each class draws from its own RNG stream
+/// (`seed ⊕ class · 0x9E3779B97F4A7C15`), so the permutations sampled
+/// for a class do not depend on how classes are split into chunks:
+/// chunked parallel runs are byte-identical to the serial sweep.
+///
+/// # Panics
+///
+/// Panics if the chunk is out of range for its `n`.
+pub fn verify_lifting_chunk(
+    chunk: &OrbitChunk,
     samples_per_class: usize,
     seed: u64,
-) -> Result<SymmetryLiftingReport, LatencyError> {
-    let sys = sparse_system_chain(n)?;
-    let mut rng = pwf_rng::rngs::StdRng::seed_from_u64(seed);
+) -> SymmetryLiftingReport {
+    let n = chunk.n;
+    let op = ScuSystemOperator::new(n);
+    assert!(
+        chunk.first_class + chunk.classes <= op.len(),
+        "chunk exceeds the class count"
+    );
     let inv_n = 1.0 / n as f64;
+    let mut scratch = RowResidualScratch::new();
     let mut worst: f64 = 0.0;
     let mut states_checked = 0usize;
-    let mut collapsed: Vec<(SystemState, f64)> = Vec::with_capacity(4);
-    for (idx, &(a, b)) in sys.states().iter().enumerate() {
+    let mut collapsed: Vec<(usize, f64)> = Vec::with_capacity(4);
+    for class in chunk.first_class..chunk.first_class + chunk.classes {
+        let (a, b) = op.state_of(class);
         let c = n - a - b;
+        let mut rng = pwf_rng::rngs::StdRng::seed_from_u64(
+            seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let mut rep = vec![PState::Read; a];
         rep.extend(std::iter::repeat(PState::OldCas).take(b));
         rep.extend(std::iter::repeat(PState::CCas).take(c));
@@ -356,35 +542,70 @@ pub fn verify_lifting_by_symmetry(
             collapsed.clear();
             for i in 0..n {
                 let (next, _) = individual_successor(&x, i);
-                let target = lift(&next);
+                let (ta, tb) = lift(&next);
+                let target = op.index(ta, tb);
                 match collapsed.iter_mut().find(|(t, _)| *t == target) {
                     Some((_, p)) => *p += inv_n,
                     None => collapsed.push((target, inv_n)),
                 }
             }
-            // Compare against the system row P((a, b), ·) over the
-            // union of supports.
-            for &(t, p) in &collapsed {
-                let j = sys
-                    .state_index(&t)
-                    .expect("lifted successor must be a system state");
-                worst = worst.max((p - sys.prob(idx, j)).abs());
-            }
-            for (j, p) in sys.row(idx) {
-                let t = sys.state(j as usize);
-                if !collapsed.iter().any(|(tt, _)| tt == t) {
-                    worst = worst.max(p.abs());
-                }
-            }
+            worst = worst.max(scratch.residual(&op, class, &collapsed));
             states_checked += 1;
         }
     }
-    Ok(SymmetryLiftingReport {
+    SymmetryLiftingReport {
         n,
-        classes: sys.len(),
+        classes: chunk.classes,
         states_checked,
         kernel_residual: worst,
-    })
+    }
+}
+
+/// Verifies Lemma 5's lifting for `SCU(0, 1)` at sizes where the
+/// `3ⁿ − 1`-state individual chain cannot be enumerated, via *strong
+/// lumpability*: the kernel condition
+/// `Σ_{y : f(y) = j} P'(x, y) = P(f(x), j)` for every individual state
+/// `x` implies the ergodic-flow homomorphism of Definition 2 for
+/// whatever stationary distribution the chains have, so checking it
+/// row-by-row needs no solves and no full enumeration.
+///
+/// The check is symmetry-reduced: the lifting map and the dynamics are
+/// invariant under permuting process indices, so the kernel condition
+/// holds for every `x` in a permutation orbit iff it holds for one
+/// member. Each system state `(a, b)` is one orbit; the check visits
+/// its canonical representative (`a`×`Read`, `b`×`OldCas`, rest
+/// `CCas`) and, to guard the symmetry argument itself, an extra
+/// `samples_per_class` seeded random permutations of it. Total work is
+/// `O(n³ · samples)` for the `Θ(n²)` classes — at `n = 100` that is
+/// 5150 classes against 3¹⁰⁰ − 1 ≈ 5 · 10⁴⁷ individual states.
+///
+/// The check is fully matrix-free (it runs
+/// [`verify_lifting_chunk`] over a single all-classes [`OrbitChunk`]):
+/// system rows come from [`ScuSystemOperator`], so no chain is built.
+/// For parallel fan-out, split the classes with [`orbit_chunks`] and
+/// [`merge`](SymmetryLiftingReport::merge) the per-chunk reports —
+/// per-class RNG seeding makes any chunking byte-identical to this
+/// serial sweep.
+///
+/// # Errors
+///
+/// Infallible since the matrix-free rewrite; the `Result` is kept for
+/// call-site stability.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn verify_lifting_by_symmetry(
+    n: usize,
+    samples_per_class: usize,
+    seed: u64,
+) -> Result<SymmetryLiftingReport, LatencyError> {
+    let chunk = OrbitChunk {
+        n,
+        first_class: 0,
+        classes: ScuSystemOperator::new(n).len(),
+    };
+    Ok(verify_lifting_chunk(&chunk, samples_per_class, seed))
 }
 
 /// Per-state success probability in the system chain: a step from
@@ -652,6 +873,62 @@ mod sparse_tests {
     }
 
     #[test]
+    fn operator_index_matches_csr_interning_order() {
+        for n in [1usize, 2, 5, 12, 30] {
+            let op = ScuSystemOperator::new(n);
+            let chain = sparse_system_chain(n).unwrap();
+            assert_eq!(op.len(), chain.len(), "n={n}");
+            for (idx, &(a, b)) in chain.states().iter().enumerate() {
+                assert_eq!(op.index(a, b), idx, "n={n} state ({a}, {b})");
+                assert_eq!(op.state_of(idx), (a, b), "n={n} idx {idx}");
+            }
+            let listed: Vec<SystemState> = op.states().collect();
+            assert_eq!(&listed, chain.states(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn operator_rows_are_bitwise_identical_to_csr_rows() {
+        for n in [1usize, 3, 8, 25] {
+            let op = ScuSystemOperator::new(n);
+            let chain = sparse_system_chain(n).unwrap();
+            let mut row = Vec::new();
+            for i in 0..chain.len() {
+                op.row_into(i, &mut row);
+                let want: Vec<(u32, f64)> = chain.row(i).collect();
+                assert_eq!(row, want, "n={n} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_latency_is_bit_exact_vs_csr_solve() {
+        // The matrix-free large_system_latency_with must reproduce the
+        // historical CSR solve bit for bit — goldens depend on it.
+        let opts = PowerOptions::new(400_000, 1e-12);
+        for n in [4usize, 33, 100] {
+            let chain = sparse_system_chain(n).unwrap();
+            let solve = chain.stationary_with(&opts, None).unwrap();
+            let succ: Vec<f64> = chain
+                .states()
+                .iter()
+                .map(|&(a, b)| (n - a - b) as f64 / n as f64)
+                .collect();
+            let want = latency_from_success_probabilities(&solve.pi, &succ);
+            let (got, stats) = large_system_latency_with(n, &opts, None).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+            assert_eq!(stats.iterations, solve.stats.iterations, "n={n}");
+        }
+    }
+
+    #[test]
+    fn operator_keeps_no_rows_resident() {
+        let op = ScuSystemOperator::new(64);
+        assert_eq!(op.resident_rows(), 1);
+        assert_eq!(op.n(), 64);
+    }
+
+    #[test]
     fn sparse_individual_chain_matches_dense() {
         let n = 4;
         let sparse = sparse_individual_chain(n).unwrap();
@@ -698,6 +975,50 @@ mod lifting_tests {
             assert_eq!(report.classes, (n + 1) * (n + 2) / 2 - 1);
             assert_eq!(report.states_checked, report.classes * 4);
         }
+    }
+
+    #[test]
+    fn chunked_check_merges_to_the_serial_report() {
+        // Any chunking must reproduce the single-chunk sweep exactly:
+        // per-class seeding makes the sampled permutations chunk-shape
+        // independent, and merge is max/sum.
+        let n = 9;
+        let serial = verify_lifting_by_symmetry(n, 3, 0xFEED).unwrap();
+        for chunk_size in [1usize, 7, 16, 1000] {
+            let chunks = orbit_chunks(n, chunk_size);
+            assert_eq!(
+                chunks.iter().map(|c| c.classes).sum::<usize>(),
+                serial.classes,
+                "chunks must partition the classes"
+            );
+            let merged = chunks
+                .iter()
+                .map(|c| verify_lifting_chunk(c, 3, 0xFEED))
+                .reduce(|acc, r| acc.merge(&r))
+                .unwrap();
+            assert_eq!(merged.classes, serial.classes);
+            assert_eq!(merged.states_checked, serial.states_checked);
+            assert_eq!(
+                merged.kernel_residual.to_bits(),
+                serial.kernel_residual.to_bits(),
+                "chunk_size {chunk_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry_check_verifies_lifting_at_n_100() {
+        // The acceptance bar for the matrix-free engine: Lemma 5
+        // verified at n = 100 (5150 classes, 3¹⁰⁰ − 1 individual
+        // states) with residual at float-rounding level.
+        let report = verify_lifting_by_symmetry(100, 1, 0xD00D).unwrap();
+        assert_eq!(report.classes, 101 * 102 / 2 - 1);
+        assert_eq!(report.states_checked, report.classes * 2);
+        assert!(
+            report.kernel_residual < 1e-12,
+            "residual {}",
+            report.kernel_residual
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use pwf_algorithms::chains::fai;
 use pwf_core::chain_analysis::{analyze, ChainFamily};
 use pwf_core::{AlgorithmSpec, SimExperiment};
+use pwf_markov::solve::GaussSeidelOptions;
 use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 use pwf_theory::ramanujan::{sqrt_pi_n_over_2, z_worst};
 
@@ -36,13 +37,28 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     }
 
     out.note("");
-    out.note("large n: global chain only (n states), Z recurrence, asymptotics");
-    out.header(&["n", "W chain", "2*sqrt(n)", "Z(n-1)", "sqrt(pi n/2)"]);
+    out.note("large n: global chain only (n states), Z recurrence, asymptotics.");
+    out.note("'W op GS' re-derives W as the matrix-free return time of the win");
+    out.note("state v_1 (Gauss-Seidel on the implicit operator, no stored chain):");
+    out.header(&[
+        "n",
+        "W chain",
+        "W op GS",
+        "2*sqrt(n)",
+        "Z(n-1)",
+        "sqrt(pi n/2)",
+    ]);
+    let gs = GaussSeidelOptions::default();
     for n in [16usize, 64, 256, 1024, 4096] {
         let w = fai::exact_system_latency(n)?;
+        let w_op = fai::operator_return_time_of_win_state(n, &gs, None)?;
+        if (w - w_op).abs() / w > 1e-6 {
+            return Err(format!("chain W {w} != operator return time {w_op} at n = {n}").into());
+        }
         out.row(&[
             n.to_string(),
             fmt(w),
+            fmt(w_op),
             fmt(2.0 * (n as f64).sqrt()),
             fmt(z_worst(n)),
             fmt(sqrt_pi_n_over_2(n)),

@@ -3,14 +3,22 @@
 //!
 //! Two regimes, cross-checked where they overlap. Up to `n = 7` the
 //! dense oracle enumerates all `3ⁿ − 1` individual states and verifies
-//! the lifting exhaustively; past that the sparse engine takes over —
-//! symmetry-reduced kernel verification plus the adaptive iterative
-//! solver — and the sweep continues to `n = 24` (nine orders of
-//! magnitude more virtual individual states than the dense wall). The
-//! per-size analyses are independent and fan out on `cfg.jobs`
-//! threads.
+//! the lifting exhaustively; past that the matrix-free engine takes
+//! over — symmetry-reduced kernel verification against the implicit
+//! [`pwf_algorithms::chains::scu::ScuSystemOperator`] plus the
+//! adaptive iterative solver — and the sweep continues to `n = 100`
+//! (≈ 5·10⁴⁷ virtual individual states; no chain is materialized on
+//! either side).
+//!
+//! Parallelism is *orbit-class* fan-out: every size's symmetry classes
+//! are split into fixed-size [`scu::orbit_chunks`] and the flat chunk
+//! list across all sizes runs on `cfg.jobs` threads. Per-class RNG
+//! seeding makes each chunk's report independent of the chunking, and
+//! `parallel_map` returns input order, so the merged per-size reports
+//! — and hence this report — are byte-identical at any `--jobs`.
 
-use pwf_core::chain_analysis::{analyze, analyze_scu_large, ChainFamily};
+use pwf_algorithms::chains::scu;
+use pwf_core::chain_analysis::{analyze, assemble_scu_large, ChainFamily};
 use pwf_markov::solve::PowerOptions;
 use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 
@@ -18,7 +26,7 @@ use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBu
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_lifting_scu",
     description: "Lemmas 4-7: SCU(0,1) lifting verification and exact latencies",
-    sizes: "n=2..24",
+    sizes: "n=2..100",
     deterministic: true,
     body: fill,
 };
@@ -30,22 +38,46 @@ const DENSE_MAX: usize = 7;
 /// representative.
 const SAMPLES_PER_CLASS: usize = 2;
 
+/// Symmetry classes per fan-out chunk — a pure constant, so the chunk
+/// partition depends only on `n` and merged reports are byte-identical
+/// at any `--jobs`.
+const CHUNK_CLASSES: usize = 64;
+
 fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("E5 / Lemmas 4-7: lifting verification and exact latencies, SCU(0,1).");
 
-    let sizes: Vec<usize> = [2usize, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24]
+    let sizes: Vec<usize> = [2usize, 3, 4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 48, 100]
         .into_iter()
         .filter(|&n| !cfg.fast || n <= 12)
         .collect();
     let opts = PowerOptions::new(500_000, 1e-12);
-    let results = parallel_map(cfg.jobs, &sizes, |&n| {
-        let large = analyze_scu_large(n, SAMPLES_PER_CLASS, cfg.sub_seed(n as u64), &opts, None);
-        let dense = (n <= DENSE_MAX).then(|| analyze(ChainFamily::Scu01, n));
-        (n, large, dense)
+
+    // Flat orbit-chunk work list across all sizes: good load balance
+    // (n = 100 alone is 81 chunks) and a deterministic merge.
+    let chunks: Vec<scu::OrbitChunk> = sizes
+        .iter()
+        .flat_map(|&n| scu::orbit_chunks(n, CHUNK_CLASSES))
+        .collect();
+    let chunk_reports = parallel_map(cfg.jobs, &chunks, |chunk| {
+        scu::verify_lifting_chunk(chunk, SAMPLES_PER_CLASS, cfg.sub_seed(chunk.n as u64))
     });
 
+    // Merge per size, in input order, then attach the solve.
+    let mut results = Vec::with_capacity(sizes.len());
+    let mut it = chunk_reports.into_iter();
+    for &n in &sizes {
+        let k = scu::orbit_chunks(n, CHUNK_CLASSES).len();
+        let mut merged = it.next().expect("one report per chunk");
+        for _ in 1..k {
+            merged = merged.merge(&it.next().expect("one report per chunk"));
+        }
+        let large = assemble_scu_large(&merged, &opts, None);
+        let dense = (n <= DENSE_MAX).then(|| analyze(ChainFamily::Scu01, n));
+        results.push((n, large, dense));
+    }
+
     out.note("");
-    out.note("dense oracle vs sparse engine (both run up to the 3^n-1 wall):");
+    out.note("dense oracle vs matrix-free engine (both run up to the 3^n-1 wall):");
     out.header(&["n", "flow res", "pi res", "W dense", "W sparse", "rel err"]);
     for (n, large, dense) in &results {
         let Some(dense) = dense else { continue };
@@ -70,11 +102,13 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     }
 
     out.note("");
-    out.note("sparse sweep: symmetry-reduced kernel verification + iterative solver");
-    out.note("(one canonical representative per orbit plus sampled permutations):");
+    out.note("matrix-free sweep: symmetry-reduced kernel verification + iterative");
+    out.note("solver, orbit chunks fanned out on --jobs threads (one canonical");
+    out.note("representative per orbit plus sampled permutations):");
     out.header(&[
         "n",
         "classes",
+        "chunks",
         "ind states",
         "rows checked",
         "kernel res",
@@ -84,7 +118,8 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     ]);
     for (n, large, _) in &results {
         let r = large.as_ref().map_err(|e| e.to_string())?;
-        if r.kernel_residual > 1e-9 {
+        let gate = if *n >= 100 { 1e-12 } else { 1e-9 };
+        if r.kernel_residual > gate {
             return Err(format!(
                 "kernel lifting condition violated at n = {n}: residual {}",
                 r.kernel_residual
@@ -94,6 +129,7 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         out.row(&[
             n.to_string(),
             r.classes.to_string(),
+            scu::orbit_chunks(*n, CHUNK_CLASSES).len().to_string(),
             fmt(r.individual_states),
             r.states_checked.to_string(),
             fmt(r.kernel_residual),
@@ -107,7 +143,9 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("the kernel condition sum_{y: f(y)=j} P'(x,y) = P(f(x),j) is invariant");
     out.note("under process permutation, so checking one representative per orbit");
     out.note("(plus random permutations as a guard) verifies the full 3^n-1 state");
-    out.note("lifting without enumerating it: Lemma 5 holds to n = 24 and beyond,");
-    out.note("and with it the fairness identity W_i = n*W (Lemma 7).");
+    out.note("lifting without enumerating it. Rows on both sides come from implicit");
+    out.note("operators, so Lemma 5 is verified at n = 100 (kernel residual at");
+    out.note("float rounding, gated at 1e-12) with no matrix in memory, and with it");
+    out.note("the fairness identity W_i = n*W (Lemma 7).");
     Ok(())
 }

@@ -1,28 +1,44 @@
-//! `exp_markov_bench` — the perf gate for the sparse-first Markov
+//! `exp_markov_bench` — the perf gate for the matrix-free Markov
 //! engine: times the dense direct-solve SCU analysis against the
-//! sparse iterative pipeline at the sizes both can run, sweeps the
-//! sparse engine past the dense wall, and records the trajectory in
+//! implicit-operator pipeline at the sizes both can run, sweeps the
+//! matrix-free engine to `n = 100`, exercises the cache-blocked dense
+//! kernel and the out-of-core CSR spill, and records the trajectory in
 //! `BENCH_markov.json` so speedups are tracked across PRs.
 //!
 //! Wall-clock measurement is hardware-dependent, so the experiment
 //! registers `deterministic: false` and `pwf check` skips it; the
-//! agreement checks (dense and sparse `W` within `1e-6`) and the
-//! crossover gate (sparse strictly faster at the dense wall) are what
-//! make it a test rather than a report.
+//! agreement checks (dense and operator `W` within `1e-6`, spill solve
+//! bit-identical), the crossover gate (operator pipeline strictly
+//! faster at the dense wall), and the kernel-residual gate
+//! (`≤ 1e-12` at `n ≥ 100`) are what make it a test rather than a
+//! report.
+//!
+//! Every per-size record carries the same schema — `n`, `sparse_ms`,
+//! `solver_iterations`, `kernel_residual`, `states_per_sec`,
+//! `resident_rows` (dense-comparison rows add `dense_ms`, `speedup`,
+//! `w_rel_err`) — so `pwf report`'s dotted-path flattening tracks
+//! every metric at every size.
 
 use std::path::Path;
 use std::time::Instant;
 
-use pwf_core::chain_analysis::{analyze, analyze_scu_large, ChainFamily};
+use pwf_core::chain_analysis::{analyze, analyze_scu_large, ChainFamily, LargeScuReport};
+use pwf_markov::ooc::SpilledChain;
+use pwf_markov::operator::{
+    stationary_operator, DenseBlockOperator, TransitionOperator, DEFAULT_BLOCK,
+};
 use pwf_markov::solve::PowerOptions;
 use pwf_runner::json::Json;
 use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
 
+use pwf_algorithms::chains::scu::ScuSystemOperator;
+
 /// The registered experiment.
 pub const EXP: FnExperiment = FnExperiment {
     name: "exp_markov_bench",
-    description: "Perf gate: dense vs sparse SCU analysis wall time, BENCH_markov.json trajectory",
-    sizes: "n=5..28",
+    description:
+        "Perf gate: dense vs matrix-free SCU analysis wall time, BENCH_markov.json trajectory",
+    sizes: "n=5..100",
     deterministic: false,
     body: fill,
 };
@@ -32,10 +48,51 @@ pub const EXP: FnExperiment = FnExperiment {
 /// crossover gate is applied at the largest dense size run.
 const DENSE_WALL: usize = 7;
 
+/// Rows kept resident by the out-of-core spill demo.
+const OOC_BATCH_ROWS: usize = 256;
+
+/// One uniform-schema record; `dense` adds the comparison fields.
+fn size_record(
+    n: usize,
+    sparse_ms: f64,
+    report: &LargeScuReport,
+    dense: Option<(f64, f64, f64)>,
+) -> Json {
+    // Solver throughput: implicit row generations per second during
+    // the stationary solve (states × iterations / solve wall time).
+    let states_per_sec = report.system_states as f64 * report.solver.iterations as f64
+        / (report.solver.wall_ms / 1e3);
+    let mut fields = vec![("n".into(), Json::Int(n as i128))];
+    if let Some((dense_ms, speedup, w_rel_err)) = dense {
+        fields.push(("dense_ms".into(), Json::Num(dense_ms)));
+        fields.push(("speedup".into(), Json::Num(speedup)));
+        fields.push(("w_rel_err".into(), Json::Num(w_rel_err)));
+    }
+    fields.push(("sparse_ms".into(), Json::Num(sparse_ms)));
+    fields.push((
+        "solver_iterations".into(),
+        Json::Int(report.solver.iterations as i128),
+    ));
+    fields.push(("kernel_residual".into(), Json::Num(report.kernel_residual)));
+    fields.push(("states_per_sec".into(), Json::Num(states_per_sec)));
+    fields.push((
+        "resident_rows".into(),
+        Json::Int(ScuSystemOperator::new(n).resident_rows() as i128),
+    ));
+    Json::Obj(fields)
+}
+
 fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     out.note("markov engine benchmark: full SCU analysis (chains + lifting + W),");
-    out.note("dense direct solve vs sparse iterative pipeline.");
-    out.header(&["n", "dense ms", "sparse ms", "speedup", "W rel err"]);
+    out.note("dense direct solve vs matrix-free operator pipeline.");
+    out.header(&[
+        "n",
+        "dense ms",
+        "sparse ms",
+        "speedup",
+        "states/s",
+        "W rel err",
+    ]);
 
     let opts = PowerOptions::new(500_000, 1e-12);
     let metrics = cfg.obs.metrics().map(|m| &**m);
@@ -44,7 +101,13 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
     } else {
         &[5, 6, DENSE_WALL]
     };
-    let sparse_only: &[usize] = if cfg.fast { &[12] } else { &[12, 20, 28] };
+    // n = 100 runs in every profile: it feeds the CI gates (kernel
+    // residual ≤ 1e-12 past the n ≥ 100 bar, states/sec > 0).
+    let sparse_only: &[usize] = if cfg.fast {
+        &[12, 100]
+    } else {
+        &[12, 20, 28, 100]
+    };
 
     let mut entries: Vec<Json> = Vec::new();
     let mut wall_speedup = None;
@@ -63,42 +126,86 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         }
         let speedup = dense_ms / sparse_ms;
         wall_speedup = Some((n, speedup));
+        let record = size_record(n, sparse_ms, &sparse, Some((dense_ms, speedup, rel)));
         out.row(&[
             n.to_string(),
             fmt(dense_ms),
             fmt(sparse_ms),
             fmt(speedup),
+            fmt(
+                sparse.system_states as f64 * sparse.solver.iterations as f64
+                    / (sparse.solver.wall_ms / 1e3),
+            ),
             fmt(rel),
         ]);
-        entries.push(Json::Obj(vec![
-            ("n".into(), Json::Int(n as i128)),
-            ("dense_ms".into(), Json::Num(dense_ms)),
-            ("sparse_ms".into(), Json::Num(sparse_ms)),
-            ("speedup".into(), Json::Num(speedup)),
-            ("w_rel_err".into(), Json::Num(rel)),
-        ]));
+        entries.push(record);
     }
 
+    let mut large_report: Option<LargeScuReport> = None;
     for &n in sparse_only {
         let start = Instant::now();
         let sparse = analyze_scu_large(n, 2, cfg.sub_seed(n as u64), &opts, metrics)?;
         let sparse_ms = start.elapsed().as_secs_f64() * 1e3;
+        if n >= 100 && sparse.kernel_residual > 1e-12 {
+            return Err(format!(
+                "lifting not verified at n = {n}: kernel residual {} > 1e-12",
+                sparse.kernel_residual
+            )
+            .into());
+        }
+        let states_per_sec = sparse.system_states as f64 * sparse.solver.iterations as f64
+            / (sparse.solver.wall_ms / 1e3);
+        // NaN (zero wall time) must fail too, hence the explicit form.
+        let throughput_ok = states_per_sec.is_finite() && states_per_sec > 0.0;
+        if !throughput_ok {
+            return Err(format!("states/sec not positive at n = {n}").into());
+        }
         out.row(&[
             n.to_string(),
             "-".into(),
             fmt(sparse_ms),
             "-".into(),
+            fmt(states_per_sec),
             "-".into(),
         ]);
-        entries.push(Json::Obj(vec![
-            ("n".into(), Json::Int(n as i128)),
-            ("sparse_ms".into(), Json::Num(sparse_ms)),
-            (
-                "solver_iterations".into(),
-                Json::Int(sparse.solver.iterations as i128),
-            ),
-            ("kernel_residual".into(), Json::Num(sparse.kernel_residual)),
-        ]));
+        entries.push(size_record(n, sparse_ms, &sparse, None));
+        if n >= 100 {
+            large_report = Some(sparse);
+        }
+    }
+    let large_report = large_report.expect("n = 100 runs in every profile");
+
+    // Cache-blocked dense kernel: densify the implicit operator at the
+    // largest size and compare one apply against the row-scatter path.
+    let op = ScuSystemOperator::new(100);
+    let blocked = DenseBlockOperator::from_operator(&op, DEFAULT_BLOCK);
+    let dist = vec![1.0 / op.len() as f64; op.len()];
+    let mut want = vec![0.0; op.len()];
+    let mut got = vec![0.0; op.len()];
+    let start = Instant::now();
+    op.apply_into(&dist, &mut want);
+    let scatter_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    blocked.apply_into(&dist, &mut got);
+    let blocked_ms = start.elapsed().as_secs_f64() * 1e3;
+    let block_err = want
+        .iter()
+        .zip(&got)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    if block_err > 1e-12 {
+        return Err(format!("dense-block apply diverges: max abs err {block_err:e}").into());
+    }
+
+    // Out-of-core spill: stream the n = 100 operator's rows to a temp
+    // CSR file, re-solve from disk with a bounded row cache, and
+    // require the bit-identical stationary answer.
+    let spilled = SpilledChain::spill(&op, OOC_BATCH_ROWS)
+        .map_err(|e| format!("spilling the n = 100 chain: {e}"))?;
+    let direct = stationary_operator(&op, &opts, None).map_err(|e| e.to_string())?;
+    let from_disk = stationary_operator(&spilled, &opts, None).map_err(|e| e.to_string())?;
+    if direct.pi != from_disk.pi {
+        return Err("out-of-core solve is not bit-identical to the in-memory solve".into());
     }
 
     let mut fields = vec![
@@ -110,19 +217,61 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         fields.push(("largest_dense_n".into(), Json::Int(n as i128)));
         fields.push(("speedup_at_dense_wall".into(), Json::Num(speedup)));
     }
+    fields.push((
+        "lifting_verified_n".into(),
+        Json::Int(large_report.n as i128),
+    ));
+    fields.push((
+        "lifting_kernel_residual".into(),
+        Json::Num(large_report.kernel_residual),
+    ));
+    fields.push((
+        "dense_block".into(),
+        Json::Obj(vec![
+            ("n".into(), Json::Int(op.len() as i128)),
+            ("block".into(), Json::Int(DEFAULT_BLOCK as i128)),
+            ("blocked_ms".into(), Json::Num(blocked_ms)),
+            ("scatter_ms".into(), Json::Num(scatter_ms)),
+            ("max_abs_err".into(), Json::Num(block_err)),
+        ]),
+    ));
+    fields.push((
+        "out_of_core".into(),
+        Json::Obj(vec![
+            ("n".into(), Json::Int(100)),
+            ("batch_rows".into(), Json::Int(OOC_BATCH_ROWS as i128)),
+            (
+                "resident_rows".into(),
+                Json::Int(spilled.resident_rows() as i128),
+            ),
+            ("nnz".into(), Json::Int(spilled.nnz() as i128)),
+            ("bit_identical".into(), Json::Bool(true)),
+        ]),
+    ));
     fields.push(("sizes".into(), Json::Arr(entries)));
     std::fs::write(Path::new("BENCH_markov.json"), Json::Obj(fields).render())
         .map_err(|e| format!("writing BENCH_markov.json: {e}"))?;
     out.note("");
     out.note("trajectory written to BENCH_markov.json.");
+    out.note(&format!(
+        "lifting verified matrix-free at n = {} (kernel residual {}, {} classes).",
+        large_report.n,
+        fmt(large_report.kernel_residual),
+        large_report.classes
+    ));
+    out.note(&format!(
+        "out-of-core spill at n = 100: {} of {} rows resident, solve bit-identical.",
+        spilled.resident_rows(),
+        op.len()
+    ));
 
     if let Some((n, speedup)) = wall_speedup {
         // The crossover gate: at the largest dense size run, the
-        // iterative sparse pipeline must beat O(states^3) elimination
-        // outright.
+        // iterative operator pipeline must beat O(states^3)
+        // elimination outright.
         if speedup <= 1.0 {
             return Err(format!(
-                "sparse pipeline is not faster than dense at n = {n} (speedup {speedup:.2}x)"
+                "operator pipeline is not faster than dense at n = {n} (speedup {speedup:.2}x)"
             )
             .into());
         }

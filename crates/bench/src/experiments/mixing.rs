@@ -4,11 +4,14 @@
 //!
 //! Runs on the sparse engine (`O(nnz)` per distribution step instead
 //! of a dense matrix–vector product), with the dense path cross-checked
-//! at the smallest size; the per-size measurements are independent and
-//! fan out on `cfg.jobs` threads.
+//! at the smallest size and a matrix-free row at `n = 128` where no
+//! chain is stored at all; the per-size measurements are independent
+//! and fan out on `cfg.jobs` threads.
 
+use pwf_algorithms::chains::scu::ScuSystemOperator;
 use pwf_algorithms::chains::{fai, scu};
-use pwf_markov::mixing::{lazy_mixing_time, sparse_lazy_mixing_time};
+use pwf_markov::mixing::{lazy_mixing_time, operator_lazy_mixing_time, sparse_lazy_mixing_time};
+use pwf_markov::operator::{stationary_operator, TransitionOperator};
 use pwf_markov::solve::PowerOptions;
 use pwf_markov::sparse::SparseChain;
 use pwf_runner::{fmt, parallel_map, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
@@ -55,6 +58,26 @@ fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
         out.row(&[
             n.to_string(),
             states.to_string(),
+            t.to_string(),
+            fmt(t as f64 / (n as f64).sqrt()),
+        ]);
+    }
+
+    // Past the stored-chain range, the implicit operator carries the
+    // same measurement with zero resident rows.
+    {
+        let n = 128;
+        let op = ScuSystemOperator::new(n);
+        let pi = stationary_operator(&op, &PowerOptions::new(500_000, 1e-12), None)
+            .map_err(|e| e.to_string())?
+            .pi;
+        let starts = [op.index(n, 0), op.index(1, n - 1)];
+        let t = operator_lazy_mixing_time(&op, &pi, &starts, 0.01, 200_000)
+            .mixing_time
+            .ok_or("budget generous")?;
+        out.row(&[
+            format!("{n} (matrix-free)"),
+            op.len().to_string(),
             t.to_string(),
             fmt(t as f64 / (n as f64).sqrt()),
         ]);

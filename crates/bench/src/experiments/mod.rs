@@ -157,6 +157,6 @@ mod tests {
             let exp = reg.get(name).unwrap();
             assert!(!exp.sizes().is_empty(), "{name} should declare sizes");
         }
-        assert_eq!(reg.get("exp_lifting_scu").unwrap().sizes(), "n=2..24");
+        assert_eq!(reg.get("exp_lifting_scu").unwrap().sizes(), "n=2..100");
     }
 }

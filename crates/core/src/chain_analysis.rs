@@ -192,15 +192,16 @@ pub struct LargeScuReport {
     pub solver: SolveStats,
 }
 
-/// Runs the scalable SCU analysis at `n` processes: sparse system
-/// chain, adaptive-power-iteration latency, and the symmetry-reduced
-/// kernel verification of Lemma 5's lifting. Practical far past the
+/// Runs the scalable SCU analysis at `n` processes: matrix-free
+/// system operator, adaptive-power-iteration latency, and the
+/// symmetry-reduced kernel verification of Lemma 5's lifting —
+/// no chain is materialized on either side. Practical far past the
 /// dense oracle (`n` in the hundreds; the individual chain is never
 /// enumerated).
 ///
 /// # Errors
 ///
-/// Propagates chain-construction and solver-convergence errors.
+/// Propagates solver-convergence errors.
 ///
 /// # Panics
 ///
@@ -213,6 +214,30 @@ pub fn analyze_scu_large(
     metrics: Option<&Metrics>,
 ) -> Result<LargeScuReport, ChainAnalysisError> {
     let lifting = scu::verify_lifting_by_symmetry(n, samples_per_class, seed)?;
+    assemble_scu_large(&lifting, opts, metrics)
+}
+
+/// Assembles a [`LargeScuReport`] from a pre-computed (possibly
+/// chunk-merged) lifting report plus a fresh matrix-free stationary
+/// solve — the entry point for callers that fan the kernel check out
+/// over [`scu::orbit_chunks`] in parallel and
+/// [`merge`](scu::SymmetryLiftingReport::merge) the per-chunk reports.
+/// [`analyze_scu_large`] is exactly this with a serial all-classes
+/// check.
+///
+/// # Errors
+///
+/// Propagates solver-convergence errors.
+///
+/// # Panics
+///
+/// Panics if the lifting report's `n == 0`.
+pub fn assemble_scu_large(
+    lifting: &scu::SymmetryLiftingReport,
+    opts: &PowerOptions,
+    metrics: Option<&Metrics>,
+) -> Result<LargeScuReport, ChainAnalysisError> {
+    let n = lifting.n;
     let (w, solver) = scu::large_system_latency_with(n, opts, metrics)?;
     Ok(LargeScuReport {
         n,

@@ -38,7 +38,9 @@ pub mod progress_audit;
 pub mod scan_analysis;
 pub mod spec;
 
-pub use chain_analysis::{analyze, analyze_scu_large, ChainFamily, ChainReport, LargeScuReport};
+pub use chain_analysis::{
+    analyze, analyze_scu_large, assemble_scu_large, ChainFamily, ChainReport, LargeScuReport,
+};
 pub use completion_model::{
     completion_rate_series, completion_rate_series_from, CompletionRatePoint,
 };

@@ -16,16 +16,24 @@
 //!   homomorphism and Lemma 1's stationary collapse ([`lifting`]).
 //!
 //! Chains here are exact constructions from algorithm state spaces.
-//! The substrate is **sparse-first**: the paper's chains have `Θ(n²)`
-//! states with `O(1)` transitions each, so the primary representation
-//! is the CSR-backed [`sparse::SparseChain`] with iterative solvers —
-//! lazy power iteration with adaptive stopping for stationary
-//! distributions ([`sparse`], [`solve`]), Gauss–Seidel for
-//! hitting-time systems ([`hitting::sparse_hitting_times`]), sparse
-//! total-variation mixing bounds ([`mixing::sparse_lazy_mixing_time`])
-//! and row-by-row lifting verification
-//! ([`lifting::verify_lifting_sparse`],
-//! [`lifting::kernel_residual_sparse`]). The dense
+//! The substrate is **operator-first**: the iterative solvers — lazy
+//! power iteration with adaptive stopping
+//! ([`operator::stationary_operator`]), Gauss–Seidel for hitting-time
+//! systems ([`hitting::operator_hitting_times`]), and total-variation
+//! mixing bounds ([`mixing::operator_lazy_mixing_time`]) — are generic
+//! over the implicit [`operator::TransitionOperator`], which generates
+//! `y = x·P` rows on the fly from state encodings. The CSR-backed
+//! [`sparse::SparseChain`] implements the trait by delegating to its
+//! own kernels, so operator solves on a stored chain are bit-identical
+//! to the historical sparse paths and the sparse engine remains the
+//! small-`n` oracle for implicit operators; chains past RAM stream
+//! through the out-of-core spill ([`ooc::SpilledChain`]), and dense
+//! sub-blocks that survive symmetry reduction get the cache-blocked
+//! kernel ([`operator::DenseBlockOperator`]). Lifting claims are
+//! verified row-by-row ([`lifting::verify_lifting_sparse`],
+//! [`lifting::kernel_residual_sparse`]) or matrix-free from
+//! combinatorially enumerated orbit representatives
+//! ([`lifting::RowResidualScratch`]). The dense
 //! [`chain::MarkovChain`] with direct `O(n³)` solves ([`linalg`]) is
 //! retained as the cross-check oracle for small `n`; the two convert
 //! via [`sparse::SparseChain::to_dense`] and
@@ -58,6 +66,8 @@ pub mod hitting;
 pub mod lifting;
 pub mod linalg;
 pub mod mixing;
+pub mod ooc;
+pub mod operator;
 pub mod solve;
 pub mod sparse;
 pub mod stationary;
@@ -65,12 +75,18 @@ pub mod structure;
 
 pub use chain::{ChainBuilder, ChainError, MarkovChain};
 pub use flow::{sparse_conservation_residual, ErgodicFlow};
-pub use hitting::{hitting_times, return_time, sparse_hitting_times};
+pub use hitting::{hitting_times, operator_hitting_times, return_time, sparse_hitting_times};
 pub use lifting::{
     kernel_residual_sparse, verify_lifting, verify_lifting_sparse, LiftingError, LiftingReport,
+    RowResidualScratch,
 };
 pub use linalg::{LinalgError, Matrix};
-pub use mixing::{lazy_mixing_time, sparse_lazy_mixing_time, total_variation, MixingReport};
+pub use mixing::{
+    lazy_mixing_time, operator_lazy_mixing_time, sparse_lazy_mixing_time, total_variation,
+    MixingReport,
+};
+pub use ooc::SpilledChain;
+pub use operator::{stationary_operator, DenseBlockOperator, TransitionOperator};
 pub use solve::{GaussSeidelOptions, PowerOptions, SolveStats};
 pub use sparse::{SparseChain, SparseChainBuilder, StationarySolve};
 pub use stationary::{return_times, stationary_distribution, StationaryError};

@@ -23,6 +23,7 @@ use pwf_obs::Metrics;
 
 use crate::chain::MarkovChain;
 use crate::flow::ErgodicFlow;
+use crate::operator::TransitionOperator;
 use crate::solve::PowerOptions;
 use crate::sparse::SparseChain;
 use crate::stationary::StationaryError;
@@ -349,6 +350,81 @@ where
     Ok(worst)
 }
 
+/// Reusable scratch for matrix-free kernel checks: compares
+/// caller-collapsed lifted rows against an implicit base operator's
+/// rows, one row at a time.
+///
+/// This is the orbit-enumeration counterpart of
+/// [`kernel_residual_sparse`]: instead of materializing the lifted
+/// chain and reducing an enumerated state space, the caller enumerates
+/// canonical orbit representatives combinatorially, collapses each
+/// representative's row through the lifting map itself (dynamics, not
+/// matrices), and hands the collapsed row here. The comparison uses
+/// the same scatter/subtract/reset arithmetic as the stored-chain
+/// check — `O(row support)` per call with no allocation after
+/// warm-up — against a base row generated on the fly, so neither
+/// chain is ever stored.
+#[derive(Debug, Default)]
+pub struct RowResidualScratch {
+    /// Base-indexed accumulator, kept all-zero between calls.
+    acc: Vec<f64>,
+    touched: Vec<usize>,
+    row: Vec<(u32, f64)>,
+}
+
+impl RowResidualScratch {
+    /// Fresh scratch; the accumulator grows to the base size on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum violation of the kernel condition on one row: compares
+    /// `collapsed` — the lifted row `Σ_{y : f(y) = j} P'(x, y)` of
+    /// some state `x` with `f(x) = base_row`, given as
+    /// `(base_target, prob)` pairs (any order, duplicates allowed and
+    /// summed) — against the base operator's row `P(base_row, ·)`,
+    /// over the union of supports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_row` or any collapsed target is out of bounds.
+    pub fn residual<O: TransitionOperator + ?Sized>(
+        &mut self,
+        base: &O,
+        base_row: usize,
+        collapsed: &[(usize, f64)],
+    ) -> f64 {
+        let nb = base.len();
+        assert!(base_row < nb, "base row {base_row} out of bounds ({nb})");
+        if self.acc.len() < nb {
+            self.acc.resize(nb, 0.0);
+        }
+        for &(j, p) in collapsed {
+            assert!(j < nb, "collapsed target {j} out of bounds ({nb})");
+            if self.acc[j] == 0.0 {
+                self.touched.push(j);
+            }
+            self.acc[j] += p;
+        }
+        base.row_into(base_row, &mut self.row);
+        for &(j, p) in &self.row {
+            let j = j as usize;
+            if self.acc[j] == 0.0 {
+                self.touched.push(j);
+            }
+            self.acc[j] -= p;
+        }
+        let mut worst: f64 = 0.0;
+        for &j in &self.touched {
+            worst = worst.max(self.acc[j].abs());
+            self.acc[j] = 0.0;
+        }
+        self.touched.clear();
+        worst
+    }
+}
+
 /// Collapses a distribution on the lifted chain's states through `f`
 /// into a distribution on the base chain's states (the operation of
 /// Lemma 1 applied to an arbitrary state vector).
@@ -551,6 +627,46 @@ mod tests {
             kernel_residual_sparse(&sl, &sb, |_| 0u8),
             Err(LiftingError::EmptyPreimage { base_index: 1 })
         ));
+    }
+
+    #[test]
+    fn row_residual_scratch_matches_stored_kernel_check() {
+        // Feed the scratch exactly what the stored-chain check
+        // computes internally: the per-row collapses of the lifted
+        // chain. Both paths must agree on the worst residual.
+        let (lifted, base) = lifted_pair();
+        let (sl, sb) = (lifted.to_sparse(), base.to_sparse());
+        let want = kernel_residual_sparse(&sl, &sb, |&s| s % 2).unwrap();
+        let mut scratch = RowResidualScratch::new();
+        let mut worst: f64 = 0.0;
+        for x in 0..sl.len() {
+            let base_row = (sl.state(x) % 2) as usize;
+            let collapsed: Vec<(usize, f64)> = sl
+                .row(x)
+                .map(|(y, p)| ((sl.state(y as usize) % 2) as usize, p))
+                .collect();
+            worst = worst.max(scratch.residual(&sb, base_row, &collapsed));
+        }
+        assert_eq!(worst, want);
+    }
+
+    #[test]
+    fn row_residual_scratch_flags_mismatched_row() {
+        let skew = ChainBuilder::new()
+            .transition(0u8, 1, 0.9)
+            .transition(0, 0, 0.1)
+            .transition(1, 0, 0.2)
+            .transition(1, 1, 0.8)
+            .build()
+            .unwrap()
+            .to_sparse();
+        let mut scratch = RowResidualScratch::new();
+        // A collapsed row that is not skew's row 0 (off by 0.4)…
+        let r = scratch.residual(&skew, 0, &[(0, 0.5), (1, 0.5)]);
+        assert!((r - 0.4).abs() < 1e-15, "residual {r}");
+        // …and one that is, with duplicate targets summed: residual 0.
+        let r0 = scratch.residual(&skew, 0, &[(1, 0.45), (0, 0.1), (1, 0.45)]);
+        assert_eq!(r0, 0.0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use std::hash::Hash;
 
 use crate::chain::MarkovChain;
+use crate::operator::TransitionOperator;
 use crate::sparse::SparseChain;
 use crate::stationary::{stationary_distribution, StationaryError};
 
@@ -113,9 +114,30 @@ pub fn sparse_lazy_mixing_time<S: Clone + Eq + Hash>(
     epsilon: f64,
     max_steps: usize,
 ) -> MixingReport {
+    operator_lazy_mixing_time(chain, pi, starts, epsilon, max_steps)
+}
+
+/// Measures the ε-mixing time of the lazy version of any
+/// [`TransitionOperator`] from the worst of the provided start states
+/// — the matrix-free core behind [`sparse_lazy_mixing_time`], which
+/// for a CSR chain steps the identical float schedule. Each step is
+/// one operator application (`O(nnz)` work, rows generated on the
+/// fly).
+///
+/// # Panics
+///
+/// Panics if `starts` is empty, any start is out of bounds,
+/// `epsilon <= 0`, or `pi.len() != op.len()`.
+pub fn operator_lazy_mixing_time<O: TransitionOperator + ?Sized>(
+    op: &O,
+    pi: &[f64],
+    starts: &[usize],
+    epsilon: f64,
+    max_steps: usize,
+) -> MixingReport {
     assert!(!starts.is_empty(), "need at least one start state");
     assert!(epsilon > 0.0, "epsilon must be positive");
-    let n = chain.len();
+    let n = op.len();
     assert_eq!(pi.len(), n, "stationary distribution length mismatch");
     assert!(starts.iter().all(|&s| s < n), "start state out of bounds");
 
@@ -135,7 +157,7 @@ pub fn sparse_lazy_mixing_time<S: Clone + Eq + Hash>(
             if mixed_at.is_some() {
                 break;
             }
-            chain.step_into(&dist, &mut stepped);
+            op.apply_into(&dist, &mut stepped);
             for (a, b) in dist.iter_mut().zip(&stepped) {
                 *a = 0.5 * *a + 0.5 * b;
             }

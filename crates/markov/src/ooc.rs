@@ -1,0 +1,309 @@
+//! Out-of-core CSR: row-batch streaming of a chain too large for RAM.
+//!
+//! [`SpilledChain`] writes an operator's rows once to a temporary
+//! binary file and then serves them back through the
+//! [`TransitionOperator`] interface with only one row *batch* resident
+//! at a time — bounded memory regardless of `nnz`. In-memory state is
+//! `O(states)` (one `u64` per row for the entry index) plus the
+//! configured batch; the probabilities themselves live on disk.
+//!
+//! Zero-dep by construction: plain `std::fs` + little-endian byte
+//! slices, no serialization crates. Rows round-trip exactly (`f64`
+//! bits are preserved), so an operator solve through the spill is
+//! bit-identical to the same solve on the source operator.
+//!
+//! The file is created in [`std::env::temp_dir`] and deleted on
+//! [`Drop`].
+
+use std::cell::RefCell;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::operator::TransitionOperator;
+
+/// Bytes per stored entry: `u32` column + `f64` probability,
+/// interleaved, little-endian.
+const ENTRY_BYTES: u64 = 12;
+
+/// Distinguishes spill files created by one process within one run;
+/// combined with the PID so concurrent processes never collide.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A row-stochastic chain spilled to a temporary file, streamed back
+/// in bounded row batches.
+#[derive(Debug)]
+pub struct SpilledChain {
+    path: PathBuf,
+    file: RefCell<File>,
+    n: usize,
+    batch_rows: usize,
+    /// `entry_ptr[i]..entry_ptr[i+1]` delimits row `i`'s entries in
+    /// the file; length `n + 1`. The only per-row resident state.
+    entry_ptr: Vec<u64>,
+    cache: RefCell<Batch>,
+}
+
+/// The one resident batch: a contiguous run of `batch_rows` rows in
+/// local CSR form.
+#[derive(Debug)]
+struct Batch {
+    /// Batch index, `usize::MAX` while empty.
+    index: usize,
+    /// Local row pointers (first row of the batch at 0).
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    probs: Vec<f64>,
+    /// Reused read buffer.
+    bytes: Vec<u8>,
+}
+
+impl SpilledChain {
+    /// Streams every row of `op` to a fresh temporary file and returns
+    /// the spilled chain, configured to keep `batch_rows` rows
+    /// resident.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is empty or `batch_rows == 0`.
+    pub fn spill<O: TransitionOperator + ?Sized>(op: &O, batch_rows: usize) -> io::Result<Self> {
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("pwf-spill-{}-{seq}.csr", std::process::id()));
+        Self::spill_to(op, batch_rows, path)
+    }
+
+    /// [`spill`](Self::spill) to an explicit path (the file is still
+    /// deleted on drop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file creation and write errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is empty or `batch_rows == 0`.
+    pub fn spill_to<O: TransitionOperator + ?Sized>(
+        op: &O,
+        batch_rows: usize,
+        path: PathBuf,
+    ) -> io::Result<Self> {
+        let n = op.len();
+        assert!(n > 0, "cannot spill an empty operator");
+        assert!(batch_rows > 0, "batch must hold at least one row");
+
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut writer = BufWriter::new(file);
+        let mut entry_ptr = Vec::with_capacity(n + 1);
+        entry_ptr.push(0u64);
+        let mut row = Vec::new();
+        for i in 0..n {
+            op.row_into(i, &mut row);
+            for &(j, p) in &row {
+                writer.write_all(&j.to_le_bytes())?;
+                writer.write_all(&p.to_le_bytes())?;
+            }
+            entry_ptr.push(entry_ptr[i] + row.len() as u64);
+        }
+        writer.flush()?;
+        let file = writer.into_inner().map_err(io::Error::from)?;
+
+        Ok(SpilledChain {
+            path,
+            file: RefCell::new(file),
+            n,
+            batch_rows,
+            entry_ptr,
+            cache: RefCell::new(Batch {
+                index: usize::MAX,
+                row_ptr: Vec::new(),
+                cols: Vec::new(),
+                probs: Vec::new(),
+                bytes: Vec::new(),
+            }),
+        })
+    }
+
+    /// Total number of stored transitions.
+    pub fn nnz(&self) -> usize {
+        *self.entry_ptr.last().expect("non-empty") as usize
+    }
+
+    /// Rows per resident batch.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+
+    /// The backing file's path (deleted when the chain is dropped).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads the batch containing rows
+    /// `[b·batch_rows, min((b+1)·batch_rows, n))` if it is not already
+    /// resident.
+    fn load_batch(&self, b: usize) -> io::Result<()> {
+        let mut cache = self.cache.borrow_mut();
+        if cache.index == b {
+            return Ok(());
+        }
+        let first = b * self.batch_rows;
+        let last = ((b + 1) * self.batch_rows).min(self.n);
+        let start_entry = self.entry_ptr[first];
+        let end_entry = self.entry_ptr[last];
+        let nbytes = ((end_entry - start_entry) * ENTRY_BYTES) as usize;
+
+        cache.bytes.resize(nbytes, 0);
+        {
+            let mut file = self.file.borrow_mut();
+            file.seek(SeekFrom::Start(start_entry * ENTRY_BYTES))?;
+            file.read_exact(&mut cache.bytes)?;
+        }
+
+        cache.row_ptr.clear();
+        cache.cols.clear();
+        cache.probs.clear();
+        for i in first..=last {
+            cache
+                .row_ptr
+                .push((self.entry_ptr[i] - start_entry) as usize);
+        }
+        let entries = (end_entry - start_entry) as usize;
+        for e in 0..entries {
+            let at = e * ENTRY_BYTES as usize;
+            let col = u32::from_le_bytes(cache.bytes[at..at + 4].try_into().expect("4 bytes"));
+            let prob =
+                f64::from_le_bytes(cache.bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            cache.cols.push(col);
+            cache.probs.push(prob);
+        }
+        cache.index = b;
+        Ok(())
+    }
+}
+
+impl TransitionOperator for SpilledChain {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or the spill file can no longer
+    /// be read (e.g. deleted mid-solve).
+    fn row_into(&self, i: usize, row: &mut Vec<(u32, f64)>) {
+        assert!(i < self.n, "row {i} out of bounds ({})", self.n);
+        self.load_batch(i / self.batch_rows)
+            .expect("spill file read failed");
+        let cache = self.cache.borrow();
+        let local = i % self.batch_rows;
+        let (lo, hi) = (cache.row_ptr[local], cache.row_ptr[local + 1]);
+        row.clear();
+        row.extend(
+            cache.cols[lo..hi]
+                .iter()
+                .copied()
+                .zip(cache.probs[lo..hi].iter().copied()),
+        );
+    }
+
+    fn resident_rows(&self) -> usize {
+        self.batch_rows.min(self.n)
+    }
+}
+
+impl Drop for SpilledChain {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::stationary_operator;
+    use crate::solve::PowerOptions;
+    use crate::sparse::{SparseChain, SparseChainBuilder};
+
+    fn ring(n: usize) -> SparseChain<usize> {
+        let mut b = SparseChainBuilder::new();
+        for i in 0..n {
+            b.transition(i, (i + 1) % n, 0.7).transition(i, i, 0.3);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spilled_rows_round_trip_exactly() {
+        let c = ring(101);
+        let s = SpilledChain::spill(&c, 16).unwrap();
+        assert_eq!(s.len(), c.len());
+        assert_eq!(s.nnz(), c.nnz());
+        assert_eq!(s.resident_rows(), 16);
+        let mut row = Vec::new();
+        // Sweep forwards then backwards so batches reload.
+        for i in (0..c.len()).chain((0..c.len()).rev()) {
+            s.row_into(i, &mut row);
+            let want: Vec<(u32, f64)> = c.row(i).collect();
+            assert_eq!(row, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn spilled_apply_is_bit_exact_vs_csr() {
+        let c = ring(64);
+        let s = SpilledChain::spill(&c, 7).unwrap();
+        let dist: Vec<f64> = (0..c.len()).map(|i| (i % 4) as f64 / 96.0).collect();
+        let mut want = vec![0.0; c.len()];
+        let mut got = vec![0.0; c.len()];
+        c.step_into(&dist, &mut want);
+        s.apply_into(&dist, &mut got);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn spilled_stationary_solve_is_bit_exact() {
+        let c = ring(40);
+        let s = SpilledChain::spill(&c, 8).unwrap();
+        let opts = PowerOptions::new(200_000, 1e-12);
+        let direct = c.stationary_with(&opts, None).unwrap();
+        let spilled = stationary_operator(&s, &opts, None).unwrap();
+        assert_eq!(direct.pi, spilled.pi);
+        assert_eq!(direct.stats.iterations, spilled.stats.iterations);
+    }
+
+    #[test]
+    fn batch_larger_than_chain_is_fine() {
+        let c = ring(5);
+        let s = SpilledChain::spill(&c, 1000).unwrap();
+        assert_eq!(s.resident_rows(), 5);
+        let mut row = Vec::new();
+        s.row_into(4, &mut row);
+        assert_eq!(row, c.row(4).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drop_deletes_the_spill_file() {
+        let c = ring(6);
+        let s = SpilledChain::spill(&c, 2).unwrap();
+        let path = s.path().to_path_buf();
+        assert!(path.exists());
+        drop(s);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_batch_panics() {
+        let _ = SpilledChain::spill(&ring(3), 0);
+    }
+}

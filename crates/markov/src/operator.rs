@@ -1,0 +1,418 @@
+//! Implicit transition operators: `y = x·P` computed on the fly.
+//!
+//! The paper's chains are *generated* objects — the SCU system chain's
+//! row at `(a, b)` is three closed-form entries, the FAI global
+//! chain's row at `v_i` is two — so materializing a CSR matrix is a
+//! convenience, not a necessity. [`TransitionOperator`] abstracts the
+//! only two capabilities the iterative solvers actually use: the state
+//! count and on-demand row generation. Everything downstream —
+//! stationary power iteration ([`stationary_operator`]), Gauss–Seidel
+//! hitting times ([`crate::hitting::operator_hitting_times`]), TV
+//! mixing ([`crate::mixing::operator_lazy_mixing_time`]), and the
+//! lifting kernel check ([`crate::lifting::RowResidualScratch`]) — is
+//! generic over the operator, so a chain family can be solved at any
+//! `n` whose *state count* fits in memory, with `O(1)` rows resident.
+//!
+//! [`crate::sparse::SparseChain`] implements the trait by delegating
+//! to its CSR kernels, **bit-exactly**: an operator-generic solve on a
+//! `SparseChain` performs the identical float operations in the
+//! identical order as the historical CSR solve, so the sparse engine
+//! remains the drop-in oracle for implicit operators.
+//!
+//! [`DenseBlockOperator`] is the cache-blocked dense kernel for small
+//! sub-blocks that survive symmetry reduction: tiles of `B × B` stored
+//! contiguously so the `y = x·P` sweep streams each tile once. Its
+//! accumulation order differs from the CSR kernel, so it is compared
+//! by tolerance, never byte-for-byte.
+
+use std::time::Instant;
+
+use pwf_obs::Metrics;
+
+use crate::solve::{record_solve, PowerOptions, SolveStats};
+use crate::sparse::StationarySolve;
+use crate::stationary::StationaryError;
+
+/// An implicit row-stochastic transition matrix: the minimal surface
+/// the iterative solvers need, dyn-compatible so heterogeneous chain
+/// families can share one solver instantiation.
+///
+/// Implementations must generate rows deterministically — two calls to
+/// [`row_into`](Self::row_into) for the same `i` must produce the same
+/// entries in the same order, with column indices strictly increasing
+/// (the CSR invariant). Solvers rely on this for reproducible float
+/// arithmetic.
+pub trait TransitionOperator {
+    /// Number of states.
+    fn len(&self) -> usize;
+
+    /// Whether the operator has no states (never true for a valid
+    /// chain).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Generates row `i` into `row` as `(target, prob)` pairs with
+    /// strictly increasing targets, replacing its previous contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    fn row_into(&self, i: usize, row: &mut Vec<(u32, f64)>);
+
+    /// One step applied to a distribution: `out = dist·P`.
+    ///
+    /// The default implementation scatters row by row in ascending
+    /// state order, skipping zero entries of `dist` — the identical
+    /// float schedule as [`crate::sparse::SparseChain::step_into`], so
+    /// implicit operators whose rows match a CSR chain's rows produce
+    /// bit-identical iterates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either length differs from `len()`.
+    fn apply_into(&self, dist: &[f64], out: &mut [f64]) {
+        assert_eq!(dist.len(), self.len(), "distribution length mismatch");
+        assert_eq!(out.len(), self.len(), "output length mismatch");
+        out.fill(0.0);
+        let mut row: Vec<(u32, f64)> = Vec::new();
+        for (i, &qi) in dist.iter().enumerate() {
+            if qi == 0.0 {
+                continue;
+            }
+            self.row_into(i, &mut row);
+            for &(j, p) in &row {
+                out[j as usize] += qi * p;
+            }
+        }
+    }
+
+    /// Upper bound on the number of matrix rows the operator keeps
+    /// resident in memory at any moment: `len()` for stored
+    /// representations (CSR, dense), the batch size for out-of-core
+    /// streaming, `1` for purely generated rows. Reported by
+    /// `exp_markov_bench` as the memory half of the matrix-free
+    /// trade-off.
+    fn resident_rows(&self) -> usize;
+}
+
+/// Stationary distribution of any [`TransitionOperator`] by lazy power
+/// iteration (`q ← q(I + P)/2`) from uniform, with the adaptive
+/// geometric-extrapolation stopping rule of [`PowerOptions`] and
+/// optional solver metrics (`markov.stationary.*`).
+///
+/// This is *the* stationary solver:
+/// [`crate::sparse::SparseChain::stationary_with`] delegates here, and
+/// for a `SparseChain` the iterates are bit-identical to the
+/// historical CSR loop.
+///
+/// # Errors
+///
+/// Returns [`StationaryError::NotConverged`] when the budget runs out;
+/// the error carries the last observed delta. (Irreducibility is
+/// assumed, not checked.)
+pub fn stationary_operator<O: TransitionOperator + ?Sized>(
+    op: &O,
+    opts: &PowerOptions,
+    metrics: Option<&Metrics>,
+) -> Result<StationarySolve, StationaryError> {
+    let n = op.len();
+    let start = Instant::now();
+    let mut dist = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    let mut delta = f64::INFINITY;
+    let mut prev_delta = f64::INFINITY;
+    for it in 1..=opts.max_iters {
+        op.apply_into(&dist, &mut next);
+        delta = 0.0;
+        for (d, s) in dist.iter_mut().zip(&next) {
+            let v = 0.5 * *d + 0.5 * s;
+            delta += (v - *d).abs();
+            *d = v;
+        }
+        let remaining = if opts.adaptive && prev_delta.is_finite() {
+            // Geometric extrapolation: with observed decay rate
+            // r = δ_t/δ_{t−1}, the distance left to the fixpoint
+            // is ≈ δ·r/(1 − r). Fall back to the raw delta while
+            // the rate estimate is unusable (first step, exact
+            // convergence, or non-contracting transients); cap the
+            // estimate below by δ so a transiently tiny rate can
+            // never fake convergence.
+            let rate = delta / prev_delta;
+            if rate > 0.0 && rate < 1.0 {
+                f64::max(delta, delta * rate / (1.0 - rate))
+            } else {
+                delta
+            }
+        } else {
+            delta
+        };
+        prev_delta = delta;
+        if remaining < opts.tol {
+            let stats = SolveStats {
+                iterations: it,
+                residual: delta,
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            };
+            record_solve(metrics, "stationary", &stats);
+            return Ok(StationarySolve { pi: dist, stats });
+        }
+    }
+    record_solve(
+        metrics,
+        "stationary",
+        &SolveStats {
+            iterations: opts.max_iters,
+            residual: delta,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+    );
+    Err(StationaryError::NotConverged {
+        iterations: opts.max_iters,
+        delta,
+    })
+}
+
+/// Default tile edge for [`DenseBlockOperator`]: 64 × 64 tiles of
+/// `f64` are 32 KiB — half a typical L1d — so one input tile row and
+/// one output slice stay cache-resident through the inner loop.
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// A dense transition matrix stored in contiguous `B × B` tiles, with
+/// a cache-blocked `y = x·P` kernel.
+///
+/// This is the kernel for the dense sub-blocks that survive symmetry
+/// reduction: small enough to store (`O(n²)` memory — keep `n` in the
+/// thousands), hot enough that the row-major scatter's column-strided
+/// writes dominate. Tiling makes every inner loop a unit-stride
+/// multiply-accumulate over one resident tile.
+///
+/// The accumulation order differs from the CSR scatter, so results
+/// agree with [`crate::sparse::SparseChain`] to rounding, not
+/// bitwise.
+#[derive(Debug, Clone)]
+pub struct DenseBlockOperator {
+    n: usize,
+    block: usize,
+    /// Tiles per dimension: `ceil(n / block)`.
+    nb: usize,
+    /// Tile `(ib, jb)` starts at `(ib·nb + jb)·block²`, row-major
+    /// inside the tile, zero-padded at the fringe.
+    tiles: Vec<f64>,
+}
+
+impl DenseBlockOperator {
+    /// Densifies any operator into tiled form with the given tile
+    /// edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block == 0` or the operator is empty.
+    pub fn from_operator<O: TransitionOperator + ?Sized>(op: &O, block: usize) -> Self {
+        assert!(block > 0, "tile edge must be positive");
+        let n = op.len();
+        assert!(n > 0, "cannot densify an empty operator");
+        let nb = n.div_ceil(block);
+        let mut tiles = vec![0.0; nb * nb * block * block];
+        let mut row = Vec::new();
+        for i in 0..n {
+            op.row_into(i, &mut row);
+            let (ib, r) = (i / block, i % block);
+            for &(j, p) in &row {
+                let (jb, c) = (j as usize / block, j as usize % block);
+                tiles[(ib * nb + jb) * block * block + r * block + c] = p;
+            }
+        }
+        DenseBlockOperator {
+            n,
+            block,
+            nb,
+            tiles,
+        }
+    }
+
+    /// The tile edge in use.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+}
+
+impl TransitionOperator for DenseBlockOperator {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn row_into(&self, i: usize, row: &mut Vec<(u32, f64)>) {
+        assert!(i < self.n, "row {i} out of bounds ({})", self.n);
+        row.clear();
+        let b = self.block;
+        let (ib, r) = (i / b, i % b);
+        for jb in 0..self.nb {
+            let tile = &self.tiles[(ib * self.nb + jb) * b * b..][r * b..r * b + b];
+            let col_base = jb * b;
+            for (c, &p) in tile.iter().enumerate() {
+                if p != 0.0 && col_base + c < self.n {
+                    row.push(((col_base + c) as u32, p));
+                }
+            }
+        }
+    }
+
+    fn apply_into(&self, dist: &[f64], out: &mut [f64]) {
+        assert_eq!(dist.len(), self.n, "distribution length mismatch");
+        assert_eq!(out.len(), self.n, "output length mismatch");
+        out.fill(0.0);
+        let b = self.block;
+        for ib in 0..self.nb {
+            let row_base = ib * b;
+            let rows = b.min(self.n - row_base);
+            for jb in 0..self.nb {
+                let col_base = jb * b;
+                let cols = b.min(self.n - col_base);
+                let tile = &self.tiles[(ib * self.nb + jb) * b * b..][..b * b];
+                let orow = &mut out[col_base..col_base + cols];
+                for r in 0..rows {
+                    let qi = dist[row_base + r];
+                    if qi == 0.0 {
+                        continue;
+                    }
+                    let trow = &tile[r * b..r * b + cols];
+                    for (o, &t) in orow.iter_mut().zip(trow) {
+                        *o += qi * t;
+                    }
+                }
+            }
+        }
+    }
+
+    fn resident_rows(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::{SparseChain, SparseChainBuilder};
+
+    fn ring(n: usize) -> SparseChain<usize> {
+        // Asymmetric ring with self-loops: irreducible, aperiodic-ish
+        // under laziness, every row nontrivial.
+        let mut b = SparseChainBuilder::new();
+        for i in 0..n {
+            b.transition(i, (i + 1) % n, 0.6)
+                .transition(i, (i + 2) % n, 0.3)
+                .transition(i, i, 0.1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sparse_chain_apply_is_bit_exact_vs_step_into() {
+        let c = ring(37);
+        let dist: Vec<f64> = (0..c.len()).map(|i| (i % 5) as f64 / 74.0).collect();
+        let mut a = vec![0.0; c.len()];
+        let mut b = vec![0.0; c.len()];
+        c.step_into(&dist, &mut a);
+        TransitionOperator::apply_into(&c, &dist, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_apply_matches_csr_kernel_bitwise() {
+        // The default row-scatter apply on rows copied out of the CSR
+        // must replay the identical float schedule as step_into.
+        struct RowView<'a>(&'a SparseChain<usize>);
+        impl TransitionOperator for RowView<'_> {
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+            fn row_into(&self, i: usize, row: &mut Vec<(u32, f64)>) {
+                row.clear();
+                row.extend(self.0.row(i));
+            }
+            fn resident_rows(&self) -> usize {
+                1
+            }
+        }
+        let c = ring(53);
+        let dist: Vec<f64> = (0..c.len()).map(|i| (i % 7) as f64 / 159.0).collect();
+        let mut want = vec![0.0; c.len()];
+        let mut got = vec![0.0; c.len()];
+        c.step_into(&dist, &mut want);
+        RowView(&c).apply_into(&dist, &mut got);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn stationary_operator_is_bit_exact_vs_sparse_solver() {
+        let c = ring(64);
+        let opts = PowerOptions::new(200_000, 1e-12);
+        let direct = c.stationary_with(&opts, None).unwrap();
+        let via_op = stationary_operator(&c, &opts, None).unwrap();
+        assert_eq!(direct.pi, via_op.pi);
+        assert_eq!(direct.stats.iterations, via_op.stats.iterations);
+        assert_eq!(direct.stats.residual, via_op.stats.residual);
+    }
+
+    #[test]
+    fn dense_block_operator_matches_sparse_apply_to_rounding() {
+        let c = ring(97);
+        for block in [4usize, 16, 64, 128] {
+            let d = DenseBlockOperator::from_operator(&c, block);
+            assert_eq!(d.len(), c.len());
+            assert_eq!(d.block(), block);
+            let dist: Vec<f64> = (0..c.len()).map(|i| (i % 3) as f64 / 97.0).collect();
+            let mut want = vec![0.0; c.len()];
+            let mut got = vec![0.0; c.len()];
+            c.step_into(&dist, &mut want);
+            d.apply_into(&dist, &mut got);
+            for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-14,
+                    "block {block}, state {i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_block_rows_reproduce_csr_rows() {
+        let c = ring(41);
+        let d = DenseBlockOperator::from_operator(&c, 8);
+        let mut got = Vec::new();
+        for i in 0..c.len() {
+            d.row_into(i, &mut got);
+            let want: Vec<(u32, f64)> = c.row(i).collect();
+            assert_eq!(got, want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn dense_block_stationary_agrees_with_sparse_to_tolerance() {
+        let c = ring(50);
+        let opts = PowerOptions::new(200_000, 1e-12);
+        let pi_csr = c.stationary_with(&opts, None).unwrap().pi;
+        let d = DenseBlockOperator::from_operator(&c, DEFAULT_BLOCK);
+        let pi_blk = stationary_operator(&d, &opts, None).unwrap().pi;
+        for (a, b) in pi_csr.iter().zip(&pi_blk) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn resident_rows_reflect_representation() {
+        let c = ring(10);
+        assert_eq!(TransitionOperator::resident_rows(&c), 10);
+        let d = DenseBlockOperator::from_operator(&c, 4);
+        assert_eq!(d.resident_rows(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dense_block_row_out_of_bounds_panics() {
+        let d = DenseBlockOperator::from_operator(&ring(5), 4);
+        let mut row = Vec::new();
+        d.row_into(5, &mut row);
+    }
+}

@@ -56,8 +56,13 @@ obs_trace_dir="$(mktemp -d)"
 test -s "$obs_trace_dir/exp_latency_hist.trace.json"
 rm -rf "$obs_trace_dir"
 
-echo "==> pwf vet: systematic checker smoke"
+echo "==> pwf vet: systematic checker smoke (parallel drain must match)"
 ./target/release/pwf vet --fast
+# The work-stealing frontier is deterministic by construction: the
+# full report must be byte-identical at any --jobs value.
+./target/release/pwf vet --fast --jobs 2 > /tmp/pwf_vet_j2.txt
+./target/release/pwf vet --fast --jobs 1 | diff - /tmp/pwf_vet_j2.txt
+rm -f /tmp/pwf_vet_j2.txt
 
 echo "==> pwf lint: workspace-wide concurrency static analysis"
 # Deny-by-default over every crate: any finding without a
@@ -91,6 +96,17 @@ echo "==> markov perf smoke: matrix-free engine vs dense, lifting at n=100"
 grep -q '"speedup"' BENCH_markov.json
 grep -q '"lifting_verified_n": 100' BENCH_markov.json
 grep -q '"states_per_sec"' BENCH_markov.json
+
+echo "==> checker perf smoke: frontier + cache must beat recursive DPOR"
+# exp_checker_bench times the recursive single-threaded explorer
+# against the work-stealing frontier drain with the shared state
+# cache, asserts the cache-off drain walks exactly the recursive tree
+# and that results are identical at --jobs 1/2/8, and returns nonzero
+# if the frontier is not strictly faster at the largest target; it
+# also refreshes BENCH_checker.json.
+./target/release/pwf run exp_checker_bench --fast
+grep -q '"speedup_at_largest"' BENCH_checker.json
+grep -q '"largest_target"' BENCH_checker.json
 
 echo "==> sim perf smoke: alias sampling must beat the linear scan"
 # exp_sim_bench times the linear-scan weighted pick against the O(1)

@@ -1,0 +1,195 @@
+//! `exp_checker_bench` — the perf gate for the parallel DPOR frontier:
+//! times the recursive single-threaded explorer against the
+//! work-stealing frontier drain (with and without the shared
+//! state-fingerprint cache) on the two biggest built-in targets,
+//! recording the trajectory in `BENCH_checker.json`.
+//!
+//! Wall-clock measurement is hardware-dependent, so the experiment
+//! registers `deterministic: false` and `pwf check` skips it. What
+//! makes it a test rather than a report:
+//!
+//! - differential parity: with the cache off, the frontier explorer
+//!   must reproduce the recursive baseline's execution count exactly;
+//! - determinism: stats and the serialized report must be identical at
+//!   `--jobs` 1, 2, and 8;
+//! - the gate: at the largest target, the frontier with the cache on
+//!   (at `--jobs` = available cores) must beat the recursive baseline
+//!   outright — path compression alone guarantees this even on one
+//!   core, where thread parallelism contributes nothing.
+
+use std::path::Path;
+use std::time::Instant;
+
+use pwf_checker::explore::{explore, explore_recursive, ExploreOptions, ExploreReport};
+use pwf_checker::targets::find;
+use pwf_runner::json::Json;
+use pwf_runner::{fmt, ExpConfig, ExpResult, FnExperiment, ReportBuilder};
+
+/// The registered experiment.
+pub const EXP: FnExperiment = FnExperiment {
+    name: "exp_checker_bench",
+    description:
+        "Perf gate: recursive DPOR vs work-stealing frontier + state cache, BENCH_checker.json",
+    sizes: "n=2..3 targets",
+    deterministic: false,
+    body: fill,
+};
+
+/// Timed repetitions per configuration; best-of wins, so a single
+/// descheduling hiccup cannot fail the gate.
+const REPS: usize = 3;
+
+fn timed<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("REPS > 0"))
+}
+
+fn opts(jobs: usize, cache: bool) -> ExploreOptions {
+    ExploreOptions {
+        jobs,
+        cache,
+        ..ExploreOptions::default()
+    }
+}
+
+fn fill(cfg: &ExpConfig, out: &mut ReportBuilder) -> ExpResult {
+    out.note("DPOR exploration benchmark: recursive baseline vs the chunked");
+    out.note("work-stealing frontier, with and without the shared state cache.");
+    out.header(&[
+        "target",
+        "execs",
+        "rec ms",
+        "frontier ms",
+        "cached ms",
+        "speedup",
+    ]);
+
+    // The biggest targets carry the gate; the fast profile swaps the
+    // multi-second stack-n3 for its n=2 sibling to keep CI in the
+    // hundreds of milliseconds. Last entry is the largest.
+    let names: &[&str] = if cfg.fast {
+        &["scu-2-2", "scu-2-2-n3"]
+    } else {
+        &["scu-2-2-n3", "stack-n3"]
+    };
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let mut entries: Vec<Json> = Vec::new();
+    let mut gate = None;
+    for &name in names {
+        let target = find(name).ok_or_else(|| format!("unknown target {name}"))?;
+
+        let (rec_ms, rec) = timed(|| explore_recursive(&target, &opts(1, false)));
+        let (frontier_ms, nocache) = timed(|| explore(&target, &opts(1, false)));
+        let (cached_ms, cached) = timed(|| explore(&target, &opts(cores, true)));
+
+        // Differential parity: without the cache the frontier drain
+        // must walk exactly the recursive explorer's tree.
+        if nocache.stats.executions != rec.stats.executions
+            || nocache.stats.distinct_states != rec.stats.distinct_states
+        {
+            return Err(format!(
+                "frontier (cache off) diverges from the recursive baseline on {name}: \
+                 {} vs {} executions",
+                nocache.stats.executions, rec.stats.executions
+            )
+            .into());
+        }
+        // Determinism: job count must not leak into results. Steals
+        // are the one legitimately nondeterministic stat, so they are
+        // zeroed before comparing (deterministic_json already excludes
+        // them).
+        let json_of = |r: &ExploreReport| r.deterministic_json(name);
+        let stats_of = |r: &ExploreReport| {
+            let mut s = r.stats.clone();
+            s.steals = 0;
+            s
+        };
+        let one = explore(&target, &opts(1, true));
+        for jobs in [2, 8] {
+            let many = explore(&target, &opts(jobs, true));
+            if json_of(&many) != json_of(&one) || stats_of(&many) != stats_of(&one) {
+                return Err(
+                    format!("exploration of {name} differs between --jobs 1 and {jobs}").into(),
+                );
+            }
+        }
+
+        let speedup = rec_ms / cached_ms;
+        gate = Some((name, speedup));
+        out.row(&[
+            name.to_string(),
+            cached.stats.executions.to_string(),
+            fmt(rec_ms),
+            fmt(frontier_ms),
+            fmt(cached_ms),
+            fmt(speedup),
+        ]);
+        entries.push(Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            (
+                "executions_recursive".into(),
+                Json::Int(rec.stats.executions as i128),
+            ),
+            (
+                "executions_cached".into(),
+                Json::Int(cached.stats.executions as i128),
+            ),
+            (
+                "states".into(),
+                Json::Int(cached.stats.distinct_states as i128),
+            ),
+            // "prunes"/"probes" rather than hits/misses so the trend
+            // gate treats these structural counts as neutral.
+            (
+                "cache_prunes".into(),
+                Json::Int(cached.stats.cache_hits as i128),
+            ),
+            (
+                "cache_probes".into(),
+                Json::Int((cached.stats.cache_hits + cached.stats.cache_misses) as i128),
+            ),
+            ("ms_recursive".into(), Json::Num(rec_ms)),
+            ("ms_frontier_nocache".into(), Json::Num(frontier_ms)),
+            ("ms_frontier_cached".into(), Json::Num(cached_ms)),
+            ("speedup_cached".into(), Json::Num(speedup)),
+            ("speedup_nocache".into(), Json::Num(rec_ms / frontier_ms)),
+        ]));
+    }
+
+    let (largest, speedup_at_largest) = gate.expect("names is non-empty");
+    let fields = vec![
+        ("benchmark".into(), Json::Str("pwf-checker".into())),
+        ("profile".into(), Json::Str(cfg.profile().into())),
+        ("cores".into(), Json::Int(cores as i128)),
+        ("reps".into(), Json::Int(REPS as i128)),
+        ("largest_target".into(), Json::Str(largest.into())),
+        ("speedup_at_largest".into(), Json::Num(speedup_at_largest)),
+        ("targets".into(), Json::Arr(entries)),
+    ];
+    std::fs::write(Path::new("BENCH_checker.json"), Json::Obj(fields).render())
+        .map_err(|e| format!("writing BENCH_checker.json: {e}"))?;
+    out.note("");
+    out.note("trajectory written to BENCH_checker.json.");
+
+    // The gate: the new engine must beat the old one on the biggest
+    // exploration, cache on, at the machine's core count.
+    if speedup_at_largest <= 1.0 {
+        return Err(format!(
+            "frontier exploration is not faster than the recursive baseline on \
+             {largest} (speedup {speedup_at_largest:.2}x)"
+        )
+        .into());
+    }
+    out.note(&format!(
+        "gate: frontier + cache beats recursive on {largest} ({speedup_at_largest:.2}x > 1)."
+    ));
+    Ok(())
+}

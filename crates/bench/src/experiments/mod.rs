@@ -19,6 +19,7 @@ use pwf_runner::{ExpConfig, FnExperiment, Registry};
 
 pub mod backoff;
 pub mod ballsbins;
+pub mod checker_bench;
 pub mod crashes;
 pub mod fai_chain;
 pub mod fig1_chains;
@@ -44,9 +45,10 @@ pub mod unbounded;
 pub mod universal;
 
 /// All registered experiments.
-const ALL: [FnExperiment; 25] = [
+const ALL: [FnExperiment; 26] = [
     backoff::EXP,
     ballsbins::EXP,
+    checker_bench::EXP,
     crashes::EXP,
     fai_chain::EXP,
     fig1_chains::EXP,
@@ -109,9 +111,9 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_holds_all_twenty_five_unique_experiments() {
+    fn registry_holds_all_twenty_six_unique_experiments() {
         let reg = registry();
-        assert_eq!(reg.len(), 25);
+        assert_eq!(reg.len(), 26);
         assert!(reg.get("exp_obs_watchdog").is_some());
         assert!(reg.get("exp_ballsbins").is_some());
         assert!(reg.get("fig5_completion_rate").is_some());
@@ -119,10 +121,11 @@ mod tests {
         assert!(reg.get("exp_markov_bench").is_some());
         assert!(reg.get("exp_sim_bench").is_some());
         assert!(reg.get("exp_serve_bench").is_some());
+        assert!(reg.get("exp_checker_bench").is_some());
     }
 
     #[test]
-    fn nine_hardware_experiments_are_nondeterministic() {
+    fn ten_hardware_experiments_are_nondeterministic() {
         let reg = registry();
         let hardware: Vec<&str> = reg
             .iter()
@@ -132,6 +135,7 @@ mod tests {
         assert_eq!(
             hardware,
             vec![
+                "exp_checker_bench",
                 "exp_latency_hist",
                 "exp_lock_baseline",
                 "exp_markov_bench",

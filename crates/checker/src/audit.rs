@@ -8,6 +8,20 @@
 //! no process completes — refuting lock-freedom even when no single
 //! bounded execution repeats a state.
 //!
+//! The checker also verifies the paper's Theorem 3 *exhaustively*:
+//! under a stochastic (fair) scheduler, progress fails precisely when
+//! some reachable state can never again reach a completion — i.e. the
+//! merged graph has a reachable *bottom* strongly-connected component
+//! that contains a cycle but no completion edge. [`StateGraph::fair_livelock`]
+//! finds such components. This is strictly weaker than
+//! [`StateGraph::completion_free_cycle`]: a spin loop with an escape
+//! edge refutes lock-freedom (an adversarial scheduler stays in it
+//! forever) but passes the fair audit (a stochastic scheduler leaves
+//! it with probability 1) — exactly the gap between the paper's
+//! worst-case and practically-wait-free claims, and the standard
+//! blocking-by-design targets ([`crate::target::Progress::StochasticOnly`])
+//! are held to.
+//!
 //! A second, stochastic angle reuses the workspace's Theorem 3 audit
 //! (`pwf_core::progress_audit`): long uniform-scheduler runs of the
 //! *unbounded* algorithm confirm that bounded minimal progress holds
@@ -55,6 +69,130 @@ impl StateGraph {
     /// The first schedule prefix that reached `fp`, if recorded.
     pub fn witness_prefix(&self, fp: u64) -> Option<&[usize]> {
         self.first_prefix.get(&fp).map(Vec::as_slice)
+    }
+
+    /// The fair-progress (Theorem 3) audit: finds a reachable bottom
+    /// strongly-connected component that contains at least one edge
+    /// but no completion edge. From any state of such a component no
+    /// completion is ever reachable, so *every* scheduler — fair or
+    /// not — starves the processes; its existence refutes progress
+    /// under the paper's stochastic scheduler. Conversely, a
+    /// completion-free cycle that can still *exit* toward a completion
+    /// is left alone: a fair scheduler escapes it with probability 1.
+    ///
+    /// Returns the smallest state fingerprint inside a violating
+    /// component (deterministic regardless of map iteration order), or
+    /// `None` when every fair execution keeps completing operations.
+    ///
+    /// Soundness requires an *edge-complete* graph (an unpruned
+    /// exploration): sleep-set reduction omits edges whose
+    /// interleavings are covered from equivalent states elsewhere, and
+    /// a missing escape edge can make an escapable spin state look
+    /// like a bottom component. On a pruned graph, only trust a `None`
+    /// (and note that [`Self::completion_free_cycle`] returning `None`
+    /// already implies it: a completion-free bottom component contains
+    /// a completion-free cycle).
+    pub fn fair_livelock(&self) -> Option<u64> {
+        // Node universe: everything noted plus every edge endpoint,
+        // sorted so component numbering and the returned witness are
+        // deterministic.
+        let mut nodes: Vec<u64> = self.first_prefix.keys().copied().collect();
+        for (&from, outs) in &self.edges {
+            nodes.push(from);
+            nodes.extend(outs.iter().map(|&(to, _)| to));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let idx_of: HashMap<u64, usize> = nodes.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let adj: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|f| {
+                self.edges.get(f).map_or_else(Vec::new, |outs| {
+                    outs.iter().map(|&(to, _)| idx_of[&to]).collect()
+                })
+            })
+            .collect();
+        let n = nodes.len();
+
+        // Iterative Tarjan SCC.
+        let mut order = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comp = vec![usize::MAX; n];
+        let mut next_order = 0usize;
+        let mut ncomps = 0usize;
+        for root in 0..n {
+            if order[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            order[root] = next_order;
+            low[root] = next_order;
+            next_order += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(&(v, cursor)) = call.last() {
+                if let Some(&w) = adj[v].get(cursor) {
+                    call.last_mut().expect("frame exists").1 += 1;
+                    if order[w] == usize::MAX {
+                        order[w] = next_order;
+                        low[w] = next_order;
+                        next_order += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(order[w]);
+                    }
+                } else {
+                    call.pop();
+                    if low[v] == order[v] {
+                        loop {
+                            let w = stack.pop().expect("SCC stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = ncomps;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        ncomps += 1;
+                    }
+                    if let Some(&(u, _)) = call.last() {
+                        low[u] = low[u].min(low[v]);
+                    }
+                }
+            }
+        }
+
+        // Per-component: any internal edge, any internal completion,
+        // any edge out to another component.
+        let mut internal = vec![false; ncomps];
+        let mut completes = vec![false; ncomps];
+        let mut outgoing = vec![false; ncomps];
+        for (&from, outs) in &self.edges {
+            let cf = comp[idx_of[&from]];
+            for &(to, completed) in outs {
+                let ct = comp[idx_of[&to]];
+                if cf == ct {
+                    internal[cf] = true;
+                    if completed {
+                        completes[cf] = true;
+                    }
+                } else {
+                    outgoing[cf] = true;
+                }
+            }
+        }
+        nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| {
+                let c = comp[i];
+                internal[c] && !completes[c] && !outgoing[c]
+            })
+            .map(|(_, &fp)| fp)
+            .min()
     }
 
     /// Searches the completion-free transition subgraph for a cycle.
@@ -186,5 +324,62 @@ mod tests {
         g.note_state(5, &[]);
         g.note_edge(5, 5, false);
         assert_eq!(g.completion_free_cycle(), Some(5));
+    }
+
+    #[test]
+    fn escapable_spin_loop_fails_lock_freedom_but_passes_the_fair_audit() {
+        // 1 ⇄ 2 is a completion-free cycle, but 2 → 3 completes an op:
+        // an adversarial scheduler can spin forever (not lock-free),
+        // while a stochastic one escapes with probability 1 (Thm 3
+        // progress holds). This is exactly the gap between the two
+        // audits.
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_state(2, &[0]);
+        g.note_state(3, &[0, 1]);
+        g.note_edge(1, 2, false);
+        g.note_edge(2, 1, false);
+        g.note_edge(2, 3, true);
+        assert!(g.completion_free_cycle().is_some());
+        assert_eq!(g.fair_livelock(), None);
+    }
+
+    #[test]
+    fn completion_free_bottom_component_fails_the_fair_audit() {
+        // 1 → {2 ⇄ 3} with no exit and no completion: once inside, no
+        // scheduler — fair or not — ever completes an operation.
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_edge(1, 2, true);
+        g.note_edge(2, 3, false);
+        g.note_edge(3, 2, false);
+        assert_eq!(g.fair_livelock(), Some(2), "smallest member is returned");
+    }
+
+    #[test]
+    fn bottom_component_with_an_internal_completion_passes() {
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_edge(1, 2, false);
+        g.note_edge(2, 1, true); // the cycle keeps completing ops
+        assert_eq!(g.fair_livelock(), None);
+    }
+
+    #[test]
+    fn terminal_states_are_not_fair_livelocks() {
+        let mut g = StateGraph::default();
+        g.note_state(1, &[]);
+        g.note_state(2, &[0]);
+        g.note_edge(1, 2, true);
+        assert_eq!(g.fair_livelock(), None, "sinks without cycles are fine");
+    }
+
+    #[test]
+    fn completion_free_self_loop_sink_fails_both_audits() {
+        let mut g = StateGraph::default();
+        g.note_state(7, &[]);
+        g.note_edge(7, 7, false);
+        assert_eq!(g.completion_free_cycle(), Some(7));
+        assert_eq!(g.fair_livelock(), Some(7));
     }
 }

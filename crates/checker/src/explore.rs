@@ -1,5 +1,6 @@
 //! Exhaustive schedule exploration with sleep-set dynamic
-//! partial-order reduction.
+//! partial-order reduction, drained in parallel by a work-stealing
+//! worker pool over a deterministic frontier.
 //!
 //! The explorer drives a [`CheckTarget`] through every inequivalent
 //! interleaving of its (budget-bounded) processes. Exploration is
@@ -22,28 +23,82 @@
 //! false` the sleep sets are ignored and the full schedule tree is
 //! enumerated — the baseline for the reported reduction ratio.
 //!
+//! ## Parallel draining, deterministically
+//!
+//! The frontier is a pool of independent *units* — a schedule prefix
+//! plus the sleep set and explorable process list at its endpoint.
+//! Units are drained in fixed-size chunks (a constant, never derived
+//! from `jobs`): each chunk is handed to the work-stealing pool
+//! ([`crate::pool`]), whose workers expand units concurrently but
+//! return outcomes in unit order; a sequential merge pass then folds
+//! outcomes — stats, state-graph edges, cache inserts, child units,
+//! violation selection — in that order. Because workers only *read*
+//! shared state (the cache is frozen during a drain) and the merge is
+//! sequential in a jobs-independent order, every deterministic output
+//! (stats, graph, report JSON, the chosen counterexample) is
+//! byte-identical at `--jobs 1`, `2`, or `8`. Only the steal count and
+//! wall time vary, and those are telemetry, never report fields.
+//!
+//! Violations are selected order-independently: exploration stops at
+//! chunk granularity once a chunk yields a violation, and the winner
+//! is the minimum by `(schedule length, schedule lexicographic)` among
+//! all candidates found so far — not "whichever worker got there
+//! first".
+//!
+//! ## The shared state cache
+//!
+//! Units from different prefixes can converge on equivalent
+//! configurations. The shared cache ([`crate::cache`]) records every
+//! state committed for expansion under a key covering the full state
+//! fingerprint, an independent verification hash (collision guard),
+//! the operation-history fingerprint (completed ops with their
+//! invoke/response times, plus pending invocation times), the sleep
+//! set, and the depth. Agreement on all five means the subtrees are
+//! step-for-step identical — same histories, same verdicts — except
+//! for per-run livelock truncation points, which depend on the run's
+//! own path; there, any terminal history reached through a revisited
+//! cycle is also reached by the retained instance with the cycle cut
+//! (cutting a completion-free cycle shifts later events uniformly and
+//! preserves every precedence relation, hence the linearizability
+//! verdict). So a cache hit prunes a redundant subtree, never a
+//! verdict-bearing one.
+//!
 //! ## What is checked
 //!
 //! Terminal executions (every process exhausted its operation budget)
 //! have their operation histories checked for linearizability
 //! ([`crate::lin`]). Non-terminal repetition of a full-state
-//! fingerprint with no intervening completion is reported as a
-//! *livelock*: the repeated segment can be scheduled forever, so some
-//! infinite execution completes only finitely many operations,
-//! refuting lock-freedom. Fingerprints are 64-bit (FNV-1a), so a hash
-//! collision could in principle misreport; at the explored state
-//! counts (thousands) the collision probability is negligible, and
-//! every reported schedule replays deterministically for confirmation.
+//! fingerprint with no intervening completion is a *livelock*: the
+//! repeated segment can be scheduled forever, so some infinite
+//! execution completes only finitely many operations. For
+//! [`Progress::LockFree`] targets that refutes lock-freedom and is
+//! reported as a violation; for [`Progress::StochasticOnly`] targets
+//! (blocking by design, e.g. a waiting coalescer) it merely truncates
+//! the run, and liveness is judged by the fair-cycle audit on the
+//! merged state graph instead ([`crate::audit::StateGraph::fair_livelock`]).
+//! Fingerprints are 64-bit, so a hash collision could in principle
+//! misreport; the run-local `seen` table and the shared cache both key
+//! on a *pair* of independent 64-bit hashes, so a single-hash
+//! collision cannot suppress or fabricate a result, and every reported
+//! schedule replays deterministically for confirmation.
 
-use pwf_sim::memory::{fnv1a, Access, SharedMemory};
+use pwf_rng::mix64;
+use pwf_sim::memory::{fnv1a, Access, AccessKind, SharedMemory};
 use pwf_sim::process::ProcessId;
 use std::collections::HashMap;
 
 use crate::audit::StateGraph;
+use crate::cache::{SharedCache, StateKey};
 use crate::lin;
 use crate::op::TimedOp;
+use crate::pool::drain_chunk;
 use crate::spec::Spec;
-use crate::target::{CheckProcess, CheckTarget};
+use crate::target::{CheckProcess, CheckTarget, Progress};
+
+/// Units handed to the worker pool per parallel round. A constant —
+/// never derived from `jobs` — so the frontier evolves identically at
+/// every job count; the determinism guarantee hangs on this.
+const CHUNK: usize = 256;
 
 /// Exploration parameters.
 #[derive(Debug, Clone)]
@@ -55,8 +110,15 @@ pub struct ExploreOptions {
     /// divergence, reported as a livelock).
     pub max_depth: usize,
     /// Stop exploring after this many executions (naive baselines of
-    /// larger configs are capped; the cap is reported).
+    /// larger configs are capped; the cap is reported). Enforced at
+    /// chunk granularity, so the cut-off is jobs-independent.
     pub max_executions: u64,
+    /// Worker threads draining the frontier; `<= 1` expands units
+    /// inline on the caller's thread.
+    pub jobs: usize,
+    /// Cross-schedule shared state cache (only effective with `prune`;
+    /// the naive baseline must re-enumerate everything).
+    pub cache: bool,
 }
 
 impl Default for ExploreOptions {
@@ -65,12 +127,15 @@ impl Default for ExploreOptions {
             prune: true,
             max_depth: 4_096,
             max_executions: 1_000_000,
+            jobs: 1,
+            cache: true,
         }
     }
 }
 
-/// Counters from one exploration.
-#[derive(Debug, Clone, Default)]
+/// Counters from one exploration. All fields except `steals` are
+/// deterministic — identical at every `jobs` value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExploreStats {
     /// Complete executions examined (leaves of the schedule tree).
     pub executions: u64,
@@ -84,6 +149,19 @@ pub struct ExploreStats {
     pub max_depth: usize,
     /// Whether the execution cap cut exploration short.
     pub capped: bool,
+    /// Frontier units expanded.
+    pub units: u64,
+    /// Subtrees pruned because an equivalent state was already
+    /// committed for expansion (shared-cache hits).
+    pub cache_hits: u64,
+    /// States newly committed to the shared cache.
+    pub cache_misses: u64,
+    /// Primary-fingerprint cache hits rejected by the verification
+    /// components (the collision guard firing).
+    pub collisions_averted: u64,
+    /// Units claimed by a worker from another worker's shard. The only
+    /// nondeterministic counter: telemetry, never a report field.
+    pub steals: u64,
 }
 
 /// What kind of property failed.
@@ -97,7 +175,7 @@ pub enum ViolationKind {
 }
 
 /// A property violation with its witness schedule.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which property failed.
     pub kind: ViolationKind,
@@ -112,10 +190,83 @@ pub struct Violation {
 pub struct ExploreReport {
     /// Exploration counters.
     pub stats: ExploreStats,
-    /// First violation found, if any.
+    /// The minimal violation found (by schedule length, then
+    /// lexicographic order), if any.
     pub violation: Option<Violation>,
     /// The explored state graph (for the global lock-freedom audit).
     pub graph: StateGraph,
+}
+
+impl ExploreReport {
+    /// Renders the deterministic portion of the report as one line of
+    /// JSON: every field is byte-identical at any `--jobs` value.
+    /// Steal counts and wall times are deliberately absent.
+    pub fn deterministic_json(&self, target: &str) -> String {
+        let s = &self.stats;
+        let violation = match &self.violation {
+            None => "null".to_string(),
+            Some(v) => {
+                let kind = match v.kind {
+                    ViolationKind::NotLinearizable => "not-linearizable",
+                    ViolationKind::Livelock => "livelock",
+                };
+                let sched: Vec<String> = v.schedule.iter().map(usize::to_string).collect();
+                format!("{{\"kind\":\"{kind}\",\"schedule\":[{}]}}", sched.join(","))
+            }
+        };
+        format!(
+            concat!(
+                "{{\"target\":\"{}\",\"stats\":{{",
+                "\"executions\":{},\"sleep_blocked\":{},\"transitions\":{},",
+                "\"distinct_states\":{},\"max_depth\":{},\"capped\":{},",
+                "\"units\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"collisions_averted\":{}}},\"violation\":{}}}"
+            ),
+            target,
+            s.executions,
+            s.sleep_blocked,
+            s.transitions,
+            s.distinct_states,
+            s.max_depth,
+            s.capped,
+            s.units,
+            s.cache_hits,
+            s.cache_misses,
+            s.collisions_averted,
+            violation
+        )
+    }
+}
+
+/// Independent second hash over the same state words as the primary
+/// FNV-1a fingerprint: a SplitMix64-style avalanche chain. Two
+/// configurations colliding under *both* functions simultaneously is
+/// the collision guard's residual risk (~2⁻¹²⁸ per pair).
+fn verify_hash(words: &[u64]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &w in words {
+        h = mix64(h ^ mix64(w.wrapping_add(0xA076_1D64_78BD_642F)));
+    }
+    h
+}
+
+/// Canonical fingerprint of a sleep set: entries are encoded and
+/// sorted, so equal *sets* built in different orders agree.
+fn sleep_fingerprint(sleep: &[(usize, Access)]) -> u64 {
+    let mut words: Vec<u64> = sleep
+        .iter()
+        .map(|&(q, a)| {
+            let kind = match a.kind {
+                AccessKind::Read => 0u64,
+                AccessKind::Write => 1,
+                AccessKind::CasSuccess => 2,
+                AccessKind::CasFailure => 3,
+            };
+            ((q as u64) << 40) | ((a.register.index() as u64) << 2) | kind
+        })
+        .collect();
+    words.sort_unstable();
+    fnv1a(0x51EE_9CE7, &words)
 }
 
 /// One in-flight execution of a rebuilt configuration.
@@ -128,9 +279,19 @@ pub struct LiveRun {
     trace: Vec<usize>,
     ops: Vec<TimedOp>,
     op_start: Vec<Option<u64>>,
-    /// Fingerprints of every state this run has passed through.
-    seen: HashMap<u64, usize>,
+    /// Fingerprint *pairs* of every state this run has passed through.
+    /// Keying on the pair means a single-hash collision cannot forge a
+    /// revisit (phantom livelock) — both independent hashes would have
+    /// to collide at once.
+    seen: HashMap<(u64, u64), usize>,
     livelocked: bool,
+    /// Cached fingerprint pair of the current state (recomputed once
+    /// per step).
+    fp_pair: (u64, u64),
+    /// Running fingerprint of the completed-operation history,
+    /// maintained incrementally; equals
+    /// [`lin::ops_fingerprint`]`(self.ops())` at all times.
+    ops_fp: u64,
 }
 
 impl LiveRun {
@@ -148,15 +309,15 @@ impl LiveRun {
             op_start: vec![None; n],
             seen: HashMap::new(),
             livelocked: false,
+            fp_pair: (0, 0),
+            ops_fp: 0x1000_0001,
         };
-        let fp = run.fingerprint();
-        run.seen.insert(fp, 0);
+        run.fp_pair = run.compute_pair();
+        run.seen.insert(run.fp_pair, 0);
         run
     }
 
-    /// Full-state fingerprint: shared memory, every process's local
-    /// state, and the remaining budgets.
-    pub fn fingerprint(&self) -> u64 {
+    fn state_words(&self) -> Vec<u64> {
         let mut words = Vec::with_capacity(1 + 2 * self.procs.len());
         words.push(self.mem.fingerprint());
         for p in &self.procs {
@@ -165,7 +326,35 @@ impl LiveRun {
         for &r in &self.remaining {
             words.push(r as u64);
         }
-        fnv1a(0x9D89_5A4B, &words)
+        words
+    }
+
+    fn compute_pair(&self) -> (u64, u64) {
+        let words = self.state_words();
+        (fnv1a(0x9D89_5A4B, &words), verify_hash(&words))
+    }
+
+    /// Full-state fingerprint: shared memory, every process's local
+    /// state, and the remaining budgets.
+    pub fn fingerprint(&self) -> u64 {
+        self.fp_pair.0
+    }
+
+    /// The primary and independent-verification fingerprints of the
+    /// current state.
+    pub fn fingerprint_pair(&self) -> (u64, u64) {
+        self.fp_pair
+    }
+
+    /// Fingerprint of the operation history so far: completed ops with
+    /// their invoke/response times, plus the pending invocation times.
+    pub fn history_fingerprint(&self) -> u64 {
+        let pending: Vec<u64> = self
+            .op_start
+            .iter()
+            .map(|s| s.map_or(u64::MAX, |v| v))
+            .collect();
+        fnv1a(self.ops_fp, &pending)
     }
 
     /// Indices of processes that may still step.
@@ -225,127 +414,427 @@ impl LiveRun {
         let completed = outcome.is_completed();
         if completed {
             let invoke = self.op_start[p].take().expect("op start was just set");
-            self.ops.push(TimedOp {
+            let timed = TimedOp {
                 process: ProcessId::new(p),
                 invoke,
                 response: now,
                 record: self.procs[p].last_op(),
-            });
+            };
+            self.ops_fp = fold_op(self.ops_fp, &timed);
+            self.ops.push(timed);
             self.remaining[p] -= 1;
         }
-        let fp = self.fingerprint();
-        if self.seen.insert(fp, self.trace.len()).is_some() || self.trace.len() >= max_depth {
+        self.fp_pair = self.compute_pair();
+        if self.seen.insert(self.fp_pair, self.trace.len()).is_some()
+            || self.trace.len() >= max_depth
+        {
             self.livelocked = true;
         }
         (access, completed)
     }
 }
 
-struct Explorer<'t> {
-    target: &'t CheckTarget,
-    opts: ExploreOptions,
-    stats: ExploreStats,
-    graph: StateGraph,
-    violation: Option<Violation>,
+/// Folds one completed operation into the running history fingerprint
+/// — the incremental form of [`lin::ops_fingerprint`].
+fn fold_op(h: u64, op: &TimedOp) -> u64 {
+    let name_words: Vec<u64> = op.record.name.bytes().map(u64::from).collect();
+    let name_hash = fnv1a(0, &name_words);
+    fnv1a(
+        h,
+        &[
+            op.process.index() as u64,
+            op.invoke,
+            op.response,
+            name_hash,
+            op.record.input.map_or(u64::MAX, |v| v),
+            op.record.output.map_or(u64::MAX, |v| v),
+        ],
+    )
 }
 
-impl Explorer<'_> {
-    /// Rebuilds the configuration and replays `prefix` against it.
-    fn execute(&mut self, prefix: &[usize]) -> LiveRun {
-        let mut run = LiveRun::new(self.target.build());
-        self.graph.note_state(run.fingerprint(), &[]);
-        for &p in prefix {
-            self.step(&mut run, p);
-        }
-        run
-    }
+/// One frontier unit: an unexpanded interior node of the schedule
+/// tree, self-contained (prefix + sleep set + explorable processes) so
+/// any worker can expand it independently.
+#[derive(Debug, Clone)]
+struct Unit {
+    prefix: Vec<usize>,
+    sleep: Vec<(usize, Access)>,
+    explorable: Vec<usize>,
+}
 
-    /// Steps `run` and records the transition in the state graph.
-    fn step(&mut self, run: &mut LiveRun, p: usize) -> Access {
-        let from = run.fingerprint();
-        let (access, completed) = run.step_raw(p, self.opts.max_depth);
-        let to = run.fingerprint();
-        if self.graph.note_edge(from, to, completed) {
-            self.stats.transitions += 1;
-        }
-        self.graph.note_state(to, run.trace());
-        self.stats.max_depth = self.stats.max_depth.max(run.trace().len());
-        access
-    }
+/// Everything a unit expansion produces, merged sequentially by the
+/// driver. Purely value-typed: workers share nothing mutable.
+#[derive(Debug, Default)]
+struct UnitOutcome {
+    executions: u64,
+    sleep_blocked: u64,
+    max_depth: usize,
+    frozen_hits: u64,
+    violation: Option<Violation>,
+    /// `(from, to, completed)` for each child step taken.
+    edges: Vec<(u64, u64, bool)>,
+    /// `(state fingerprint, reaching prefix)` for each child.
+    states: Vec<(u64, Vec<usize>)>,
+    /// Interior children to queue, with their cache keys.
+    children: Vec<(StateKey, Unit)>,
+}
 
-    fn record_violation(&mut self, kind: ViolationKind, run: &LiveRun) {
-        if self.violation.is_none() {
-            self.violation = Some(Violation {
-                kind,
-                schedule: run.trace().to_vec(),
-                ops: run.ops().to_vec(),
-            });
-        }
-    }
-
-    fn done(&self) -> bool {
-        self.violation.is_some() || self.stats.executions >= self.opts.max_executions
-    }
-
-    /// Depth-first exploration from the state reached by `prefix`
-    /// (already executed into `run`).
-    fn dfs(&mut self, run: LiveRun, prefix: &mut Vec<usize>, sleep: &[(usize, Access)]) {
-        if self.done() {
-            return;
-        }
-        if run.livelocked() {
-            self.stats.executions += 1;
-            self.record_violation(ViolationKind::Livelock, &run);
-            return;
-        }
-        if run.is_terminal() {
-            self.stats.executions += 1;
-            if !lin::check(run.spec(), run.ops()).is_linearizable() {
-                self.record_violation(ViolationKind::NotLinearizable, &run);
+/// Keeps the minimal violation by `(schedule length, lexicographic
+/// schedule)` — an order-independent choice, so the merge can fold
+/// candidates in any deterministic order and land on the same winner.
+fn consider_violation(best: &mut Option<Violation>, candidate: Option<Violation>) {
+    let Some(c) = candidate else { return };
+    match best {
+        None => *best = Some(c),
+        Some(b) => {
+            if (c.schedule.len(), &c.schedule) < (b.schedule.len(), &b.schedule) {
+                *best = Some(c);
             }
-            return;
         }
-        let enabled = run.enabled();
-        let explorable: Vec<usize> = if self.opts.prune {
-            enabled
-                .iter()
-                .copied()
-                .filter(|p| !sleep.iter().any(|&(q, _)| q == *p))
-                .collect()
-        } else {
-            enabled
-        };
-        if explorable.is_empty() {
-            self.stats.sleep_blocked += 1;
-            return;
-        }
-        drop(run); // each child re-executes from a fresh build
-        let mut explored: Vec<(usize, Access)> = Vec::new();
-        for p in explorable {
-            if self.done() {
-                return;
+    }
+}
+
+/// Rebuilds the configuration and replays `prefix` against it.
+fn replay(target: &CheckTarget, prefix: &[usize], max_depth: usize) -> LiveRun {
+    let mut run = LiveRun::new(target.build());
+    for &p in prefix {
+        let _ = run.step_raw(p, max_depth);
+    }
+    run
+}
+
+/// Expands one frontier unit: replays its prefix once per explorable
+/// process, steps that process, and classifies the result (leaf,
+/// sleep-blocked, cache-pruned, or a new unit). Reads the frozen
+/// cache; never writes shared state.
+///
+/// Unary chains are *path-compressed*: while a reached state has
+/// exactly one explorable process, the worker keeps stepping the same
+/// live run instead of queueing a unit — the recursive baseline
+/// re-replays the whole prefix at every such step (quadratic in chain
+/// length), so compression is the frontier explorer's main
+/// single-thread win. Compressed states never enter the frontier, so
+/// they are neither cache-checked nor cache-inserted; the decision
+/// depends only on the unit itself, keeping expansion deterministic.
+fn expand(
+    target: &CheckTarget,
+    opts: &ExploreOptions,
+    cache: Option<&SharedCache>,
+    unit: &Unit,
+) -> UnitOutcome {
+    let mut out = UnitOutcome::default();
+    let mut explored: Vec<(usize, Access)> = Vec::new();
+    for &p in &unit.explorable {
+        let mut run = replay(target, &unit.prefix, opts.max_depth);
+        let mut sleep_now = unit.sleep.clone();
+        let mut next_p = p;
+        // Sibling sleepers apply to the first step only; compressed
+        // chain steps have no siblings.
+        let mut first = true;
+        loop {
+            let from = run.fingerprint();
+            let (access, completed) = run.step_raw(next_p, opts.max_depth);
+            let to = run.fingerprint();
+            out.edges.push((from, to, completed));
+            out.states.push((to, run.trace().to_vec()));
+            out.max_depth = out.max_depth.max(run.trace().len());
+            if first {
+                explored.push((p, access));
             }
-            let mut child = self.execute(prefix);
-            let access = self.step(&mut child, p);
+            if run.livelocked() {
+                out.executions += 1;
+                // Blocking-by-design targets legitimately revisit
+                // states while waiting; the run is truncated, and
+                // liveness is judged by the fair-cycle audit on the
+                // merged graph.
+                if target.progress == Progress::LockFree {
+                    consider_violation(
+                        &mut out.violation,
+                        Some(Violation {
+                            kind: ViolationKind::Livelock,
+                            schedule: run.trace().to_vec(),
+                            ops: run.ops().to_vec(),
+                        }),
+                    );
+                }
+                break;
+            }
+            if run.is_terminal() {
+                out.executions += 1;
+                if !lin::check(run.spec(), run.ops()).is_linearizable() {
+                    consider_violation(
+                        &mut out.violation,
+                        Some(Violation {
+                            kind: ViolationKind::NotLinearizable,
+                            schedule: run.trace().to_vec(),
+                            ops: run.ops().to_vec(),
+                        }),
+                    );
+                }
+                break;
+            }
             // A sibling/inherited sleeper stays asleep only while the
             // executed step is independent of its pending access.
-            let child_sleep: Vec<(usize, Access)> = sleep
-                .iter()
-                .chain(explored.iter())
-                .filter(|&&(q, a)| q != p && !a.conflicts_with(access))
-                .copied()
+            let stepped = next_p;
+            let child_sleep: Vec<(usize, Access)> = if opts.prune {
+                let sibs = if first { explored.as_slice() } else { &[] };
+                sleep_now
+                    .iter()
+                    .chain(sibs.iter())
+                    .filter(|&&(q, a)| q != stepped && !a.conflicts_with(access))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let explorable: Vec<usize> = run
+                .enabled()
+                .into_iter()
+                .filter(|e| !child_sleep.iter().any(|&(q, _)| q == *e))
                 .collect();
-            prefix.push(p);
-            self.dfs(child, prefix, &child_sleep);
-            prefix.pop();
-            explored.push((p, access));
+            match explorable.as_slice() {
+                [] => {
+                    out.sleep_blocked += 1;
+                    break;
+                }
+                [only] => {
+                    // Path compression: continue inline.
+                    next_p = *only;
+                    sleep_now = child_sleep;
+                    first = false;
+                }
+                _ => {
+                    let (state, verify) = run.fingerprint_pair();
+                    let key = StateKey {
+                        state,
+                        verify,
+                        ops: run.history_fingerprint(),
+                        sleep: sleep_fingerprint(&child_sleep),
+                        depth: run.trace().len() as u32,
+                    };
+                    if cache.is_some_and(|c| c.contains(&key)) {
+                        out.frozen_hits += 1;
+                    } else {
+                        out.children.push((
+                            key,
+                            Unit {
+                                prefix: run.trace().to_vec(),
+                                sleep: child_sleep,
+                                explorable,
+                            },
+                        ));
+                    }
+                    break;
+                }
+            }
         }
     }
+    out
 }
 
 /// Exhaustively explores `target` under `opts`.
 pub fn explore(target: &CheckTarget, opts: &ExploreOptions) -> ExploreReport {
-    let mut ex = Explorer {
+    explore_seeded(target, opts, &SharedCache::new())
+}
+
+/// [`explore`] with a caller-supplied cache. Normal callers want a
+/// fresh cache per exploration; the forged-collision regression test
+/// pre-poisons one to prove the guard holds.
+pub fn explore_seeded(
+    target: &CheckTarget,
+    opts: &ExploreOptions,
+    cache: &SharedCache,
+) -> ExploreReport {
+    let mut stats = ExploreStats::default();
+    let mut graph = StateGraph::default();
+    let mut violation: Option<Violation> = None;
+    // The cache is a pruning layer on top of the reduction; the naive
+    // baseline must enumerate everything, so `prune: false` disables
+    // it too.
+    let cache_on = opts.cache && opts.prune;
+
+    let root = LiveRun::new(target.build());
+    graph.note_state(root.fingerprint(), &[]);
+    // A LIFO stack of units keeps frontier memory near the depth-first
+    // footprint; chunks are taken from the top in queue order.
+    let mut frontier: Vec<Unit> = Vec::new();
+    if root.is_terminal() {
+        stats.executions = 1;
+        if !lin::check(root.spec(), root.ops()).is_linearizable() {
+            violation = Some(Violation {
+                kind: ViolationKind::NotLinearizable,
+                schedule: Vec::new(),
+                ops: root.ops().to_vec(),
+            });
+        }
+    } else {
+        frontier.push(Unit {
+            prefix: Vec::new(),
+            sleep: Vec::new(),
+            explorable: root.enabled(),
+        });
+    }
+
+    while !frontier.is_empty() {
+        let take = frontier.len().min(CHUNK);
+        let chunk: Vec<Unit> = frontier.split_off(frontier.len() - take);
+        let (outcomes, steals) = drain_chunk(opts.jobs, &chunk, |u| {
+            expand(target, opts, cache_on.then_some(cache), u)
+        });
+        stats.steals += steals;
+        stats.units += chunk.len() as u64;
+        // Sequential merge in unit order: every deterministic output
+        // is folded here, jobs-independently.
+        for out in outcomes {
+            stats.executions += out.executions;
+            stats.sleep_blocked += out.sleep_blocked;
+            stats.max_depth = stats.max_depth.max(out.max_depth);
+            stats.cache_hits += out.frozen_hits;
+            for (from, to, completed) in out.edges {
+                if graph.note_edge(from, to, completed) {
+                    stats.transitions += 1;
+                }
+            }
+            for (fp, prefix) in out.states {
+                graph.note_state(fp, &prefix);
+            }
+            consider_violation(&mut violation, out.violation);
+            for (key, unit) in out.children {
+                if cache_on {
+                    if cache.insert(key) {
+                        stats.cache_misses += 1;
+                        frontier.push(unit);
+                    } else {
+                        // A sibling in this same chunk already queued
+                        // an equivalent state.
+                        stats.cache_hits += 1;
+                    }
+                } else {
+                    frontier.push(unit);
+                }
+            }
+        }
+        if stats.executions >= opts.max_executions {
+            stats.capped = true;
+            break;
+        }
+        if violation.is_some() {
+            break;
+        }
+    }
+    stats.distinct_states = graph.state_count() as u64;
+    stats.collisions_averted = cache.collisions_averted();
+    ExploreReport {
+        stats,
+        violation,
+        graph,
+    }
+}
+
+/// The pre-parallel recursive depth-first explorer, kept as the
+/// single-threaded baseline `exp_checker_bench` times the frontier
+/// explorer against (and as a differential oracle in tests). Stops at
+/// the first violation in depth-first order; takes no cache.
+pub fn explore_recursive(target: &CheckTarget, opts: &ExploreOptions) -> ExploreReport {
+    struct Rec<'t> {
+        target: &'t CheckTarget,
+        opts: ExploreOptions,
+        stats: ExploreStats,
+        graph: StateGraph,
+        violation: Option<Violation>,
+    }
+
+    impl Rec<'_> {
+        fn execute(&mut self, prefix: &[usize]) -> LiveRun {
+            let mut run = LiveRun::new(self.target.build());
+            self.graph.note_state(run.fingerprint(), &[]);
+            for &p in prefix {
+                self.step(&mut run, p);
+            }
+            run
+        }
+
+        fn step(&mut self, run: &mut LiveRun, p: usize) -> Access {
+            let from = run.fingerprint();
+            let (access, completed) = run.step_raw(p, self.opts.max_depth);
+            let to = run.fingerprint();
+            if self.graph.note_edge(from, to, completed) {
+                self.stats.transitions += 1;
+            }
+            self.graph.note_state(to, run.trace());
+            self.stats.max_depth = self.stats.max_depth.max(run.trace().len());
+            access
+        }
+
+        fn record_violation(&mut self, kind: ViolationKind, run: &LiveRun) {
+            if self.violation.is_none() {
+                self.violation = Some(Violation {
+                    kind,
+                    schedule: run.trace().to_vec(),
+                    ops: run.ops().to_vec(),
+                });
+            }
+        }
+
+        fn done(&self) -> bool {
+            self.violation.is_some() || self.stats.executions >= self.opts.max_executions
+        }
+
+        fn dfs(&mut self, run: LiveRun, prefix: &mut Vec<usize>, sleep: &[(usize, Access)]) {
+            if self.done() {
+                return;
+            }
+            if run.livelocked() {
+                self.stats.executions += 1;
+                if self.target.progress == Progress::LockFree {
+                    self.record_violation(ViolationKind::Livelock, &run);
+                }
+                return;
+            }
+            if run.is_terminal() {
+                self.stats.executions += 1;
+                if !lin::check(run.spec(), run.ops()).is_linearizable() {
+                    self.record_violation(ViolationKind::NotLinearizable, &run);
+                }
+                return;
+            }
+            let enabled = run.enabled();
+            let explorable: Vec<usize> = if self.opts.prune {
+                enabled
+                    .iter()
+                    .copied()
+                    .filter(|p| !sleep.iter().any(|&(q, _)| q == *p))
+                    .collect()
+            } else {
+                enabled
+            };
+            if explorable.is_empty() {
+                self.stats.sleep_blocked += 1;
+                return;
+            }
+            drop(run); // each child re-executes from a fresh build
+            let mut explored: Vec<(usize, Access)> = Vec::new();
+            for p in explorable {
+                if self.done() {
+                    return;
+                }
+                let mut child = self.execute(prefix);
+                let access = self.step(&mut child, p);
+                let child_sleep: Vec<(usize, Access)> = sleep
+                    .iter()
+                    .chain(explored.iter())
+                    .filter(|&&(q, a)| q != p && !a.conflicts_with(access))
+                    .copied()
+                    .collect();
+                prefix.push(p);
+                self.dfs(child, prefix, &child_sleep);
+                prefix.pop();
+                explored.push((p, access));
+            }
+        }
+    }
+
+    let mut ex = Rec {
         target,
         opts: opts.clone(),
         stats: ExploreStats::default(),
@@ -471,6 +960,7 @@ mod tests {
         name: "test-cas-counter",
         description: "two-step CAS counter, 2 procs x 1 op",
         expect_failure: false,
+        progress: Progress::LockFree,
         build: cas_counter_config,
     };
 
@@ -496,6 +986,114 @@ mod tests {
         assert!(pruned.violation.is_none());
         assert!(pruned.stats.executions <= naive.stats.executions);
         assert!(pruned.stats.distinct_states <= naive.stats.distinct_states);
+    }
+
+    #[test]
+    fn frontier_explorer_matches_the_recursive_baseline_on_clean_targets() {
+        // Cache off: both walk the identical sleep-set-pruned tree.
+        let opts = ExploreOptions {
+            cache: false,
+            ..ExploreOptions::default()
+        };
+        let frontier = explore(&CAS_COUNTER, &opts);
+        let recursive = explore_recursive(&CAS_COUNTER, &opts);
+        assert_eq!(frontier.stats.executions, recursive.stats.executions);
+        assert_eq!(frontier.stats.sleep_blocked, recursive.stats.sleep_blocked);
+        assert_eq!(frontier.stats.transitions, recursive.stats.transitions);
+        assert_eq!(
+            frontier.stats.distinct_states,
+            recursive.stats.distinct_states
+        );
+        assert_eq!(frontier.stats.max_depth, recursive.stats.max_depth);
+    }
+
+    #[test]
+    fn cache_prunes_without_changing_the_state_graph() {
+        let cached = explore(&CAS_COUNTER, &ExploreOptions::default());
+        let uncached = explore(
+            &CAS_COUNTER,
+            &ExploreOptions {
+                cache: false,
+                ..ExploreOptions::default()
+            },
+        );
+        assert!(cached.stats.executions <= uncached.stats.executions);
+        // The graph is keyed by state fingerprints: a pruned subtree
+        // is a duplicate of an explored one, so the merged graph is
+        // unchanged.
+        assert_eq!(cached.stats.distinct_states, uncached.stats.distinct_states);
+        assert_eq!(cached.stats.transitions, uncached.stats.transitions);
+    }
+
+    #[test]
+    fn stats_and_json_are_identical_across_job_counts() {
+        let base = explore(&CAS_COUNTER, &ExploreOptions::default());
+        for jobs in [2, 8] {
+            let par = explore(
+                &CAS_COUNTER,
+                &ExploreOptions {
+                    jobs,
+                    ..ExploreOptions::default()
+                },
+            );
+            assert_eq!(
+                par.deterministic_json("t"),
+                base.deterministic_json("t"),
+                "jobs={jobs}"
+            );
+            let mut par_stats = par.stats.clone();
+            let mut base_stats = base.stats.clone();
+            par_stats.steals = 0;
+            base_stats.steals = 0;
+            assert_eq!(par_stats, base_stats, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn running_ops_fingerprint_matches_the_batch_recomputation() {
+        let run = run_schedule(&CAS_COUNTER, &[0, 1, 0, 1], 1_000);
+        assert!(run.is_terminal());
+        let pending: Vec<u64> = run
+            .op_start
+            .iter()
+            .map(|s| s.map_or(u64::MAX, |v| v))
+            .collect();
+        assert_eq!(
+            run.history_fingerprint(),
+            fnv1a(lin::ops_fingerprint(run.ops()), &pending)
+        );
+    }
+
+    #[test]
+    fn verify_hash_is_independent_of_the_primary() {
+        // Not a proof of independence, but the two functions must at
+        // least disagree on trivial inputs where FNV-1a collides with
+        // nothing to mix.
+        assert_ne!(verify_hash(&[0]), fnv1a(0x9D89_5A4B, &[0]));
+        assert_ne!(verify_hash(&[1, 2]), verify_hash(&[2, 1]));
+    }
+
+    #[test]
+    fn sleep_fingerprint_is_order_insensitive() {
+        let mut mem = SharedMemory::new();
+        let r1 = mem.alloc(0);
+        let r2 = mem.alloc(0);
+        let a = (
+            0usize,
+            Access {
+                register: r1,
+                kind: AccessKind::Read,
+            },
+        );
+        let b = (
+            1usize,
+            Access {
+                register: r2,
+                kind: AccessKind::Write,
+            },
+        );
+        assert_eq!(sleep_fingerprint(&[a, b]), sleep_fingerprint(&[b, a]));
+        assert_ne!(sleep_fingerprint(&[a]), sleep_fingerprint(&[b]));
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * [`explore`] — a loom-style stateless schedule explorer with
 //!   sleep-set dynamic partial-order reduction, driving
 //!   [`pwf_sim::process::Process`] implementations through every
-//!   inequivalent interleaving of a bounded configuration;
+//!   inequivalent interleaving of a bounded configuration; the
+//!   frontier is drained by a work-stealing pool ([`pool`]) over a
+//!   shared collision-guarded state cache ([`cache`]), with
+//!   deterministic (jobs-independent) merged results;
 //! * [`lin`] — Wing–Gong linearizability checking of the recorded
 //!   operation histories against sequential specs ([`spec`]);
 //! * [`audit`] — lock-freedom auditing: no reachable completion-free
@@ -30,10 +33,12 @@
 //! alias for its orderings pass.
 
 pub mod audit;
+pub mod cache;
 pub mod cli;
 pub mod explore;
 pub mod lin;
 pub mod op;
+pub mod pool;
 pub mod shrink;
 pub mod spec;
 pub mod target;

@@ -43,7 +43,7 @@ impl fmt::Display for OpRecord {
 /// One operation of an explored execution, with its real-time
 /// interval: invoked at its process's first step of the invocation,
 /// responded at the completing step (both 1-based schedule indices).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedOp {
     /// The invoking process.
     pub process: ProcessId,

@@ -52,6 +52,16 @@ pub enum Spec {
         /// Per-process segments.
         segments: Vec<u64>,
     },
+    /// A request-coalescing (query-deduplication) cache for one key:
+    /// whichever process wins the in-flight claim computes `value` and
+    /// publishes it; every `get() -> v` — leader's and joiners' alike
+    /// — must return exactly that computed value. Returning anything
+    /// else (e.g. an unpublished slot read after a premature notify)
+    /// is the lost-wakeup anomaly.
+    Coalesced {
+        /// The value the leader computes and publishes.
+        value: u64,
+    },
 }
 
 impl Spec {
@@ -84,6 +94,11 @@ impl Spec {
         Spec::Snapshot {
             segments: vec![0; n],
         }
+    }
+
+    /// A coalescing cache whose leader computes `value`.
+    pub fn coalesced(value: u64) -> Self {
+        Spec::Coalesced { value }
     }
 
     /// Packs an `update` input for [`Spec::Snapshot`]: writer index in
@@ -164,6 +179,10 @@ impl Spec {
                 "scan" => op.output == Some(Self::scan_digest(segments)),
                 other => panic!("snapshot spec cannot interpret {other:?}"),
             },
+            Spec::Coalesced { value } => match op.name {
+                "get" => op.output == Some(*value),
+                other => panic!("coalesced spec cannot interpret {other:?}"),
+            },
         }
     }
 
@@ -178,6 +197,7 @@ impl Spec {
             }
             Spec::CasRegister { value } => fnv1a(4, &[*value]),
             Spec::Snapshot { segments } => fnv1a(5, segments),
+            Spec::Coalesced { value } => fnv1a(6, &[*value]),
         }
     }
 
@@ -189,6 +209,7 @@ impl Spec {
             Spec::Queue { .. } => "queue",
             Spec::CasRegister { .. } => "cas-register",
             Spec::Snapshot { .. } => "snapshot",
+            Spec::Coalesced { .. } => "coalesced",
         }
     }
 }
@@ -258,6 +279,14 @@ mod tests {
         assert!(s.apply(&rec("scan", None, Some(digest))));
         let stale = Spec::scan_digest(&[0, 0]);
         assert!(!s.apply(&rec("scan", None, Some(stale))));
+    }
+
+    #[test]
+    fn coalesced_accepts_only_the_computed_value() {
+        let mut s = Spec::coalesced(42);
+        assert!(s.apply(&rec("get", None, Some(42))));
+        assert!(!s.apply(&rec("get", None, Some(0))), "unpublished read");
+        assert!(!s.apply(&rec("get", None, None)));
     }
 
     #[test]

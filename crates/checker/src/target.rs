@@ -84,6 +84,27 @@ impl CheckConfig {
     }
 }
 
+/// Which progress property a target is held to.
+///
+/// The paper's Theorem 3 separates two liveness standards: lock-free
+/// algorithms make progress under *every* scheduler, while blocking
+/// protocols (a joiner waiting on a coalescer's publish) make progress
+/// only under schedulers that are fair to the publisher. The checker
+/// mirrors that split: `LockFree` targets must have no schedulable
+/// completion-free cycle at all, and any within-run completion-free
+/// state revisit is itself a violation; `StochasticOnly` targets may
+/// spin, and are instead audited for *fair* progress — every bottom
+/// strongly-connected component of the merged state graph must contain
+/// a completion edge ([`crate::audit::StateGraph::fair_livelock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// Progress under every scheduler: no completion-free cycle.
+    LockFree,
+    /// Progress under fair (stochastic) schedulers only: spinning is
+    /// legal, but no reachable sink component may be completion-free.
+    StochasticOnly,
+}
+
 /// A named, rebuildable configuration for the checker, plus the
 /// expected verdict (mutant targets are *supposed* to fail).
 #[derive(Clone, Copy)]
@@ -95,6 +116,8 @@ pub struct CheckTarget {
     /// `true` for seeded mutants: the target passes vetting precisely
     /// when the checker *finds* a violation.
     pub expect_failure: bool,
+    /// The progress standard the target is audited against.
+    pub progress: Progress,
     /// Factory: builds a fresh configuration. Called once per explored
     /// execution, so it must be deterministic.
     pub build: fn() -> CheckConfig,

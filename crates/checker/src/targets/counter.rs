@@ -7,7 +7,7 @@ use pwf_sim::process::{Process, StepOutcome};
 
 use crate::op::OpRecord;
 use crate::spec::Spec;
-use crate::target::{CheckConfig, CheckProcess, CheckTarget};
+use crate::target::{CheckConfig, CheckProcess, CheckTarget, Progress};
 
 /// [`FaiProcess`] lifted into a checkable process.
 pub struct FaiAdapter {
@@ -165,6 +165,20 @@ fn build_rw_mutant() -> CheckConfig {
     }
 }
 
+fn build_spinner_pair_mutant() -> CheckConfig {
+    let mut mem = SharedMemory::new();
+    let counter = mem.alloc(0);
+    CheckConfig {
+        procs: vec![
+            Box::new(Spinner::new(counter)),
+            Box::new(Spinner::new(counter)),
+        ],
+        mem,
+        spec: Spec::counter(),
+        budgets: vec![1, 1],
+    }
+}
+
 fn build_livelock_mutant() -> CheckConfig {
     let mut mem = SharedMemory::new();
     let counter = mem.alloc(0);
@@ -184,6 +198,7 @@ pub const FAI_COUNTER: CheckTarget = CheckTarget {
     name: "counter",
     description: "fetch-and-inc counter (Algorithm 5), n=2, 2 ops each",
     expect_failure: false,
+    progress: Progress::LockFree,
     build: build_fai,
 };
 
@@ -192,6 +207,7 @@ pub const RW_COUNTER_MUTANT: CheckTarget = CheckTarget {
     name: "counter-rw-mutant",
     description: "MUTANT: read-then-write counter without CAS (lost updates)",
     expect_failure: true,
+    progress: Progress::LockFree,
     build: build_rw_mutant,
 };
 
@@ -201,5 +217,21 @@ pub const LIVELOCK_MUTANT: CheckTarget = CheckTarget {
     name: "livelock-mutant",
     description: "MUTANT: a spinning process that never completes (livelock)",
     expect_failure: true,
+    progress: Progress::LockFree,
     build: build_livelock_mutant,
+};
+
+/// The seeded *fair*-progress violation: two mutual spinners. Classed
+/// [`Progress::StochasticOnly`], so within-run spinning is tolerated
+/// and exploration alone reports nothing — the target exists to be
+/// caught by the Theorem 3 fair-cycle audit
+/// ([`crate::audit::StateGraph::fair_livelock`]): the whole reachable
+/// graph is one completion-free bottom component, so even a stochastic
+/// scheduler never sees an operation complete.
+pub const SPINNER_PAIR_MUTANT: CheckTarget = CheckTarget {
+    name: "spinner-pair-mutant",
+    description: "MUTANT: mutual spinners — no fair schedule completes (Thm 3)",
+    expect_failure: true,
+    progress: Progress::StochasticOnly,
+    build: build_spinner_pair_mutant,
 };

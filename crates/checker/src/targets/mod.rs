@@ -3,6 +3,7 @@
 //! checker must catch.
 
 pub mod counter;
+pub mod dedup;
 pub mod parallel;
 pub mod scu;
 pub mod stack;
@@ -15,23 +16,30 @@ pub fn registry() -> Vec<CheckTarget> {
         counter::FAI_COUNTER,
         stack::TAGGED_STACK,
         stack::ABA_SCENARIO_TAGGED,
+        stack::TAGGED_STACK_N3,
         scu::SCU_0_1,
         scu::SCU_2_2,
+        scu::SCU_2_2_N3,
         parallel::PARALLEL,
+        dedup::DEDUP,
         counter::RW_COUNTER_MUTANT,
         stack::ABA_MUTANT,
         counter::LIVELOCK_MUTANT,
+        counter::SPINNER_PAIR_MUTANT,
+        dedup::LOST_WAKEUP_MUTANT,
     ]
 }
 
-/// The subset checked by `pwf vet --fast` (counter and stack families,
-/// including their mutants — the CI smoke configuration).
+/// The subset checked by `pwf vet --fast` (counter, stack, and dedup
+/// families, including their mutants — the CI smoke configuration).
 pub fn fast_registry() -> Vec<CheckTarget> {
     vec![
         counter::FAI_COUNTER,
         stack::TAGGED_STACK,
+        dedup::DEDUP,
         counter::RW_COUNTER_MUTANT,
         stack::ABA_MUTANT,
+        dedup::LOST_WAKEUP_MUTANT,
     ]
 }
 

@@ -9,7 +9,7 @@ use pwf_sim::process::{Process, StepOutcome};
 
 use crate::op::OpRecord;
 use crate::spec::Spec;
-use crate::target::{CheckConfig, CheckProcess, CheckTarget};
+use crate::target::{CheckConfig, CheckProcess, CheckTarget, Progress};
 
 /// A process performing `q`-step operations on its own register:
 /// `q − 1` reads followed by a write publishing a fresh value. Checked
@@ -97,5 +97,6 @@ pub const PARALLEL: CheckTarget = CheckTarget {
     name: "parallel",
     description: "disjoint registers (Algorithm 4), n=2, 2 three-step ops each",
     expect_failure: false,
+    progress: Progress::LockFree,
     build: build_parallel,
 };

@@ -13,7 +13,7 @@ use pwf_sim::process::{Process, ProcessId, StepOutcome};
 
 use crate::op::OpRecord;
 use crate::spec::Spec;
-use crate::target::{CheckConfig, CheckProcess, CheckTarget};
+use crate::target::{CheckConfig, CheckProcess, CheckTarget, Progress};
 
 /// [`ScuProcess`] lifted into a checkable process.
 pub struct ScuAdapter {
@@ -57,11 +57,11 @@ impl CheckProcess for ScuAdapter {
     }
 }
 
-fn build_scu(q: usize, s: usize) -> CheckConfig {
+fn build_scu_n(q: usize, s: usize, budgets: Vec<u32>) -> CheckConfig {
     let mut mem = SharedMemory::new();
     let object = ScuObject::alloc(&mut mem, s);
     CheckConfig {
-        procs: (0..2)
+        procs: (0..budgets.len())
             .map(|i| {
                 Box::new(ScuAdapter::new(ProcessId::new(i), object.clone(), q, s))
                     as Box<dyn CheckProcess>
@@ -69,16 +69,20 @@ fn build_scu(q: usize, s: usize) -> CheckConfig {
             .collect(),
         mem,
         spec: Spec::cas_register(),
-        budgets: vec![2, 2],
+        budgets,
     }
 }
 
 fn build_scu_0_1() -> CheckConfig {
-    build_scu(0, 1)
+    build_scu_n(0, 1, vec![2, 2])
 }
 
 fn build_scu_2_2() -> CheckConfig {
-    build_scu(2, 2)
+    build_scu_n(2, 2, vec![2, 2])
+}
+
+fn build_scu_2_2_n3() -> CheckConfig {
+    build_scu_n(2, 2, vec![2, 1, 1])
 }
 
 /// `SCU(0, 1)` — scan is a single read of `R`, no preamble.
@@ -86,6 +90,7 @@ pub const SCU_0_1: CheckTarget = CheckTarget {
     name: "scu-0-1",
     description: "SCU(0,1) as a CAS register, n=2, 2 ops each",
     expect_failure: false,
+    progress: Progress::LockFree,
     build: build_scu_0_1,
 };
 
@@ -95,5 +100,19 @@ pub const SCU_2_2: CheckTarget = CheckTarget {
     name: "scu-2-2",
     description: "SCU(2,2) as a CAS register, n=2, 2 ops each",
     expect_failure: false,
+    progress: Progress::LockFree,
     build: build_scu_2_2,
+};
+
+/// `SCU(2, 2)` with a third process — the deep-frontier workload for
+/// parallel exploration. Three processes retrying multi-step scans
+/// against one register create many inequivalent prefixes that
+/// converge on the same reached state, which is exactly what the
+/// shared state cache prunes.
+pub const SCU_2_2_N3: CheckTarget = CheckTarget {
+    name: "scu-2-2-n3",
+    description: "SCU(2,2) as a CAS register, n=3 (2+1+1 ops)",
+    expect_failure: false,
+    progress: Progress::LockFree,
+    build: build_scu_2_2_n3,
 };

@@ -19,7 +19,7 @@ use pwf_sim::process::{Process, StepOutcome};
 
 use crate::op::OpRecord;
 use crate::spec::Spec;
-use crate::target::{CheckConfig, CheckProcess, CheckTarget};
+use crate::target::{CheckConfig, CheckProcess, CheckTarget, Progress};
 
 /// One scripted stack operation.
 #[derive(Debug, Clone, Copy)]
@@ -298,6 +298,18 @@ fn build_tagged() -> CheckConfig {
     )
 }
 
+fn build_tagged_n3() -> CheckConfig {
+    build_stack(
+        &[20, 10],
+        &[
+            &[StackOp::Pop, StackOp::Push(5)],
+            &[StackOp::Pop, StackOp::Push(6)],
+            &[StackOp::Push(7)],
+        ],
+        true,
+    )
+}
+
 fn build_aba_mutant() -> CheckConfig {
     build_stack(
         &[20, 10],
@@ -325,7 +337,19 @@ pub const TAGGED_STACK: CheckTarget = CheckTarget {
     name: "stack",
     description: "tagged Treiber stack, n=2, 2 ops each (pop then push)",
     expect_failure: false,
+    progress: Progress::LockFree,
     build: build_tagged,
+};
+
+/// Tag-protected Treiber stack with a third process — the other
+/// deep-frontier workload for parallel exploration; CAS retry loops
+/// from three contenders converge heavily on shared states.
+pub const TAGGED_STACK_N3: CheckTarget = CheckTarget {
+    name: "stack-n3",
+    description: "tagged Treiber stack, n=3 (pop/push x2 + one push)",
+    expect_failure: false,
+    progress: Progress::LockFree,
+    build: build_tagged_n3,
 };
 
 /// The seeded ABA mutant: tags never increment, so node reuse lets a
@@ -334,6 +358,7 @@ pub const ABA_MUTANT: CheckTarget = CheckTarget {
     name: "stack-aba-mutant",
     description: "MUTANT: Treiber stack without tag increment (ABA on node reuse)",
     expect_failure: true,
+    progress: Progress::LockFree,
     build: build_aba_mutant,
 };
 
@@ -343,5 +368,6 @@ pub const ABA_SCENARIO_TAGGED: CheckTarget = CheckTarget {
     name: "stack-aba-scenario",
     description: "ABA mutant's exact scripts on the tagged stack (must pass)",
     expect_failure: false,
+    progress: Progress::LockFree,
     build: build_aba_scenario_tagged,
 };

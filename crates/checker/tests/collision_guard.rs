@@ -1,0 +1,67 @@
+//! The one failure mode a checker must not have: a 64-bit fingerprint
+//! collision that *suppresses* exploration and silently hides a
+//! violation. These tests forge colliding cache entries — real primary
+//! fingerprints and contexts, wrong verify hash — and assert the
+//! seeded mutants are still caught, identically to a clean run.
+
+use pwf_checker::cache::{SharedCache, StateKey};
+use pwf_checker::explore::{explore_seeded, ExploreOptions};
+use pwf_checker::targets::{counter, find, stack};
+
+/// Explores with a fresh cache and returns (report, its keys).
+fn clean_run(name: &str) -> (pwf_checker::explore::ExploreReport, Vec<StateKey>) {
+    let target = find(name).unwrap();
+    let cache = SharedCache::new();
+    let report = explore_seeded(&target, &ExploreOptions::default(), &cache);
+    (report, cache.keys())
+}
+
+/// A cache holding, for every real key, a forged twin whose verify
+/// hash is wrong: keyed on the primary fingerprint alone, every one of
+/// these would be a (bogus) hit that prunes a real subtree.
+fn poisoned(keys: &[StateKey]) -> SharedCache {
+    let cache = SharedCache::new();
+    for k in keys {
+        cache.insert(StateKey {
+            verify: k.verify ^ 0xDEAD_BEEF_DEAD_BEEF,
+            ..*k
+        });
+    }
+    cache
+}
+
+#[test]
+fn forged_collisions_do_not_suppress_the_counter_mutant() {
+    let (base, keys) = clean_run("counter-rw-mutant");
+    assert!(!keys.is_empty());
+    let target = counter::RW_COUNTER_MUTANT;
+    let report = explore_seeded(&target, &ExploreOptions::default(), &poisoned(&keys));
+
+    // Every forged twin collides with a real lookup; the guard must
+    // fire and the exploration must proceed exactly as if the forged
+    // entries were absent.
+    assert!(report.stats.collisions_averted > 0, "guard never fired");
+    assert_eq!(report.violation, base.violation, "violation suppressed");
+    assert_eq!(report.stats.executions, base.stats.executions);
+    assert_eq!(report.stats.distinct_states, base.stats.distinct_states);
+    assert_eq!(report.stats.transitions, base.stats.transitions);
+}
+
+#[test]
+fn forged_collisions_do_not_suppress_the_aba_mutant() {
+    let (base, keys) = clean_run("stack-aba-mutant");
+    let target = stack::ABA_MUTANT;
+    let report = explore_seeded(&target, &ExploreOptions::default(), &poisoned(&keys));
+    assert!(report.stats.collisions_averted > 0);
+    assert_eq!(report.violation, base.violation);
+}
+
+#[test]
+fn a_clean_target_is_unaffected_by_poisoning() {
+    let (base, keys) = clean_run("scu-2-2");
+    let target = find("scu-2-2").unwrap();
+    let report = explore_seeded(&target, &ExploreOptions::default(), &poisoned(&keys));
+    assert!(base.violation.is_none() && report.violation.is_none());
+    assert_eq!(report.stats.executions, base.stats.executions);
+    assert_eq!(report.stats.distinct_states, base.stats.distinct_states);
+}
